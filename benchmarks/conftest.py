@@ -1,0 +1,73 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Dataset sizes are scaled down from the paper's 25K-row Customer relation
+(pure Python vs SQL Server's C++ runtime — see DESIGN.md §2); set
+``REPRO_BENCH_ROWS`` to raise them. Every figure/table benchmark writes its
+rendered artifact into ``benchmarks/results/`` so the numbers survive the
+run.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data.corruptions import CorruptionConfig
+from repro.data.customers import CustomerConfig, generate_addresses
+
+#: Paper threshold sweep (Figures 10-13).
+THRESHOLDS = (0.80, 0.85, 0.90, 0.95)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_rows(default: int) -> int:
+    value = os.environ.get("REPRO_BENCH_ROWS")
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def addresses():
+    """The Customer-relation stand-in used by the edit/Jaccard figures."""
+    config = CustomerConfig(
+        num_rows=bench_rows(700),
+        duplicate_fraction=0.25,
+        seed=20060403,
+        corruption=CorruptionConfig(char_edit_prob=0.8, max_char_edits=2,
+                                    abbreviation_prob=0.3, token_drop_prob=0.08,
+                                    token_swap_prob=0.08),
+    )
+    return generate_addresses(config)
+
+
+@pytest.fixture(scope="session")
+def jaccard_addresses():
+    """Duplicates skewed toward token-level noise (swaps, abbreviations),
+    which word-token Jaccard can see — character typos mostly cannot."""
+    config = CustomerConfig(
+        num_rows=bench_rows(700),
+        duplicate_fraction=0.25,
+        seed=20060403,
+        corruption=CorruptionConfig(char_edit_prob=0.35, max_char_edits=1,
+                                    abbreviation_prob=0.55, token_drop_prob=0.15,
+                                    token_swap_prob=0.45),
+    )
+    return generate_addresses(config)
+
+
+@pytest.fixture(scope="session")
+def small_addresses():
+    """Smaller corpus for the quadratic baselines and GES."""
+    config = CustomerConfig(num_rows=bench_rows(700) // 3, seed=20060403)
+    return generate_addresses(config)
+
+
+def write_artifact(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print("\n" + text)

@@ -1,0 +1,84 @@
+"""E11 — ablation: the fixed index-based strategy of [13] vs cost-based choice.
+
+Section 5: "a fixed index-based strategy for similarity joins as in [13]
+and [6] is unlikely to be optimal always. Instead, we must proceed with a
+cost-based choice that is sensitive to the data characteristics." This
+bench runs the index-probe plan alongside the other three implementations
+on two workloads with different characteristics and shows no single plan
+wins both — while the cost-based choice stays near the per-workload best.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_rows, write_artifact
+from repro.bench.reporting import render_table
+from repro.core.metrics import ExecutionMetrics
+from repro.core.predicate import MaxNormBound, OverlapPredicate
+from repro.core.prepared import NORM_LENGTH, NORM_WEIGHT, PreparedRelation
+from repro.core.ssjoin import SSJoin
+from repro.joins.jaccard_join import resolve_weights
+from repro.tokenize.qgrams import qgrams
+from repro.tokenize.words import words
+
+IMPLEMENTATIONS = ("basic", "prefix", "inline", "probe")
+_CELLS = {}
+
+
+def _workloads(addresses):
+    """Two workloads with different data characteristics."""
+    table = resolve_weights("idf", words, addresses, addresses)
+    jaccard = (
+        PreparedRelation.from_strings(
+            addresses, words, weights=table, norm=NORM_WEIGHT, name="words"
+        ),
+        OverlapPredicate.two_sided(0.85),
+    )
+    edit = (
+        PreparedRelation.from_strings(
+            addresses, lambda s: qgrams(s, 3), norm=NORM_LENGTH, name="qgrams"
+        ),
+        OverlapPredicate([MaxNormBound(1.0, float(1 - 3 - 3 * 3))]),  # eps=3
+    )
+    return {"jaccard-0.85": jaccard, "edit-eps3": edit}
+
+
+@pytest.mark.parametrize("workload", ["jaccard-0.85", "edit-eps3"])
+@pytest.mark.parametrize("implementation", IMPLEMENTATIONS + ("auto",))
+def test_index_ablation_cell(benchmark, addresses, workload, implementation):
+    prepared, predicate = _workloads(addresses)[workload]
+    op = SSJoin(prepared, prepared, predicate)
+
+    def run():
+        return op.execute(implementation)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _CELLS[(workload, implementation)] = (
+        result.metrics.total_seconds,
+        len(result),
+        result.implementation,
+    )
+
+
+def test_zz_render_index_ablation(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for workload in ("jaccard-0.85", "edit-eps3"):
+        times = {i: _CELLS[(workload, i)][0] for i in IMPLEMENTATIONS}
+        auto_time, _, auto_choice = _CELLS[(workload, "auto")]
+        best = min(times, key=times.get)
+        rows.append(
+            [workload]
+            + [f"{times[i]:.3f}" for i in IMPLEMENTATIONS]
+            + [f"{auto_time:.3f}", auto_choice, best]
+        )
+        # All implementations must agree on the answer.
+        outputs = {_CELLS[(workload, i)][1] for i in IMPLEMENTATIONS}
+        assert len(outputs) == 1
+    text = render_table(
+        ["workload"] + list(IMPLEMENTATIONS) + ["auto", "auto chose", "best"], rows
+    )
+    write_artifact(
+        results_dir,
+        "ablation_index.txt",
+        "E11 — fixed index plan [13] vs cost-based choice\n" + text,
+    )

@@ -1,0 +1,58 @@
+"""E10 — ablation: the cost-based implementation choice (Sections 5 & 7).
+
+"There is not always a clear winner between the basic and prefix-filtered
+implementations[, which] motivates the requirement for a cost-based
+decision." This bench runs the Jaccard join at every threshold under each
+fixed implementation and under ``auto``, and checks that auto never loses
+badly to the best fixed choice (the regret stays small).
+"""
+
+import pytest
+
+from benchmarks.conftest import THRESHOLDS, write_artifact
+from repro.bench.reporting import render_table
+from repro.joins.jaccard_join import jaccard_resemblance_join
+
+_CELLS = {}
+
+
+@pytest.mark.parametrize("implementation", ["basic", "prefix", "inline", "auto"])
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_optimizer_cell(benchmark, addresses, threshold, implementation):
+    res = benchmark.pedantic(
+        lambda: jaccard_resemblance_join(
+            addresses, threshold=threshold, weights="idf", implementation=implementation
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _CELLS[(threshold, implementation)] = (
+        res.metrics.total_seconds,
+        res.implementation,
+    )
+
+
+def test_zz_render_optimizer_ablation(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    regrets = []
+    for t in THRESHOLDS:
+        fixed = {i: _CELLS[(t, i)][0] for i in ("basic", "prefix", "inline")}
+        auto_time, auto_choice = _CELLS[(t, "auto")]
+        best_impl = min(fixed, key=fixed.get)
+        regret = auto_time / fixed[best_impl]
+        regrets.append(regret)
+        rows.append(
+            [f"{t:.2f}", f"{fixed['basic']:.3f}", f"{fixed['prefix']:.3f}",
+             f"{fixed['inline']:.3f}", f"{auto_time:.3f}", auto_choice,
+             best_impl, f"{regret:.2f}"]
+        )
+    text = render_table(
+        ["threshold", "basic", "prefix", "inline", "auto", "auto chose",
+         "best fixed", "regret"],
+        rows,
+    )
+    write_artifact(results_dir, "ablation_optimizer.txt",
+                   "E10 — cost-based implementation choice (Jaccard, IDF)\n" + text)
+    # The optimizer may mispick on noise, but must not be catastrophic.
+    assert max(regrets) < 3.0

@@ -1,0 +1,80 @@
+"""E13 — R–S matching: sales records against a master product catalog.
+
+The paper's figures are all self-joins; its *motivation* is the R–S form —
+joining dirty sales records with reference catalogs. This bench runs that
+workload (q-gram containment lookup through the SSJoin operator) and
+reports throughput and match quality against ground truth, plus the cost
+of the cross-product plan on the same data.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_rows, write_artifact
+from repro.bench.reporting import render_table
+from repro.data.products import ProductConfig, generate_products
+from repro.joins.direct import direct_join
+from repro.joins.topk import topk_matches
+from repro.sim.jaccard import string_jaccard_containment
+from repro.tokenize.qgrams import qgrams
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module")
+def product_data():
+    n = bench_rows(700)
+    return generate_products(
+        ProductConfig(num_products=n // 2, num_sales=n, seed=20060403)
+    )
+
+
+def test_ssjoin_lookup(benchmark, product_data):
+    def run():
+        return topk_matches(
+            product_data.sales,
+            product_data.catalog,
+            k=1,
+            threshold=0.4,
+            weights="idf",
+            tokenizer=lambda s: qgrams(s, 3),
+        )
+
+    matches = benchmark.pedantic(run, rounds=1, iterations=1)
+    correct = sum(
+        1
+        for i, sale in enumerate(product_data.sales)
+        if matches.get(sale) and matches[sale][0].right == product_data.truth[i]
+    )
+    accuracy = correct / len(product_data.sales)
+    _ROWS.append(["SSJoin containment lookup", f"{accuracy:.3f}", len(matches)])
+    assert accuracy > 0.85
+
+
+def test_direct_lookup_baseline(benchmark, product_data):
+    tokenizer = lambda s: qgrams(s, 3)  # noqa: E731
+
+    def run():
+        return direct_join(
+            product_data.sales,
+            product_data.catalog,
+            similarity=lambda a, b: string_jaccard_containment(
+                a, b, tokenizer=tokenizer
+            ),
+            threshold=0.4,
+            symmetric=False,
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(
+        ["direct UDF cross product", "-", res.metrics.similarity_comparisons]
+    )
+
+
+def test_zz_render_catalog_matching(benchmark, results_dir, product_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = render_table(["plan", "top-1 accuracy", "work"], _ROWS)
+    header = (
+        f"E13 — catalog matching ({len(product_data.sales)} sales vs "
+        f"{len(product_data.catalog)} products)\n"
+    )
+    write_artifact(results_dir, "catalog_matching.txt", header + text)

@@ -1,0 +1,67 @@
+"""E14 — counter regression baselines.
+
+Machine-independent counters (candidate pairs, equi-join rows, UDF calls)
+for fixed seeds are recorded into ``benchmarks/baselines.json`` on the
+first run and compared exactly on every later run: a refactor that weakens
+the prefix filter or changes a reduction's answer fails here even when
+wall time looks fine.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.baseline import CounterBaseline
+from repro.bench.reporting import render_table
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.joins.edit_join import edit_similarity_join
+from repro.joins.jaccard_join import jaccard_resemblance_join
+
+BASELINE_PATH = Path(__file__).parent / "baselines.json"
+
+#: (name, runner) — every runner is fully seed-deterministic.
+def _rows():
+    return generate_addresses(CustomerConfig(num_rows=300, seed=424242))
+
+
+CASES = {
+    "edit-0.85-inline": lambda: edit_similarity_join(
+        _rows(), threshold=0.85, implementation="inline"
+    ),
+    "edit-0.85-basic": lambda: edit_similarity_join(
+        _rows(), threshold=0.85, implementation="basic"
+    ),
+    "jaccard-0.8-prefix": lambda: jaccard_resemblance_join(
+        _rows(), threshold=0.8, weights="idf", implementation="prefix"
+    ),
+    "jaccard-0.8-probe": lambda: jaccard_resemblance_join(
+        _rows(), threshold=0.8, weights="idf", implementation="probe"
+    ),
+}
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_counter_baseline(benchmark, name):
+    result = benchmark.pedantic(CASES[name], rounds=1, iterations=1)
+    _RESULTS[name] = result.metrics
+
+    baseline = CounterBaseline.load(BASELINE_PATH)
+    if name not in baseline.entries:
+        baseline.record(name, result.metrics)
+        baseline.save()
+    else:
+        baseline.check(name, result.metrics, exact=True)
+
+
+def test_zz_render_baselines(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [name, m.candidate_pairs, m.similarity_comparisons, m.result_pairs]
+        for name, m in sorted(_RESULTS.items())
+    ]
+    text = render_table(["case", "candidates", "udf calls", "pairs"], rows)
+    write_artifact(results_dir, "counter_baselines.txt",
+                   "E14 — machine-independent counter baselines\n" + text)

@@ -1,0 +1,56 @@
+"""E7 — the UDF-over-cross-product plan the paper argues against.
+
+Section 3: a direct UDF implementation forces a cross product. Even at a
+deliberately small n the gap to the SSJoin plan is an order of magnitude in
+similarity computations — and it grows quadratically.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.bench.reporting import render_table
+from repro.joins.direct import direct_join
+from repro.joins.edit_join import edit_similarity_join
+from repro.sim.edit import edit_similarity
+
+_RESULTS = {}
+
+
+def test_direct_udf_plan(benchmark, small_addresses):
+    res = benchmark.pedantic(
+        lambda: direct_join(small_addresses, similarity=edit_similarity, threshold=0.85),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS["direct"] = res
+
+
+def test_ssjoin_plan(benchmark, small_addresses):
+    res = benchmark.pedantic(
+        lambda: edit_similarity_join(
+            small_addresses, threshold=0.85, implementation="inline"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS["ssjoin"] = res
+
+
+def test_zz_render_direct_baseline(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    direct = _RESULTS["direct"]
+    ssjoin = _RESULTS["ssjoin"]
+    assert direct.pair_set() == ssjoin.pair_set()
+    rows = [
+        ["direct UDF (cross product)", direct.metrics.similarity_comparisons,
+         f"{direct.metrics.total_seconds:.3f}"],
+        ["SSJoin (inline)", ssjoin.metrics.similarity_comparisons,
+         f"{ssjoin.metrics.total_seconds:.3f}"],
+    ]
+    text = render_table(["plan", "edit UDF calls", "time (s)"], rows)
+    write_artifact(results_dir, "direct_baseline.txt",
+                   "E7 — direct UDF plan vs SSJoin plan (edit similarity 0.85)\n" + text)
+    assert (
+        direct.metrics.similarity_comparisons
+        >= 10 * ssjoin.metrics.similarity_comparisons
+    )

@@ -1,0 +1,65 @@
+"""E1 — Figure 10: edit-similarity join, all three SSJoin implementations.
+
+Paper shape to reproduce: prefix-filtered implementations beat the basic
+implementation at high thresholds (⩾ 0.85); the basic implementation
+catches up (or wins) at lower thresholds; the inline variant beats the
+plain prefix-filtered variant by avoiding the regroup joins.
+"""
+
+import pytest
+
+from benchmarks.conftest import THRESHOLDS, write_artifact
+from repro.bench.harness import SweepRunner
+from repro.bench.figures import figure_from_records
+from repro.bench.reporting import render_phase_table, render_series
+from repro.joins.edit_join import edit_similarity_join
+
+_RECORDS = []
+
+
+@pytest.mark.parametrize("implementation", ["basic", "prefix", "inline"])
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_edit_similarity_sweep(benchmark, addresses, implementation, threshold):
+    runner = SweepRunner(
+        "fig10-edit",
+        lambda t, i: edit_similarity_join(addresses, threshold=t, implementation=i),
+    )
+
+    def run():
+        return runner.run([threshold], implementations=[implementation])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _RECORDS.extend(runner.records[-1:])
+
+
+def test_zz_render_figure10(benchmark, results_dir):
+    """Render the three panels of Figure 10 (runs after the sweep cells)."""
+    assert _RECORDS, "sweep cells must run first"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    panels = []
+    for impl in ("basic", "prefix", "inline"):
+        records = [r for r in _RECORDS if r.implementation == impl]
+        panels.append(
+            render_phase_table(records, title=f"Figure 10 — edit similarity join [{impl}]")
+        )
+    text = "\n\n".join(panels)
+    text += "\n\n" + "\n\n".join(
+        figure_from_records(
+            [r for r in _RECORDS if r.implementation == impl],
+            title=f"ASCII stacked bars [{impl}]",
+        )
+        for impl in ("basic", "prefix", "inline")
+    )
+
+    series = render_series(_RECORDS)
+    # The paper's claim at high thresholds: prefix-family beats basic.
+    basic = dict(series["basic"])
+    inline = dict(series["inline"])
+    shape = []
+    for t in THRESHOLDS:
+        winner = "inline" if inline[t] <= basic[t] else "basic"
+        shape.append(f"threshold {t:.2f}: winner={winner} "
+                     f"(basic={basic[t]:.3f}s inline={inline[t]:.3f}s)")
+    text += "\n\nWinner per threshold:\n" + "\n".join(shape)
+    write_artifact(results_dir, "fig10_edit_join.txt", text)
+    assert inline[0.95] <= basic[0.95], "inline must win at the tightest threshold"

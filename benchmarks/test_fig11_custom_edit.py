@@ -1,0 +1,49 @@
+"""E2 — Figure 11: the customized edit-similarity join of [9].
+
+Paper shape: the custom plan (q-gram merge + length/position filters +
+edit UDF) is slower than the SSJoin-based implementations because it
+verifies far more candidates (see also Table 1).
+"""
+
+import pytest
+
+from benchmarks.conftest import THRESHOLDS, write_artifact
+from repro.bench.harness import SweepRunner
+from repro.bench.reporting import render_phase_table
+from repro.joins.edit_join import edit_similarity_join
+from repro.joins.gravano import gravano_edit_join
+
+_RECORDS = []
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_custom_edit_sweep(benchmark, addresses, threshold):
+    runner = SweepRunner(
+        "fig11-custom",
+        lambda t, i: gravano_edit_join(addresses, threshold=t),
+    )
+    benchmark.pedantic(
+        lambda: runner.run([threshold], implementations=["custom"]),
+        rounds=1,
+        iterations=1,
+    )
+    _RECORDS.extend(runner.records[-1:])
+
+
+def test_zz_render_figure11(benchmark, addresses, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _RECORDS
+    text = render_phase_table(
+        _RECORDS, title="Figure 11 — customized edit similarity join [9]"
+    )
+    # Cross-check against the best SSJoin plan at the tightest threshold.
+    inline = edit_similarity_join(addresses, threshold=0.95, implementation="inline")
+    custom95 = next(r for r in _RECORDS if r.threshold == 0.95)
+    text += (
+        f"\n\nAt threshold 0.95: custom={custom95.total_seconds:.3f}s "
+        f"vs SSJoin-inline={inline.metrics.total_seconds:.3f}s; "
+        f"custom UDF calls={custom95.similarity_comparisons} "
+        f"vs SSJoin={inline.metrics.similarity_comparisons}"
+    )
+    write_artifact(results_dir, "fig11_custom_edit.txt", text)
+    assert custom95.similarity_comparisons > inline.metrics.similarity_comparisons

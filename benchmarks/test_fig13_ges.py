@@ -1,0 +1,72 @@
+"""E5 — Figure 13: generalized edit similarity join.
+
+Paper shapes: prefix-filtered ≈2× faster than basic; inline ≈25% faster
+than plain prefix-filtered.
+"""
+
+import pytest
+
+from benchmarks.conftest import THRESHOLDS, write_artifact
+from repro.bench.harness import SweepRunner
+from repro.bench.reporting import render_phase_table, render_series
+from repro.joins.ges_join import ges_join
+
+_RECORDS = []
+
+
+@pytest.mark.parametrize("implementation", ["basic", "prefix", "inline"])
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_ges_sweep(benchmark, small_addresses, implementation, threshold):
+    runner = SweepRunner(
+        "fig13-ges",
+        lambda t, i: ges_join(
+            small_addresses, threshold=t, weights="idf", implementation=i
+        ),
+    )
+    benchmark.pedantic(
+        lambda: runner.run([threshold], implementations=[implementation]),
+        rounds=1,
+        iterations=1,
+    )
+    _RECORDS.extend(runner.records[-1:])
+
+
+def test_zz_render_figure13(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _RECORDS
+    panels = [
+        render_phase_table(
+            [r for r in _RECORDS if r.implementation == impl],
+            title=f"Figure 13 — GES join [{impl}]",
+        )
+        for impl in ("basic", "prefix", "inline")
+    ]
+    text = "\n\n".join(panels)
+
+    # GES prep (dictionary expansion) dominates wall time and is identical
+    # across implementations, so the implementation comparison is the
+    # post-prep execution time and the candidate-pair counts.
+    def exec_seconds(r):
+        return r.total_seconds - r.phase("prep")
+
+    lines = []
+    for t in THRESHOLDS:
+        basic = next(r for r in _RECORDS if r.implementation == "basic" and r.threshold == t)
+        inline = next(r for r in _RECORDS if r.implementation == "inline" and r.threshold == t)
+        lines.append(
+            f"threshold {t:.2f}: post-prep basic={exec_seconds(basic):.3f}s "
+            f"inline={exec_seconds(inline):.3f}s; candidates "
+            f"basic={basic.candidate_pairs} inline={inline.candidate_pairs}"
+        )
+    text += "\n\nPost-prep comparison:\n" + "\n".join(lines)
+    write_artifact(results_dir, "fig13_ges.txt", text)
+
+    # Deterministic shape: the prefix filter must compare no more group
+    # pairs than the basic plan touches, and strictly fewer at the top.
+    for t in THRESHOLDS:
+        basic = next(r for r in _RECORDS if r.implementation == "basic" and r.threshold == t)
+        inline = next(r for r in _RECORDS if r.implementation == "inline" and r.threshold == t)
+        assert inline.candidate_pairs <= basic.candidate_pairs
+    top_basic = next(r for r in _RECORDS if r.implementation == "basic" and r.threshold == 0.95)
+    top_inline = next(r for r in _RECORDS if r.implementation == "inline" and r.threshold == 0.95)
+    assert top_inline.candidate_pairs < top_basic.candidate_pairs

@@ -1,0 +1,62 @@
+"""E8 — beyond textual similarity (Section 3.4): co-occurrence & soft-FD
+joins ride the same SSJoin machinery.
+
+The paper runs no separate experiments for these ("we have already seen
+that our physical implementations ... can be significantly more efficient
+than the basic implementations and the cross product plans"); this bench
+documents that the reductions run at SSJoin speed and recover the planted
+ground truth.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_rows, write_artifact
+from repro.bench.reporting import render_table
+from repro.data.persons import PersonConfig, generate_persons
+from repro.data.publications import PublicationConfig, generate_publications
+from repro.joins.cooccurrence import cooccurrence_join
+from repro.joins.fd_join import fd_agreement_join
+
+_ROWS = []
+
+
+def test_cooccurrence_join_perf(benchmark):
+    data = generate_publications(
+        PublicationConfig(num_authors=bench_rows(700) // 4, seed=1)
+    )
+
+    def run():
+        return cooccurrence_join(data.source2, data.source1, threshold=0.9,
+                                 weights=None)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth = {(full, abbrev) for abbrev, full in data.truth.items()}
+    recall = len(truth & res.pair_set()) / len(truth)
+    _ROWS.append(["co-occurrence (authors by titles)", len(res),
+                  f"{recall:.2f}", f"{res.metrics.total_seconds:.3f}"])
+    assert recall == 1.0
+
+
+def test_fd_join_perf(benchmark):
+    data = generate_persons(
+        PersonConfig(num_persons=bench_rows(700), seed=2, disagreement_prob=0.12)
+    )
+
+    def run():
+        return fd_agreement_join(data.table1, data.table2, k=2)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth = {(n1, n2) for n1, n2 in data.truth.items()}
+    found = res.pair_set()
+    recall = len(truth & found) / len(truth)
+    _ROWS.append(["soft-FD 2-of-3 (persons)", len(res),
+                  f"{recall:.2f}", f"{res.metrics.total_seconds:.3f}"])
+    # Per-attribute disagreement 0.12 => ~95% of twins agree on >= 2 of 3.
+    assert recall > 0.85
+
+
+def test_zz_render_nontextual(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = render_table(["join", "pairs", "recall", "time (s)"], _ROWS)
+    write_artifact(results_dir, "nontextual.txt",
+                   "E8 — non-textual similarity joins via SSJoin\n" + text)

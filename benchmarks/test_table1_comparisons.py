@@ -1,0 +1,58 @@
+"""E3 — Table 1: number of edit-similarity computations, SSJoin vs custom.
+
+Paper numbers (25K rows):
+
+    Threshold   SSJoin    Direct(custom)
+    0.80        546,492   28,252,476
+    0.85        129,925   21,405,651
+    0.90         16,191   13,913,492
+    0.95          7,772    5,961,246
+
+Shapes to reproduce: (a) the custom plan performs orders of magnitude more
+edit comparisons at every threshold, (b) both columns shrink as the
+threshold rises, (c) the SSJoin column shrinks much faster.
+"""
+
+import pytest
+
+from benchmarks.conftest import THRESHOLDS, write_artifact
+from repro.bench.reporting import render_table
+from repro.joins.edit_join import edit_similarity_join
+from repro.joins.gravano import gravano_edit_join
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_count_comparisons(benchmark, addresses, threshold):
+    def run():
+        ssjoin_res = edit_similarity_join(
+            addresses, threshold=threshold, implementation="inline"
+        )
+        custom_res = gravano_edit_join(addresses, threshold=threshold)
+        assert ssjoin_res.pair_set() == custom_res.pair_set()
+        return ssjoin_res, custom_res
+
+    ssjoin_res, custom_res = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS[threshold] = (
+        ssjoin_res.metrics.similarity_comparisons,
+        custom_res.metrics.similarity_comparisons,
+    )
+
+
+def test_zz_render_table1(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS
+    rows = [
+        [f"{t:.2f}", _ROWS[t][0], _ROWS[t][1], f"{_ROWS[t][1] / max(_ROWS[t][0], 1):.1f}x"]
+        for t in sorted(_ROWS)
+    ]
+    text = render_table(["Threshold", "SSJoin", "Direct", "ratio"], rows)
+    write_artifact(results_dir, "table1_comparisons.txt", "Table 1 — #Edit comparisons\n" + text)
+
+    for t in THRESHOLDS:
+        ssjoin_count, custom_count = _ROWS[t]
+        assert custom_count > ssjoin_count, f"custom must verify more pairs at {t}"
+    # Both columns shrink with threshold; SSJoin shrinks fast.
+    ssjoin_counts = [_ROWS[t][0] for t in sorted(_ROWS)]
+    assert ssjoin_counts[0] > ssjoin_counts[-1]

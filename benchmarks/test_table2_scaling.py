@@ -1,0 +1,73 @@
+"""E6 — Table 2: Jaccard join time and sizes vs input rows.
+
+Paper (threshold 0.85, prefix-filtered):
+
+    Input    SSJoin input rows   Output   Time units
+    100K     288,627             2,731    224
+    200K     778,172             2,870    517
+    250K     1,020,197           4,807    649
+    330K     1,305,805           3,870    1,072
+
+Shapes: SSJoin input grows linearly with rows; output is a data
+characteristic; time grows with input (and output) size.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_rows, write_artifact
+from repro.bench.reporting import render_table
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.joins.jaccard_join import jaccard_resemblance_join
+
+_SIZES = [max(bench_rows(700) // 4, 50) * k for k in (1, 2, 3, 4)]
+_ROWS = {}
+
+
+@pytest.mark.parametrize("num_rows", _SIZES)
+def test_scaling_cell(benchmark, num_rows):
+    from repro.data.corruptions import CorruptionConfig
+
+    rows = generate_addresses(
+        CustomerConfig(
+            num_rows=num_rows,
+            duplicate_fraction=0.25,
+            seed=20060403,
+            corruption=CorruptionConfig(char_edit_prob=0.35, max_char_edits=1,
+                                        abbreviation_prob=0.55, token_drop_prob=0.15,
+                                        token_swap_prob=0.45),
+        )
+    )
+
+    def run():
+        return jaccard_resemblance_join(
+            rows, threshold=0.85, weights="idf", implementation="prefix"
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS[num_rows] = (
+        result.metrics.prepared_rows,
+        len(result),
+        result.metrics.total_seconds,
+    )
+
+
+def test_zz_render_table2(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS
+    table_rows = [
+        [n, _ROWS[n][0], _ROWS[n][1], f"{_ROWS[n][2]:.3f}"] for n in sorted(_ROWS)
+    ]
+    text = render_table(
+        ["Input rows", "SSJoin input", "Output pairs", "Time (s)"], table_rows
+    )
+    write_artifact(results_dir, "table2_scaling.txt", "Table 2 — varying input sizes\n" + text)
+
+    sizes = sorted(_ROWS)
+    inputs = [_ROWS[n][0] for n in sizes]
+    times = [_ROWS[n][2] for n in sizes]
+    # Linear growth of the prepared input: 4x rows -> ~4x input (±40%).
+    ratio = inputs[-1] / inputs[0]
+    expected = sizes[-1] / sizes[0]
+    assert 0.6 * expected <= ratio <= 1.4 * expected
+    # Time must grow with size.
+    assert times[-1] > times[0]

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Sales-record → product-catalog matching: the paper's opening example.
+
+Dirty sales records must be joined to the master product catalog despite
+typos, abbreviations and reordering. This runs the R–S (two-relation) form
+of the similarity joins, scores precision/recall against the generator's
+ground truth, and compares similarity functions on the same workload.
+
+Run:  python examples/catalog_matching.py
+"""
+
+from repro.data.products import ProductConfig, generate_products
+from repro.joins.topk import topk_matches
+from repro.sim.ges import ges
+from repro.tokenize.qgrams import qgrams
+
+
+def score(matches, data) -> tuple:
+    """(accuracy, coverage): top-1 correctness and fraction matched at all."""
+    correct = matched = 0
+    for i, sale in enumerate(data.sales):
+        best = matches.get(sale, [])
+        if best:
+            matched += 1
+            if best[0].right == data.truth[i]:
+                correct += 1
+    n = len(data.sales)
+    return correct / n, matched / n
+
+
+def main() -> None:
+    data = generate_products(ProductConfig(num_products=150, num_sales=250, seed=6))
+    print(f"catalog: {len(data.catalog)} products; "
+          f"sales: {len(data.sales)} records (70% corrupted)")
+    print(f"sample catalog entry: {data.catalog[0]!r}")
+    print(f"sample sales record : {data.sales[0]!r}")
+
+    print("\n-- q-gram containment lookup (robust to in-word typos) --")
+    matches = topk_matches(
+        data.sales, data.catalog, k=1, threshold=0.35, weights="idf",
+        tokenizer=lambda s: qgrams(s, 3),
+    )
+    accuracy, coverage = score(matches, data)
+    print(f"top-1 accuracy {accuracy:.1%}, coverage {coverage:.1%}")
+
+    print("\n-- same candidates re-ranked by generalized edit similarity --")
+    matches = topk_matches(
+        data.sales, data.catalog, k=1, threshold=0.35, weights="idf",
+        tokenizer=lambda s: qgrams(s, 3), similarity=ges,
+    )
+    accuracy, coverage = score(matches, data)
+    print(f"top-1 accuracy {accuracy:.1%}, coverage {coverage:.1%}")
+
+    print("\n-- word-token containment (fails on in-word typos) --")
+    matches = topk_matches(
+        data.sales, data.catalog, k=1, threshold=0.35, weights="idf",
+    )
+    accuracy, coverage = score(matches, data)
+    print(f"top-1 accuracy {accuracy:.1%}, coverage {coverage:.1%}")
+
+
+if __name__ == "__main__":
+    main()

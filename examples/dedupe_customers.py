@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Warehouse address deduplication — the paper's motivating scenario.
+
+A sales warehouse accumulates customer addresses with typos, abbreviations
+and convention differences. This example generates such a relation,
+deduplicates it with three different similarity functions, and shows how
+the implementations compare — including what the UDF-over-cross-product
+plan would have cost.
+
+Run:  python examples/dedupe_customers.py [num_rows]
+"""
+
+import sys
+
+from repro import (
+    direct_join,
+    edit_similarity_join,
+    ges_join,
+    jaccard_resemblance_join,
+)
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.sim.edit import edit_similarity
+
+
+def main(num_rows: int = 400) -> None:
+    config = CustomerConfig(num_rows=num_rows, duplicate_fraction=0.25, seed=99)
+    addresses = generate_addresses(config)
+    print(f"Customer relation: {len(addresses)} addresses "
+          f"({config.duplicate_fraction:.0%} corrupted near-duplicates)")
+    print("sample:", addresses[0])
+
+    print("\n-- edit similarity join (threshold 0.85) --")
+    res = edit_similarity_join(addresses, threshold=0.85, implementation="auto")
+    print(f"found {len(res)} duplicate pairs via the {res.implementation} plan")
+    for pair in res.top(5):
+        print(f"  {pair.similarity:.3f}  {pair.left!r} ~ {pair.right!r}")
+    print(f"  {res.metrics.summary()}")
+
+    print("\n-- jaccard resemblance join (threshold 0.6, IDF weights) --")
+    res = jaccard_resemblance_join(addresses, threshold=0.6, weights="idf")
+    print(f"found {len(res)} duplicate pairs via the {res.implementation} plan")
+    for pair in res.top(3):
+        print(f"  {pair.similarity:.3f}  {pair.left!r} ~ {pair.right!r}")
+
+    print("\n-- generalized edit similarity join (threshold 0.85) --")
+    res = ges_join(addresses[: num_rows // 2], threshold=0.85, weights="idf")
+    print(f"found {len(res)} directed pairs via the {res.implementation} plan")
+
+    print("\n-- what the UDF cross-product plan costs --")
+    subset = addresses[: num_rows // 4]
+    direct = direct_join(subset, similarity=edit_similarity, threshold=0.85)
+    via_ssjoin = edit_similarity_join(subset, threshold=0.85)
+    print(f"on {len(subset)} rows: direct plan ran "
+          f"{direct.metrics.similarity_comparisons} edit computations in "
+          f"{direct.metrics.total_seconds:.2f}s; the SSJoin plan ran "
+          f"{via_ssjoin.metrics.similarity_comparisons} in "
+          f"{via_ssjoin.metrics.total_seconds:.2f}s — same "
+          f"{len(direct)} pairs")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Author integration across sources — Section 3.4's co-occurrence join.
+
+Two publication sources list the same authors under different naming
+conventions ("a. gupta" vs "anil gupta"), so name similarity fails; the
+sets of paper titles co-occurring with each author identify them instead
+(paper Example 5 / Figure 5). A soft-FD join (Example 6 / Figure 6) then
+shows the same trick on structured person records.
+
+Run:  python examples/integrate_publications.py
+"""
+
+from repro import cooccurrence_join, fd_agreement_join
+from repro.data.persons import PersonConfig, generate_persons
+from repro.data.publications import PublicationConfig, generate_publications
+from repro.sim.edit import edit_similarity
+
+
+def author_integration() -> None:
+    print("== Co-occurrence join: unify authors across two sources ==")
+    data = generate_publications(PublicationConfig(num_authors=40, seed=5))
+    print(f"source1: {len(data.source1)} (author, title) rows — 'f. last' style")
+    print(f"source2: {len(data.source2)} rows — 'first last' style")
+
+    res = cooccurrence_join(data.source2, data.source1, threshold=0.9, weights=None)
+    truth = {(full, abbrev) for abbrev, full in data.truth.items()}
+    hits = truth & res.pair_set()
+    print(f"join produced {len(res)} pairs; recall vs ground truth: "
+          f"{len(hits)}/{len(truth)}")
+    for full, abbrev in sorted(hits)[:5]:
+        es = edit_similarity(full, abbrev)
+        print(f"  {full!r} == {abbrev!r}  (name edit similarity only {es:.2f} — "
+              "textual matching would have missed it)" if es < 0.8 else
+              f"  {full!r} == {abbrev!r}")
+
+
+def person_linkage() -> None:
+    print("\n== Soft-FD join: link person records agreeing on 2 of 3 FDs ==")
+    data = generate_persons(PersonConfig(num_persons=120, seed=8,
+                                         disagreement_prob=0.12))
+    res = fd_agreement_join(
+        data.table1, data.table2, key="name",
+        attributes=("address", "email", "phone"), k=2,
+    )
+    truth = set(data.truth.items())
+    hits = truth & res.pair_set()
+    print(f"joined {len(res)} pairs; recall: {len(hits)}/{len(truth)}")
+    for pair in res.top(3):
+        print(f"  {pair.left!r} ~ {pair.right!r} "
+              f"(agrees on {pair.similarity * 3:.0f}/3 attributes)")
+
+
+if __name__ == "__main__":
+    author_integration()
+    person_linkage()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: the SSJoin operator and the similarity joins built on it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    OverlapPredicate,
+    PreparedRelation,
+    SSJoin,
+    edit_similarity_join,
+    jaccard_resemblance_join,
+)
+from repro.tokenize.qgrams import qgrams
+from repro.tokenize.words import words
+
+
+def raw_operator() -> None:
+    """Use the SSJoin primitive directly, as in the paper's Example 1."""
+    print("== The SSJoin primitive ==")
+    r = PreparedRelation.from_strings(
+        ["Microsoft Corp"], lambda s: qgrams(s, 3), norm="length", name="R"
+    )
+    s = PreparedRelation.from_strings(
+        ["Mcrosoft Corp", "Oracle Corp"], lambda t: qgrams(t, 3), norm="length", name="S"
+    )
+    op = SSJoin(r, s, OverlapPredicate.absolute(10.0))
+
+    print(op.explain("auto"))
+    result = op.execute("auto")
+    for a, b in result.pair_tuples():
+        print(f"  matched: {a!r} ~ {b!r}")
+    print(f"  metrics: {result.metrics.summary()}")
+
+
+def similarity_joins() -> None:
+    """The high-level joins: one call, exact answers, telemetry included."""
+    print("\n== Similarity joins on the operator ==")
+    companies = [
+        "microsoft corporation",
+        "microsoft corp",
+        "mcrosoft corp",
+        "oracle corporation",
+        "oracle corp",
+        "intl business machines",
+    ]
+
+    print("edit similarity >= 0.80:")
+    for pair in edit_similarity_join(companies, threshold=0.80):
+        print(f"  {pair.left!r} ~ {pair.right!r}  (ES={pair.similarity:.3f})")
+
+    print("jaccard resemblance >= 0.50 (word tokens, IDF weights):")
+    for pair in jaccard_resemblance_join(companies, threshold=0.50):
+        print(f"  {pair.left!r} ~ {pair.right!r}  (JR={pair.similarity:.3f})")
+
+
+def predicate_shapes() -> None:
+    """The three predicate shapes of the paper's Example 2."""
+    print("\n== Predicate shapes (Example 2) ==")
+    r = PreparedRelation.from_strings(
+        ["microsoft corp"], words, norm="cardinality", name="R"
+    )
+    s = PreparedRelation.from_strings(
+        ["microsoft corp redmond"], words, norm="cardinality", name="S"
+    )
+    for label, pred in [
+        ("absolute overlap >= 2", OverlapPredicate.absolute(2.0)),
+        ("1-sided: overlap >= 0.8*|R|", OverlapPredicate.one_sided(0.8, side="left")),
+        ("2-sided: overlap >= 0.8*both", OverlapPredicate.two_sided(0.8)),
+    ]:
+        got = SSJoin(r, s, pred).execute("basic").pair_tuples()
+        print(f"  {label}: {'match' if got else 'no match'}")
+
+
+if __name__ == "__main__":
+    raw_operator()
+    similarity_joins()
+    predicate_shapes()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Multi-field record linkage: matching person records across two tables.
+
+Single-string joins miss structure: "smith, ann" vs "ann smith" looks bad
+as one string, but the *records* agree on address, email and phone. This
+example links the two synthetic person tables with weighted field rules,
+compares blocked vs exhaustive candidate generation, and then clusters the
+links into identities.
+
+Run:  python examples/record_linkage.py
+"""
+
+from repro.cleaning import FieldRule, cluster_pairs, record_linkage_join
+from repro.data.persons import PersonConfig, generate_persons
+
+RULES = (
+    FieldRule("address", weight=1.5, similarity="jaccard"),
+    FieldRule("email", weight=1.5, similarity="edit"),
+    FieldRule("phone", weight=1.0, similarity="exact"),
+)
+
+
+def main() -> None:
+    data = generate_persons(
+        PersonConfig(num_persons=150, seed=33, disagreement_prob=0.12)
+    )
+    left = [dict(r, id=f"A:{r['name']}") for r in data.table1]
+    right = [dict(r, id=f"B:{r['name']}") for r in data.table2]
+    truth = {(f"A:{n1}", f"B:{n2}") for n1, n2 in data.truth.items()}
+
+    print(f"table A: {len(left)} records ('last, first' naming)")
+    print(f"table B: {len(right)} records ('first last' naming)")
+    print("field rules:", ", ".join(
+        f"{r.field}(w={r.weight:g},{r.similarity})" for r in RULES
+    ))
+
+    print("\n-- blocked candidate generation (SSJoin on the address field) --")
+    res = record_linkage_join(left, right, rules=RULES, threshold=0.6)
+    hits = truth & res.pair_set()
+    print(f"matched {len(res)} pairs; recall {len(hits)}/{len(truth)}; "
+          f"scored only {res.metrics.similarity_comparisons} candidates "
+          f"(cross product would be {len(left) * len(right)})")
+
+    print("\n-- exhaustive scoring (completeness check) --")
+    full = record_linkage_join(left, right, rules=RULES, threshold=0.6,
+                               exhaustive=True)
+    print(f"exhaustive found {len(full)} pairs; "
+          f"blocking missed {len(full.pair_set() - res.pair_set())} of them")
+
+    print("\n-- strongest links --")
+    for pair in res.top(5):
+        print(f"  {pair.similarity:.3f}  {pair.left} == {pair.right}")
+
+    clusters = cluster_pairs([p.as_tuple() for p in res.pairs])
+    print(f"\nclustered into {len(clusters)} identities "
+          f"(largest has {max(map(len, clusters))} records)")
+
+
+if __name__ == "__main__":
+    main()

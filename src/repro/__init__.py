@@ -1,0 +1,86 @@
+"""repro — SSJoin: a primitive operator for similarity joins in data cleaning.
+
+Reproduction of Chaudhuri, Ganti & Kaushik (ICDE 2006). The package layers:
+
+* :mod:`repro.relational` — a mini in-memory relational engine (the SQL
+  Server stand-in every plan composes over);
+* :mod:`repro.tokenize` — string → weighted-set machinery (q-grams, words,
+  multiset ordinal encoding, IDF weights, soundex);
+* :mod:`repro.sim` — exact similarity functions used as post-filter UDFs;
+* :mod:`repro.core` — the SSJoin operator: predicates, the basic /
+  prefix-filtered / inline physical implementations, and the cost-based
+  optimizer;
+* :mod:`repro.joins` — similarity joins built on SSJoin (edit, Jaccard,
+  GES, hamming, soundex, co-occurrence, soft-FD, top-k) plus the direct-UDF
+  and customized-edit-join baselines;
+* :mod:`repro.data` — deterministic synthetic datasets;
+* :mod:`repro.bench` — the sweep harness regenerating the paper's tables
+  and figures.
+
+Quickstart::
+
+    from repro import edit_similarity_join
+    result = edit_similarity_join(["microsoft corp", "mcrosoft corp"],
+                                  threshold=0.8)
+    for pair in result:
+        print(pair.left, "~", pair.right, pair.similarity)
+"""
+
+from repro.core import (
+    ExecutionMetrics,
+    OverlapPredicate,
+    PreparedRelation,
+    SSJoin,
+    SSJoinResult,
+    choose_implementation,
+    ssjoin,
+)
+from repro.joins import (
+    MatchPair,
+    SimilarityJoinResult,
+    cooccurrence_join,
+    cosine_join,
+    direct_join,
+    edit_distance_join,
+    edit_similarity_join,
+    fd_agreement_join,
+    ges_join,
+    gravano_edit_join,
+    jaccard_containment_join,
+    jaccard_resemblance_join,
+    overlap_join,
+    set_hamming_join,
+    soundex_join,
+    string_hamming_join,
+    topk_matches,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionMetrics",
+    "OverlapPredicate",
+    "PreparedRelation",
+    "SSJoin",
+    "SSJoinResult",
+    "choose_implementation",
+    "ssjoin",
+    "MatchPair",
+    "SimilarityJoinResult",
+    "cooccurrence_join",
+    "cosine_join",
+    "direct_join",
+    "edit_distance_join",
+    "edit_similarity_join",
+    "fd_agreement_join",
+    "ges_join",
+    "gravano_edit_join",
+    "jaccard_containment_join",
+    "jaccard_resemblance_join",
+    "overlap_join",
+    "set_hamming_join",
+    "soundex_join",
+    "string_hamming_join",
+    "topk_matches",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness and reporting for the paper's tables and figures."""
+
+from repro.bench.baseline import COUNTER_FIELDS, CounterBaseline, counters_of
+from repro.bench.figures import figure_from_records, series_chart, stacked_bars
+from repro.bench.harness import SweepRecord, SweepRunner, time_call
+from repro.bench.reporting import render_phase_table, render_series, render_table
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "CounterBaseline",
+    "counters_of",
+    "figure_from_records",
+    "series_chart",
+    "stacked_bars",
+    "SweepRecord",
+    "SweepRunner",
+    "time_call",
+    "render_phase_table",
+    "render_series",
+    "render_table",
+]

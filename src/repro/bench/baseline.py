@@ -1,0 +1,110 @@
+"""Regression baselines: machine-independent benchmark counters on disk.
+
+Wall-clock times vary across machines; the *counters* — candidate pairs,
+equi-join rows, UDF calls, result pairs — are deterministic for a given
+seed and dataset. This module saves those counters as a JSON baseline and
+compares later runs against it, so a refactor that silently weakens the
+prefix filter (more candidates) or breaks a reduction (different result
+count) fails CI even when it does not change wall time much.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.metrics import ExecutionMetrics
+from repro.errors import BenchmarkConfigError
+
+__all__ = ["CounterBaseline", "counters_of"]
+
+#: The metrics fields treated as machine-independent.
+COUNTER_FIELDS = (
+    "prepared_rows",
+    "prefix_rows",
+    "equijoin_rows",
+    "candidate_pairs",
+    "output_pairs",
+    "similarity_comparisons",
+    "result_pairs",
+)
+
+
+def counters_of(metrics: ExecutionMetrics) -> Dict[str, int]:
+    """Extract the machine-independent counters from a metrics object."""
+    return {name: getattr(metrics, name) for name in COUNTER_FIELDS}
+
+
+@dataclass
+class CounterBaseline:
+    """A named collection of counter snapshots, persisted as JSON."""
+
+    path: Path
+    entries: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CounterBaseline":
+        """Load a baseline file; missing file gives an empty baseline."""
+        p = Path(path)
+        if not p.exists():
+            return cls(path=p)
+        data = json.loads(p.read_text())
+        if not isinstance(data, dict):
+            raise BenchmarkConfigError(f"{p} does not contain a baseline object")
+        return cls(path=p, entries={k: dict(v) for k, v in data.items()})
+
+    def record(self, name: str, metrics: ExecutionMetrics) -> None:
+        """Store (or overwrite) the counters of one experiment."""
+        self.entries[name] = counters_of(metrics)
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self.entries, indent=2, sort_keys=True) + "\n")
+
+    def compare(
+        self,
+        name: str,
+        metrics: ExecutionMetrics,
+        exact: bool = False,
+        tolerance: float = 0.05,
+    ) -> List[str]:
+        """Differences between *metrics* and the stored entry *name*.
+
+        Returns human-readable violation strings (empty = pass). With
+        ``exact=False`` counters may drift by *tolerance* (relative) —
+        useful when a dataset is regenerated with a slightly different
+        size; with ``exact=True`` any change is a violation.
+        """
+        if name not in self.entries:
+            return [f"no baseline entry named {name!r} (run record() first)"]
+        stored = self.entries[name]
+        current = counters_of(metrics)
+        problems = []
+        for field_name in COUNTER_FIELDS:
+            expected = stored.get(field_name)
+            got = current[field_name]
+            if expected is None:
+                continue
+            if exact:
+                if got != expected:
+                    problems.append(
+                        f"{name}.{field_name}: expected {expected}, got {got}"
+                    )
+            else:
+                limit = max(abs(expected) * tolerance, 0.5)
+                if abs(got - expected) > limit:
+                    problems.append(
+                        f"{name}.{field_name}: expected {expected}±{tolerance:.0%}, "
+                        f"got {got}"
+                    )
+        return problems
+
+    def check(self, name: str, metrics: ExecutionMetrics, **kwargs) -> None:
+        """Like :meth:`compare` but raises on any violation."""
+        problems = self.compare(name, metrics, **kwargs)
+        if problems:
+            raise BenchmarkConfigError(
+                "counter regression:\n  " + "\n  ".join(problems)
+            )

@@ -1,0 +1,106 @@
+"""ASCII figures: the paper's stacked-bar charts, in a terminal.
+
+Figures 10–13 are stacked bars (one bar per threshold, one stack segment
+per phase). :func:`stacked_bars` reproduces that visual in monospaced
+text, so the artifacts in ``benchmarks/results/`` can be *read* the way
+the paper's figures are.
+
+>>> print(stacked_bars(
+...     [("0.80", {"prep": 1.0, "join": 3.0}), ("0.90", {"prep": 1.0, "join": 1.0})],
+...     width=8))
+legend: prep=# join=*
+0.80 |##******  4
+0.90 |####****  2
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.bench.harness import SweepRecord
+from repro.core.metrics import PHASES
+
+__all__ = ["stacked_bars", "figure_from_records", "series_chart"]
+
+#: Fill characters assigned to stack segments, in order of appearance.
+_FILLS = "#*=+~o%@"
+
+
+def stacked_bars(
+    rows: Sequence[Tuple[str, Mapping[str, float]]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labeled stacked bars.
+
+    *rows* is ``[(label, {segment: value, ...}), ...]``; every bar is scaled
+    against the largest total so relative heights match the paper's charts.
+    """
+    if not rows:
+        return "(no data)"
+    segments: List[str] = []
+    for _, parts in rows:
+        for name in parts:
+            if name not in segments:
+                segments.append(name)
+    fills = {name: _FILLS[i % len(_FILLS)] for i, name in enumerate(segments)}
+    max_total = max(sum(parts.values()) for _, parts in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+
+    lines = ["legend: " + " ".join(f"{n}={fills[n]}" for n in segments)]
+    for label, parts in rows:
+        total = sum(parts.values())
+        bar = ""
+        for name in segments:
+            value = parts.get(name, 0.0)
+            bar += fills[name] * int(round(value / max_total * width))
+        total_text = f"{total:g}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar}  {total_text}")
+    return "\n".join(lines)
+
+
+def figure_from_records(
+    records: Sequence[SweepRecord],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """One figure panel from sweep records: a bar per threshold, stacked by
+    phase — the text rendition of a Figure 10/12/13 panel."""
+    ordered = sorted(records, key=lambda r: r.threshold)
+    rows = [
+        (
+            f"{r.threshold:.2f}",
+            {p: r.phase(p) for p in PHASES if r.phase(p) > 0},
+        )
+        for r in ordered
+    ]
+    chart = stacked_bars(rows, width=width, unit="s")
+    return f"{title}\n{chart}" if title else chart
+
+
+def series_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars comparing several series per x value.
+
+    *series* is ``{name: [(x, value), ...]}`` — the shape produced by
+    :func:`repro.bench.reporting.render_series`.
+    """
+    if not series:
+        return "(no data)"
+    xs = sorted({x for points in series.values() for x, _ in points})
+    max_value = max((v for points in series.values() for _, v in points), default=1.0) or 1.0
+    name_width = max(len(n) for n in series)
+
+    lines = []
+    for x in xs:
+        lines.append(f"x={x:g}")
+        for name in series:
+            value = dict(series[name]).get(x)
+            if value is None:
+                continue
+            bar = "#" * int(round(value / max_value * width))
+            lines.append(f"  {name.ljust(name_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

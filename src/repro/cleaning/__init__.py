@@ -1,0 +1,31 @@
+"""End-to-end data cleaning on top of the similarity joins.
+
+The paper motivates SSJoin as the primitive of a *data cleaning platform*;
+this subpackage is the platform step built on it: similarity join →
+duplicate clustering (connected components with bridge pruning) →
+canonical-form election → a rewritten column plus a report.
+"""
+
+from repro.cleaning.canonical import (
+    canonical_mapping,
+    elect_centroid,
+    elect_longest,
+    elect_most_frequent,
+)
+from repro.cleaning.clusters import UnionFind, cluster_pairs, clusters_with_scores
+from repro.cleaning.pipeline import DedupeReport, dedupe
+from repro.cleaning.records import FieldRule, record_linkage_join
+
+__all__ = [
+    "canonical_mapping",
+    "elect_centroid",
+    "elect_longest",
+    "elect_most_frequent",
+    "UnionFind",
+    "cluster_pairs",
+    "clusters_with_scores",
+    "DedupeReport",
+    "dedupe",
+    "FieldRule",
+    "record_linkage_join",
+]

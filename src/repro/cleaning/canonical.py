@@ -1,0 +1,91 @@
+"""Canonicalization: electing a representative per duplicate cluster.
+
+After clustering, cleaning replaces each duplicate with its cluster's
+canonical form. Three standard election policies are provided; all are
+deterministic (ties broken lexicographically) so cleaning runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.sim.jaccard import string_jaccard_resemblance
+
+__all__ = ["elect_longest", "elect_most_frequent", "elect_centroid", "canonical_mapping"]
+
+Elector = Callable[[Sequence[str]], str]
+
+
+def elect_longest(cluster: Sequence[str]) -> str:
+    """The longest member — usually the least-abbreviated variant.
+
+    >>> elect_longest(["ms corp", "microsoft corp"])
+    'microsoft corp'
+    """
+    if not cluster:
+        raise ReproError("cannot elect from an empty cluster")
+    return max(cluster, key=lambda s: (len(s), s))
+
+
+def elect_most_frequent(
+    cluster: Sequence[str], frequencies: Optional[Dict[str, int]] = None
+) -> str:
+    """The member occurring most often in the source data.
+
+    Without a frequency table this falls back to :func:`elect_longest`
+    (every member of a deduplicated cluster is otherwise equally frequent).
+    """
+    if not cluster:
+        raise ReproError("cannot elect from an empty cluster")
+    if not frequencies:
+        return elect_longest(cluster)
+    return max(cluster, key=lambda s: (frequencies.get(s, 0), len(s), s))
+
+
+def elect_centroid(
+    cluster: Sequence[str],
+    similarity: Callable[[str, str], float] = string_jaccard_resemblance,
+) -> str:
+    """The member maximizing total similarity to the rest of the cluster.
+
+    O(k²) similarity evaluations per cluster — clusters are small, so this
+    is cheap and gives the most defensible representative.
+
+    >>> elect_centroid(["main st 12", "12 main st", "12 main street"])
+    '12 main st'
+    """
+    if not cluster:
+        raise ReproError("cannot elect from an empty cluster")
+    if len(cluster) == 1:
+        return cluster[0]
+
+    def total(candidate: str) -> float:
+        return sum(similarity(candidate, other) for other in cluster if other != candidate)
+
+    return max(cluster, key=lambda s: (total(s), len(s), s))
+
+
+def canonical_mapping(
+    clusters: Iterable[Sequence[str]],
+    elector: Elector = elect_centroid,
+) -> Dict[str, str]:
+    """Map every clustered value to its cluster's canonical form.
+
+    Values outside any cluster are absent (map through with ``dict.get``).
+
+    >>> canonical_mapping([["ms corp", "microsoft corp"]], elector=elect_longest)
+    {'ms corp': 'microsoft corp', 'microsoft corp': 'microsoft corp'}
+    """
+    mapping: Dict[str, str] = {}
+    for cluster in clusters:
+        representative = elector(cluster)
+        for member in cluster:
+            if member in mapping and mapping[member] != representative:
+                raise ReproError(
+                    f"value {member!r} appears in two clusters "
+                    f"({mapping[member]!r} and {representative!r})"
+                )
+            mapping[member] = representative
+    return mapping

@@ -1,0 +1,105 @@
+"""The SSJoin primitive operator — the paper's core contribution.
+
+Exports the operator facade, the predicate language of Definition 1, the
+normalized set representation, the three physical implementations of
+Section 4, the prefix machinery of Lemma 1, and the cost-based optimizer.
+"""
+
+from repro.core.basic import RESULT_SCHEMA, basic_ssjoin
+from repro.core.incremental import IncrementalSSJoin
+from repro.core.index import InvertedIndex, index_probe_ssjoin
+from repro.core.inline import encode_set, encoded_overlap, inline_ssjoin
+from repro.core.metrics import (
+    PHASE_FILTER,
+    PHASE_PREFIX,
+    PHASE_PREP,
+    PHASE_SSJOIN,
+    ExecutionMetrics,
+)
+from repro.core.optimizer import (
+    CostEstimate,
+    CostModel,
+    calibrate_cost_model,
+    choose_implementation,
+)
+from repro.core.ordering import (
+    ElementOrdering,
+    frequency_ordering,
+    random_ordering,
+    reverse_frequency_ordering,
+    weight_ordering,
+)
+from repro.core.predicate import (
+    AbsoluteBound,
+    Bound,
+    LeftNormBound,
+    MaxNormBound,
+    OverlapPredicate,
+    RightNormBound,
+    SumNormBound,
+)
+from repro.core.prefix_filter import prefix_filter_relation, prefix_filtered_ssjoin
+from repro.core.prefixes import prefix_elements, prefix_of_sorted, prefix_set
+from repro.core.prepared import (
+    NORM_CARDINALITY,
+    NORM_LENGTH,
+    NORM_WEIGHT,
+    PreparedRelation,
+)
+from repro.core.partitioned import (
+    PartitionedResult,
+    partition_by_set_size,
+    partitioned_ssjoin,
+)
+from repro.core.ssjoin import SSJoin, SSJoinResult, ssjoin
+from repro.core.validation import VerificationReport, explain_pair, verify_result
+
+__all__ = [
+    "RESULT_SCHEMA",
+    "basic_ssjoin",
+    "IncrementalSSJoin",
+    "InvertedIndex",
+    "index_probe_ssjoin",
+    "encode_set",
+    "encoded_overlap",
+    "inline_ssjoin",
+    "PHASE_FILTER",
+    "PHASE_PREFIX",
+    "PHASE_PREP",
+    "PHASE_SSJOIN",
+    "ExecutionMetrics",
+    "CostEstimate",
+    "CostModel",
+    "calibrate_cost_model",
+    "choose_implementation",
+    "ElementOrdering",
+    "frequency_ordering",
+    "random_ordering",
+    "reverse_frequency_ordering",
+    "weight_ordering",
+    "AbsoluteBound",
+    "Bound",
+    "LeftNormBound",
+    "MaxNormBound",
+    "OverlapPredicate",
+    "RightNormBound",
+    "SumNormBound",
+    "prefix_filter_relation",
+    "prefix_filtered_ssjoin",
+    "prefix_elements",
+    "prefix_of_sorted",
+    "prefix_set",
+    "NORM_CARDINALITY",
+    "NORM_LENGTH",
+    "NORM_WEIGHT",
+    "PreparedRelation",
+    "PartitionedResult",
+    "partition_by_set_size",
+    "partitioned_ssjoin",
+    "SSJoin",
+    "SSJoinResult",
+    "ssjoin",
+    "VerificationReport",
+    "explain_pair",
+    "verify_result",
+]

@@ -1,0 +1,161 @@
+"""Prefix-filtered SSJoin with inlined set representation (paper Figure 9).
+
+The plain prefix-filter plan must join candidates back with both base
+relations just to regroup each group's elements. The inline variant
+"carries the groups along with each R.A and S.A value that pass through the
+prefix-filter": every prefix row also holds the group's full element set,
+encoded as a single string (the paper's "concatenating all elements
+together separating them by a special marker"). Verification then needs no
+base-relation joins — only a small overlap UDF over two encoded sets.
+
+Encoding format: entries separated by ``US`` (0x1F), each entry
+``repr(element) GS(0x1D) weight``. ``repr`` is injective on the element
+types used by the library (strings, ints and tuples thereof), and parsing
+memoizes per encoded string since each group's encoding is a single shared
+str object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.basic import RESULT_SCHEMA
+from repro.core.metrics import (
+    PHASE_FILTER,
+    PHASE_PREFIX,
+    PHASE_PREP,
+    PHASE_SSJOIN,
+    ExecutionMetrics,
+)
+from repro.core.ordering import ElementOrdering, frequency_ordering
+from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
+from repro.core.prefixes import prefix_of_sorted
+from repro.core.prepared import PreparedRelation
+from repro.relational.joins import hash_join
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.tokenize.sets import WeightedSet
+
+__all__ = ["encode_set", "encoded_overlap", "inline_ssjoin"]
+
+_ENTRY_SEP = "\x1f"
+_FIELD_SEP = "\x1d"
+
+
+def encode_set(wset: WeightedSet) -> str:
+    """Serialize a weighted set into the inline string representation."""
+    return _ENTRY_SEP.join(
+        f"{e!r}{_FIELD_SEP}{w!r}" for e, w in sorted(wset.items(), key=lambda kv: repr(kv[0]))
+    )
+
+
+def _parse(encoded: str, cache: Dict[int, Dict[str, float]]) -> Dict[str, float]:
+    """Parse an encoded set into {element_repr: weight}, memoized by id.
+
+    Keys stay as their repr strings: overlap only needs key equality, and
+    repr equality coincides with element equality for library element types.
+    """
+    key = id(encoded)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    parsed: Dict[str, float] = {}
+    if encoded:
+        for entry in encoded.split(_ENTRY_SEP):
+            erepr, _, wrepr = entry.rpartition(_FIELD_SEP)
+            parsed[erepr] = float(wrepr)
+    cache[key] = parsed
+    return parsed
+
+
+def encoded_overlap(
+    left: str, right: str, cache: Optional[Dict[int, Dict[str, float]]] = None
+) -> float:
+    """The inline overlap UDF: ``wt(decode(left) ∩ decode(right))``.
+
+    Intersection weight is taken from the *left* set's weights, matching
+    the other implementations (which sum ``R.w``); the two only differ when
+    a join deliberately weights its sides asymmetrically, as the GES
+    expansion does.
+    """
+    c = cache if cache is not None else {}
+    lw = _parse(left, c)
+    rw = _parse(right, c)
+    if len(rw) < len(lw):
+        return sum(lw[e] for e in rw if e in lw)
+    return sum(w for e, w in lw.items() if e in rw)
+
+
+_INLINE_SCHEMA = Schema(["a", "b", "norm", "set"])
+
+
+def _inline_prefix_relation(
+    prepared: PreparedRelation,
+    predicate: OverlapPredicate,
+    ordering: ElementOrdering,
+    side: str,
+) -> Relation:
+    """Prefix rows that also carry the group's encoded full set."""
+    bound_fn = (
+        predicate.left_filter_threshold if side == "left" else predicate.right_filter_threshold
+    )
+    rows: List[Tuple] = []
+    for a, wset in prepared.groups.items():
+        norm = prepared.norms[a]
+        # Widen beta by the shared overlap epsilon so boundary pairs that
+        # satisfied() admits are never pruned (Lemma 1 with alpha - eps).
+        beta = wset.norm - bound_fn(norm) + OVERLAP_EPSILON
+        ordered = wset.sorted_elements(ordering.key)
+        kept = prefix_of_sorted([(e, wset.weight(e)) for e in ordered], beta)
+        if not kept:
+            continue
+        encoded = encode_set(wset)  # one shared str object per group
+        rows.extend((a, b, norm, encoded) for b in kept)
+    return Relation(_INLINE_SCHEMA, rows, name=f"inline-prefix({prepared.name})")
+
+
+def inline_ssjoin(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    ordering: Optional[ElementOrdering] = None,
+    metrics: Optional[ExecutionMetrics] = None,
+) -> Relation:
+    """Execute the Figure 9 plan; returns a :data:`RESULT_SCHEMA` relation."""
+    m = metrics if metrics is not None else ExecutionMetrics()
+    m.implementation = "inline"
+
+    with m.phase(PHASE_PREP):
+        m.prepared_rows += left.num_elements + right.num_elements
+        if ordering is None:
+            ordering = frequency_ordering(left, right)
+
+    with m.phase(PHASE_PREFIX):
+        pr = _inline_prefix_relation(left, predicate, ordering, side="left")
+        ps = _inline_prefix_relation(right, predicate, ordering, side="right")
+        m.prefix_rows += len(pr) + len(ps)
+
+    with m.phase(PHASE_SSJOIN):
+        matched = hash_join(
+            pr.rename({"a": "a_r", "b": "b", "norm": "norm_r", "set": "set_r"}),
+            ps.rename({"a": "a_s", "b": "b_s", "norm": "norm_s", "set": "set_s"}),
+            keys=[("b", "b_s")],
+        )
+        m.equijoin_rows += len(matched)
+        candidates = matched.project(["a_r", "norm_r", "set_r", "a_s", "norm_s", "set_s"]).distinct()
+        m.candidate_pairs += len(candidates)
+
+    with m.phase(PHASE_FILTER):
+        cache: Dict[int, Dict[str, float]] = {}
+        pos = candidates.schema.positions(
+            ["a_r", "norm_r", "set_r", "a_s", "norm_s", "set_s"]
+        )
+        out_rows: List[Tuple] = []
+        for row in candidates.rows:
+            a_r, norm_r, set_r, a_s, norm_s, set_s = (row[p] for p in pos)
+            overlap = encoded_overlap(set_r, set_s, cache)
+            if predicate.satisfied(overlap, norm_r, norm_s):
+                out_rows.append((a_r, a_s, overlap, norm_r, norm_s))
+        result = Relation(RESULT_SCHEMA, out_rows)
+        m.output_pairs += len(result)
+    return result

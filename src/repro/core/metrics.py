@@ -1,0 +1,104 @@
+"""Execution metrics: the phase timings and counters the paper reports.
+
+Figures 10–13 split each run into **Prep / Prefix-filter / SSJoin / Filter**
+phases; Table 1 counts similarity-function invocations; Table 2 reports
+SSJoin input and output sizes. :class:`ExecutionMetrics` collects all of
+these, and every SSJoin implementation and similarity join threads one
+through its phases.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["ExecutionMetrics", "PHASE_PREP", "PHASE_PREFIX", "PHASE_SSJOIN", "PHASE_FILTER"]
+
+PHASE_PREP = "prep"
+PHASE_PREFIX = "prefix_filter"
+PHASE_SSJOIN = "ssjoin"
+PHASE_FILTER = "filter"
+
+#: Canonical phase order for reports.
+PHASES = (PHASE_PREP, PHASE_PREFIX, PHASE_SSJOIN, PHASE_FILTER)
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters and per-phase wall-clock timings for one join execution.
+
+    Attributes
+    ----------
+    phase_seconds:
+        Accumulated wall-clock time per phase name. Phases may be entered
+        multiple times; durations add up.
+    prepared_rows:
+        Rows of the normalized input fed to the SSJoin (Table 2's
+        "SSJoin Input").
+    prefix_rows:
+        Rows surviving the prefix filter (both sides combined).
+    equijoin_rows:
+        Element-level matches produced by the core equi-join.
+    candidate_pairs:
+        Distinct ⟨R.A, S.A⟩ group pairs compared against the predicate.
+    output_pairs:
+        Pairs satisfying the SSJoin predicate.
+    similarity_comparisons:
+        Invocations of the post-filter similarity UDF (Table 1's metric).
+    result_pairs:
+        Final pairs after the similarity post-filter.
+    """
+
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    prepared_rows: int = 0
+    prefix_rows: int = 0
+    equijoin_rows: int = 0
+    candidate_pairs: int = 0
+    output_pairs: int = 0
+    similarity_comparisons: int = 0
+    result_pairs: int = 0
+    implementation: Optional[str] = None
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall time into phase *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def seconds(self, name: str) -> float:
+        return self.phase_seconds.get(name, 0.0)
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        """Fold another metrics object into this one (for multi-stage joins)."""
+        for name, secs in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + secs
+        self.prepared_rows += other.prepared_rows
+        self.prefix_rows += other.prefix_rows
+        self.equijoin_rows += other.equijoin_rows
+        self.candidate_pairs += other.candidate_pairs
+        self.output_pairs += other.output_pairs
+        self.similarity_comparisons += other.similarity_comparisons
+        self.result_pairs += other.result_pairs
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        times = ", ".join(
+            f"{p}={self.phase_seconds[p]:.3f}s" for p in PHASES if p in self.phase_seconds
+        )
+        return (
+            f"[{self.implementation or 'ssjoin'}] {times} | "
+            f"prepared={self.prepared_rows} prefix={self.prefix_rows} "
+            f"equijoin={self.equijoin_rows} candidates={self.candidate_pairs} "
+            f"output={self.output_pairs} udf_calls={self.similarity_comparisons} "
+            f"final={self.result_pairs}"
+        )

@@ -1,0 +1,264 @@
+"""Cost-based choice among SSJoin implementations.
+
+Section 5 observes "there is not always a clear winner between the basic
+and prefix-filtered implementations", which "motivates the requirement for
+a cost-based decision", and Section 7 states the intent to integrate SSJoin
+with a query optimizer. This module supplies that optimizer.
+
+The model is deliberately simple and histogram-exact where it can be:
+
+* The **basic** plan's dominant cost is the element equi-join, whose output
+  size is computed *exactly* from the element frequency histograms
+  (``Σ_t f_R(t)·f_S(t)``), plus grouping that same row count.
+* The **prefix** plans' costs are the prefix extraction (sorting each
+  group), the far smaller equi-join of prefixes (again histogram-exact,
+  over the *actual* extracted prefixes), and a verification term — regroup
+  joins proportional to candidate-pair set sizes for the plain prefix plan,
+  an encoded-set overlap per candidate for the inline plan.
+
+Because prefixes are cheap to extract relative to any join, the optimizer
+*actually extracts them* and prices the real filtered relations instead of
+guessing — the same trick a DBMS plays with sampled statistics, with the
+sample rate turned up to 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.ordering import ElementOrdering, frequency_ordering
+from repro.core.predicate import OverlapPredicate
+from repro.core.prefix_filter import prefix_filter_relation
+from repro.core.prepared import PreparedRelation
+from repro.errors import OptimizerError
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "calibrate_cost_model",
+    "choose_implementation",
+]
+
+IMPLEMENTATIONS = ("basic", "prefix", "inline", "probe")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated cost of one implementation, with its drivers.
+
+    ``cost`` is in abstract row-operation units — only comparisons between
+    estimates are meaningful, mirroring the paper's unitless "time units".
+    """
+
+    implementation: str
+    cost: float
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        drivers = ", ".join(f"{k}={v:.0f}" for k, v in self.details.items())
+        return f"CostEstimate({self.implementation}, cost={self.cost:.0f}, {drivers})"
+
+
+class CostModel:
+    """Per-row cost constants, tunable if a deployment calibrates them."""
+
+    #: cost of producing one equi-join output row (hash probe + emit)
+    JOIN_ROW = 1.0
+    #: cost of hashing one input row into a join or group table
+    BUILD_ROW = 0.6
+    #: cost of aggregating one row in GROUP BY
+    GROUP_ROW = 0.8
+    #: cost of sorting one element during prefix extraction
+    PREFIX_ELEMENT = 0.4
+    #: cost of one regroup-join row during prefix verification
+    VERIFY_ROW = 1.2
+    #: cost of one encoded-set overlap evaluation per candidate element
+    INLINE_ELEMENT = 0.5
+    #: fixed per-candidate overhead of the inline UDF call
+    INLINE_PAIR = 2.0
+    #: discounted cost of a suffix-completion posting visit in the
+    #: index-probe plan (only already-discovered candidates are updated)
+    PROBE_COMPLETION = 0.3
+
+    def estimate_all(
+        self,
+        left: PreparedRelation,
+        right: PreparedRelation,
+        predicate: OverlapPredicate,
+        ordering: Optional[ElementOrdering] = None,
+    ) -> List[CostEstimate]:
+        """Cost every implementation; cheapest first."""
+        if ordering is None:
+            ordering = frequency_ordering(left, right)
+
+        lfreq = left.element_frequencies()
+        rfreq = right.element_frequencies()
+        join_rows = _histogram_join_size(lfreq, rfreq)
+        n_left = left.num_elements
+        n_right = right.num_elements
+
+        basic = CostEstimate(
+            "basic",
+            self.BUILD_ROW * (n_left + n_right)
+            + self.JOIN_ROW * join_rows
+            + self.GROUP_ROW * join_rows,
+            {"equijoin_rows": join_rows, "input_rows": n_left + n_right},
+        )
+
+        # Extract the real prefixes and price the filtered join exactly.
+        pl = prefix_filter_relation(left, predicate, ordering, side="left")
+        pr = prefix_filter_relation(right, predicate, ordering, side="right")
+        plf = _relation_frequencies(pl)
+        prf = _relation_frequencies(pr)
+        prefix_join_rows = _histogram_join_size(plf, prf)
+        prefix_cost = self.PREFIX_ELEMENT * (n_left + n_right)
+
+        avg_left = n_left / max(left.num_groups, 1)
+        avg_right = n_right / max(right.num_groups, 1)
+        # Candidate pairs are at most the filtered join rows; use that as
+        # the (pessimistic) estimate of pairs needing verification.
+        candidates = prefix_join_rows
+
+        prefix = CostEstimate(
+            "prefix",
+            prefix_cost
+            + self.BUILD_ROW * (len(pl) + len(pr))
+            + self.JOIN_ROW * prefix_join_rows
+            + self.VERIFY_ROW * candidates * (avg_left + avg_right)
+            + self.GROUP_ROW * candidates * min(avg_left, avg_right),
+            {
+                "prefix_rows": float(len(pl) + len(pr)),
+                "prefix_join_rows": prefix_join_rows,
+                "est_candidates": candidates,
+            },
+        )
+
+        inline = CostEstimate(
+            "inline",
+            prefix_cost
+            + self.BUILD_ROW * (len(pl) + len(pr))
+            + self.JOIN_ROW * prefix_join_rows
+            + self.INLINE_PAIR * candidates
+            + self.INLINE_ELEMENT * candidates * min(avg_left, avg_right),
+            {
+                "prefix_rows": float(len(pl) + len(pr)),
+                "prefix_join_rows": prefix_join_rows,
+                "est_candidates": candidates,
+            },
+        )
+
+        # Index-probe plan ([13]-style): build an index over the right
+        # side, probe left prefixes to discover candidates, complete with
+        # suffix elements (touching only already-known candidates, hence
+        # the completion discount).
+        left_prefix_probe_rows = _histogram_join_size(plf, rfreq)
+        suffix_rows = max(join_rows - left_prefix_probe_rows, 0.0)
+        probe = CostEstimate(
+            "probe",
+            self.BUILD_ROW * n_right
+            + self.JOIN_ROW * left_prefix_probe_rows
+            + self.PROBE_COMPLETION * suffix_rows,
+            {
+                "index_postings": float(n_right),
+                "probe_rows": left_prefix_probe_rows,
+                "completion_rows": suffix_rows,
+            },
+        )
+
+        return sorted([basic, prefix, inline, probe], key=lambda e: e.cost)
+
+
+def calibrate_cost_model(
+    sample_left: PreparedRelation,
+    sample_right: PreparedRelation,
+    predicate: OverlapPredicate,
+    repeats: int = 2,
+) -> CostModel:
+    """Fit the cost constants to this machine by timing a sample workload.
+
+    Runs each implementation on the sample, then scales the model's
+    per-row constants so predicted costs are proportional to the measured
+    times (least-squares on the ratio, one scale factor per plan family).
+    The *relative* constants within a plan keep their defaults; only the
+    plan-level scale is fit, which is what the chooser's comparisons need.
+    Returns a new :class:`CostModel` subclass instance; the default model
+    is untouched.
+    """
+    import time as _time
+
+    from repro.core.ssjoin import SSJoin
+
+    base = CostModel()
+    estimates = {e.implementation: e.cost for e in base.estimate_all(
+        sample_left, sample_right, predicate
+    )}
+    measured: Dict[str, float] = {}
+    op = SSJoin(sample_left, sample_right, predicate)
+    for impl in IMPLEMENTATIONS:
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = _time.perf_counter()
+            op.execute(impl)
+            best = min(best, _time.perf_counter() - start)
+        measured[impl] = best
+
+    # One scale per implementation family: seconds per abstract cost unit.
+    scales = {
+        impl: measured[impl] / estimates[impl] if estimates[impl] else 1.0
+        for impl in IMPLEMENTATIONS
+    }
+
+    class CalibratedModel(CostModel):
+        """Cost model rescaled to the measured machine profile."""
+
+        _SCALES = scales
+
+        def estimate_all(self, left, right, predicate, ordering=None):
+            raw = CostModel.estimate_all(self, left, right, predicate, ordering)
+            rescaled = [
+                CostEstimate(
+                    e.implementation,
+                    e.cost * self._SCALES.get(e.implementation, 1.0),
+                    e.details,
+                )
+                for e in raw
+            ]
+            return sorted(rescaled, key=lambda e: e.cost)
+
+    return CalibratedModel()
+
+
+def choose_implementation(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    ordering: Optional[ElementOrdering] = None,
+    model: Optional[CostModel] = None,
+) -> CostEstimate:
+    """Pick the cheapest implementation under the cost model."""
+    estimates = (model or CostModel()).estimate_all(left, right, predicate, ordering)
+    if not estimates:
+        raise OptimizerError("no implementations could be costed")
+    return estimates[0]
+
+
+def _histogram_join_size(left: Dict, right: Dict) -> float:
+    """Exact equi-join output size from two value-frequency histograms."""
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    total = 0
+    for value, count in small.items():
+        other = large.get(value)
+        if other:
+            total += count * other
+    return float(total)
+
+
+def _relation_frequencies(relation) -> Dict:
+    """Frequency histogram of the ``b`` column of a filtered relation."""
+    pos = relation.schema.position("b")
+    freq: Dict = {}
+    for row in relation.rows:
+        v = row[pos]
+        freq[v] = freq.get(v, 0) + 1
+    return freq

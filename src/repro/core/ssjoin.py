@@ -1,0 +1,187 @@
+"""The SSJoin operator facade.
+
+:class:`SSJoin` bundles two prepared relations and an overlap predicate and
+executes whichever physical implementation is requested — or lets the
+cost-based optimizer pick (``implementation="auto"``), which is the paper's
+concluding recommendation. :func:`ssjoin` is the one-call functional form.
+
+Result rows are ``(a_r, a_s, overlap, norm_r, norm_s)``; see
+:data:`repro.core.basic.RESULT_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.core.basic import basic_ssjoin
+from repro.core.index import index_probe_ssjoin
+from repro.core.inline import inline_ssjoin
+from repro.core.metrics import ExecutionMetrics
+from repro.core.optimizer import CostEstimate, CostModel, choose_implementation
+from repro.core.ordering import ElementOrdering, frequency_ordering
+from repro.core.predicate import OverlapPredicate
+from repro.core.prefix_filter import prefix_filtered_ssjoin
+from repro.core.prepared import PreparedRelation
+from repro.errors import PlanError
+from repro.relational.relation import Relation
+
+__all__ = ["SSJoinResult", "SSJoin", "ssjoin"]
+
+
+@dataclass
+class SSJoinResult:
+    """Outcome of one SSJoin execution."""
+
+    pairs: Relation
+    metrics: ExecutionMetrics
+    implementation: str
+    cost_estimate: Optional[CostEstimate] = None
+
+    def pair_tuples(self) -> List[Tuple[Any, Any]]:
+        """The matched ⟨a_r, a_s⟩ pairs as plain tuples."""
+        ar = self.pairs.schema.position("a_r")
+        as_ = self.pairs.schema.position("a_s")
+        return [(row[ar], row[as_]) for row in self.pairs.rows]
+
+    def pair_set(self) -> set:
+        return set(self.pair_tuples())
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class SSJoin:
+    """``R SSJoin_A S`` with a fixed overlap predicate.
+
+    >>> from repro.tokenize.words import words
+    >>> r = PreparedRelation.from_strings(["microsoft corp"], words)
+    >>> s = PreparedRelation.from_strings(["microsoft corporation"], words)
+    >>> op = SSJoin(r, s, OverlapPredicate.absolute(1.0))
+    >>> op.execute("basic").pair_tuples()
+    [('microsoft corp', 'microsoft corporation')]
+    """
+
+    def __init__(
+        self,
+        left: PreparedRelation,
+        right: PreparedRelation,
+        predicate: OverlapPredicate,
+        ordering: Optional[ElementOrdering] = None,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self._ordering = ordering
+
+    @property
+    def ordering(self) -> ElementOrdering:
+        """The global element ordering (built lazily, frequency-based)."""
+        if self._ordering is None:
+            self._ordering = frequency_ordering(self.left, self.right)
+        return self._ordering
+
+    def execute(
+        self,
+        implementation: str = "auto",
+        metrics: Optional[ExecutionMetrics] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> SSJoinResult:
+        """Run the join with the named (or cost-chosen) implementation.
+
+        Parameters
+        ----------
+        implementation:
+            ``"basic"``, ``"prefix"``, ``"inline"``, or ``"auto"`` to let
+            the cost model decide.
+        metrics:
+            Optional pre-existing metrics object to accumulate into
+            (multi-stage joins pass their own).
+        """
+        m = metrics if metrics is not None else ExecutionMetrics()
+        estimate: Optional[CostEstimate] = None
+        impl = implementation
+        if impl == "auto":
+            estimate = choose_implementation(
+                self.left, self.right, self.predicate, self.ordering, model=cost_model
+            )
+            impl = estimate.implementation
+
+        if impl == "basic":
+            pairs = basic_ssjoin(self.left, self.right, self.predicate, metrics=m)
+        elif impl == "prefix":
+            pairs = prefix_filtered_ssjoin(
+                self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
+            )
+        elif impl == "inline":
+            pairs = inline_ssjoin(
+                self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
+            )
+        elif impl == "probe":
+            pairs = index_probe_ssjoin(
+                self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
+            )
+        else:
+            raise PlanError(
+                f"unknown implementation {implementation!r}; "
+                "expected basic/prefix/inline/probe/auto"
+            )
+        return SSJoinResult(pairs=pairs, metrics=m, implementation=impl, cost_estimate=estimate)
+
+    def explain(self, implementation: str = "auto") -> str:
+        """Describe the plan that :meth:`execute` would run."""
+        impl = implementation
+        note = ""
+        if impl == "auto":
+            estimate = choose_implementation(
+                self.left, self.right, self.predicate, self.ordering
+            )
+            impl = estimate.implementation
+            note = f"  -- chosen by cost model: {estimate!r}\n"
+        shapes = {
+            "basic": (
+                "GroupBy(a_r, a_s) HAVING overlap >= pred\n"
+                "  HashJoin(R.b = S.b)\n"
+                "    Scan(R normalized)\n"
+                "    Scan(S normalized)"
+            ),
+            "prefix": (
+                "GroupBy(a_r, a_s) HAVING overlap >= pred\n"
+                "  HashJoin(candidates x R x S regroup)\n"
+                "    Distinct(a_r, a_s)\n"
+                "      HashJoin(prefix(R).b = prefix(S).b)\n"
+                "        PrefixFilter(R, beta = wt - pred_lb)\n"
+                "        PrefixFilter(S, beta = wt - pred_lb)"
+            ),
+            "inline": (
+                "Filter(encoded_overlap(set_r, set_s) >= pred)\n"
+                "  Distinct(a_r, set_r, a_s, set_s)\n"
+                "    HashJoin(prefix(R).b = prefix(S).b)\n"
+                "      InlinePrefixFilter(R, carries encoded set)\n"
+                "      InlinePrefixFilter(S, carries encoded set)"
+            ),
+            "probe": (
+                "Filter(overlap >= pred)\n"
+                "  IndexProbe(per R group: prefix elements discover,\n"
+                "             suffix elements complete)\n"
+                "    InvertedIndex(S.b -> postings)"
+            ),
+        }
+        if impl not in shapes:
+            raise PlanError(f"unknown implementation {implementation!r}")
+        header = f"SSJoin[{impl}] pred: {self.predicate!r}\n"
+        return header + note + shapes[impl]
+
+
+def ssjoin(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    implementation: str = "auto",
+    ordering: Optional[ElementOrdering] = None,
+    metrics: Optional[ExecutionMetrics] = None,
+) -> SSJoinResult:
+    """Functional shorthand for ``SSJoin(left, right, pred).execute(...)``."""
+    return SSJoin(left, right, predicate, ordering=ordering).execute(
+        implementation, metrics=metrics
+    )

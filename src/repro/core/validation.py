@@ -1,0 +1,136 @@
+"""Result validation: brute-force checking of SSJoin outputs.
+
+When integrating a new predicate, ordering, or physical plan, the first
+question is "is the output exactly right?". :func:`verify_result` answers
+it by comparing a result relation against the brute-force evaluation of
+the predicate over all group pairs — the same oracle the test suite uses,
+packaged as a public debugging tool. :func:`explain_pair` zooms into one
+pair and reports every quantity involved in its accept/reject decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.core.ordering import ElementOrdering
+from repro.core.predicate import OverlapPredicate
+from repro.core.prefixes import prefix_elements
+from repro.core.prepared import PreparedRelation
+from repro.relational.relation import Relation
+
+__all__ = ["VerificationReport", "verify_result", "explain_pair"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_result`."""
+
+    missing: Set[Tuple[Any, Any]] = field(default_factory=set)
+    spurious: Set[Tuple[Any, Any]] = field(default_factory=set)
+    wrong_overlap: Dict[Tuple[Any, Any], Tuple[float, float]] = field(
+        default_factory=dict
+    )  # pair -> (reported, true)
+    expected_pairs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not (self.missing or self.spurious or self.wrong_overlap)
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK: {self.expected_pairs} pairs, all present and exact"
+        parts = []
+        if self.missing:
+            parts.append(f"{len(self.missing)} missing (false dismissals!)")
+        if self.spurious:
+            parts.append(f"{len(self.spurious)} spurious")
+        if self.wrong_overlap:
+            parts.append(f"{len(self.wrong_overlap)} wrong overlaps")
+        return "FAIL: " + ", ".join(parts)
+
+
+def verify_result(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    result: Relation,
+    tolerance: float = 1e-6,
+) -> VerificationReport:
+    """Check a result relation against brute-force evaluation.
+
+    Only pairs with positive overlap are expected (the operator's
+    equi-join semantics); reported overlap values are checked against the
+    exact set intersection within *tolerance*.
+    """
+    report = VerificationReport()
+
+    expected: Dict[Tuple[Any, Any], float] = {}
+    for a_r, s1 in left.groups.items():
+        norm_r = left.norm(a_r)
+        for a_s, s2 in right.groups.items():
+            overlap = s1.overlap(s2)
+            if overlap <= 0:
+                continue
+            if predicate.satisfied(overlap, norm_r, right.norm(a_s)):
+                expected[(a_r, a_s)] = overlap
+    report.expected_pairs = len(expected)
+
+    ar = result.schema.position("a_r")
+    as_ = result.schema.position("a_s")
+    ov = result.schema.position("overlap")
+    got: Dict[Tuple[Any, Any], float] = {
+        (row[ar], row[as_]): row[ov] for row in result.rows
+    }
+
+    report.missing = set(expected) - set(got)
+    report.spurious = set(got) - set(expected)
+    for pair in set(got) & set(expected):
+        if abs(got[pair] - expected[pair]) > tolerance:
+            report.wrong_overlap[pair] = (got[pair], expected[pair])
+    return report
+
+
+def explain_pair(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    a_r: Any,
+    a_s: Any,
+    ordering: Optional[ElementOrdering] = None,
+) -> str:
+    """Human-readable account of one pair's accept/reject decision.
+
+    Reports norms, exact overlap, the effective threshold, each conjunct's
+    value, and — when an ordering is supplied — both prefixes and whether
+    they intersect (i.e. whether the prefix plans would even consider the
+    pair as a candidate).
+    """
+    s1 = left.group(a_r)
+    s2 = right.group(a_s)
+    norm_r, norm_s = left.norm(a_r), right.norm(a_s)
+    overlap = s1.overlap(s2)
+    threshold = predicate.threshold(norm_r, norm_s)
+    verdict = "ACCEPT" if predicate.satisfied(overlap, norm_r, norm_s) else "REJECT"
+
+    lines = [
+        f"pair: {a_r!r} vs {a_s!r}",
+        f"  norms: left={norm_r:g} right={norm_s:g}",
+        f"  set sizes: left={len(s1)} right={len(s2)}",
+        f"  overlap: {overlap:g}  threshold: {threshold:g}  -> {verdict}",
+    ]
+    for bound in predicate.bounds:
+        lines.append(f"  conjunct {bound!r}: e_i = {bound.value(norm_r, norm_s):g}")
+    if overlap == 0:
+        lines.append("  note: zero overlap — no equi-join plan can emit this pair")
+    if ordering is not None:
+        beta_l = s1.norm - predicate.left_filter_threshold(norm_r)
+        beta_r = s2.norm - predicate.right_filter_threshold(norm_s)
+        p1 = set(prefix_elements(s1, ordering, beta_l))
+        p2 = set(prefix_elements(s2, ordering, beta_r))
+        lines.append(
+            f"  prefixes: left beta={beta_l:g} ({len(p1)} elems), "
+            f"right beta={beta_r:g} ({len(p2)} elems), "
+            f"intersect={'yes' if p1 & p2 else 'NO'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Synthetic dataset generators — deterministic stand-ins for the paper's
+proprietary evaluation data (see DESIGN.md §2 for the substitution table).
+"""
+
+from repro.data.corruptions import CorruptionConfig, corrupt
+from repro.data.customers import CustomerConfig, generate_addresses, generate_customers
+from repro.data.persons import PersonConfig, PersonData, generate_persons
+from repro.data.products import ProductConfig, ProductData, generate_products
+from repro.data.publications import (
+    PublicationConfig,
+    PublicationData,
+    generate_publications,
+)
+from repro.data.rng import make_rng, zipf_choice
+
+__all__ = [
+    "CorruptionConfig",
+    "corrupt",
+    "CustomerConfig",
+    "generate_addresses",
+    "generate_customers",
+    "PersonConfig",
+    "PersonData",
+    "generate_persons",
+    "ProductConfig",
+    "ProductData",
+    "generate_products",
+    "PublicationConfig",
+    "PublicationData",
+    "generate_publications",
+    "make_rng",
+    "zipf_choice",
+]

@@ -1,0 +1,191 @@
+"""The typo channel: realistic corruptions producing near-duplicates.
+
+The paper's experiments hinge on a population of high-similarity pairs
+("adding a large number of very similar pairs would increase the output
+size as well as the time significantly", Table 2 discussion). This module
+plants them: given a clean string, emit a corrupted variant via the error
+classes observed in warehouse data — single-character edits (typos),
+token-level abbreviation/expansion ("corporation" ↔ "corp"), token drops,
+and adjacent-token transposition.
+
+Each corruption kind is tunable; the default mix keeps most variants above
+0.8 edit similarity so they land inside the paper's threshold sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["CorruptionConfig", "corrupt", "keyboard_typo", "ocr_confusion"]
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+#: QWERTY adjacency: realistic fat-finger substitutions.
+_KEYBOARD_NEIGHBORS = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "ol",
+    "a": "qsz", "s": "awdx", "d": "sefc", "f": "drgv", "g": "fthb",
+    "h": "gyjn", "j": "hukm", "k": "jil", "l": "kop",
+    "z": "asx", "x": "zsdc", "c": "xdfv", "v": "cfgb", "b": "vghn",
+    "n": "bhjm", "m": "njk",
+    "1": "2", "2": "13", "3": "24", "4": "35", "5": "46", "6": "57",
+    "7": "68", "8": "79", "9": "80", "0": "9",
+}
+
+#: Classic OCR glyph confusions (both directions where sensible).
+_OCR_CONFUSIONS = {
+    "0": "o", "o": "0", "1": "l", "l": "1", "i": "1", "5": "s", "s": "5",
+    "8": "b", "b": "8", "2": "z", "z": "2", "g": "9", "9": "g", "e": "c",
+    "c": "e", "rn": "m", "m": "rn", "vv": "w", "w": "vv",
+}
+
+#: Common abbreviation pairs applied in either direction.
+_ABBREVIATIONS = (
+    ("street", "st"),
+    ("avenue", "ave"),
+    ("road", "rd"),
+    ("boulevard", "blvd"),
+    ("lane", "ln"),
+    ("drive", "dr"),
+    ("court", "ct"),
+    ("place", "pl"),
+    ("apartment", "apt"),
+    ("suite", "ste"),
+    ("north", "n"),
+    ("south", "s"),
+    ("east", "e"),
+    ("west", "w"),
+    ("corporation", "corp"),
+    ("incorporated", "inc"),
+    ("company", "co"),
+    ("limited", "ltd"),
+)
+
+
+@dataclass(frozen=True)
+class CorruptionConfig:
+    """Probabilities of each corruption kind (applied independently).
+
+    ``max_char_edits`` caps the number of single-character typos injected,
+    keeping the variant within a known edit distance of the original.
+    ``char_edit_style`` selects how typos are drawn: ``"uniform"`` (any
+    insert/delete/substitute), ``"keyboard"`` (QWERTY-adjacent
+    substitutions plus occasional insert/delete), or ``"ocr"`` (glyph
+    confusions like 0↔o, 1↔l, rn↔m).
+    """
+
+    char_edit_prob: float = 0.9
+    max_char_edits: int = 2
+    char_edit_style: str = "uniform"
+    abbreviation_prob: float = 0.25
+    token_drop_prob: float = 0.1
+    token_swap_prob: float = 0.1
+
+
+def keyboard_typo(rng: random.Random, text: str) -> str:
+    """One QWERTY-realistic typo: adjacent-key substitution most of the
+    time, with occasional doubled or dropped characters."""
+    if not text:
+        return rng.choice(_ALPHABET)
+    pos = rng.randrange(len(text))
+    ch = text[pos].lower()
+    roll = rng.random()
+    if roll < 0.7 and ch in _KEYBOARD_NEIGHBORS:
+        return text[:pos] + rng.choice(_KEYBOARD_NEIGHBORS[ch]) + text[pos + 1 :]
+    if roll < 0.85:
+        return text[:pos] + text[pos] + text[pos:]  # doubled key
+    return text[:pos] + text[pos + 1 :]             # dropped key
+
+
+def ocr_confusion(rng: random.Random, text: str) -> str:
+    """One OCR-style glyph confusion; falls back to a uniform edit when the
+    string contains no confusable glyphs."""
+    candidates = []
+    for pattern, replacement in _OCR_CONFUSIONS.items():
+        start = text.find(pattern)
+        if start != -1:
+            candidates.append((start, pattern, replacement))
+    if not candidates:
+        return _char_edit(rng, text)
+    start, pattern, replacement = rng.choice(candidates)
+    return text[:start] + replacement + text[start + len(pattern) :]
+
+
+def _char_edit(rng: random.Random, text: str) -> str:
+    """One random insert / delete / substitute at a random position."""
+    if not text:
+        return rng.choice(_ALPHABET)
+    kind = rng.choice(("insert", "delete", "substitute"))
+    pos = rng.randrange(len(text))
+    if kind == "insert":
+        return text[:pos] + rng.choice(_ALPHABET) + text[pos:]
+    if kind == "delete":
+        return text[:pos] + text[pos + 1 :]
+    replacement = rng.choice(_ALPHABET)
+    while replacement == text[pos]:
+        replacement = rng.choice(_ALPHABET)
+    return text[:pos] + replacement + text[pos + 1 :]
+
+
+def _apply_abbreviation(rng: random.Random, tokens: List[str]) -> List[str]:
+    """Swap one token between its long and short form if applicable."""
+    candidates = []
+    for i, token in enumerate(tokens):
+        for long_form, short_form in _ABBREVIATIONS:
+            if token == long_form:
+                candidates.append((i, short_form))
+            elif token == short_form:
+                candidates.append((i, long_form))
+    if not candidates:
+        return tokens
+    i, replacement = rng.choice(candidates)
+    out = list(tokens)
+    out[i] = replacement
+    return out
+
+
+def corrupt(
+    text: str,
+    rng: random.Random,
+    config: Optional[CorruptionConfig] = None,
+) -> str:
+    """Return a corrupted near-duplicate of *text*.
+
+    Guaranteed to differ from the input (a no-op draw falls back to one
+    character edit) so planted duplicate pairs are genuine non-identical
+    pairs.
+    """
+    cfg = config if config is not None else CorruptionConfig()
+    tokens = text.split()
+
+    if tokens and rng.random() < cfg.abbreviation_prob:
+        tokens = _apply_abbreviation(rng, tokens)
+    if len(tokens) > 2 and rng.random() < cfg.token_drop_prob:
+        drop = rng.randrange(len(tokens))
+        tokens = tokens[:drop] + tokens[drop + 1 :]
+    if len(tokens) > 1 and rng.random() < cfg.token_swap_prob:
+        i = rng.randrange(len(tokens) - 1)
+        tokens[i], tokens[i + 1] = tokens[i + 1], tokens[i]
+
+    editors = {
+        "uniform": _char_edit,
+        "keyboard": keyboard_typo,
+        "ocr": ocr_confusion,
+    }
+    editor = editors.get(cfg.char_edit_style)
+    if editor is None:
+        raise ValueError(
+            f"unknown char_edit_style {cfg.char_edit_style!r}; "
+            f"expected one of {sorted(editors)}"
+        )
+
+    out = " ".join(tokens)
+    if rng.random() < cfg.char_edit_prob:
+        for _ in range(rng.randint(1, max(cfg.max_char_edits, 1))):
+            out = editor(rng, out)
+
+    if out == text:
+        out = _char_edit(rng, out)
+    return out

@@ -1,0 +1,152 @@
+"""Vocabularies for the synthetic data generators.
+
+The paper's Customer relation came from an operational warehouse; its two
+properties that drive the experiments are (a) heavy token-frequency skew
+(street suffixes, city and state names recur across most addresses, exactly
+like the "the"/"inc" heavy hitters of Section 4.1) and (b) long-tailed
+person/street name diversity. These word lists reproduce both: suffixes and
+states are tiny vocabularies (maximal skew), street and person names are
+large (long tail).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "STREET_NAMES",
+    "STREET_SUFFIXES",
+    "UNIT_DESIGNATORS",
+    "CITIES",
+    "STATES",
+    "COMPANY_CORES",
+    "COMPANY_SUFFIXES",
+    "PAPER_TOPIC_WORDS",
+    "EMAIL_DOMAINS",
+]
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+    "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen", "gary",
+    "amy", "nicholas", "shirley", "eric", "angela", "jonathan", "helen",
+    "stephen", "anna", "larry", "brenda", "justin", "pamela", "scott",
+    "nicole", "brandon", "emma", "benjamin", "samantha", "samuel",
+    "katherine", "gregory", "christine", "frank", "debra", "alexander",
+    "rachel", "raymond", "catherine", "patrick", "carolyn", "jack", "janet",
+    "dennis", "ruth", "jerry", "maria",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+    "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+    "ross", "foster", "jimenez",
+)
+
+STREET_NAMES: Tuple[str, ...] = (
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake",
+    "hill", "park", "walnut", "spring", "north", "ridge", "church",
+    "willow", "mill", "sunset", "railroad", "jackson", "lincoln", "river",
+    "highland", "jefferson", "madison", "chestnut", "franklin", "meadow",
+    "forest", "hickory", "dogwood", "laurel", "cherry", "birch", "spruce",
+    "magnolia", "sycamore", "poplar", "juniper", "aspen", "locust",
+    "hawthorn", "cottonwood", "cypress", "redwood", "sequoia", "canyon",
+    "valley", "prairie", "summit", "lakeview", "hillcrest", "fairview",
+    "riverside", "brookside", "woodland", "greenfield", "clearwater",
+    "stonebridge", "oakmont", "ashford", "belmont", "carlton", "devon",
+    "eastwood", "fairmont", "glenwood", "hampton", "kingston", "lexington",
+    "monroe", "newport", "oxford", "preston", "quincy", "raleigh",
+    "sheffield", "trenton", "vernon", "wellington", "yorktown", "arlington",
+    "bradford", "chesterfield", "dorchester", "essex", "fulton", "granville",
+    "harrington", "inverness", "jamestown", "kensington", "lancaster",
+    "middleton", "northgate", "overlook", "pemberton", "rockford",
+    "southport", "thornton", "westfield",
+)
+
+#: Deliberately tiny: the heavy hitters of every address.
+STREET_SUFFIXES: Tuple[str, ...] = (
+    "st", "ave", "rd", "blvd", "ln", "dr", "ct", "way", "pl",
+)
+
+UNIT_DESIGNATORS: Tuple[str, ...] = ("apt", "ste", "unit", "bldg")
+
+CITIES: Tuple[str, ...] = (
+    "seattle", "redmond", "bellevue", "tacoma", "spokane", "portland",
+    "eugene", "salem", "boise", "sacramento", "oakland", "fresno",
+    "san jose", "los angeles", "san diego", "phoenix", "tucson", "denver",
+    "boulder", "austin", "dallas", "houston", "san antonio", "el paso",
+    "chicago", "springfield", "madison", "milwaukee", "minneapolis",
+    "st paul", "des moines", "kansas city", "st louis", "omaha", "tulsa",
+    "oklahoma city", "memphis", "nashville", "atlanta", "savannah",
+    "charlotte", "raleigh", "richmond", "norfolk", "baltimore",
+    "philadelphia", "pittsburgh", "cleveland", "columbus", "cincinnati",
+    "detroit", "indianapolis", "louisville", "buffalo", "rochester",
+    "albany", "boston", "providence", "hartford", "newark", "jersey city",
+    "miami", "tampa", "orlando", "jacksonville", "birmingham", "jackson",
+    "new orleans", "little rock", "wichita", "albuquerque", "salt lake city",
+    "las vegas", "reno", "anchorage", "honolulu", "billings", "fargo",
+    "sioux falls", "cheyenne", "helena",
+)
+
+#: Tiny vocabulary: every address repeats one of these — maximal skew.
+STATES: Tuple[str, ...] = (
+    "wa", "or", "ca", "az", "co", "tx", "il", "wi", "mn", "ia", "mo", "ne",
+    "ok", "tn", "ga", "nc", "va", "md", "pa", "oh", "mi", "in", "ky", "ny",
+    "ma", "ri", "ct", "nj", "fl", "al", "ms", "la", "ar", "ks", "nm", "ut",
+    "nv", "ak", "hi", "mt", "nd", "sd", "wy", "id",
+)
+
+COMPANY_CORES: Tuple[str, ...] = (
+    "acme", "global", "pioneer", "summit", "cascade", "evergreen", "liberty",
+    "paramount", "sterling", "vanguard", "meridian", "keystone", "beacon",
+    "horizon", "atlas", "pinnacle", "crestwood", "silverline", "bluepeak",
+    "ironwood", "brightstar", "clearpath", "northwind", "sunrise", "redstone",
+    "goldleaf", "rapidtech", "datacore", "infosys", "netweave", "cloudreach",
+    "bytecraft", "quantum", "vertex", "nexus", "synergy", "apex", "matrix",
+    "fusion", "catalyst", "momentum", "velocity", "spectrum", "prism",
+    "orbital", "stellar", "cosmic", "lunar", "solaris", "terra",
+)
+
+#: Tiny vocabulary: the "corp"/"inc" heavy hitters of Section 4.1.
+COMPANY_SUFFIXES: Tuple[str, ...] = (
+    "inc", "corp", "llc", "ltd", "co", "group", "holdings", "industries",
+    "systems", "services",
+)
+
+PAPER_TOPIC_WORDS: Tuple[str, ...] = (
+    "efficient", "scalable", "approximate", "adaptive", "robust",
+    "incremental", "distributed", "parallel", "optimal", "online",
+    "query", "join", "index", "storage", "transaction", "stream",
+    "similarity", "clustering", "classification", "mining", "learning",
+    "optimization", "processing", "evaluation", "estimation", "sampling",
+    "compression", "caching", "replication", "recovery", "integration",
+    "cleaning", "matching", "linkage", "deduplication", "extraction",
+    "warehouse", "database", "relational", "spatial", "temporal",
+    "graph", "tree", "hash", "sort", "merge", "filter", "operator",
+    "algorithm", "framework",
+)
+
+EMAIL_DOMAINS: Tuple[str, ...] = (
+    "example.com", "mail.example.com", "corp.example.com", "inbox.example.org",
+    "post.example.net", "webmail.example.io",
+)

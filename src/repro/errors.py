@@ -1,0 +1,96 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownColumnError",
+    "DuplicateColumnError",
+    "UnknownTableError",
+    "DuplicateTableError",
+    "PlanError",
+    "PredicateError",
+    "TokenizationError",
+    "WeightError",
+    "OptimizerError",
+    "BenchmarkConfigError",
+    "DataGenerationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or incompatible with an operation."""
+
+
+class UnknownColumnError(SchemaError):
+    """A referenced column does not exist in the schema."""
+
+    def __init__(self, column: str, available: tuple = ()):  # type: ignore[type-arg]
+        self.column = column
+        self.available = tuple(available)
+        msg = f"unknown column {column!r}"
+        if self.available:
+            msg += f"; available columns: {', '.join(self.available)}"
+        super().__init__(msg)
+
+
+class DuplicateColumnError(SchemaError):
+    """A schema would contain the same column name twice."""
+
+    def __init__(self, column: str):
+        self.column = column
+        super().__init__(f"duplicate column {column!r}")
+
+
+class UnknownTableError(ReproError):
+    """A referenced table is not registered in the catalog."""
+
+    def __init__(self, table: str):
+        self.table = table
+        super().__init__(f"unknown table {table!r}")
+
+
+class DuplicateTableError(ReproError):
+    """A table with this name is already registered in the catalog."""
+
+    def __init__(self, table: str):
+        self.table = table
+        super().__init__(f"table {table!r} already exists")
+
+
+class PlanError(ReproError):
+    """A logical plan is structurally invalid or cannot be executed."""
+
+
+class PredicateError(ReproError):
+    """An SSJoin overlap predicate is malformed (e.g. non-positive bound)."""
+
+
+class TokenizationError(ReproError):
+    """A string could not be mapped to a token set."""
+
+
+class WeightError(ReproError):
+    """An element weight is invalid (weights must be positive and finite)."""
+
+
+class OptimizerError(ReproError):
+    """The cost-based optimizer could not pick an implementation."""
+
+
+class BenchmarkConfigError(ReproError):
+    """A benchmark harness configuration is inconsistent."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic data generator received inconsistent parameters."""

@@ -1,0 +1,16 @@
+"""Extensions following the paper's research lineage.
+
+The prefix filter introduced by the reproduced paper spawned a family of
+set-similarity join algorithms; this subpackage implements its two most
+influential descendants as the natural "future work" layer:
+
+* **All-Pairs** (Bayardo, Ma & Srikant, WWW'07) — size filtering + prefix
+  indexing for cosine thresholds;
+* **PPJoin** (Xiao, Wang, Lin & Yu, WWW'08) — the positional prefix filter
+  for Jaccard thresholds.
+"""
+
+from repro.extensions.allpairs import allpairs, allpairs_strings
+from repro.extensions.ppjoin import ppjoin, ppjoin_strings
+
+__all__ = ["allpairs", "allpairs_strings", "ppjoin", "ppjoin_strings"]

@@ -1,0 +1,43 @@
+"""Similarity joins built on the SSJoin primitive (paper Section 3).
+
+Each join follows Figure 2: prepare set relations, run SSJoin with a
+superset-guaranteeing predicate, post-filter with the exact similarity
+function. :mod:`repro.joins.direct` is the cross-product UDF baseline and
+:mod:`repro.joins.gravano` the customized edit-join comparator of [9].
+"""
+
+from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.cooccurrence import cooccurrence_join
+from repro.joins.cosine_join import cosine_join
+from repro.joins.direct import direct_join
+from repro.joins.edit_join import edit_distance_join, edit_similarity_join
+from repro.joins.fd_join import fd_agreement_join
+from repro.joins.ges_join import expand_tokens, ges_join
+from repro.joins.gravano import gravano_edit_join
+from repro.joins.hamming_join import set_hamming_join, string_hamming_join
+from repro.joins.jaccard_join import jaccard_containment_join, jaccard_resemblance_join
+from repro.joins.overlap_join import overlap_join
+from repro.joins.soundex_join import soundex_join
+from repro.joins.topk import topk_matches
+
+__all__ = [
+    "MatchPair",
+    "SimilarityJoinResult",
+    "canonical_self_pairs",
+    "cooccurrence_join",
+    "cosine_join",
+    "direct_join",
+    "edit_distance_join",
+    "edit_similarity_join",
+    "fd_agreement_join",
+    "expand_tokens",
+    "ges_join",
+    "gravano_edit_join",
+    "set_hamming_join",
+    "string_hamming_join",
+    "jaccard_containment_join",
+    "jaccard_resemblance_join",
+    "overlap_join",
+    "soundex_join",
+    "topk_matches",
+]

@@ -1,0 +1,91 @@
+"""Shared result types and helpers for similarity joins.
+
+Every similarity join in this package follows the Figure 2 template:
+
+1. map strings/records to prepared set relations,
+2. run the SSJoin operator with a predicate guaranteeing a candidate
+   superset,
+3. apply the exact similarity function as a post-filter (when the SSJoin
+   predicate is not already exact).
+
+They all return a :class:`SimilarityJoinResult` carrying the matched pairs
+with their exact similarity scores plus the :class:`ExecutionMetrics` of the
+run, so benchmarks can report the paper's phase breakdowns and comparison
+counts uniformly.
+
+Degenerate inputs: a string that tokenizes to the *empty set* never joins
+with anything — an empty group shares no element with any other group, so
+no equi-join (or index probe) can observe the pair. This is the operator's
+semantics, applied uniformly by all four physical implementations; the raw
+similarity functions may still assign such pairs a nonzero score (e.g.
+``JR(∅, ∅) = 1`` by convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Tuple
+
+from repro.core.metrics import ExecutionMetrics
+
+__all__ = ["MatchPair", "SimilarityJoinResult", "canonical_self_pairs"]
+
+
+@dataclass(frozen=True)
+class MatchPair:
+    """One matched pair with its exact similarity score."""
+
+    left: Any
+    right: Any
+    similarity: float
+
+    def as_tuple(self) -> Tuple[Any, Any]:
+        return (self.left, self.right)
+
+
+@dataclass
+class SimilarityJoinResult:
+    """Pairs surviving the exact similarity check, plus run telemetry."""
+
+    pairs: List[MatchPair]
+    metrics: ExecutionMetrics
+    implementation: str
+    threshold: float
+
+    def pair_set(self) -> set:
+        return {p.as_tuple() for p in self.pairs}
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def top(self, n: int = 10) -> List[MatchPair]:
+        """The *n* highest-similarity pairs."""
+        return sorted(self.pairs, key=lambda p: (-p.similarity, repr(p.as_tuple())))[:n]
+
+
+def canonical_self_pairs(
+    pairs: Iterable[Tuple[Any, Any]], symmetric: bool
+) -> List[Tuple[Any, Any]]:
+    """Normalize self-join output.
+
+    Identity pairs (a, a) are always dropped. For a *symmetric* similarity
+    function each unordered pair is kept once (left < right by repr); for an
+    asymmetric one (containment, GES) both directions are kept.
+    """
+    out: List[Tuple[Any, Any]] = []
+    seen = set()
+    for a, b in pairs:
+        if a == b:
+            continue
+        if symmetric:
+            key = (a, b) if repr(a) <= repr(b) else (b, a)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(key)
+        else:
+            out.append((a, b))
+    return out

@@ -1,0 +1,80 @@
+"""The UDF-over-cross-product baseline the paper argues against.
+
+"A direct implementation of the UDF within a database system is most likely
+to lead to a cross-product where the UDF is evaluated for all pairs of
+tuples" (Section 3). This module is that plan, kept honest: a nested-loop
+join calling the similarity UDF on every pair. It serves as
+
+* the worst-case baseline for the E7 benchmark, and
+* the **correctness oracle** the test suite compares every SSJoin-based
+  join against (a filter-then-verify plan must return exactly the oracle's
+  answer).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.metrics import PHASE_FILTER, ExecutionMetrics
+from repro.joins.base import MatchPair, SimilarityJoinResult
+
+__all__ = ["direct_join"]
+
+SimilarityFn = Callable[[Any, Any], float]
+
+
+def direct_join(
+    left: Sequence[Any],
+    right: Optional[Sequence[Any]] = None,
+    similarity: SimilarityFn = None,
+    threshold: float = 0.8,
+    symmetric: bool = True,
+) -> SimilarityJoinResult:
+    """Evaluate ``similarity`` on every pair; keep those ⩾ *threshold*.
+
+    *right=None* self-joins *left*; with ``symmetric=True`` each unordered
+    pair is evaluated and reported once, halving the quadratic work exactly
+    the way a careful UDF plan would.
+
+    >>> from repro.sim.edit import edit_similarity
+    >>> res = direct_join(["abc", "abd", "xyz"], similarity=edit_similarity,
+    ...                   threshold=0.6)
+    >>> res.pair_set()
+    {('abc', 'abd')}
+    """
+    if similarity is None:
+        raise TypeError("direct_join requires a similarity function")
+    metrics = ExecutionMetrics()
+    self_join = right is None
+    right_values = list(dict.fromkeys(left)) if self_join else list(dict.fromkeys(right))
+    left_values = list(dict.fromkeys(left))
+
+    matches: List[MatchPair] = []
+    with metrics.phase(PHASE_FILTER):
+        if self_join and symmetric:
+            for i, a in enumerate(left_values):
+                for b in left_values[i + 1 :]:
+                    metrics.similarity_comparisons += 1
+                    score = similarity(a, b)
+                    if score + 1e-9 >= threshold:
+                        pair = (a, b) if repr(a) <= repr(b) else (b, a)
+                        matches.append(MatchPair(pair[0], pair[1], score))
+        else:
+            for a in left_values:
+                for b in right_values:
+                    if self_join and a == b:
+                        continue
+                    metrics.similarity_comparisons += 1
+                    score = similarity(a, b)
+                    if score + 1e-9 >= threshold:
+                        matches.append(MatchPair(a, b, score))
+
+    matches.sort(key=lambda p: repr(p.as_tuple()))
+    metrics.result_pairs = len(matches)
+    metrics.implementation = "direct"
+    return SimilarityJoinResult(
+        pairs=matches,
+        metrics=metrics,
+        implementation="direct",
+        threshold=threshold,
+    )

@@ -1,0 +1,110 @@
+"""Soft functional-dependency joins (paper Section 3.4, Example 6, Figure 6).
+
+Several soft FDs ``X_i → A`` each suggest that tuples agreeing on ``X_i``
+share an ``A`` value; aggregating by majority vote gives Definition 7's
+``t1 ≈_{k/h}^{FD} t2``: the tuples agree on at least *k* of the *h* source
+attributes. Associating each key with the set of ``(column, value)`` pairs
+and counting agreements is an SSJoin with unit weights and the absolute
+predicate ``Overlap ≥ k`` — an exact reduction, no post-filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.core.ssjoin import SSJoin
+from repro.errors import PredicateError
+from repro.joins.base import MatchPair, SimilarityJoinResult
+from repro.tokenize.sets import WeightedSet
+
+__all__ = ["fd_agreement_join"]
+
+Record = Mapping[str, Any]
+
+
+def _prepare_records(
+    records: Sequence[Record],
+    key: str,
+    attributes: Sequence[str],
+    name: str,
+) -> PreparedRelation:
+    """One group per key: the set of its ``(column, value)`` pairs.
+
+    ``None``/missing attribute values produce no element — a NULL cannot
+    agree with anything, matching SQL comparison semantics.
+    """
+    groups: Dict[Any, WeightedSet] = {}
+    for record in records:
+        k = record[key]
+        if k in groups:
+            raise PredicateError(f"duplicate key {k!r} in FD-join input {name}")
+        elements = {
+            (column, record[column]): 1.0
+            for column in attributes
+            if record.get(column) is not None
+        }
+        groups[k] = WeightedSet(elements)
+    return PreparedRelation.from_sets(groups, name=name)
+
+
+def fd_agreement_join(
+    left: Sequence[Record],
+    right: Optional[Sequence[Record]] = None,
+    key: str = "name",
+    attributes: Sequence[str] = ("address", "email", "phone"),
+    k: int = 2,
+    implementation: str = "auto",
+) -> SimilarityJoinResult:
+    """Key pairs agreeing on at least *k* of the *attributes* (≈ k/h join).
+
+    Example 6's ``Author1 ≈_{2/3}^{FD} Author2`` is
+    ``fd_agreement_join(a1, a2, key="name",
+    attributes=("address", "email", "phone"), k=2)``.
+
+    Reported similarity is the agreement fraction ``agreements / h``.
+    """
+    h = len(attributes)
+    if not 1 <= k <= h:
+        raise PredicateError(f"k must be in [1, {h}], got {k}")
+    self_join = right is None
+    right_records = left if self_join else right
+    metrics = ExecutionMetrics()
+
+    with metrics.phase(PHASE_PREP):
+        pl = _prepare_records(left, key, attributes, "R")
+        pr = (
+            pl
+            if self_join
+            else _prepare_records(right_records, key, attributes, "S")
+        )
+
+    predicate = OverlapPredicate.absolute(float(k))
+    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+
+    matches: List[MatchPair] = []
+    with metrics.phase(PHASE_FILTER):
+        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap"])
+        seen = set()
+        for row in result.pairs.rows:
+            a, b, overlap = (row[p] for p in pos)
+            if self_join:
+                if a == b:
+                    continue
+                pair = (a, b) if repr(a) <= repr(b) else (b, a)
+                if pair in seen:
+                    continue
+                seen.add(pair)
+                a, b = pair
+            matches.append(MatchPair(a, b, overlap / h))
+
+    matches.sort(key=lambda p: repr(p.as_tuple()))
+    metrics.result_pairs = len(matches)
+    return SimilarityJoinResult(
+        pairs=matches,
+        metrics=metrics,
+        implementation=result.implementation,
+        threshold=float(k),
+    )

@@ -1,0 +1,172 @@
+"""Jaccard containment and resemblance joins (paper Section 3.2, Figure 4).
+
+Containment translates *exactly* into a 1-sided normalized SSJoin —
+"this translation does not require a post-processing step". Resemblance
+uses ``JR ≥ α ⇒ JC(r, s) ≥ α ∧ JC(s, r) ≥ α`` (since JC ⩾ JR in both
+directions), i.e. the 2-sided predicate, plus a resemblance check computable
+directly from the SSJoin output columns (overlap and both norms) — no
+re-tokenization needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import NORM_WEIGHT, PreparedRelation
+from repro.core.ssjoin import SSJoin
+from repro.errors import PredicateError
+from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.tokenize.weights import IDFWeights, WeightTable
+from repro.tokenize.words import words
+
+__all__ = ["jaccard_containment_join", "jaccard_resemblance_join", "resolve_weights"]
+
+Tokenizer = Callable[[str], Sequence[Any]]
+
+
+def resolve_weights(
+    weights: Union[str, WeightTable, None],
+    tokenizer: Tokenizer,
+    left: Sequence[str],
+    right: Sequence[str],
+) -> Optional[WeightTable]:
+    """Resolve the weights argument shared by the token-based joins.
+
+    ``"idf"`` fits the paper's IDF formula over both sides; ``None`` gives
+    unit weights; a :class:`WeightTable` is used as-is.
+    """
+    if weights is None:
+        return None
+    if isinstance(weights, WeightTable):
+        return weights
+    if weights == "idf":
+        return IDFWeights.fit_two(
+            (tokenizer(v) for v in left), (tokenizer(v) for v in right)
+        )
+    raise PredicateError(f"unknown weights spec {weights!r}; expected 'idf', None, or a table")
+
+
+def _check_threshold(threshold: float) -> None:
+    if not 0.0 < threshold <= 1.0:
+        raise PredicateError(f"threshold must be in (0, 1], got {threshold}")
+
+
+def jaccard_containment_join(
+    left: Sequence[str],
+    right: Optional[Sequence[str]] = None,
+    threshold: float = 0.8,
+    tokenizer: Tokenizer = words,
+    weights: Union[str, WeightTable, None] = "idf",
+    implementation: str = "auto",
+) -> SimilarityJoinResult:
+    """Pairs with ``JC(Set(l), Set(r)) ≥ threshold`` (Definition 5.1).
+
+    Containment is asymmetric, so a self-join keeps both directions of
+    every non-identity pair. The SSJoin predicate is exact; the reported
+    similarity is ``overlap / norm_r`` read off the operator output.
+    """
+    _check_threshold(threshold)
+    self_join = right is None
+    right_values = left if self_join else right
+    metrics = ExecutionMetrics()
+
+    with metrics.phase(PHASE_PREP):
+        table = resolve_weights(weights, tokenizer, left, right_values)
+        pl = PreparedRelation.from_strings(
+            left, tokenizer, weights=table, norm=NORM_WEIGHT, name="R"
+        )
+        pr = (
+            pl
+            if self_join
+            else PreparedRelation.from_strings(
+                right_values, tokenizer, weights=table, norm=NORM_WEIGHT, name="S"
+            )
+        )
+
+    predicate = OverlapPredicate.one_sided(threshold, side="left")
+    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+
+    with metrics.phase(PHASE_FILTER):
+        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap", "norm_r"])
+        scored: List[Tuple[Tuple[str, str], float]] = []
+        for row in result.pairs.rows:
+            a, b, overlap, norm_r = (row[p] for p in pos)
+            if self_join and a == b:
+                continue
+            similarity = overlap / norm_r if norm_r else 1.0
+            scored.append(((a, b), similarity))
+
+    matches = [MatchPair(p[0], p[1], sim) for p, sim in sorted(scored, key=lambda x: repr(x[0]))]
+    metrics.result_pairs = len(matches)
+    return SimilarityJoinResult(
+        pairs=matches,
+        metrics=metrics,
+        implementation=result.implementation,
+        threshold=threshold,
+    )
+
+
+def jaccard_resemblance_join(
+    left: Sequence[str],
+    right: Optional[Sequence[str]] = None,
+    threshold: float = 0.8,
+    tokenizer: Tokenizer = words,
+    weights: Union[str, WeightTable, None] = "idf",
+    implementation: str = "auto",
+) -> SimilarityJoinResult:
+    """Pairs with ``JR(Set(l), Set(r)) ≥ threshold`` (Definition 5.2).
+
+    Figure 4 right panel: the 2-sided containment SSJoin produces the
+    candidates; the resemblance filter
+    ``overlap / (norm_r + norm_s − overlap) ≥ θ`` runs on the operator
+    output columns.
+    """
+    _check_threshold(threshold)
+    self_join = right is None
+    right_values = left if self_join else right
+    metrics = ExecutionMetrics()
+
+    with metrics.phase(PHASE_PREP):
+        table = resolve_weights(weights, tokenizer, left, right_values)
+        pl = PreparedRelation.from_strings(
+            left, tokenizer, weights=table, norm=NORM_WEIGHT, name="R"
+        )
+        pr = (
+            pl
+            if self_join
+            else PreparedRelation.from_strings(
+                right_values, tokenizer, weights=table, norm=NORM_WEIGHT, name="S"
+            )
+        )
+
+    predicate = OverlapPredicate.two_sided(threshold)
+    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+
+    with metrics.phase(PHASE_FILTER):
+        pos = result.pairs.schema.positions(
+            ["a_r", "a_s", "overlap", "norm_r", "norm_s"]
+        )
+        accepted: List[Tuple[Tuple[str, str], float]] = []
+        for row in result.pairs.rows:
+            a, b, overlap, norm_r, norm_s = (row[p] for p in pos)
+            metrics.similarity_comparisons += 1
+            union = norm_r + norm_s - overlap
+            resemblance = overlap / union if union else 1.0
+            if resemblance + 1e-9 >= threshold:
+                accepted.append(((a, b), resemblance))
+
+    raw = [p for p, _ in accepted]
+    sims = dict(zip(raw, (s for _, s in accepted)))
+    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
+        set(raw), key=repr
+    )
+    matches = [MatchPair(a, b, sims.get((a, b), sims.get((b, a), 0.0))) for a, b in final]
+    metrics.result_pairs = len(matches)
+    return SimilarityJoinResult(
+        pairs=matches,
+        metrics=metrics,
+        implementation=result.implementation,
+        threshold=threshold,
+    )

@@ -1,0 +1,84 @@
+"""The raw overlap join — the paper's Example 1 as a one-call API.
+
+The most direct use of SSJoin: join strings whenever their token sets
+share at least *alpha* weight. This is the predicate every other join is
+reduced to; exposing it directly completes the join layer and gives users
+a way to express custom notions ("at least 3 shared rare words") without
+touching the operator API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import NORM_WEIGHT, PreparedRelation
+from repro.core.ssjoin import SSJoin
+from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.jaccard_join import resolve_weights
+from repro.tokenize.weights import WeightTable
+from repro.tokenize.words import words
+
+__all__ = ["overlap_join"]
+
+
+def overlap_join(
+    left: Sequence[str],
+    right: Optional[Sequence[str]] = None,
+    alpha: float = 2.0,
+    tokenizer: Callable[[str], Sequence[Any]] = words,
+    weights: Union[str, WeightTable, None] = None,
+    implementation: str = "auto",
+) -> SimilarityJoinResult:
+    """Pairs whose token multisets overlap by at least weight *alpha*.
+
+    The reported similarity is the raw overlap weight (not normalized), so
+    unlike the other joins it is not confined to [0, 1].
+
+    >>> res = overlap_join(["a b c", "a b x", "p q"], alpha=2.0)
+    >>> res.pair_set()
+    {('a b c', 'a b x')}
+    """
+    self_join = right is None
+    right_values = left if self_join else right
+    metrics = ExecutionMetrics()
+
+    with metrics.phase(PHASE_PREP):
+        table = resolve_weights(weights, tokenizer, left, right_values)
+        pl = PreparedRelation.from_strings(
+            left, tokenizer, weights=table, norm=NORM_WEIGHT, name="R"
+        )
+        pr = (
+            pl
+            if self_join
+            else PreparedRelation.from_strings(
+                right_values, tokenizer, weights=table, norm=NORM_WEIGHT, name="S"
+            )
+        )
+
+    predicate = OverlapPredicate.absolute(alpha)
+    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+
+    with metrics.phase(PHASE_FILTER):
+        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap"])
+        raw: List[Tuple[str, str]] = []
+        scored = {}
+        for row in result.pairs.rows:
+            a, b, overlap = (row[p] for p in pos)
+            raw.append((a, b))
+            scored[(a, b)] = overlap
+
+    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
+        set(raw), key=repr
+    )
+    matches = [
+        MatchPair(a, b, scored.get((a, b), scored.get((b, a), 0.0))) for a, b in final
+    ]
+    metrics.result_pairs = len(matches)
+    return SimilarityJoinResult(
+        pairs=matches,
+        metrics=metrics,
+        implementation=result.implementation,
+        threshold=alpha,
+    )

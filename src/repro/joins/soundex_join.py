@@ -1,0 +1,70 @@
+"""Soundex join — phonetic matching of person names as a degenerate SSJoin.
+
+Section 1 lists "the soundex function for matching person names" among the
+notions a cleaning platform must support. Soundex equality is expressible
+as the smallest possible SSJoin: each name's set is the singleton
+``{soundex(name)}`` and the predicate is ``Overlap ≥ 1`` — two names join
+iff their codes are equal. This exercises the operator's degenerate corner
+(singleton sets, absolute predicate) and shows non-string-distance notions
+riding the same primitive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.core.ssjoin import SSJoin
+from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.tokenize.soundex import soundex
+
+__all__ = ["soundex_join"]
+
+
+def _code_set(name: str) -> List[str]:
+    code = soundex(name)
+    return [code] if code else []
+
+
+def soundex_join(
+    left: Sequence[str],
+    right: Optional[Sequence[str]] = None,
+    implementation: str = "auto",
+) -> SimilarityJoinResult:
+    """Name pairs whose soundex codes are equal.
+
+    >>> sorted(soundex_join(["Robert", "Rupert", "Ashcraft"]).pair_set())
+    [('Robert', 'Rupert')]
+    """
+    self_join = right is None
+    right_values = left if self_join else right
+    metrics = ExecutionMetrics()
+
+    with metrics.phase(PHASE_PREP):
+        pl = PreparedRelation.from_strings(left, _code_set, name="R")
+        pr = (
+            pl
+            if self_join
+            else PreparedRelation.from_strings(right_values, _code_set, name="S")
+        )
+
+    result = SSJoin(pl, pr, OverlapPredicate.absolute(1.0)).execute(
+        implementation, metrics=metrics
+    )
+
+    with metrics.phase(PHASE_FILTER):
+        raw: List[Tuple[str, str]] = result.pair_tuples()
+
+    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
+        set(raw), key=repr
+    )
+    matches = [MatchPair(a, b, 1.0) for a, b in final]
+    metrics.result_pairs = len(matches)
+    return SimilarityJoinResult(
+        pairs=matches,
+        metrics=metrics,
+        implementation=result.implementation,
+        threshold=1.0,
+    )

@@ -1,0 +1,91 @@
+"""Mini in-memory relational engine — the substrate under every SSJoin plan.
+
+The ICDE'06 paper implements SSJoin as trees of standard relational
+operators over SQL Server. This subpackage supplies those operators in pure
+Python: relations over row tuples, scalar expressions, equi-joins (hash and
+sort-merge), nested-loop θ-joins, GROUP BY/HAVING, the groupwise-processing
+operator, a table catalog with statistics, and explainable logical plans.
+"""
+
+from repro.relational.aggregates import (
+    Aggregate,
+    agg_avg,
+    agg_collect,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    group_by,
+)
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import col, const, maximum, minimum
+from repro.relational.groupwise import groupwise_apply, scan_groups
+from repro.relational.joins import (
+    JoinCounters,
+    cross_product,
+    hash_join,
+    left_outer_join,
+    merge_join,
+    nested_loop_join,
+    semi_join,
+)
+from repro.relational.operators import (
+    distinct,
+    extend,
+    limit,
+    order_by,
+    project,
+    select,
+    union_all,
+    value_counts,
+)
+from repro.relational.query import Query
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+from repro.relational.stats import (
+    ColumnStats,
+    TableStats,
+    estimate_equijoin_size,
+    estimate_self_equijoin_size,
+)
+
+__all__ = [
+    "Aggregate",
+    "agg_avg",
+    "agg_collect",
+    "agg_count",
+    "agg_max",
+    "agg_min",
+    "agg_sum",
+    "group_by",
+    "Catalog",
+    "col",
+    "const",
+    "maximum",
+    "minimum",
+    "groupwise_apply",
+    "scan_groups",
+    "JoinCounters",
+    "cross_product",
+    "hash_join",
+    "left_outer_join",
+    "merge_join",
+    "nested_loop_join",
+    "semi_join",
+    "distinct",
+    "extend",
+    "limit",
+    "order_by",
+    "project",
+    "select",
+    "union_all",
+    "value_counts",
+    "Query",
+    "Relation",
+    "Column",
+    "Schema",
+    "ColumnStats",
+    "TableStats",
+    "estimate_equijoin_size",
+    "estimate_self_equijoin_size",
+]

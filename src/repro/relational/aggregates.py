@@ -1,0 +1,163 @@
+"""GROUP BY / HAVING: the aggregation machinery behind every SSJoin plan.
+
+The basic SSJoin (paper Figure 7) is literally::
+
+    SELECT R.A, S.A
+    FROM R JOIN S ON R.B = S.B
+    GROUP BY R.A, S.A
+    HAVING SUM(weight) >= alpha
+
+so this module implements grouping with named aggregate functions and a
+HAVING filter expressed over ``group keys ++ aggregate outputs``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.relational.expressions import Expr
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+
+__all__ = ["Aggregate", "agg_sum", "agg_count", "agg_min", "agg_max", "agg_avg", "agg_collect", "group_by"]
+
+
+class Aggregate:
+    """A named aggregate: output column name + input expr + reducer.
+
+    Parameters
+    ----------
+    name:
+        Output column name for the aggregate value.
+    fn:
+        Reducer mapping a list of input values to the aggregate value.
+    input_expr:
+        Expression evaluated per row to produce the reducer's inputs.
+        ``None`` means COUNT(*)-style aggregates that only need row counts.
+    """
+
+    __slots__ = ("name", "fn", "input_expr")
+
+    def __init__(self, name: str, fn: Callable[[List[Any]], Any], input_expr: Optional[Expr]):
+        self.name = name
+        self.fn = fn
+        self.input_expr = input_expr
+
+    def __repr__(self) -> str:
+        return f"Aggregate({self.name})"
+
+
+def _non_null(values: List[Any]) -> List[Any]:
+    return [v for v in values if v is not None]
+
+
+def agg_sum(name: str, expr: Expr) -> Aggregate:
+    """SUM(expr) AS name — NULL inputs are skipped; all-NULL gives NULL."""
+
+    def fn(values: List[Any]) -> Any:
+        kept = _non_null(values)
+        return sum(kept) if kept else None
+
+    return Aggregate(name, fn, expr)
+
+
+def agg_count(name: str, expr: Optional[Expr] = None) -> Aggregate:
+    """COUNT(*) AS name (or COUNT(expr), counting non-None values)."""
+    if expr is None:
+        return Aggregate(name, len, None)
+    return Aggregate(name, lambda values: sum(1 for v in values if v is not None), expr)
+
+
+def agg_min(name: str, expr: Expr) -> Aggregate:
+    """MIN(expr) AS name — NULL inputs are skipped; all-NULL gives NULL."""
+
+    def fn(values: List[Any]) -> Any:
+        kept = _non_null(values)
+        return min(kept) if kept else None
+
+    return Aggregate(name, fn, expr)
+
+
+def agg_max(name: str, expr: Expr) -> Aggregate:
+    """MAX(expr) AS name — NULL inputs are skipped; all-NULL gives NULL."""
+
+    def fn(values: List[Any]) -> Any:
+        kept = _non_null(values)
+        return max(kept) if kept else None
+
+    return Aggregate(name, fn, expr)
+
+
+def agg_avg(name: str, expr: Expr) -> Aggregate:
+    """AVG(expr) AS name — NULL inputs are skipped; all-NULL gives NULL."""
+
+    def fn(values: List[Any]) -> Any:
+        kept = _non_null(values)
+        return sum(kept) / len(kept) if kept else None
+
+    return Aggregate(name, fn, expr)
+
+
+def agg_collect(name: str, expr: Expr) -> Aggregate:
+    """Collect all input values into a tuple (ARRAY_AGG analogue).
+
+    Used by the groupwise-processing operator and the inline-set SSJoin
+    implementation to materialize per-group element lists.
+    """
+    return Aggregate(name, tuple, expr)
+
+
+def group_by(
+    relation: Relation,
+    keys: Sequence[str],
+    aggregates: Sequence[Aggregate],
+    having: Optional[Expr] = None,
+) -> Relation:
+    """Group *relation* by *keys*, compute *aggregates*, filter by *having*.
+
+    Output schema is ``keys ++ [a.name for a in aggregates]``. The HAVING
+    expression is bound against that output schema, so it may reference both
+    grouping columns and aggregate results (as in SQL).
+
+    >>> r = Relation.from_rows(["a", "w"], [("x", 1), ("x", 2), ("y", 5)])
+    >>> from repro.relational.expressions import col
+    >>> out = group_by(r, ["a"], [agg_sum("total", col("w"))], having=col("total") >= 3)
+    >>> sorted(out.rows)
+    [('x', 3), ('y', 5)]
+    """
+    if not keys and not aggregates:
+        raise PlanError("group_by needs at least one key or aggregate")
+    key_pos = relation.schema.positions(list(keys))
+
+    input_fns: List[Optional[Callable]] = []
+    for agg in aggregates:
+        input_fns.append(None if agg.input_expr is None else agg.input_expr.bind(relation.schema))
+
+    # Bucket rows; keep insertion order for deterministic output.
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in relation.rows:
+        key = tuple(row[p] for p in key_pos)
+        groups.setdefault(key, []).append(row)
+    if not keys and not groups:
+        # SQL: a global aggregate over an empty input yields one row
+        # (COUNT(*) = 0, SUM/MIN/MAX/AVG = NULL).
+        groups[()] = []
+
+    out_schema = Schema(
+        [relation.schema.column(k) for k in keys] + [Column(a.name) for a in aggregates]
+    )
+    having_fn = having.bind(out_schema) if having is not None else None
+
+    out_rows: List[Tuple[Any, ...]] = []
+    for key, rows in groups.items():
+        agg_values = []
+        for agg, fn in zip(aggregates, input_fns):
+            if fn is None:
+                agg_values.append(agg.fn(rows))
+            else:
+                agg_values.append(agg.fn([fn(r) for r in rows]))
+        out_row = key + tuple(agg_values)
+        if having_fn is None or having_fn(out_row):
+            out_rows.append(out_row)
+    return Relation(out_schema, out_rows)

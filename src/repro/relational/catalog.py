@@ -1,0 +1,77 @@
+"""A minimal table catalog — the "database" the operators run against.
+
+The catalog holds named relations and memoizes their statistics, the way a
+DBMS catalog backs the optimizer. SSJoin plans register their prepared
+(normalized) relations here so the cost model can inspect token frequency
+histograms without recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.errors import DuplicateTableError, UnknownTableError
+from repro.relational.relation import Relation
+from repro.relational.stats import TableStats
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Mutable mapping of table name -> :class:`Relation`, with stats."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Relation] = {}
+        self._stats: Dict[str, TableStats] = {}
+
+    # -- mapping protocol ------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}[{len(r)}]" for n, r in sorted(self._tables.items()))
+        return f"Catalog({parts})"
+
+    # -- table management -------------------------------------------------------
+
+    def register(self, name: str, relation: Relation, replace: bool = False) -> Relation:
+        """Add *relation* under *name*. Set *replace* to overwrite."""
+        if name in self._tables and not replace:
+            raise DuplicateTableError(name)
+        named = relation.renamed(name)
+        self._tables[name] = named
+        self._stats.pop(name, None)
+        return named
+
+    def get(self, name: str) -> Relation:
+        """Look up a table; raises :class:`UnknownTableError` if absent."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def drop(self, name: str) -> None:
+        """Remove a table (and its cached stats)."""
+        if name not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[name]
+        self._stats.pop(name, None)
+
+    def names(self) -> tuple:
+        """All table names, sorted."""
+        return tuple(sorted(self._tables))
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self, name: str) -> TableStats:
+        """Statistics for a table, computed lazily and cached."""
+        if name not in self._stats:
+            self._stats[name] = TableStats(self.get(name))
+        return self._stats[name]

@@ -1,0 +1,244 @@
+"""A small scalar-expression language over relation rows.
+
+SSJoin predicates in the paper are expressions like
+``Overlap_B(a_r, a_s) >= 0.8 * R.norm`` — i.e. comparisons between an
+aggregate and an arithmetic expression over grouping columns. This module
+provides exactly that much expression power, compiled to fast row functions:
+
+>>> from repro.relational.schema import Schema
+>>> e = col("norm") * const(0.8) + const(1)
+>>> f = e.bind(Schema(["a", "norm"]))
+>>> f(("x", 10))
+9.0
+
+Expressions are immutable trees; :meth:`Expr.bind` resolves column names to
+tuple positions once so evaluation does no dict lookups per row.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Tuple
+
+from repro.errors import PlanError
+from repro.relational.schema import Schema
+
+__all__ = [
+    "Expr",
+    "ColumnRef",
+    "Constant",
+    "BinaryOp",
+    "UnaryOp",
+    "FunctionCall",
+    "col",
+    "const",
+    "maximum",
+    "minimum",
+]
+
+RowFn = Callable[[Tuple[Any, ...]], Any]
+
+
+class Expr:
+    """Base class for scalar expressions.
+
+    Supports Python operator overloading to build trees:
+    ``col("x") * 0.8 + 1`` etc. Comparisons produce boolean-valued
+    expressions usable as selection predicates.
+    """
+
+    def bind(self, schema: Schema) -> RowFn:
+        """Compile this expression against *schema* into ``row -> value``."""
+        raise NotImplementedError
+
+    def columns(self) -> Tuple[str, ...]:
+        """All column names referenced by this expression."""
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------------
+
+    def _binary(self, other: Any, op: Callable, symbol: str) -> "BinaryOp":
+        return BinaryOp(self, _wrap(other), op, symbol)
+
+    def __add__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.add, "+")
+
+    def __radd__(self, other: Any) -> "BinaryOp":
+        return _wrap(other)._binary(self, operator.add, "+")
+
+    def __sub__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.sub, "-")
+
+    def __rsub__(self, other: Any) -> "BinaryOp":
+        return _wrap(other)._binary(self, operator.sub, "-")
+
+    def __mul__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.mul, "*")
+
+    def __rmul__(self, other: Any) -> "BinaryOp":
+        return _wrap(other)._binary(self, operator.mul, "*")
+
+    def __truediv__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.truediv, "/")
+
+    def __ge__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.ge, ">=")
+
+    def __gt__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.gt, ">")
+
+    def __le__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.le, "<=")
+
+    def __lt__(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.lt, "<")
+
+    def eq(self, other: Any) -> "BinaryOp":
+        """Equality comparison (named method; ``==`` is reserved)."""
+        return self._binary(other, operator.eq, "=")
+
+    def ne(self, other: Any) -> "BinaryOp":
+        return self._binary(other, operator.ne, "<>")
+
+    def and_(self, other: Any) -> "BinaryOp":
+        return self._binary(other, lambda a, b: bool(a and b), "AND")
+
+    def or_(self, other: Any) -> "BinaryOp":
+        return self._binary(other, lambda a, b: bool(a or b), "OR")
+
+
+class ColumnRef(Expr):
+    """Reference to a named column of the bound schema."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def bind(self, schema: Schema) -> RowFn:
+        pos = schema.position(self.name)
+        return lambda row: row[pos]
+
+    def columns(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Constant(Expr):
+    """A literal value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def bind(self, schema: Schema) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def columns(self) -> Tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class BinaryOp(Expr):
+    """Application of a binary operator to two subexpressions."""
+
+    __slots__ = ("left", "right", "op", "symbol")
+
+    def __init__(self, left: Expr, right: Expr, op: Callable, symbol: str) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+        self.symbol = symbol
+
+    def bind(self, schema: Schema) -> RowFn:
+        lf = self.left.bind(schema)
+        rf = self.right.bind(schema)
+        op = self.op
+        return lambda row: op(lf(row), rf(row))
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.left.columns() + self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnaryOp(Expr):
+    """Application of a unary function to a subexpression."""
+
+    __slots__ = ("child", "op", "symbol")
+
+    def __init__(self, child: Expr, op: Callable, symbol: str) -> None:
+        self.child = child
+        self.op = op
+        self.symbol = symbol
+
+    def bind(self, schema: Schema) -> RowFn:
+        cf = self.child.bind(schema)
+        op = self.op
+        return lambda row: op(cf(row))
+
+    def columns(self) -> Tuple[str, ...]:
+        return self.child.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.child!r})"
+
+
+class FunctionCall(Expr):
+    """An n-ary scalar function over subexpressions (e.g. MAX of two norms)."""
+
+    __slots__ = ("args", "fn", "fname")
+
+    def __init__(self, fname: str, fn: Callable, args: Tuple[Expr, ...]) -> None:
+        if not args:
+            raise PlanError(f"function {fname} requires at least one argument")
+        self.fname = fname
+        self.fn = fn
+        self.args = args
+
+    def bind(self, schema: Schema) -> RowFn:
+        bound = [a.bind(schema) for a in self.args]
+        fn = self.fn
+        return lambda row: fn(*(b(row) for b in bound))
+
+    def columns(self) -> Tuple[str, ...]:
+        out: Tuple[str, ...] = ()
+        for a in self.args:
+            out += a.columns()
+        return out
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.fname}({inner})"
+
+
+def _wrap(value: Any) -> Expr:
+    """Coerce a Python literal into an :class:`Expr`."""
+    return value if isinstance(value, Expr) else Constant(value)
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def const(value: Any) -> Constant:
+    """Shorthand constructor for a literal."""
+    return Constant(value)
+
+
+def maximum(*args: Any) -> FunctionCall:
+    """SQL ``GREATEST``: row-wise maximum of the arguments."""
+    return FunctionCall("MAX", max, tuple(_wrap(a) for a in args))
+
+
+def minimum(*args: Any) -> FunctionCall:
+    """SQL ``LEAST``: row-wise minimum of the arguments."""
+    return FunctionCall("MIN", min, tuple(_wrap(a) for a in args))

@@ -1,0 +1,97 @@
+"""Groupwise processing (Chatziantoniou & Ross, VLDB '96/'97).
+
+The paper implements the prefix-filter with "the notion of groupwise
+processing [2, 3] where we iteratively process groups of tuples ... and
+apply a subquery on each group" (Section 4.3.3). This operator generalizes
+GROUP BY: instead of reducing each group to one row with aggregates, it
+applies an arbitrary relation-to-relation subquery to each group and unions
+the per-group results.
+
+It also provides :func:`scan_groups`, the server-side-cursor style ordered
+scan the paper's implementation actually uses to mark prefixes while
+streaming over ``R`` ordered on ``(A, B)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError, SchemaError
+from repro.relational.relation import Relation
+
+__all__ = ["groupwise_apply", "scan_groups"]
+
+
+def groupwise_apply(
+    relation: Relation,
+    keys: Sequence[str],
+    subquery: Callable[[Relation], Relation],
+) -> Relation:
+    """Apply *subquery* to each group of *relation* and union the results.
+
+    Each group (distinct value combination of *keys*) is materialized as a
+    relation with the full input schema and passed to *subquery*. The
+    subquery may filter, reorder, truncate, or extend the group — the
+    prefix-filter uses it to keep only the group's prefix — but every
+    per-group result must share one schema.
+
+    >>> r = Relation.from_rows(["a", "w"], [("x", 2), ("x", 9), ("y", 5)])
+    >>> top1 = lambda g: g.order_by(["w"], reverse=True).head(1)
+    >>> sorted(groupwise_apply(r, ["a"], top1).rows)
+    [('x', 9), ('y', 5)]
+    """
+    key_pos = relation.schema.positions(list(keys))
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for row in relation.rows:
+        groups.setdefault(tuple(row[p] for p in key_pos), []).append(row)
+
+    out_schema = None
+    out_rows: List[Tuple[Any, ...]] = []
+    for rows in groups.values():
+        result = subquery(Relation(relation.schema, rows))
+        if out_schema is None:
+            out_schema = result.schema
+        elif result.schema.names != out_schema.names:
+            raise SchemaError(
+                "groupwise subquery returned inconsistent schemas: "
+                f"{out_schema.names} vs {result.schema.names}"
+            )
+        out_rows.extend(result.rows)
+    if out_schema is None:
+        # Empty input: the output schema is unknowable without probing the
+        # subquery, so run it once on an empty group to discover it.
+        out_schema = subquery(Relation(relation.schema, ())).schema
+    return Relation(out_schema, out_rows)
+
+
+def scan_groups(
+    relation: Relation,
+    keys: Sequence[str],
+    order_within: Optional[Sequence[str]] = None,
+) -> Iterator[Tuple[Tuple[Any, ...], List[Tuple[Any, ...]]]]:
+    """Stream ``(group_key, rows)`` pairs in sorted group order.
+
+    Emulates the paper's server-side cursor over ``R`` ordered on ``A, B``:
+    one sort, then a single pass that yields each group's rows contiguously.
+    *order_within* optionally adds secondary sort columns so each group's
+    rows arrive in a deterministic order (the prefix-filter sorts by the
+    global element ordering this way).
+    """
+    if not keys:
+        raise PlanError("scan_groups requires at least one key column")
+    sort_cols = list(keys) + list(order_within or ())
+    ordered = relation.order_by(sort_cols)
+    key_pos = relation.schema.positions(list(keys))
+
+    current_key: Optional[Tuple[Any, ...]] = None
+    bucket: List[Tuple[Any, ...]] = []
+    for row in ordered.rows:
+        key = tuple(row[p] for p in key_pos)
+        if key != current_key:
+            if current_key is not None:
+                yield current_key, bucket
+            current_key = key
+            bucket = []
+        bucket.append(row)
+    if current_key is not None:
+        yield current_key, bucket

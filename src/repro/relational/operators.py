@@ -1,0 +1,122 @@
+"""Expression-driven unary relational operators.
+
+:class:`~repro.relational.relation.Relation` has thin callable-based methods;
+this module provides the expression-language counterparts used by plans,
+plus a handful of operators (limit, sample, value counts) that the Relation
+methods do not cover.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.relational.expressions import Expr
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+
+__all__ = [
+    "select",
+    "project",
+    "extend",
+    "distinct",
+    "order_by",
+    "limit",
+    "union_all",
+    "value_counts",
+]
+
+
+def select(relation: Relation, predicate: Expr) -> Relation:
+    """σ — keep rows where the boolean expression *predicate* holds."""
+    fn = predicate.bind(relation.schema)
+    return Relation(relation.schema, [r for r in relation.rows if fn(r)], name=relation.name)
+
+
+def project(
+    relation: Relation,
+    columns: Sequence,
+) -> Relation:
+    """π — bag projection.
+
+    Each item of *columns* is either a plain column name (pass-through) or a
+    ``(new_name, Expr)`` pair computing a derived column.
+    """
+    names: List[str] = []
+    fns = []
+    for item in columns:
+        if isinstance(item, str):
+            pos = relation.schema.position(item)
+            names.append(item)
+            fns.append(lambda row, p=pos: row[p])
+        elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], Expr):
+            name, expr = item
+            names.append(name)
+            fns.append(expr.bind(relation.schema))
+        else:
+            raise PlanError(f"cannot interpret projection item {item!r}")
+    schema = Schema([Column(n) for n in names])
+    rows = [tuple(fn(row) for fn in fns) for row in relation.rows]
+    return Relation(schema, rows, name=relation.name)
+
+
+def extend(relation: Relation, column: str, expr: Expr) -> Relation:
+    """Append a derived column computed by *expr*."""
+    fn = expr.bind(relation.schema)
+    schema = relation.schema.extend([Column(column)])
+    rows = [row + (fn(row),) for row in relation.rows]
+    return Relation(schema, rows, name=relation.name)
+
+
+def distinct(relation: Relation, columns: Optional[Sequence[str]] = None) -> Relation:
+    """δ — duplicate elimination, optionally after projecting to *columns*."""
+    target = relation if columns is None else relation.project(list(columns))
+    return target.distinct()
+
+
+def order_by(
+    relation: Relation,
+    keys: Sequence,
+) -> Relation:
+    """Sort by a sequence of ``column`` or ``(column, "desc")`` keys.
+
+    Implemented as a stable multi-pass sort (last key first) so mixed
+    ascending/descending orderings are supported without comparator tricks.
+    """
+    rows = list(relation.rows)
+    for key in reversed(list(keys)):
+        if isinstance(key, str):
+            name, descending = key, False
+        else:
+            name, direction = key
+            descending = str(direction).lower() in ("desc", "descending")
+        pos = relation.schema.position(name)
+        rows.sort(key=lambda row: row[pos], reverse=descending)
+    return Relation(relation.schema, rows, name=relation.name)
+
+
+def limit(relation: Relation, n: int) -> Relation:
+    """Keep the first *n* rows."""
+    if n < 0:
+        raise PlanError(f"limit must be non-negative, got {n}")
+    return Relation(relation.schema, relation.rows[:n], name=relation.name)
+
+
+def union_all(*relations: Relation) -> Relation:
+    """Bag union of any number of union-compatible relations."""
+    if not relations:
+        raise PlanError("union_all requires at least one relation")
+    out = relations[0]
+    for rel in relations[1:]:
+        out = out.union_all(rel)
+    return out
+
+
+def value_counts(relation: Relation, column: str) -> Dict[Any, int]:
+    """Frequency of each distinct value in *column* (helper for stats/IDF)."""
+    pos = relation.schema.position(column)
+    counts: Dict[Any, int] = {}
+    for row in relation.rows:
+        v = row[pos]
+        counts[v] = counts.get(v, 0) + 1
+    return counts

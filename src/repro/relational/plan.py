@@ -1,0 +1,307 @@
+"""Logical operator trees with an executor and EXPLAIN rendering.
+
+The paper communicates every SSJoin implementation as an operator tree
+(Figures 3–9). This module lets the library build the same trees as data,
+execute them against a :class:`~repro.relational.catalog.Catalog`, and
+pretty-print them — which is how ``SSJoin.explain()`` shows users exactly
+which plan (basic / prefix-filter / inline) was chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.relational import operators
+from repro.relational.aggregates import Aggregate, group_by
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Expr
+from repro.relational.groupwise import groupwise_apply
+from repro.relational.joins import hash_join, merge_join, nested_loop_join
+from repro.relational.relation import Relation
+
+__all__ = [
+    "PlanNode",
+    "TableScan",
+    "MaterializedInput",
+    "Select",
+    "Project",
+    "Extend",
+    "Distinct",
+    "OrderBy",
+    "Limit",
+    "HashJoin",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "GroupBy",
+    "Groupwise",
+    "Custom",
+    "explain",
+]
+
+
+class PlanNode:
+    """Base class of all logical plan nodes."""
+
+    #: Child nodes, in order. Populated by subclasses.
+    children: Tuple["PlanNode", ...] = ()
+
+    def execute(self, catalog: Catalog) -> Relation:
+        """Evaluate this subtree against *catalog* and return its result."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """One-line description used by :func:`explain`."""
+        return type(self).__name__
+
+
+class TableScan(PlanNode):
+    """Leaf: read a named table from the catalog."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return catalog.get(self.table)
+
+    def label(self) -> str:
+        return f"Scan({self.table})"
+
+
+class MaterializedInput(PlanNode):
+    """Leaf: an already-materialized relation embedded in the plan."""
+
+    def __init__(self, relation: Relation, label_text: str = "input") -> None:
+        self.relation = relation
+        self._label = label_text
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return self.relation
+
+    def label(self) -> str:
+        return f"Materialized({self._label}, rows={len(self.relation)})"
+
+
+class Select(PlanNode):
+    """σ over a boolean expression."""
+
+    def __init__(self, child: PlanNode, predicate: Expr) -> None:
+        self.children = (child,)
+        self.predicate = predicate
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return operators.select(self.children[0].execute(catalog), self.predicate)
+
+    def label(self) -> str:
+        return f"Select({self.predicate!r})"
+
+
+class Project(PlanNode):
+    """π over plain names or ``(name, Expr)`` derived columns."""
+
+    def __init__(self, child: PlanNode, columns: Sequence) -> None:
+        self.children = (child,)
+        self.columns = list(columns)
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return operators.project(self.children[0].execute(catalog), self.columns)
+
+    def label(self) -> str:
+        names = [c if isinstance(c, str) else c[0] for c in self.columns]
+        return f"Project({', '.join(names)})"
+
+
+class Extend(PlanNode):
+    """Append one derived column."""
+
+    def __init__(self, child: PlanNode, column: str, expr: Expr) -> None:
+        self.children = (child,)
+        self.column = column
+        self.expr = expr
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return operators.extend(self.children[0].execute(catalog), self.column, self.expr)
+
+    def label(self) -> str:
+        return f"Extend({self.column} := {self.expr!r})"
+
+
+class Distinct(PlanNode):
+    """δ duplicate elimination."""
+
+    def __init__(self, child: PlanNode) -> None:
+        self.children = (child,)
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return self.children[0].execute(catalog).distinct()
+
+
+class OrderBy(PlanNode):
+    """Sort by keys (see :func:`repro.relational.operators.order_by`)."""
+
+    def __init__(self, child: PlanNode, keys: Sequence) -> None:
+        self.children = (child,)
+        self.keys = list(keys)
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return operators.order_by(self.children[0].execute(catalog), self.keys)
+
+    def label(self) -> str:
+        return f"OrderBy({self.keys})"
+
+
+class Limit(PlanNode):
+    """Keep the first *n* rows."""
+
+    def __init__(self, child: PlanNode, n: int) -> None:
+        self.children = (child,)
+        self.n = n
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return operators.limit(self.children[0].execute(catalog), self.n)
+
+    def label(self) -> str:
+        return f"Limit({self.n})"
+
+
+class _JoinBase(PlanNode):
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        keys,
+        prefixes: Optional[Tuple[str, str]] = None,
+    ) -> None:
+        self.children = (left, right)
+        self.keys = keys
+        self.prefixes = prefixes
+
+    def label(self) -> str:
+        return f"{type(self).__name__}(keys={self.keys})"
+
+
+class HashJoin(_JoinBase):
+    """Equi-join executed by build/probe hashing."""
+
+    def execute(self, catalog: Catalog) -> Relation:
+        left = self.children[0].execute(catalog)
+        right = self.children[1].execute(catalog)
+        return hash_join(left, right, self.keys, prefixes=self.prefixes)
+
+
+class MergeJoin(_JoinBase):
+    """Equi-join executed by sort-merge."""
+
+    def execute(self, catalog: Catalog) -> Relation:
+        left = self.children[0].execute(catalog)
+        right = self.children[1].execute(catalog)
+        return merge_join(left, right, self.keys, prefixes=self.prefixes)
+
+
+class NestedLoopJoin(PlanNode):
+    """θ-join over an arbitrary row-pair predicate (the UDF plan)."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        predicate: Callable[[Tuple[Any, ...], Tuple[Any, ...]], bool],
+        prefixes: Optional[Tuple[str, str]] = None,
+        description: str = "udf",
+    ) -> None:
+        self.children = (left, right)
+        self.predicate = predicate
+        self.prefixes = prefixes
+        self.description = description
+
+    def execute(self, catalog: Catalog) -> Relation:
+        left = self.children[0].execute(catalog)
+        right = self.children[1].execute(catalog)
+        return nested_loop_join(left, right, self.predicate, prefixes=self.prefixes)
+
+    def label(self) -> str:
+        return f"NestedLoopJoin({self.description})"
+
+
+class GroupBy(PlanNode):
+    """γ with aggregates and optional HAVING."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[str],
+        aggregates: Sequence[Aggregate],
+        having: Optional[Expr] = None,
+    ) -> None:
+        self.children = (child,)
+        self.keys = list(keys)
+        self.aggregates = list(aggregates)
+        self.having = having
+
+    def execute(self, catalog: Catalog) -> Relation:
+        child = self.children[0].execute(catalog)
+        return group_by(child, self.keys, self.aggregates, having=self.having)
+
+    def label(self) -> str:
+        aggs = ", ".join(a.name for a in self.aggregates)
+        text = f"GroupBy(keys={self.keys}, aggs=[{aggs}]"
+        if self.having is not None:
+            text += f", having={self.having!r}"
+        return text + ")"
+
+
+class Groupwise(PlanNode):
+    """Groupwise-processing operator: per-group subquery application."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        keys: Sequence[str],
+        subquery: Callable[[Relation], Relation],
+        description: str = "subquery",
+    ) -> None:
+        self.children = (child,)
+        self.keys = list(keys)
+        self.subquery = subquery
+        self.description = description
+
+    def execute(self, catalog: Catalog) -> Relation:
+        child = self.children[0].execute(catalog)
+        return groupwise_apply(child, self.keys, self.subquery)
+
+    def label(self) -> str:
+        return f"Groupwise(keys={self.keys}, subquery={self.description})"
+
+
+class Custom(PlanNode):
+    """Escape hatch: wrap an arbitrary relation transformer as a node.
+
+    SSJoin implementations use this for steps (like prefix extraction with
+    carried state) that compose several primitive operators.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        fn: Callable[[Relation], Relation],
+        description: str,
+    ) -> None:
+        self.children = (child,)
+        self.fn = fn
+        self.description = description
+
+    def execute(self, catalog: Catalog) -> Relation:
+        return self.fn(self.children[0].execute(catalog))
+
+    def label(self) -> str:
+        return f"Custom({self.description})"
+
+
+def explain(node: PlanNode, indent: str = "") -> str:
+    """Render a plan tree as an indented multi-line string."""
+    if not isinstance(node, PlanNode):
+        raise PlanError(f"cannot explain {node!r}")
+    lines = [indent + node.label()]
+    for child in node.children:
+        lines.append(explain(child, indent + "  "))
+    return "\n".join(lines)

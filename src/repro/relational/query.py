@@ -1,0 +1,223 @@
+"""A fluent query builder over the plan nodes.
+
+The SSJoin plans are hand-built operator trees; downstream users of the
+engine deserve something friendlier. :class:`Query` wraps a
+:class:`~repro.relational.plan.PlanNode` and offers chainable relational
+verbs that construct the tree, plus ``execute``/``explain``:
+
+>>> from repro.relational import Catalog, Relation, col
+>>> catalog = Catalog()
+>>> _ = catalog.register("emp", Relation.from_rows(
+...     ["dept", "name", "salary"],
+...     [("eng", "ann", 120), ("eng", "bob", 100), ("ops", "cid", 90)]))
+>>> q = (Query.table(catalog, "emp")
+...      .where(col("salary") >= 100)
+...      .select("dept", "name")
+...      .order_by("name"))
+>>> q.execute().rows
+(('eng', 'ann'), ('eng', 'bob'))
+
+Queries are immutable: every verb returns a new Query sharing the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Tuple, Union
+
+from repro.errors import PlanError
+from repro.relational.aggregates import Aggregate
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import Expr
+from repro.relational.plan import (
+    Custom,
+    Distinct,
+    Extend,
+    GroupBy,
+    Groupwise,
+    HashJoin,
+    Limit,
+    MaterializedInput,
+    MergeJoin,
+    NestedLoopJoin,
+    OrderBy,
+    PlanNode,
+    Project,
+    Select,
+    TableScan,
+    explain,
+)
+from repro.relational.joins import left_outer_join
+from repro.relational.relation import Relation
+
+__all__ = ["Query"]
+
+
+class Query:
+    """An immutable, composable query over a catalog."""
+
+    def __init__(self, catalog: Catalog, node: PlanNode) -> None:
+        self._catalog = catalog
+        self._node = node
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def table(cls, catalog: Catalog, name: str) -> "Query":
+        """Start from a registered table."""
+        catalog.get(name)  # fail fast on unknown tables
+        return cls(catalog, TableScan(name))
+
+    @classmethod
+    def relation(cls, catalog: Catalog, relation: Relation, label: str = "input") -> "Query":
+        """Start from an in-memory relation not in the catalog."""
+        return cls(catalog, MaterializedInput(relation, label))
+
+    # -- unary verbs --------------------------------------------------------------
+
+    def where(self, predicate: Expr) -> "Query":
+        """σ — filter rows."""
+        return Query(self._catalog, Select(self._node, predicate))
+
+    def select(self, *columns: Union[str, Tuple[str, Expr]]) -> "Query":
+        """π — keep (or derive) columns; ``(name, expr)`` computes one."""
+        if not columns:
+            raise PlanError("select requires at least one column")
+        return Query(self._catalog, Project(self._node, list(columns)))
+
+    def extend(self, column: str, expr: Expr) -> "Query":
+        """Append a derived column."""
+        return Query(self._catalog, Extend(self._node, column, expr))
+
+    def distinct(self) -> "Query":
+        return Query(self._catalog, Distinct(self._node))
+
+    def order_by(self, *keys: Union[str, Tuple[str, str]]) -> "Query":
+        """Sort by ``"col"`` or ``("col", "desc")`` keys."""
+        if not keys:
+            raise PlanError("order_by requires at least one key")
+        return Query(self._catalog, OrderBy(self._node, list(keys)))
+
+    def limit(self, n: int) -> "Query":
+        return Query(self._catalog, Limit(self._node, n))
+
+    def apply(self, fn: Callable[[Relation], Relation], description: str) -> "Query":
+        """Escape hatch: apply an arbitrary relation transformer."""
+        return Query(self._catalog, Custom(self._node, fn, description))
+
+    # -- binary verbs ----------------------------------------------------------------
+
+    def _other_node(self, other: Union["Query", str, Relation]) -> PlanNode:
+        if isinstance(other, Query):
+            return other._node
+        if isinstance(other, str):
+            self._catalog.get(other)
+            return TableScan(other)
+        if isinstance(other, Relation):
+            return MaterializedInput(other, other.name or "relation")
+        raise PlanError(f"cannot join with {other!r}")
+
+    def join(
+        self,
+        other: Union["Query", str, Relation],
+        on,
+        how: str = "hash",
+        prefixes: Optional[Tuple[str, str]] = None,
+    ) -> "Query":
+        """Equi-join with another query/table/relation.
+
+        *on* takes the same shapes as the join functions: a column name, a
+        list of names, or ``(left, right)`` pairs. *how* is ``"hash"`` or
+        ``"merge"``.
+        """
+        node = self._other_node(other)
+        if how == "hash":
+            joined: PlanNode = HashJoin(self._node, node, keys=on, prefixes=prefixes)
+        elif how == "merge":
+            joined = MergeJoin(self._node, node, keys=on, prefixes=prefixes)
+        else:
+            raise PlanError(f"unknown join method {how!r}; expected hash or merge")
+        return Query(self._catalog, joined)
+
+    def left_join(
+        self,
+        other: Union["Query", str, Relation],
+        on,
+        prefixes: Optional[Tuple[str, str]] = None,
+    ) -> "Query":
+        """LEFT OUTER equi-join: unmatched left rows survive, NULL-padded."""
+        node = self._other_node(other)
+        outer = _LeftOuterJoinNode(self._node, node, keys=on, prefixes=prefixes)
+        return Query(self._catalog, outer)
+
+    def join_where(
+        self,
+        other: Union["Query", str, Relation],
+        predicate: Callable[[Tuple[Any, ...], Tuple[Any, ...]], bool],
+        description: str = "theta",
+        prefixes: Optional[Tuple[str, str]] = None,
+    ) -> "Query":
+        """θ-join (nested loop) over an arbitrary row-pair predicate."""
+        node = self._other_node(other)
+        return Query(
+            self._catalog,
+            NestedLoopJoin(self._node, node, predicate, prefixes=prefixes,
+                           description=description),
+        )
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def group_by(
+        self,
+        keys: Sequence[str],
+        aggregates: Sequence[Aggregate],
+        having: Optional[Expr] = None,
+    ) -> "Query":
+        """γ with aggregates and optional HAVING."""
+        return Query(self._catalog, GroupBy(self._node, keys, aggregates, having))
+
+    def groupwise(
+        self,
+        keys: Sequence[str],
+        subquery: Callable[[Relation], Relation],
+        description: str = "subquery",
+    ) -> "Query":
+        """Groupwise processing: per-group subquery application."""
+        return Query(self._catalog, Groupwise(self._node, keys, subquery, description))
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(self) -> Relation:
+        """Run the plan against the catalog."""
+        return self._node.execute(self._catalog)
+
+    def explain(self) -> str:
+        """Render the plan tree."""
+        return explain(self._node)
+
+    @property
+    def plan(self) -> PlanNode:
+        """The underlying plan node (for composition with raw nodes)."""
+        return self._node
+
+    def __repr__(self) -> str:
+        return f"Query({self._node.label()})"
+
+
+class _LeftOuterJoinNode(PlanNode):
+    """Plan node for the LEFT OUTER equi-join (used by Query.left_join)."""
+
+    def __init__(self, left, right, keys, prefixes=None):
+        self.children = (left, right)
+        self.keys = keys
+        self.prefixes = prefixes
+
+    def execute(self, catalog):
+        return left_outer_join(
+            self.children[0].execute(catalog),
+            self.children[1].execute(catalog),
+            self.keys,
+            prefixes=self.prefixes,
+        )
+
+    def label(self):
+        return f"LeftOuterJoin(keys={self.keys})"

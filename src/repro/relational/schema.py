@@ -1,0 +1,177 @@
+"""Relation schemas: ordered, named, optionally typed columns.
+
+The engine is deliberately duck-typed like SQLite: a :class:`Column` may
+declare a Python type purely as documentation/validation affinity, and
+validation is opt-in via :meth:`Schema.validate_row`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import DuplicateColumnError, SchemaError, UnknownColumnError
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named column.
+
+    Parameters
+    ----------
+    name:
+        Column name. Must be a non-empty string without the ``.`` separator
+        (dots are reserved for qualified names produced by joins).
+    dtype:
+        Optional Python type used by :meth:`Schema.validate_row`. ``None``
+        (the default) accepts any value. ``NULL`` (``None`` values) are always
+        accepted regardless of dtype, mirroring SQL semantics.
+    """
+
+    name: str
+    dtype: Optional[type] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+
+    def accepts(self, value: Any) -> bool:
+        """Return True if *value* is admissible for this column."""
+        if value is None or self.dtype is None:
+            return True
+        if self.dtype is float and isinstance(value, int) and not isinstance(value, bool):
+            # Integer literals are admissible wherever floats are, as in SQL.
+            return True
+        return isinstance(value, self.dtype)
+
+    def renamed(self, name: str) -> "Column":
+        """Return a copy of this column under a new name."""
+        return Column(name, self.dtype)
+
+
+class Schema:
+    """An ordered collection of uniquely named columns.
+
+    Schemas are immutable; transformation methods return new schemas.
+    Column positions are significant because rows are stored as plain tuples.
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable) -> None:
+        cols = []
+        for c in columns:
+            if isinstance(c, Column):
+                cols.append(c)
+            elif isinstance(c, str):
+                cols.append(Column(c))
+            elif isinstance(c, tuple) and len(c) == 2:
+                cols.append(Column(c[0], c[1]))
+            else:
+                raise SchemaError(f"cannot interpret {c!r} as a column")
+        index = {}
+        for pos, col in enumerate(cols):
+            if col.name in index:
+                raise DuplicateColumnError(col.name)
+            index[col.name] = pos
+        self._columns: Tuple[Column, ...] = tuple(cols)
+        self._index = index
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            c.name if c.dtype is None else f"{c.name}:{c.dtype.__name__}" for c in self._columns
+        )
+        return f"Schema({parts})"
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Column names, in schema order."""
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def columns(self) -> Tuple[Column, ...]:
+        return self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the column named *name*."""
+        try:
+            return self._columns[self._index[name]]
+        except KeyError:
+            raise UnknownColumnError(name, self.names) from None
+
+    def position(self, name: str) -> int:
+        """Return the tuple position of column *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(name, self.names) from None
+
+    def positions(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Return tuple positions for several columns at once."""
+        return tuple(self.position(n) for n in names)
+
+    # -- transformations ----------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to *names*."""
+        return Schema([self.column(n) for n in names])
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a schema with columns renamed per *mapping* (old -> new)."""
+        for old in mapping:
+            if old not in self._index:
+                raise UnknownColumnError(old, self.names)
+        return Schema([c.renamed(mapping.get(c.name, c.name)) for c in self._columns])
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Return a schema with every column renamed to ``prefix.name``.
+
+        Used by joins to disambiguate same-named columns from both sides.
+        """
+        return Schema([c.renamed(f"{prefix}.{c.name}") for c in self._columns])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas (join output schema)."""
+        return Schema(list(self._columns) + list(other.columns))
+
+    def extend(self, columns: Iterable) -> "Schema":
+        """Return a schema with extra columns appended."""
+        return Schema(list(self._columns) + list(Schema(columns).columns))
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Raise :class:`SchemaError` unless *row* fits this schema."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(row)} values but schema has {len(self._columns)} columns"
+            )
+        for col, value in zip(self._columns, row):
+            if not col.accepts(value):
+                raise SchemaError(
+                    f"column {col.name!r} expects {col.dtype.__name__}, "
+                    f"got {type(value).__name__} value {value!r}"
+                )

@@ -1,0 +1,29 @@
+"""Mini-SQL front end for the relational engine.
+
+Enough SQL to express every plan in the paper — including Figure 7's basic
+SSJoin verbatim::
+
+    SELECT r.a AS a_r, s.a AS a_s, SUM(r.w) AS overlap
+    FROM tokens r JOIN tokens s ON r.b = s.b
+    GROUP BY r.a, s.a
+    HAVING SUM(r.w) >= 10
+
+See :func:`execute_sql` for the entry point.
+"""
+
+from repro.relational.sql.ast import SelectStatement
+from repro.relational.sql.compiler import compile_statement, execute_sql
+from repro.relational.sql.lexer import SqlSyntaxError, tokenize
+from repro.relational.sql.parser import parse
+from repro.relational.sql.unparser import expr_to_sql, to_sql
+
+__all__ = [
+    "SelectStatement",
+    "compile_statement",
+    "execute_sql",
+    "SqlSyntaxError",
+    "tokenize",
+    "parse",
+    "expr_to_sql",
+    "to_sql",
+]

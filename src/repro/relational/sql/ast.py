@@ -1,0 +1,132 @@
+"""AST node types for the mini-SQL front end.
+
+Pure data: the parser builds these, the compiler consumes them. Expression
+nodes are deliberately separate from the engine's
+:mod:`repro.relational.expressions` trees — the AST keeps SQL-level
+constructs (qualified names, aggregate calls, IS NULL) that compile away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "SqlExpr",
+    "ColumnName",
+    "Literal",
+    "Unary",
+    "Binary",
+    "Call",
+    "Star",
+    "SelectItem",
+    "TableRef",
+    "JoinClause",
+    "OrderItem",
+    "SelectStatement",
+]
+
+
+class SqlExpr:
+    """Base class of SQL expression AST nodes."""
+
+
+@dataclass(frozen=True)
+class ColumnName(SqlExpr):
+    """A possibly-qualified column reference (``name`` or ``alias.name``)."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal(SqlExpr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Unary(SqlExpr):
+    """``NOT expr``, ``-expr``, ``expr IS [NOT] NULL``."""
+
+    op: str  # "NOT", "NEG", "ISNULL", "ISNOTNULL"
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class Binary(SqlExpr):
+    """Binary operation: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class Call(SqlExpr):
+    """Function call — aggregate (SUM/COUNT/MIN/MAX/AVG) or scalar."""
+
+    name: str  # upper-cased
+    args: Tuple[SqlExpr, ...]
+    star: bool = False  # COUNT(*)
+
+
+@dataclass(frozen=True)
+class Star(SqlExpr):
+    """``*`` in a select list."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: expression plus optional alias."""
+
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """``table [AS] alias`` in FROM/JOIN."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``[LEFT [OUTER]] JOIN table [alias] ON <equi-conjunction>``."""
+
+    table: TableRef
+    #: equality pairs extracted from the ON conjunction
+    on: Tuple[Tuple[ColumnName, ColumnName], ...]
+    #: True for LEFT OUTER JOIN
+    outer: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnName
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT."""
+
+    items: List[SelectItem]
+    table: TableRef
+    joins: List[JoinClause] = field(default_factory=list)
+    where: Optional[SqlExpr] = None
+    group_by: List[ColumnName] = field(default_factory=list)
+    having: Optional[SqlExpr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

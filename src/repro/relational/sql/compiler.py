@@ -1,0 +1,427 @@
+"""Compile parsed SQL into engine plans and execute them.
+
+The compiler lowers a :class:`~repro.relational.sql.ast.SelectStatement`
+onto the engine's operators: FROM/JOIN become TableScan + HashJoin (tables
+are column-prefixed with their alias when the query joins, mirroring SQL
+qualification), WHERE becomes a Select over a compiled expression, GROUP
+BY/HAVING become the aggregate operator, and the select list becomes a
+projection. Name resolution is schema-aware at execution time: a bare
+column name matches either an exact column or a unique ``alias.name``
+suffix, as in SQL.
+
+Supported aggregates: COUNT(*) / COUNT(expr) / SUM / MIN / MAX / AVG.
+Scalar functions: ABS, LENGTH, LOWER, UPPER. Predicates additionally
+support ``[NOT] IN (…)``, ``[NOT] BETWEEN a AND b`` and ``IS [NOT] NULL``.
+
+NULL handling is *flattened* three-valued logic: comparisons against NULL
+are false, arithmetic propagates NULL, and NOT of an unknown behaves as
+NOT false — so ``w NOT BETWEEN 2 AND 9`` admits NULL ``w`` (full SQL would
+exclude it). A deliberate simplification, exercised by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import PlanError, UnknownColumnError
+from repro.relational.aggregates import (
+    Aggregate,
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    group_by,
+)
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import BinaryOp, Constant, Expr, UnaryOp
+from repro.relational.joins import hash_join, left_outer_join
+from repro.relational.operators import order_by as op_order_by
+from repro.relational.operators import project as op_project
+from repro.relational.operators import select as op_select
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.sql.ast import (
+    Binary,
+    Call,
+    ColumnName,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    SqlExpr,
+    Star,
+    Unary,
+)
+from repro.relational.sql.parser import parse
+
+__all__ = ["execute_sql", "compile_statement"]
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+_SCALARS: Dict[str, Callable] = {
+    "ABS": abs,
+    "LENGTH": len,
+    "LOWER": lambda s: s.lower(),
+    "UPPER": lambda s: s.upper(),
+}
+
+
+def _resolve(schema: Schema, column: ColumnName) -> str:
+    """SQL-style name resolution against a concrete schema."""
+    if column.qualifier:
+        qualified = f"{column.qualifier}.{column.name}"
+        if qualified in schema:
+            return qualified
+        # Single-table queries keep unprefixed columns; let `t.x` find `x`.
+        if column.name in schema:
+            return column.name
+        raise UnknownColumnError(qualified, schema.names)
+    if column.name in schema:
+        return column.name
+    suffix = "." + column.name
+    matches = [n for n in schema.names if n.endswith(suffix)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise UnknownColumnError(column.name, schema.names)
+    raise PlanError(
+        f"ambiguous column {column.name!r}: matches {', '.join(sorted(matches))}"
+    )
+
+
+class _ResolvingRef(Expr):
+    """An engine expression that resolves a SQL column name at bind time."""
+
+    __slots__ = ("column",)
+
+    def __init__(self, column: ColumnName) -> None:
+        self.column = column
+
+    def bind(self, schema: Schema):
+        pos = schema.position(_resolve(schema, self.column))
+        return lambda row: row[pos]
+
+    def columns(self) -> Tuple[str, ...]:
+        return (self.column.display(),)
+
+    def __repr__(self) -> str:
+        return self.column.display()
+
+
+def _null_compare(fn: Callable) -> Callable:
+    """SQL semantics: any comparison against NULL is not-true."""
+
+    def compare(a: Any, b: Any) -> bool:
+        if a is None or b is None:
+            return False
+        return fn(a, b)
+
+    return compare
+
+
+def _null_arith(fn: Callable) -> Callable:
+    """SQL semantics: arithmetic with NULL yields NULL."""
+
+    def arith(a: Any, b: Any) -> Any:
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    return arith
+
+
+_COMPARE: Dict[str, Callable] = {
+    "=": _null_compare(lambda a, b: a == b),
+    "<>": _null_compare(lambda a, b: a != b),
+    "!=": _null_compare(lambda a, b: a != b),
+    "<": _null_compare(lambda a, b: a < b),
+    "<=": _null_compare(lambda a, b: a <= b),
+    ">": _null_compare(lambda a, b: a > b),
+    ">=": _null_compare(lambda a, b: a >= b),
+    "+": _null_arith(lambda a, b: a + b),
+    "-": _null_arith(lambda a, b: a - b),
+    "*": _null_arith(lambda a, b: a * b),
+    "/": _null_arith(lambda a, b: a / b),
+    # NULL collapses to false for filtering (flattened three-valued logic).
+    "AND": lambda a, b: bool(a and b),
+    "OR": lambda a, b: bool(a or b),
+}
+
+
+def _compile_expr(node: SqlExpr) -> Expr:
+    """Lower a (non-aggregate) SQL expression to an engine expression."""
+    if isinstance(node, Literal):
+        return Constant(node.value)
+    if isinstance(node, ColumnName):
+        return _ResolvingRef(node)
+    if isinstance(node, Unary):
+        child = _compile_expr(node.operand)
+        ops = {
+            "NOT": (lambda v: not v, "NOT"),
+            "NEG": (lambda v: -v, "-"),
+            "ISNULL": (lambda v: v is None, "IS NULL"),
+            "ISNOTNULL": (lambda v: v is not None, "IS NOT NULL"),
+        }
+        fn, symbol = ops[node.op]
+        return UnaryOp(child, fn, symbol)
+    if isinstance(node, Binary):
+        return BinaryOp(
+            _compile_expr(node.left),
+            _compile_expr(node.right),
+            _COMPARE[node.op],
+            node.op,
+        )
+    if isinstance(node, Call):
+        if node.name == "__IN__":
+            target = _compile_expr(node.args[0])
+            members = [_compile_expr(a) for a in node.args[1:]]
+
+            class _InExpr(Expr):
+                def bind(self, schema):
+                    tf = target.bind(schema)
+                    mfs = [m.bind(schema) for m in members]
+                    return lambda row: (
+                        tf(row) is not None
+                        and tf(row) in {f(row) for f in mfs}
+                    )
+
+                def columns(self):
+                    out = target.columns()
+                    for m in members:
+                        out += m.columns()
+                    return out
+
+                def __repr__(self):
+                    return f"({target!r} IN ...)"
+
+            return _InExpr()
+        if node.name in _AGGREGATES:
+            raise PlanError(
+                f"aggregate {node.name} is only allowed in the select list, "
+                "HAVING, or with GROUP BY"
+            )
+        if node.name in _SCALARS:
+            if len(node.args) != 1:
+                raise PlanError(f"{node.name} takes exactly one argument")
+            return UnaryOp(_compile_expr(node.args[0]), _SCALARS[node.name], node.name)
+        raise PlanError(f"unknown function {node.name}")
+    raise PlanError(f"cannot compile expression {node!r}")
+
+
+def _make_aggregate(name: str, call: Call) -> Aggregate:
+    if call.name == "COUNT":
+        if call.star or not call.args:
+            return agg_count(name)
+        return agg_count(name, _compile_expr(call.args[0]))
+    if len(call.args) != 1:
+        raise PlanError(f"{call.name} takes exactly one argument")
+    arg = _compile_expr(call.args[0])
+    factories = {"SUM": agg_sum, "MIN": agg_min, "MAX": agg_max, "AVG": agg_avg}
+    return factories[call.name](name, arg)
+
+
+def _is_aggregate_call(node: SqlExpr) -> bool:
+    return isinstance(node, Call) and node.name in _AGGREGATES
+
+
+def _contains_aggregate(node: SqlExpr) -> bool:
+    if _is_aggregate_call(node):
+        return True
+    if isinstance(node, Binary):
+        return _contains_aggregate(node.left) or _contains_aggregate(node.right)
+    if isinstance(node, Unary):
+        return _contains_aggregate(node.operand)
+    return False
+
+
+def _extract_having(
+    node: SqlExpr, hidden: List[Tuple[str, Call]]
+) -> SqlExpr:
+    """Replace aggregate calls inside HAVING by hidden-column references."""
+    if _is_aggregate_call(node):
+        name = f"__agg{len(hidden)}"
+        hidden.append((name, node))  # type: ignore[arg-type]
+        return ColumnName(name)
+    if isinstance(node, Binary):
+        return Binary(
+            node.op,
+            _extract_having(node.left, hidden),
+            _extract_having(node.right, hidden),
+        )
+    if isinstance(node, Unary):
+        return Unary(node.op, _extract_having(node.operand, hidden))
+    return node
+
+
+def _item_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ColumnName):
+        return item.expr.name
+    if isinstance(item.expr, Call):
+        return item.expr.name.lower()
+    return f"expr_{index}"
+
+
+def compile_statement(statement: SelectStatement, catalog: Catalog):
+    """Compile *statement* into an executable closure ``() -> Relation``."""
+
+    def run() -> Relation:
+        # -- FROM / JOIN --------------------------------------------------
+        prefix_tables = bool(statement.joins)
+        base = catalog.get(statement.table.table)
+        if prefix_tables:
+            base = base.prefixed(statement.table.label)
+        current = base
+        for join in statement.joins:
+            right = catalog.get(join.table.table).prefixed(join.table.label)
+            right_names = set(right.schema.names)
+            keys = []
+            for c1, c2 in join.on:
+                n1 = f"{c1.qualifier}.{c1.name}" if c1.qualifier else c1.name
+                n2 = f"{c2.qualifier}.{c2.name}" if c2.qualifier else c2.name
+                first_is_right = n1 in right_names or (
+                    c1.qualifier == join.table.label
+                )
+                left_name, right_name = (n2, n1) if first_is_right else (n1, n2)
+                keys.append(
+                    (
+                        _resolve(current.schema, _as_column(left_name)),
+                        _resolve(right.schema, _as_column(right_name)),
+                    )
+                )
+            join_fn = left_outer_join if join.outer else hash_join
+            current = join_fn(current, right, keys=keys)
+
+        # -- WHERE --------------------------------------------------------
+        if statement.where is not None:
+            current = op_select(current, _compile_expr(statement.where))
+
+        # -- GROUP BY / aggregate select ------------------------------------
+        has_aggregates = any(_contains_aggregate(i.expr) for i in statement.items)
+        if statement.group_by or has_aggregates:
+            current = _run_aggregate_query(statement, current)
+            if statement.distinct:
+                current = current.distinct()
+            if statement.order_by:
+                keys = []
+                for item in statement.order_by:
+                    name = _resolve(current.schema, item.column)
+                    keys.append((name, "desc") if item.descending else name)
+                current = op_order_by(current, keys)
+        else:
+            # Plain query: ORDER BY may reference columns the projection
+            # drops (SQL sorts before projecting), so sort first using
+            # select-alias expressions where they match, schema columns
+            # otherwise, then project.
+            if statement.order_by:
+                current = _order_pre_projection(statement, current)
+            current = _run_plain_projection(statement, current)
+            if statement.distinct:
+                current = current.distinct()
+
+        if statement.limit is not None:
+            current = Relation(
+                current.schema, current.rows[: statement.limit], name=current.name
+            )
+        return current
+
+    return run
+
+
+def _order_pre_projection(statement: SelectStatement, current: Relation) -> Relation:
+    """Sort before projection, honoring select-list aliases."""
+    alias_exprs: Dict[str, SqlExpr] = {}
+    for i, item in enumerate(statement.items):
+        if not isinstance(item.expr, Star):
+            alias_exprs[_item_name(item, i)] = item.expr
+
+    rows = list(current.rows)
+    for item in reversed(statement.order_by):
+        display = item.column.display()
+        if item.column.qualifier is None and display in alias_exprs:
+            fn = _compile_expr(alias_exprs[display]).bind(current.schema)
+        else:
+            fn = _ResolvingRef(item.column).bind(current.schema)
+        rows.sort(key=fn, reverse=item.descending)
+    return Relation(current.schema, rows, name=current.name)
+
+
+def _as_column(name: str) -> ColumnName:
+    if "." in name:
+        qualifier, _, bare = name.partition(".")
+        return ColumnName(bare, qualifier=qualifier)
+    return ColumnName(name)
+
+
+def _run_plain_projection(statement: SelectStatement, current: Relation) -> Relation:
+    if len(statement.items) == 1 and isinstance(statement.items[0].expr, Star):
+        return current
+    columns = []
+    for i, item in enumerate(statement.items):
+        if isinstance(item.expr, Star):
+            raise PlanError("'*' cannot be mixed with other select items")
+        columns.append((_item_name(item, i), _compile_expr(item.expr)))
+    return op_project(current, columns)
+
+
+def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relation:
+    # Resolve group keys against the input schema.
+    key_names = [_resolve(current.schema, c) for c in statement.group_by]
+
+    aggregates: List[Aggregate] = []
+    item_resolved: Dict[int, str] = {}  # select-item index -> resolved key column
+    for i, item in enumerate(statement.items):
+        name = _item_name(item, i)
+        if _is_aggregate_call(item.expr):
+            aggregates.append(_make_aggregate(name, item.expr))  # type: ignore[arg-type]
+        elif isinstance(item.expr, ColumnName):
+            resolved = _resolve(current.schema, item.expr)
+            if resolved not in key_names:
+                raise PlanError(
+                    f"column {item.expr.display()!r} must appear in GROUP BY "
+                    "or inside an aggregate"
+                )
+            item_resolved[i] = resolved
+        elif isinstance(item.expr, Star):
+            raise PlanError("'*' is not allowed in an aggregate select list")
+        else:
+            raise PlanError(
+                "select items in an aggregate query must be group columns "
+                "or aggregate calls"
+            )
+
+    # HAVING: aggregate calls become hidden aggregate columns.
+    having_expr = None
+    hidden: List[Tuple[str, Call]] = []
+    if statement.having is not None:
+        rewritten = _extract_having(statement.having, hidden)
+        for name, call in hidden:
+            aggregates.append(_make_aggregate(name, call))
+        having_expr = _compile_expr(rewritten)
+
+    grouped = group_by(current, key_names, aggregates, having=having_expr)
+
+    # Project to the SELECT order (drops hidden HAVING columns, renames
+    # keys to their bare select-list names).
+    columns = []
+    for i, item in enumerate(statement.items):
+        name = _item_name(item, i)
+        if _is_aggregate_call(item.expr):
+            columns.append((name, _ResolvingRef(ColumnName(name))))
+        else:
+            columns.append((name, _ResolvingRef(_as_column(item_resolved[i]))))
+    return op_project(grouped, columns)
+
+
+def execute_sql(catalog: Catalog, sql: str) -> Relation:
+    """Parse, compile and execute one SELECT against *catalog*.
+
+    >>> from repro.relational import Catalog, Relation
+    >>> c = Catalog()
+    >>> _ = c.register("t", Relation.from_rows(["a", "w"],
+    ...     [("x", 2), ("x", 3), ("y", 10)]))
+    >>> execute_sql(c, "SELECT a, SUM(w) AS total FROM t "
+    ...                "GROUP BY a HAVING SUM(w) >= 5 ORDER BY a").rows
+    (('x', 5), ('y', 10))
+    """
+    return compile_statement(parse(sql), catalog)()

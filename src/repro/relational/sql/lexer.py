@@ -1,0 +1,136 @@
+"""SQL tokenizer for the mini-SQL front end.
+
+Produces a flat token stream: keywords (case-insensitive), identifiers,
+string/number literals, operators and punctuation. Keeps positions so the
+parser can point at the offending spot in error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import PlanError
+
+__all__ = ["Token", "tokenize", "SqlSyntaxError", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "JOIN", "INNER", "LEFT", "OUTER", "ON", "AS", "AND", "OR", "NOT", "ASC", "DESC",
+    "DISTINCT", "NULL", "TRUE", "FALSE", "IS", "IN", "BETWEEN", "UNION", "ALL",
+}
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCTUATION = ("(", ")", ",", ".")
+
+
+class SqlSyntaxError(PlanError):
+    """Raised on malformed SQL, with the position that failed."""
+
+    def __init__(self, message: str, position: int, text: str = "") -> None:
+        self.position = position
+        context = ""
+        if text:
+            snippet = text[max(0, position - 20) : position + 20]
+            context = f" near ...{snippet!r}..."
+        super().__init__(f"{message} (at offset {position}){context}")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kind is one of ``keyword``, ``name``, ``number``, ``string``, ``op``,
+    ``punct``, ``end``. Keyword values are upper-cased; names keep their
+    original spelling.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.value in words
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; appends a single ``end`` token.
+
+    >>> [t.value for t in tokenize("SELECT a FROM t")][:3]
+    ['SELECT', 'a', 'FROM']
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", i, text)
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Only a dot followed by a digit is part of the number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("name", word, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token("end", "", n))
+    return tokens

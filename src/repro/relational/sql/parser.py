@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the mini-SQL dialect.
+
+Grammar (the subset the SSJoin plans and ordinary analytics need)::
+
+    select    := SELECT [DISTINCT] items FROM tableref join* [WHERE expr]
+                 [GROUP BY columns [HAVING expr]]
+                 [ORDER BY order_items] [LIMIT n]
+    items     := '*' | item (',' item)*
+    item      := expr [[AS] name]
+    tableref  := name [[AS] name]
+    join      := ([INNER] | LEFT [OUTER]) JOIN tableref ON on_cond
+    on_cond   := equality (AND equality)*     -- equi-joins only
+    expr      := or ; or := and (OR and)* ; and := not (AND not)*
+    not       := [NOT] cmp
+    cmp       := add (('='|'<>'|'!='|'<'|'<='|'>'|'>=') add
+                 | IS [NOT] NULL
+                 | [NOT] IN '(' expr (',' expr)* ')'
+                 | [NOT] BETWEEN add AND add)?
+    add       := mul (('+'|'-') mul)*
+    mul       := unary (('*'|'/') unary)*
+    unary     := ['-'] primary
+    primary   := number | string | TRUE | FALSE | NULL | name ['.' name]
+                 | name '(' ('*' | expr (',' expr)*) ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.relational.sql.ast import (
+    Binary,
+    Call,
+    ColumnName,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SqlExpr,
+    TableRef,
+    Unary,
+)
+from repro.relational.sql.lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse"]
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        return SqlSyntaxError(message, self.current.position, self.text)
+
+    def expect_keyword(self, *words: str) -> Token:
+        if not self.current.is_keyword(*words):
+            raise self.error(f"expected {' or '.join(words)}")
+        return self.advance()
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_punct(self, value: str) -> Token:
+        if not (self.current.kind == "punct" and self.current.value == value):
+            raise self.error(f"expected {value!r}")
+        return self.advance()
+
+    def accept_punct(self, value: str) -> bool:
+        if self.current.kind == "punct" and self.current.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_name(self) -> str:
+        if self.current.kind != "name":
+            raise self.error("expected an identifier")
+        return self.advance().value
+
+    # -- statement -----------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = self.parse_items()
+        self.expect_keyword("FROM")
+        table = self.parse_tableref()
+
+        joins: List[JoinClause] = []
+        while self.current.is_keyword("JOIN", "INNER", "LEFT"):
+            outer = False
+            if self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                outer = True
+            else:
+                self.accept_keyword("INNER")
+            self.expect_keyword("JOIN")
+            join_table = self.parse_tableref()
+            self.expect_keyword("ON")
+            joins.append(
+                JoinClause(join_table, tuple(self.parse_on_condition()), outer=outer)
+            )
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+
+        group_by: List[ColumnName] = []
+        having = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_name())
+            while self.accept_punct(","):
+                group_by.append(self.parse_column_name())
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expr()
+
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self.parse_order_item())
+
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            if self.current.kind != "number":
+                raise self.error("LIMIT expects a number")
+            limit = int(float(self.advance().value))
+
+        if self.current.kind != "end":
+            raise self.error("unexpected trailing input")
+        return SelectStatement(
+            items=items,
+            table=table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    # -- clauses -------------------------------------------------------------------
+
+    def parse_items(self) -> List[SelectItem]:
+        if self.current.kind == "op" and self.current.value == "*":
+            self.advance()
+            return [SelectItem(Star())]
+        items = [self.parse_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_item())
+        return items
+
+    def parse_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_name()
+        elif self.current.kind == "name":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def parse_tableref(self) -> TableRef:
+        table = self.expect_name()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_name()
+        elif self.current.kind == "name":
+            alias = self.advance().value
+        return TableRef(table, alias)
+
+    def parse_on_condition(self) -> List[Tuple[ColumnName, ColumnName]]:
+        pairs = [self.parse_equality()]
+        while self.accept_keyword("AND"):
+            pairs.append(self.parse_equality())
+        return pairs
+
+    def parse_equality(self) -> Tuple[ColumnName, ColumnName]:
+        left = self.parse_column_name()
+        if not (self.current.kind == "op" and self.current.value == "="):
+            raise self.error("JOIN ... ON supports only equality conditions")
+        self.advance()
+        right = self.parse_column_name()
+        return left, right
+
+    def parse_column_name(self) -> ColumnName:
+        first = self.expect_name()
+        if self.accept_punct("."):
+            return ColumnName(self.expect_name(), qualifier=first)
+        return ColumnName(first)
+
+    def parse_order_item(self) -> OrderItem:
+        column = self.parse_column_name()
+        if self.accept_keyword("DESC"):
+            return OrderItem(column, descending=True)
+        self.accept_keyword("ASC")
+        return OrderItem(column)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def parse_expr(self) -> SqlExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> SqlExpr:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = Binary("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> SqlExpr:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = Binary("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> SqlExpr:
+        if self.accept_keyword("NOT"):
+            return Unary("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> SqlExpr:
+        left = self.parse_additive()
+        if self.current.kind == "op" and self.current.value in _COMPARISONS:
+            op = self.advance().value
+            return Binary(op, left, self.parse_additive())
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return Unary("ISNOTNULL" if negated else "ISNULL", left)
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            items = [self.parse_expr()]
+            while self.accept_punct(","):
+                items.append(self.parse_expr())
+            self.expect_punct(")")
+            expr: SqlExpr = Call("__IN__", tuple([left] + items))
+            return Unary("NOT", expr) if negated else expr
+        if self.accept_keyword("BETWEEN"):
+            lo = self.parse_additive()
+            self.expect_keyword("AND")
+            hi = self.parse_additive()
+            expr = Binary("AND", Binary(">=", left, lo), Binary("<=", left, hi))
+            return Unary("NOT", expr) if negated else expr
+        if negated:
+            raise self.error("expected IN or BETWEEN after NOT")
+        return left
+
+    def parse_additive(self) -> SqlExpr:
+        left = self.parse_multiplicative()
+        while self.current.kind == "op" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = Binary(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> SqlExpr:
+        left = self.parse_unary()
+        while self.current.kind == "op" and self.current.value in ("*", "/"):
+            op = self.advance().value
+            left = Binary(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> SqlExpr:
+        if self.current.kind == "op" and self.current.value == "-":
+            self.advance()
+            operand = self.parse_unary()
+            # Fold minus into numeric literals so -1 is Literal(-1), not
+            # NEG(Literal(1)) — a canonical form the unparser round-trips.
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return Literal(-operand.value)
+            return Unary("NEG", operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> SqlExpr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value)
+            return Literal(int(value) if value.is_integer() and "." not in token.value else value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if self.accept_punct("("):
+            inner = self.parse_expr()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "name":
+            name = self.advance().value
+            if self.accept_punct("("):
+                if self.current.kind == "op" and self.current.value == "*":
+                    self.advance()
+                    self.expect_punct(")")
+                    return Call(name.upper(), (), star=True)
+                args: List[SqlExpr] = []
+                if not self.accept_punct(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_punct(","):
+                        args.append(self.parse_expr())
+                    self.expect_punct(")")
+                return Call(name.upper(), tuple(args))
+            if self.accept_punct("."):
+                return ColumnName(self.expect_name(), qualifier=name)
+            return ColumnName(name)
+        raise self.error("expected an expression")
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one SELECT statement.
+
+    >>> stmt = parse("SELECT a, SUM(w) AS total FROM t GROUP BY a")
+    >>> stmt.group_by[0].name
+    'a'
+    """
+    return _Parser(text).parse_select()

@@ -1,0 +1,146 @@
+"""SQL unparser: render an AST back to SQL text.
+
+Used for debugging (show the normalized form of a query), for logging, and
+— most importantly — for the parser's round-trip property tests:
+``parse(to_sql(ast)) == ast`` over randomly generated ASTs pins the parser
+and the grammar to each other.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import PlanError
+from repro.relational.sql.ast import (
+    Binary,
+    Call,
+    ColumnName,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SqlExpr,
+    TableRef,
+    Unary,
+)
+
+__all__ = ["to_sql", "expr_to_sql"]
+
+#: Binding strengths for parenthesization (higher binds tighter).
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 3, "<>": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5,
+}
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "NULL"
+    if value is True:
+        return "TRUE"
+    if value is False:
+        return "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def expr_to_sql(node: SqlExpr, parent_precedence: int = 0) -> str:
+    """Render one expression, parenthesizing only where needed."""
+    if isinstance(node, Literal):
+        return _literal(node.value)
+    if isinstance(node, ColumnName):
+        return node.display()
+    if isinstance(node, Star):
+        return "*"
+    if isinstance(node, Unary):
+        if node.op == "NOT":
+            # NOT binds tighter than AND/OR, so those operands need parens.
+            inner = expr_to_sql(node.operand, 3)
+            text = f"NOT {inner}"
+            return f"({text})" if parent_precedence > 2 else text
+        if node.op == "NEG":
+            return f"-{expr_to_sql(node.operand, 6)}"
+        if node.op == "ISNULL":
+            text = f"{expr_to_sql(node.operand, 4)} IS NULL"
+            return f"({text})" if parent_precedence > 2 else text
+        if node.op == "ISNOTNULL":
+            text = f"{expr_to_sql(node.operand, 4)} IS NOT NULL"
+            return f"({text})" if parent_precedence > 2 else text
+        raise PlanError(f"cannot unparse unary op {node.op!r}")
+    if isinstance(node, Binary):
+        precedence = _PRECEDENCE[node.op]
+        # Comparisons are non-associative in the grammar (at most one per
+        # parse_comparison), so a nested comparison needs parens on either
+        # side; arithmetic/boolean operators are left-associative, needing
+        # parens only on the right at equal precedence.
+        non_associative = precedence == 3
+        left = expr_to_sql(node.left, precedence + (1 if non_associative else 0))
+        right = expr_to_sql(node.right, precedence + 1)
+        text = f"{left} {node.op} {right}"
+        return f"({text})" if precedence < parent_precedence else text
+    if isinstance(node, Call):
+        if node.name == "__IN__":
+            target = expr_to_sql(node.args[0], 3)
+            members = ", ".join(expr_to_sql(a) for a in node.args[1:])
+            text = f"{target} IN ({members})"
+            return f"({text})" if parent_precedence > 2 else text
+        if node.star:
+            return f"{node.name}(*)"
+        args = ", ".join(expr_to_sql(a) for a in node.args)
+        return f"{node.name}({args})"
+    raise PlanError(f"cannot unparse {node!r}")
+
+
+def _table_ref(ref: TableRef) -> str:
+    return f"{ref.table} {ref.alias}" if ref.alias else ref.table
+
+
+def _join(clause: JoinClause) -> str:
+    kind = "LEFT JOIN" if clause.outer else "JOIN"
+    conditions = " AND ".join(
+        f"{l.display()} = {r.display()}" for l, r in clause.on
+    )
+    return f"{kind} {_table_ref(clause.table)} ON {conditions}"
+
+
+def _item(item: SelectItem) -> str:
+    text = expr_to_sql(item.expr)
+    return f"{text} AS {item.alias}" if item.alias else text
+
+
+def _order(item: OrderItem) -> str:
+    return f"{item.column.display()} DESC" if item.descending else item.column.display()
+
+
+def to_sql(statement: SelectStatement) -> str:
+    """Render a full SELECT statement.
+
+    >>> from repro.relational.sql.parser import parse
+    >>> to_sql(parse("select a , SUM(w) as total from t group by a"))
+    'SELECT a, SUM(w) AS total FROM t GROUP BY a'
+    """
+    parts: List[str] = ["SELECT"]
+    if statement.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_item(i) for i in statement.items))
+    parts.append(f"FROM {_table_ref(statement.table)}")
+    for join in statement.joins:
+        parts.append(_join(join))
+    if statement.where is not None:
+        parts.append(f"WHERE {expr_to_sql(statement.where)}")
+    if statement.group_by:
+        parts.append("GROUP BY " + ", ".join(c.display() for c in statement.group_by))
+        if statement.having is not None:
+            parts.append(f"HAVING {expr_to_sql(statement.having)}")
+    if statement.order_by:
+        parts.append("ORDER BY " + ", ".join(_order(o) for o in statement.order_by))
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
+    return " ".join(parts)

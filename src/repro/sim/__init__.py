@@ -1,0 +1,45 @@
+"""Similarity functions — the UDF post-filters composed with SSJoin.
+
+Each function here is exactly the "check" stage of Figure 2: the SSJoin
+operator produces a small candidate superset; these functions give the final
+verdict. They double as brute-force oracles in the test suite.
+"""
+
+from repro.sim.cosine import cosine_vectors, string_cosine
+from repro.sim.edit import (
+    edit_distance,
+    edit_distance_within,
+    edit_similarity,
+    edit_similarity_at_least,
+)
+from repro.sim.ges import ges, normalized_edit_distance, transformation_cost
+from repro.sim.hamming import hamming_overlap_bound, set_hamming, string_hamming
+from repro.sim.jaccard import (
+    jaccard_containment,
+    jaccard_resemblance,
+    overlap,
+    string_jaccard_containment,
+    string_jaccard_resemblance,
+    string_overlap,
+)
+
+__all__ = [
+    "cosine_vectors",
+    "string_cosine",
+    "edit_distance",
+    "edit_distance_within",
+    "edit_similarity",
+    "edit_similarity_at_least",
+    "ges",
+    "normalized_edit_distance",
+    "transformation_cost",
+    "hamming_overlap_bound",
+    "set_hamming",
+    "string_hamming",
+    "jaccard_containment",
+    "jaccard_resemblance",
+    "overlap",
+    "string_jaccard_containment",
+    "string_jaccard_resemblance",
+    "string_overlap",
+]

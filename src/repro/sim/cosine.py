@@ -1,0 +1,62 @@
+"""Cosine similarity over weighted token vectors.
+
+Cosine is among the similarity functions the introduction lists; custom join
+algorithms for it exist ([8], [6]), and it too admits an overlap-style
+reduction: if vectors are L2-normalized, ``cos(u, v) = Σ_t u_t·v_t``, a
+weighted overlap. These helpers score strings and weighted sets and serve
+as post-filter UDFs and test oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.tokenize.weights import UnitWeights, WeightTable
+from repro.tokenize.words import words
+
+__all__ = ["cosine_vectors", "string_cosine"]
+
+
+def cosine_vectors(u: Dict[Any, float], v: Dict[Any, float]) -> float:
+    """Cosine of two sparse vectors (token -> weight).
+
+    >>> cosine_vectors({"a": 1.0}, {"a": 1.0})
+    1.0
+    >>> cosine_vectors({"a": 1.0}, {"b": 1.0})
+    0.0
+    """
+    nu = math.sqrt(sum(w * w for w in u.values()))
+    nv = math.sqrt(sum(w * w for w in v.values()))
+    if nu == 0.0 or nv == 0.0:
+        return 1.0 if nu == nv else 0.0
+    small, large = (u, v) if len(u) <= len(v) else (v, u)
+    dot = sum(w * large.get(t, 0.0) for t, w in small.items())
+    return dot / (nu * nv)
+
+
+def _vector(
+    text: str,
+    tokenizer: Callable[[str], Sequence[str]],
+    weights: WeightTable,
+) -> Dict[str, float]:
+    """tf·weight vector of a string (term frequency times token weight)."""
+    vec: Dict[str, float] = {}
+    for token in tokenizer(text):
+        vec[token] = vec.get(token, 0.0) + weights.weight(token)
+    return vec
+
+
+def string_cosine(
+    s1: str,
+    s2: str,
+    tokenizer: Callable[[str], Sequence[str]] = words,
+    weights: Optional[WeightTable] = None,
+) -> float:
+    """Cosine similarity of two strings under tf·weight vectors.
+
+    >>> round(string_cosine("microsoft corp", "microsoft corp"), 6)
+    1.0
+    """
+    table = weights if weights is not None else UnitWeights()
+    return cosine_vectors(_vector(s1, tokenizer, table), _vector(s2, tokenizer, table))

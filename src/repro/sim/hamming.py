@@ -1,0 +1,50 @@
+"""Hamming distance — on equal-length strings and on sets.
+
+The paper lists hamming distance among the similarity functions SSJoin
+supports. Two standard readings are provided:
+
+* string hamming distance (positions that differ, equal lengths required);
+* set hamming distance (symmetric-difference weight), which reduces to an
+  overlap predicate: ``HD(s1, s2) = wt(s1) + wt(s2) − 2·Overlap(s1, s2)``,
+  so ``HD ≤ k  ⇔  Overlap ≥ (wt(s1)+wt(s2)−k)/2`` — the reduction used by
+  :mod:`repro.joins.hamming_join`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.tokenize.sets import WeightedSet
+
+__all__ = ["string_hamming", "set_hamming", "hamming_overlap_bound"]
+
+
+def string_hamming(s1: str, s2: str) -> int:
+    """Number of positions at which two equal-length strings differ.
+
+    >>> string_hamming("karolin", "kathrin")
+    3
+    """
+    if len(s1) != len(s2):
+        raise ReproError(
+            f"string hamming distance requires equal lengths, got {len(s1)} and {len(s2)}"
+        )
+    return sum(1 for a, b in zip(s1, s2) if a != b)
+
+
+def set_hamming(s1: WeightedSet, s2: WeightedSet) -> float:
+    """Weight of the symmetric difference of two weighted sets.
+
+    >>> a = WeightedSet({"x": 1.0, "y": 1.0})
+    >>> b = WeightedSet({"y": 1.0, "z": 1.0})
+    >>> set_hamming(a, b)
+    2.0
+    """
+    return s1.norm + s2.norm - 2.0 * s1.overlap(s2)
+
+
+def hamming_overlap_bound(norm1: float, norm2: float, k: float) -> float:
+    """The overlap threshold equivalent to ``set_hamming ≤ k``.
+
+    ``HD(s1,s2) ≤ k  ⇔  Overlap(s1,s2) ≥ (wt(s1) + wt(s2) − k)/2``.
+    """
+    return (norm1 + norm2 - k) / 2.0

@@ -1,0 +1,84 @@
+"""Set-overlap similarity scores on strings (Definitions 1 and 5).
+
+These are thin conveniences binding a tokenizer + weight table to the
+:class:`~repro.tokenize.sets.WeightedSet` algebra, so callers can score raw
+strings directly. The SSJoin plans never call these on full cross products —
+they exist as post-filter UDFs and as test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.tokenize.sets import WeightedSet
+from repro.tokenize.weights import WeightTable, build_weighted_set
+from repro.tokenize.words import words
+
+__all__ = [
+    "overlap",
+    "jaccard_containment",
+    "jaccard_resemblance",
+    "string_overlap",
+    "string_jaccard_containment",
+    "string_jaccard_resemblance",
+]
+
+Tokenizer = Callable[[str], Sequence[Any]]
+
+
+def overlap(s1: WeightedSet, s2: WeightedSet) -> float:
+    """``Overlap(s1, s2) = wt(s1 ∩ s2)``."""
+    return s1.overlap(s2)
+
+
+def jaccard_containment(s1: WeightedSet, s2: WeightedSet) -> float:
+    """``JC(s1, s2) = wt(s1 ∩ s2)/wt(s1)`` — containment of s1 in s2."""
+    return s1.jaccard_containment(s2)
+
+
+def jaccard_resemblance(s1: WeightedSet, s2: WeightedSet) -> float:
+    """``JR(s1, s2) = wt(s1 ∩ s2)/wt(s1 ∪ s2)``."""
+    return s1.jaccard_resemblance(s2)
+
+
+def _as_set(
+    text: str,
+    tokenizer: Optional[Tokenizer],
+    weights: Optional[WeightTable],
+) -> WeightedSet:
+    tokens = (tokenizer or words)(text)
+    return build_weighted_set(tokens, weights=weights, multiset=True)
+
+
+def string_overlap(
+    t1: str,
+    t2: str,
+    tokenizer: Optional[Tokenizer] = None,
+    weights: Optional[WeightTable] = None,
+) -> float:
+    """Overlap similarity between two strings (word tokens by default)."""
+    return overlap(_as_set(t1, tokenizer, weights), _as_set(t2, tokenizer, weights))
+
+
+def string_jaccard_containment(
+    t1: str,
+    t2: str,
+    tokenizer: Optional[Tokenizer] = None,
+    weights: Optional[WeightTable] = None,
+) -> float:
+    """Jaccard containment of *t1*'s token set in *t2*'s."""
+    return jaccard_containment(_as_set(t1, tokenizer, weights), _as_set(t2, tokenizer, weights))
+
+
+def string_jaccard_resemblance(
+    t1: str,
+    t2: str,
+    tokenizer: Optional[Tokenizer] = None,
+    weights: Optional[WeightTable] = None,
+) -> float:
+    """Jaccard resemblance between the token sets of two strings.
+
+    >>> string_jaccard_resemblance("microsoft corp", "microsoft corp")
+    1.0
+    """
+    return jaccard_resemblance(_as_set(t1, tokenizer, weights), _as_set(t2, tokenizer, weights))

@@ -1,0 +1,39 @@
+"""String → weighted-set mapping: tokenizers, encodings, weights.
+
+This subpackage implements Section 2's "Set(σ)" machinery: q-gram and word
+tokenizers, the multiset ordinal encoding of Section 4.3.1, the weighted-set
+abstraction with norms and overlaps, IDF weight tables with the paper's
+exact formula, and soundex codes.
+"""
+
+from repro.tokenize.elements import Element, ordinal_decode, ordinal_encode
+from repro.tokenize.qgrams import num_qgrams, padded_qgrams, positional_qgrams, qgrams
+from repro.tokenize.sets import WeightedSet
+from repro.tokenize.soundex import soundex
+from repro.tokenize.weights import (
+    IDFWeights,
+    TableWeights,
+    UnitWeights,
+    WeightTable,
+    build_weighted_set,
+)
+from repro.tokenize.words import word_set, words
+
+__all__ = [
+    "Element",
+    "ordinal_decode",
+    "ordinal_encode",
+    "num_qgrams",
+    "padded_qgrams",
+    "positional_qgrams",
+    "qgrams",
+    "WeightedSet",
+    "soundex",
+    "IDFWeights",
+    "TableWeights",
+    "UnitWeights",
+    "WeightTable",
+    "build_weighted_set",
+    "word_set",
+    "words",
+]

@@ -1,0 +1,59 @@
+"""Multiset → set ordinal encoding (paper Section 4.3.1).
+
+"We convert each value in R.B and S.B into an ordered pair containing an
+ordinal number to distinguish it from its duplicates. Thus, for example, the
+multi-set {1, 1, 2} would be converted to {⟨1,1⟩, ⟨1,2⟩, ⟨2,1⟩}."
+
+After this encoding, multiset intersection between two encoded sets equals
+plain set intersection — the i-th copy of a token on one side matches
+exactly the i-th copy on the other — which is what lets the engine compute
+multiset overlaps with ordinary equi-joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["ordinal_encode", "ordinal_decode", "Element"]
+
+#: An encoded multiset element: (token, occurrence_index) with 1-based index.
+Element = Tuple[Any, int]
+
+
+def ordinal_encode(tokens: Iterable[Any]) -> List[Element]:
+    """Encode a token multiset as ``(token, ordinal)`` pairs.
+
+    Ordinals are assigned in input order, starting at 1, so the encoding is
+    deterministic for a given token sequence and two encodings of the same
+    *multiset* (regardless of order) contain the same pairs.
+
+    >>> ordinal_encode(["a", "a", "b"])
+    [('a', 1), ('a', 2), ('b', 1)]
+    """
+    seen: Dict[Any, int] = {}
+    out: List[Element] = []
+    for token in tokens:
+        n = seen.get(token, 0) + 1
+        seen[token] = n
+        out.append((token, n))
+    return out
+
+
+def ordinal_decode(elements: Iterable[Element]) -> List[Any]:
+    """Invert :func:`ordinal_encode`: recover the token multiset (sorted
+    within each token by ordinal, tokens in first-appearance order).
+
+    >>> ordinal_decode([('a', 1), ('a', 2), ('b', 1)])
+    ['a', 'a', 'b']
+    """
+    counts: Dict[Any, int] = {}
+    order: List[Any] = []
+    for token, ordinal in elements:
+        if token not in counts:
+            counts[token] = 0
+            order.append(token)
+        counts[token] = max(counts[token], ordinal)
+    out: List[Any] = []
+    for token in order:
+        out.extend([token] * counts[token])
+    return out

@@ -1,0 +1,83 @@
+"""q-gram tokenization.
+
+``QGSet_q(σ)`` in the paper is the multiset of all contiguous length-*q*
+substrings of σ. Two practical variants are provided:
+
+* **unpadded** — exactly the paper's definition: a string of length L yields
+  ``L − q + 1`` q-grams (none if L < q). This is the variant Property 4's
+  count filter is stated for, so the edit-distance join uses it.
+* **padded** — the common practice (also from Gravano et al.) of extending
+  the string with ``q − 1`` copies of sentinel characters on each side so
+  prefixes/suffixes are represented; yields ``L + q − 1`` q-grams.
+
+Positional q-grams (``(position, gram)`` pairs) support the custom edit
+join's position filter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TokenizationError
+
+__all__ = ["qgrams", "padded_qgrams", "positional_qgrams", "num_qgrams"]
+
+#: Sentinel characters used for padding; chosen outside common text ranges.
+PAD_LEFT = ""
+PAD_RIGHT = ""
+
+
+def _check_q(q: int) -> None:
+    if q < 1:
+        raise TokenizationError(f"q must be >= 1, got {q}")
+
+
+def qgrams(text: str, q: int = 3, lowercase: bool = True) -> List[str]:
+    """All contiguous q-grams of *text*, in order, with duplicates.
+
+    >>> qgrams("abcd", 2)
+    ['ab', 'bc', 'cd']
+    >>> qgrams("ab", 3)
+    []
+    """
+    _check_q(q)
+    if lowercase:
+        text = text.lower()
+    if len(text) < q:
+        return []
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def padded_qgrams(text: str, q: int = 3, lowercase: bool = True) -> List[str]:
+    """q-grams of *text* padded with q−1 sentinels on each side.
+
+    >>> padded_qgrams("ab", 2, lowercase=False)[0].endswith("a")
+    True
+    >>> len(padded_qgrams("ab", 2))
+    3
+    """
+    _check_q(q)
+    if lowercase:
+        text = text.lower()
+    padded = PAD_LEFT * (q - 1) + text + PAD_RIGHT * (q - 1)
+    if len(padded) < q:
+        return []
+    return [padded[i : i + q] for i in range(len(padded) - q + 1)]
+
+
+def positional_qgrams(
+    text: str, q: int = 3, lowercase: bool = True
+) -> List[Tuple[int, str]]:
+    """``(position, gram)`` pairs; positions are 0-based string offsets.
+
+    Used by the customized edit join's position filter: matching q-grams of
+    strings within edit distance ε must occur at positions differing by at
+    most ε.
+    """
+    return list(enumerate(qgrams(text, q=q, lowercase=lowercase)))
+
+
+def num_qgrams(length: int, q: int = 3) -> int:
+    """Number of unpadded q-grams of a string of the given *length*."""
+    _check_q(q)
+    return max(0, length - q + 1)

@@ -1,0 +1,197 @@
+"""Weighted (multi-)sets: the objects SSJoin reasons about.
+
+Section 2 of the paper fixes the model reproduced here: every set is drawn
+from a universe of elements, each element carries a fixed positive weight,
+the *norm* ``wt(s)`` of a set is the sum of its member weights, and
+``Overlap(s1, s2) = wt(s1 ∩ s2)``. Multisets are handled by the ordinal
+encoding of Section 4.3.1 (see :mod:`repro.tokenize.elements`), after which
+every set is a true set and intersection is plain key intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.errors import WeightError
+
+__all__ = ["WeightedSet"]
+
+
+class WeightedSet:
+    """An immutable set of elements with positive weights.
+
+    >>> a = WeightedSet({"x": 1.0, "y": 2.0})
+    >>> b = WeightedSet({"y": 2.0, "z": 5.0})
+    >>> a.norm
+    3.0
+    >>> a.overlap(b)
+    2.0
+    >>> a.jaccard_resemblance(b)
+    0.25
+
+    Elements may be any hashable value — strings, q-grams, the ordinal
+    pairs produced by the multiset encoding, or ``(column, value)`` pairs
+    for the soft-FD joins of Section 3.4.
+    """
+
+    __slots__ = ("_weights", "_norm")
+
+    def __init__(self, weights: Mapping[Any, float]) -> None:
+        clean: Dict[Any, float] = {}
+        norm = 0.0
+        for element, weight in weights.items():
+            w = float(weight)
+            if not w > 0.0:
+                raise WeightError(f"element {element!r} has non-positive weight {weight!r}")
+            clean[element] = w
+            norm += w
+        self._weights = clean
+        self._norm = norm
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_elements(
+        cls,
+        elements: Iterable[Any],
+        weight_fn=None,
+    ) -> "WeightedSet":
+        """Build from distinct elements; duplicate elements are an error.
+
+        *weight_fn* maps element -> weight; ``None`` gives unit weights
+        (the paper's unweighted case).
+        """
+        weights: Dict[Any, float] = {}
+        for e in elements:
+            if e in weights:
+                raise WeightError(
+                    f"duplicate element {e!r}; encode multisets with "
+                    "repro.tokenize.elements.ordinal_encode first"
+                )
+            weights[e] = 1.0 if weight_fn is None else weight_fn(e)
+        return cls(weights)
+
+    @classmethod
+    def empty(cls) -> "WeightedSet":
+        return cls({})
+
+    # -- protocol -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._weights)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._weights
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedSet):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._weights.items()))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(f"{e!r}:{w:g}" for e, w in list(self._weights.items())[:4])
+        more = "" if len(self) <= 4 else f", …(+{len(self) - 4})"
+        return f"WeightedSet({{{preview}{more}}})"
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def norm(self) -> float:
+        """``wt(s)``: total weight of the set (the paper's *norm*)."""
+        return self._norm
+
+    def weight(self, element: Any) -> float:
+        """Weight of *element* (0.0 if absent)."""
+        return self._weights.get(element, 0.0)
+
+    def elements(self) -> Tuple[Any, ...]:
+        return tuple(self._weights)
+
+    def items(self) -> Iterable[Tuple[Any, float]]:
+        return self._weights.items()
+
+    # -- set algebra ---------------------------------------------------------------
+
+    def overlap(self, other: "WeightedSet") -> float:
+        """``Overlap(s1, s2) = wt(s1 ∩ s2)``, weighted by *self*'s weights.
+
+        Under Section 2's fixed-weight-per-element model both sides agree on
+        every shared element's weight and overlap is symmetric. Summing
+        self's weights makes the (out-of-model) asymmetric case — used by
+        the GES expansion — deterministic and consistent with the SSJoin
+        implementations, which all sum ``R.w``.
+        """
+        ow = other._weights
+        if len(ow) < len(self._weights):
+            sw = self._weights
+            return sum(sw[e] for e in ow if e in sw)
+        return sum(w for e, w in self._weights.items() if e in ow)
+
+    def intersection(self, other: "WeightedSet") -> "WeightedSet":
+        """Shared elements, carrying *self*'s weights."""
+        ow = other._weights
+        return WeightedSet({e: w for e, w in self._weights.items() if e in ow})
+
+    def union(self, other: "WeightedSet") -> "WeightedSet":
+        merged = dict(self._weights)
+        for e, w in other._weights.items():
+            if e in merged and merged[e] != w:
+                raise WeightError(
+                    f"element {e!r} has conflicting weights {merged[e]!r} and {w!r}; "
+                    "the weight model requires a fixed weight per element"
+                )
+            merged[e] = w
+        return WeightedSet(merged)
+
+    def difference(self, other: "WeightedSet") -> "WeightedSet":
+        return WeightedSet({e: w for e, w in self._weights.items() if e not in other})
+
+    def union_norm(self, other: "WeightedSet") -> float:
+        """``wt(s1 ∪ s2)`` without materializing the union."""
+        return self._norm + other._norm - self.overlap(other)
+
+    # -- similarity scores -------------------------------------------------------
+
+    def jaccard_containment(self, other: "WeightedSet") -> float:
+        """``JC(self, other) = wt(self ∩ other) / wt(self)`` (Definition 5.1).
+
+        An empty set is vacuously contained in anything (JC = 1.0), which
+        keeps the identity ``JC ⩾ JR`` that the resemblance join relies on.
+        """
+        if self._norm == 0.0:
+            return 1.0
+        return self.overlap(other) / self._norm
+
+    def jaccard_resemblance(self, other: "WeightedSet") -> float:
+        """``JR = wt(s1 ∩ s2) / wt(s1 ∪ s2)`` (Definition 5.2)."""
+        inter = self.overlap(other)
+        union = self._norm + other._norm - inter
+        if union == 0.0:
+            # Both sets empty: conventionally identical.
+            return 1.0
+        return inter / union
+
+    def dice(self, other: "WeightedSet") -> float:
+        """Dice coefficient ``2·wt(∩) / (wt(s1)+wt(s2))`` (extra utility)."""
+        denom = self._norm + other._norm
+        if denom == 0.0:
+            return 1.0
+        return 2.0 * self.overlap(other) / denom
+
+    # -- prefixes (consumed by repro.core.prefixes) ---------------------------------
+
+    def sorted_elements(self, ordering) -> List[Any]:
+        """Elements sorted by the global ordering ``O`` (a key function)."""
+        return sorted(self._weights, key=ordering)
+
+    def restrict(self, elements: Iterable[Any]) -> "WeightedSet":
+        """Subset of this set containing only *elements* that are present."""
+        return WeightedSet(
+            {e: self._weights[e] for e in elements if e in self._weights}
+        )

@@ -1,0 +1,68 @@
+"""American Soundex — the phonetic code the paper cites for person names.
+
+Section 1 names soundex as one of the similarity notions a data-cleaning
+platform must support ("the soundex function for matching person names");
+a soundex join is an equality join on codes, expressible as a degenerate
+SSJoin with a singleton set per string (see
+:mod:`repro.joins.soundex_join`).
+
+Implements the standard algorithm: keep the first letter, map consonants to
+digit classes, collapse adjacent duplicates (including across H/W), drop
+vowels, pad/truncate to 4 characters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["soundex"]
+
+_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2", "q": "2", "s": "2", "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+_HW = {"h", "w"}
+_VOWELY = {"a", "e", "i", "o", "u", "y"}
+
+
+def soundex(name: str) -> str:
+    """Four-character American Soundex code of *name*.
+
+    >>> soundex("Robert")
+    'R163'
+    >>> soundex("Rupert")
+    'R163'
+    >>> soundex("Ashcraft")  # h does not separate the s/c code group
+    'A261'
+    >>> soundex("Tymczak")
+    'T522'
+    >>> soundex("")
+    ''
+    """
+    letters = [c for c in name.lower() if c.isalpha()]
+    if not letters:
+        return ""
+
+    first = letters[0]
+    code = first.upper()
+    prev_digit: Optional[str] = _CODES.get(first)
+
+    for ch in letters[1:]:
+        digit = _CODES.get(ch)
+        if ch in _HW:
+            # H and W are transparent: they do not reset the previous code.
+            continue
+        if digit is None:
+            # Vowels (and Y) emit nothing but break duplicate runs.
+            prev_digit = None
+            continue
+        if digit != prev_digit:
+            code += digit
+            if len(code) == 4:
+                return code
+        prev_digit = digit
+    return code.ljust(4, "0")

@@ -1,0 +1,150 @@
+"""Element weight tables: unit weights, IDF weights, custom weights.
+
+The paper's experiments "assign IDF weights to elements of sets (tokens) as
+follows: log((|R|+|S|)/f_t), where f_t is the total number of R[A] and S[A]
+values which contain t as a token". That exact formula is implemented by
+:meth:`IDFWeights.fit`.
+
+A weight table maps a *token* to a fixed positive weight; the ordinal pairs
+produced by :func:`repro.tokenize.elements.ordinal_encode` inherit the
+weight of their underlying token, honoring the fixed-weight-per-element
+model of Section 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import WeightError
+from repro.tokenize.sets import WeightedSet
+
+__all__ = ["WeightTable", "UnitWeights", "IDFWeights", "TableWeights", "build_weighted_set"]
+
+
+class WeightTable:
+    """Interface: token -> positive weight."""
+
+    def weight(self, token: Any) -> float:
+        raise NotImplementedError
+
+    def element_weight(self, element: Any) -> float:
+        """Weight of a set element.
+
+        Ordinal-encoded elements ``(token, n)`` weigh as their token; any
+        other element weighs as itself as a token.
+        """
+        if isinstance(element, tuple) and len(element) == 2 and isinstance(element[1], int):
+            return self.weight(element[0])
+        return self.weight(element)
+
+
+class UnitWeights(WeightTable):
+    """Every token weighs 1.0 — the paper's unweighted special case."""
+
+    def weight(self, token: Any) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "UnitWeights()"
+
+
+class IDFWeights(WeightTable):
+    """Inverse document frequency weights with the paper's formula.
+
+    ``w(t) = log((|R| + |S|) / f_t)`` where ``f_t`` counts the strings
+    (documents) containing ``t``. Unseen tokens receive the weight of a
+    token occurring once (``log(N / 1)``), the most informative weight,
+    mirroring how out-of-vocabulary tokens are maximally discriminative.
+
+    Weights are floored at a small positive epsilon: a token occurring in
+    every document would otherwise get weight 0, which the positive-weight
+    model forbids.
+    """
+
+    #: Floor keeping weights strictly positive.
+    MIN_WEIGHT = 1e-6
+
+    def __init__(self, num_documents: int, document_frequency: Mapping[Any, int]):
+        if num_documents <= 0:
+            raise WeightError(f"num_documents must be positive, got {num_documents}")
+        self.num_documents = num_documents
+        self.document_frequency: Dict[Any, int] = dict(document_frequency)
+
+    @classmethod
+    def fit(cls, token_lists: Iterable[Sequence[Any]]) -> "IDFWeights":
+        """Fit from an iterable of token lists (one list per string/record).
+
+        For a self-join pass the corpus once; for an R–S join pass the
+        concatenation of both sides so ``N = |R| + |S|`` as in the paper.
+        """
+        df: Dict[Any, int] = {}
+        n = 0
+        for tokens in token_lists:
+            n += 1
+            for token in set(tokens):
+                df[token] = df.get(token, 0) + 1
+        return cls(max(n, 1), df)
+
+    @classmethod
+    def fit_two(
+        cls, left: Iterable[Sequence[Any]], right: Iterable[Sequence[Any]]
+    ) -> "IDFWeights":
+        """Fit over both join sides: the paper's ``|R| + |S|`` convention."""
+        def chained():
+            for t in left:
+                yield t
+            for t in right:
+                yield t
+
+        return cls.fit(chained())
+
+    def weight(self, token: Any) -> float:
+        ft = self.document_frequency.get(token, 1)
+        return max(math.log(self.num_documents / ft), self.MIN_WEIGHT)
+
+    def __repr__(self) -> str:
+        return f"IDFWeights(N={self.num_documents}, |vocab|={len(self.document_frequency)})"
+
+
+class TableWeights(WeightTable):
+    """Explicit token -> weight mapping with a default for unseen tokens."""
+
+    def __init__(self, table: Mapping[Any, float], default: float = 1.0):
+        for token, w in table.items():
+            if not w > 0:
+                raise WeightError(f"token {token!r} has non-positive weight {w!r}")
+        if not default > 0:
+            raise WeightError(f"default weight must be positive, got {default!r}")
+        self.table = dict(table)
+        self.default = default
+
+    def weight(self, token: Any) -> float:
+        return self.table.get(token, self.default)
+
+    def __repr__(self) -> str:
+        return f"TableWeights(|table|={len(self.table)}, default={self.default})"
+
+
+def build_weighted_set(
+    tokens: Sequence[Any],
+    weights: Optional[WeightTable] = None,
+    multiset: bool = True,
+) -> WeightedSet:
+    """Turn a token sequence into a :class:`WeightedSet`.
+
+    With ``multiset=True`` duplicates are ordinal-encoded (paper 4.3.1) so
+    each occurrence is an element; with ``multiset=False`` duplicates are
+    collapsed to their first occurrence.
+    """
+    from repro.tokenize.elements import ordinal_encode
+
+    table = weights if weights is not None else UnitWeights()
+    if multiset:
+        elements = ordinal_encode(tokens)
+        return WeightedSet({e: table.weight(e[0]) for e in elements})
+    out: Dict[Any, float] = {}
+    for t in tokens:
+        if t not in out:
+            out[t] = table.weight(t)
+    return WeightedSet(out)

@@ -1,0 +1,39 @@
+"""Word/delimiter tokenization — "the set of words partitioned by delimiters".
+
+The Jaccard, GES and co-occurrence joins in the paper operate over word
+tokens (optionally IDF-weighted). The tokenizer here is deliberately simple
+and deterministic: lowercase, split on non-alphanumeric runs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["words", "word_set"]
+
+_SPLIT = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def words(text: str, lowercase: bool = True, min_length: int = 1) -> List[str]:
+    """Tokenize *text* into words, preserving order and duplicates.
+
+    >>> words("Microsoft Corp., Redmond")
+    ['microsoft', 'corp', 'redmond']
+    >>> words("148th Ave NE")
+    ['148th', 'ave', 'ne']
+    """
+    if lowercase:
+        text = text.lower()
+    return [t for t in _SPLIT.split(text) if len(t) >= min_length]
+
+
+def word_set(text: str, lowercase: bool = True, min_length: int = 1) -> List[str]:
+    """Distinct words of *text* in first-occurrence order."""
+    seen = set()
+    out: List[str] = []
+    for t in words(text, lowercase=lowercase, min_length=min_length):
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    return out

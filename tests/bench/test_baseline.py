@@ -1,0 +1,113 @@
+"""Tests for counter regression baselines."""
+
+import json
+
+import pytest
+
+from repro.bench.baseline import COUNTER_FIELDS, CounterBaseline, counters_of
+from repro.core.metrics import ExecutionMetrics
+from repro.errors import BenchmarkConfigError
+
+
+def metrics(**overrides) -> ExecutionMetrics:
+    m = ExecutionMetrics()
+    m.prepared_rows = 100
+    m.prefix_rows = 20
+    m.equijoin_rows = 50
+    m.candidate_pairs = 10
+    m.output_pairs = 5
+    m.similarity_comparisons = 5
+    m.result_pairs = 4
+    for k, v in overrides.items():
+        setattr(m, k, v)
+    return m
+
+
+class TestCountersOf:
+    def test_extracts_all_fields(self):
+        c = counters_of(metrics())
+        assert set(c) == set(COUNTER_FIELDS)
+        assert c["candidate_pairs"] == 10
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        b = CounterBaseline.load(path)
+        b.record("exp1", metrics())
+        b.save()
+
+        reloaded = CounterBaseline.load(path)
+        assert reloaded.entries["exp1"]["result_pairs"] == 4
+
+    def test_missing_file_is_empty(self, tmp_path):
+        b = CounterBaseline.load(tmp_path / "nope.json")
+        assert b.entries == {}
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(BenchmarkConfigError):
+            CounterBaseline.load(path)
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "b.json"
+        b = CounterBaseline(path=path)
+        b.record("e", metrics())
+        b.save()
+        assert path.exists()
+
+
+class TestCompare:
+    def test_identical_passes(self, tmp_path):
+        b = CounterBaseline(path=tmp_path / "b.json")
+        b.record("e", metrics())
+        assert b.compare("e", metrics(), exact=True) == []
+
+    def test_exact_detects_any_change(self, tmp_path):
+        b = CounterBaseline(path=tmp_path / "b.json")
+        b.record("e", metrics())
+        problems = b.compare("e", metrics(candidate_pairs=11), exact=True)
+        assert len(problems) == 1
+        assert "candidate_pairs" in problems[0]
+
+    def test_tolerance_allows_small_drift(self, tmp_path):
+        b = CounterBaseline(path=tmp_path / "b.json")
+        b.record("e", metrics())
+        assert b.compare("e", metrics(equijoin_rows=52), tolerance=0.05) == []
+
+    def test_tolerance_catches_large_drift(self, tmp_path):
+        b = CounterBaseline(path=tmp_path / "b.json")
+        b.record("e", metrics())
+        problems = b.compare("e", metrics(equijoin_rows=80), tolerance=0.05)
+        assert problems
+
+    def test_unknown_entry(self, tmp_path):
+        b = CounterBaseline(path=tmp_path / "b.json")
+        problems = b.compare("nope", metrics())
+        assert "no baseline entry" in problems[0]
+
+    def test_check_raises(self, tmp_path):
+        b = CounterBaseline(path=tmp_path / "b.json")
+        b.record("e", metrics())
+        with pytest.raises(BenchmarkConfigError):
+            b.check("e", metrics(result_pairs=999), exact=True)
+
+
+class TestEndToEnd:
+    def test_real_join_counters_are_reproducible(self, tmp_path):
+        """Same seed, same join -> byte-identical counters across runs."""
+        from repro.data.customers import CustomerConfig, generate_addresses
+        from repro.joins.jaccard_join import jaccard_resemblance_join
+
+        def run():
+            rows = generate_addresses(CustomerConfig(num_rows=100, seed=3))
+            return jaccard_resemblance_join(
+                rows, threshold=0.8, weights=None, implementation="inline"
+            )
+
+        b = CounterBaseline(path=tmp_path / "b.json")
+        b.record("jr-inline", run().metrics)
+        b.save()
+        reloaded = CounterBaseline.load(tmp_path / "b.json")
+        assert reloaded.compare("jr-inline", run().metrics, exact=True) == []

@@ -1,0 +1,88 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.figures import figure_from_records, series_chart, stacked_bars
+from repro.bench.harness import SweepRecord
+
+
+def record(threshold, phases, impl="basic"):
+    return SweepRecord(
+        label="t",
+        threshold=threshold,
+        implementation=impl,
+        total_seconds=sum(phases.values()),
+        phase_seconds=phases,
+        candidate_pairs=0,
+        output_pairs=0,
+        similarity_comparisons=0,
+        result_pairs=0,
+        prepared_rows=0,
+    )
+
+
+class TestStackedBars:
+    def test_legend_and_bars(self):
+        out = stacked_bars(
+            [("a", {"x": 1.0, "y": 1.0}), ("b", {"x": 2.0})], width=10
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith("legend:")
+        assert "x=#" in lines[0] and "y=*" in lines[0]
+        assert lines[1].startswith("a |")
+        assert "#" in lines[1] and "*" in lines[1]
+
+    def test_scaling_relative_to_max(self):
+        out = stacked_bars([("big", {"x": 10.0}), ("small", {"x": 5.0})], width=20)
+        big_line, small_line = out.splitlines()[1:3]
+        assert big_line.count("#") == 2 * small_line.count("#")
+
+    def test_empty(self):
+        assert stacked_bars([]) == "(no data)"
+
+    def test_unit_suffix(self):
+        out = stacked_bars([("a", {"x": 1.5})], unit="s")
+        assert "1.5s" in out
+
+    def test_missing_segment_tolerated(self):
+        out = stacked_bars([("a", {"x": 1.0}), ("b", {"y": 1.0})])
+        assert "b" in out
+
+    def test_doctest_shape(self):
+        out = stacked_bars(
+            [("0.80", {"prep": 1.0, "join": 3.0}), ("0.90", {"prep": 1.0, "join": 1.0})],
+            width=8,
+        )
+        assert out.splitlines()[1] == "0.80 |##******  4"
+
+
+class TestFigureFromRecords:
+    def test_orders_by_threshold(self):
+        records = [
+            record(0.9, {"prep": 0.1, "ssjoin": 0.2}),
+            record(0.8, {"prep": 0.1, "ssjoin": 0.5}),
+        ]
+        out = figure_from_records(records, title="Fig X")
+        lines = out.splitlines()
+        assert lines[0] == "Fig X"
+        assert lines[2].startswith("0.80")
+        assert lines[3].startswith("0.90")
+
+    def test_zero_phases_omitted_from_legend(self):
+        records = [record(0.8, {"prep": 0.5})]
+        out = figure_from_records(records)
+        assert "filter" not in out.splitlines()[0]
+
+
+class TestSeriesChart:
+    def test_groups_by_x(self):
+        out = series_chart(
+            {"basic": [(0.8, 2.0), (0.9, 1.0)], "inline": [(0.8, 0.5)]},
+            width=10,
+        )
+        assert "x=0.8" in out and "x=0.9" in out
+        assert out.count("basic") == 2
+        assert out.count("inline") == 1
+
+    def test_empty(self):
+        assert series_chart({}) == "(no data)"

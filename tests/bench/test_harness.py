@@ -1,0 +1,90 @@
+"""Unit tests for the sweep harness and reporting."""
+
+import pytest
+
+from repro.bench.harness import SweepRunner, time_call
+from repro.bench.reporting import render_phase_table, render_series, render_table
+from repro.errors import BenchmarkConfigError
+from repro.joins.jaccard_join import jaccard_resemblance_join
+
+STRINGS = ["a b c", "a b d", "a b", "x y z", "x y"]
+
+
+def join_fn(threshold, implementation):
+    return jaccard_resemblance_join(
+        STRINGS, threshold=threshold, weights=None, implementation=implementation
+    )
+
+
+class TestSweepRunner:
+    def test_runs_grid(self):
+        runner = SweepRunner("jr", join_fn)
+        records = runner.run([0.5, 0.8], implementations=("basic", "inline"))
+        assert len(records) == 4
+        assert {r.implementation for r in records} == {"basic", "inline"}
+
+    def test_records_capture_metrics(self):
+        runner = SweepRunner("jr", join_fn)
+        (record,) = runner.run([0.5], implementations=("basic",))
+        assert record.threshold == 0.5
+        assert record.total_seconds > 0
+        assert record.result_pairs >= 1
+        assert record.prepared_rows > 0
+
+    def test_repeats_keep_fastest(self):
+        runner = SweepRunner("jr", join_fn)
+        (record,) = runner.run([0.5], implementations=("basic",), repeats=3)
+        assert record.total_seconds > 0
+
+    def test_by_implementation(self):
+        runner = SweepRunner("jr", join_fn)
+        runner.run([0.5, 0.8], implementations=("basic", "inline"))
+        assert len(runner.by_implementation("basic")) == 2
+
+    def test_validation(self):
+        runner = SweepRunner("jr", join_fn)
+        with pytest.raises(BenchmarkConfigError):
+            runner.run([], implementations=("basic",))
+        with pytest.raises(BenchmarkConfigError):
+            runner.run([0.5], repeats=0)
+
+    def test_time_call(self):
+        seconds, result = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0
+
+
+class TestReporting:
+    def _records(self):
+        runner = SweepRunner("jr", join_fn)
+        return runner.run([0.5, 0.8], implementations=("basic",))
+
+    def test_render_table_alignment(self):
+        out = render_table(["col", "n"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert lines[1].startswith("---")
+        assert len(lines) == 4
+
+    def test_render_phase_table(self):
+        out = render_phase_table(self._records(), title="Figure X")
+        assert "Figure X" in out
+        assert "threshold" in out
+        assert "0.50" in out and "0.80" in out
+
+    def test_render_series(self):
+        series = render_series(self._records(), value="result_pairs")
+        assert "basic" in series
+        points = series["basic"]
+        assert points[0][0] == 0.5 and points[1][0] == 0.8
+
+    def test_render_series_sorted_by_threshold(self):
+        runner = SweepRunner("jr", join_fn)
+        runner.run([0.8, 0.5], implementations=("basic",))
+        series = render_series(runner.records)
+        thresholds = [t for t, _ in series["basic"]]
+        assert thresholds == sorted(thresholds)
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[0.123456789]])
+        assert "0.1235" in out

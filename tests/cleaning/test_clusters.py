@@ -1,0 +1,110 @@
+"""Unit + property tests for duplicate clustering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.clusters import UnionFind, cluster_pairs, clusters_with_scores
+from repro.errors import ReproError
+from repro.joins.base import MatchPair
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        assert not uf.same("a", "b")
+        assert len(uf) == 2
+
+    def test_union_transitive(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.same("a", "c")
+
+    def test_find_registers_unknown(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert len(uf) == 1
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert len(uf.groups()) == 1
+
+    def test_groups_deterministic(self):
+        uf = UnionFind()
+        uf.union("z", "y")
+        uf.union("b", "a")
+        assert uf.groups() == [["a", "b"], ["y", "z"]]
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_components(self, edges):
+        uf = UnionFind()
+        for a, b in edges:
+            uf.union(a, b)
+        # Naive closure for comparison.
+        adjacency = {}
+        for a, b in edges:
+            adjacency.setdefault(a, set()).add(b)
+            adjacency.setdefault(b, set()).add(a)
+
+        def component(start):
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nxt in adjacency.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            return frozenset(seen)
+
+        expected = {component(n) for n in adjacency}
+        got = {frozenset(g) for g in uf.groups()}
+        assert got == expected
+
+
+class TestClusterPairs:
+    def test_basic(self):
+        assert cluster_pairs([("a", "b"), ("b", "c"), ("x", "y")]) == [
+            ["a", "b", "c"],
+            ["x", "y"],
+        ]
+
+    def test_min_size_filters_singletons(self):
+        out = cluster_pairs([("a", "b")], items=["a", "b", "lonely"], min_size=2)
+        assert out == [["a", "b"]]
+
+    def test_singletons_reported_when_requested(self):
+        out = cluster_pairs([("a", "b")], items=["a", "b", "lonely"], min_size=1)
+        assert ["lonely"] in out
+
+    def test_empty_input(self):
+        assert cluster_pairs([]) == []
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ReproError):
+            cluster_pairs([], min_size=0)
+
+
+class TestClustersWithScores:
+    def test_weak_bridges_dropped(self):
+        matches = [
+            MatchPair("a", "b", 0.95),
+            MatchPair("b", "c", 0.61),  # weak bridge
+            MatchPair("c", "d", 0.97),
+        ]
+        out = clusters_with_scores(matches, bridge_threshold=0.9)
+        assert out == [["a", "b"], ["c", "d"]]
+
+    def test_zero_threshold_keeps_everything(self):
+        matches = [MatchPair("a", "b", 0.1), MatchPair("b", "c", 0.2)]
+        assert clusters_with_scores(matches) == [["a", "b", "c"]]
+
+    def test_boundary_inclusive(self):
+        matches = [MatchPair("a", "b", 0.9)]
+        assert clusters_with_scores(matches, bridge_threshold=0.9) == [["a", "b"]]

@@ -1,0 +1,148 @@
+"""Multi-field record linkage vs a brute-force scoring oracle."""
+
+import pytest
+
+from repro.cleaning.records import FieldRule, record_linkage_join, _combined_score
+from repro.data.persons import PersonConfig, generate_persons
+from repro.errors import ReproError
+
+
+RULES = (
+    FieldRule("name", weight=2.0, similarity="edit"),
+    FieldRule("address", weight=1.5, similarity="jaccard"),
+    FieldRule("phone", weight=1.0, similarity="exact"),
+)
+
+
+def oracle(left, right, rules, threshold, key="id", self_join=False):
+    out = set()
+    for i, r1 in enumerate(left):
+        for j, r2 in enumerate(right):
+            if self_join and j <= i:
+                continue
+            if _combined_score(r1, r2, rules) + 1e-9 >= threshold:
+                a, b = r1[key], r2[key]
+                if self_join and repr(b) < repr(a):
+                    a, b = b, a
+                out.add((a, b))
+    return out
+
+
+@pytest.fixture
+def people():
+    return [
+        {"id": 1, "name": "ann smith", "address": "12 main st", "phone": "555"},
+        {"id": 2, "name": "ann smyth", "address": "12 main st", "phone": "555"},
+        {"id": 3, "name": "bob jones", "address": "9 oak ave", "phone": "777"},
+        {"id": 4, "name": "bob jones", "address": "9 oak avenue", "phone": "778"},
+        {"id": 5, "name": "zed quex", "address": "1 elm rd", "phone": "999"},
+    ]
+
+
+class TestFieldRule:
+    def test_named_similarities(self):
+        assert FieldRule("f", similarity="exact").fn()("a", "a") == 1.0
+        assert FieldRule("f", similarity="edit").fn()("ab", "ac") == 0.5
+
+    def test_callable_similarity(self):
+        rule = FieldRule("f", similarity=lambda a, b: 0.42)
+        assert rule.fn()("x", "y") == 0.42
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            FieldRule("f", similarity="quantum").fn()
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ReproError):
+            FieldRule("f", weight=0.0)
+
+
+class TestCombinedScore:
+    def test_weighted_average(self):
+        r1 = {"name": "ab", "phone": "1"}
+        r2 = {"name": "ab", "phone": "2"}
+        rules = (FieldRule("name", 3.0, "exact"), FieldRule("phone", 1.0, "exact"))
+        assert _combined_score(r1, r2, rules) == pytest.approx(0.75)
+
+    def test_missing_field_contributes_zero(self):
+        r1 = {"name": "ab"}
+        r2 = {"name": "ab", "phone": "2"}
+        rules = (FieldRule("name", 1.0, "exact"), FieldRule("phone", 1.0, "exact"))
+        assert _combined_score(r1, r2, rules) == pytest.approx(0.5)
+
+
+class TestRecordLinkage:
+    def test_matches_oracle_self_join(self, people):
+        res = record_linkage_join(people, rules=RULES, threshold=0.8,
+                                  exhaustive=True)
+        assert res.pair_set() == oracle(people, people, RULES, 0.8, self_join=True)
+        assert (1, 2) in res.pair_set()
+
+    def test_lower_threshold_finds_weaker_pair(self, people):
+        res = record_linkage_join(people, rules=RULES, threshold=0.6,
+                                  exhaustive=True)
+        assert (3, 4) in res.pair_set()
+
+    @pytest.mark.parametrize("threshold", [0.6, 0.75, 0.9])
+    def test_matches_oracle_across_thresholds(self, people, threshold):
+        res = record_linkage_join(people, rules=RULES, threshold=threshold,
+                                  exhaustive=True)
+        assert res.pair_set() == oracle(
+            people, people, RULES, threshold, self_join=True
+        )
+
+    def test_two_table_form(self, people):
+        left, right = people[:2], people[2:]
+        res = record_linkage_join(left, right, rules=RULES, threshold=0.5,
+                                  exhaustive=True)
+        assert res.pair_set() == oracle(left, right, RULES, 0.5)
+
+    def test_generated_persons_recovered(self):
+        data = generate_persons(PersonConfig(num_persons=50, seed=12,
+                                             disagreement_prob=0.1))
+        left = [dict(r, id=r["name"]) for r in data.table1]
+        right = [dict(r, id=r["name"]) for r in data.table2]
+        rules = (
+            FieldRule("address", weight=1.0, similarity="jaccard"),
+            FieldRule("email", weight=1.0, similarity="edit"),
+            FieldRule("phone", weight=1.0, similarity="exact"),
+        )
+        # threshold 0.6 tolerates one fully-disagreeing field of three
+        res = record_linkage_join(left, right, rules=rules, threshold=0.6)
+        truth = set(data.truth.items())
+        recall = len(truth & res.pair_set()) / len(truth)
+        assert recall > 0.9
+        # blocked result is a subset of the exhaustive one, which in turn
+        # must match the oracle exactly
+        full = record_linkage_join(left, right, rules=rules, threshold=0.6,
+                                   exhaustive=True)
+        assert res.pair_set() <= full.pair_set()
+        assert full.pair_set() == oracle(left, right, rules, 0.6)
+
+    def test_blocking_reduces_comparisons(self, people):
+        res = record_linkage_join(people, rules=RULES, threshold=0.8)
+        n = len(people)
+        assert res.metrics.similarity_comparisons < n * (n - 1) / 2 + 1
+
+    def test_explicit_block_field(self, people):
+        res = record_linkage_join(
+            people, rules=RULES, threshold=0.8, block_on="address"
+        )
+        # blocking on the shared-address field keeps the (1, 2) pair
+        assert (1, 2) in res.pair_set()
+        assert "address" in res.implementation
+
+    def test_scores_sorted_descending(self, people):
+        res = record_linkage_join(people, rules=RULES, threshold=0.5)
+        sims = [p.similarity for p in res.pairs]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_validation(self, people):
+        with pytest.raises(ReproError):
+            record_linkage_join(people, rules=(), threshold=0.8)
+        with pytest.raises(ReproError):
+            record_linkage_join(people, rules=RULES, threshold=0.0)
+        with pytest.raises(ReproError):
+            record_linkage_join(people, rules=RULES, block_on="nonexistent")
+        with pytest.raises(ReproError):
+            record_linkage_join(people + [dict(people[0])], rules=RULES)

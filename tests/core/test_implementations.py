@@ -1,0 +1,212 @@
+"""The central correctness property: every SSJoin physical implementation
+returns exactly the pairs a brute-force oracle returns, for every predicate
+shape the paper names, on randomized weighted-set families.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import basic_ssjoin
+from repro.core.inline import inline_ssjoin
+from repro.core.ordering import frequency_ordering, random_ordering
+from repro.core.predicate import (
+    AbsoluteBound,
+    LeftNormBound,
+    MaxNormBound,
+    OverlapPredicate,
+    RightNormBound,
+    SumNormBound,
+)
+from repro.core.prefix_filter import prefix_filtered_ssjoin
+from repro.core.prepared import PreparedRelation
+from repro.tokenize.sets import WeightedSet
+
+# A fixed global weight table over a small universe (Section 2's model).
+_WEIGHTS = {"a": 0.5, "b": 1.0, "c": 2.0, "d": 0.25, "e": 1.5, "f": 3.0, "g": 0.8}
+
+
+def oracle(left: PreparedRelation, right: PreparedRelation, predicate) -> set:
+    """Brute-force: evaluate the predicate on every group pair.
+
+    Only pairs with non-zero overlap are comparable to the equi-join based
+    implementations (see the degenerate-threshold note in predicate.py).
+    """
+    out = set()
+    for ar, s1 in left.groups.items():
+        for as_, s2 in right.groups.items():
+            overlap = s1.overlap(s2)
+            if overlap <= 0:
+                continue
+            if predicate.satisfied(overlap, left.norm(ar), right.norm(as_)):
+                out.add((ar, as_))
+    return out
+
+
+@st.composite
+def prepared_relations(draw, name):
+    n = draw(st.integers(min_value=0, max_value=6))
+    groups = {}
+    for i in range(n):
+        els = draw(st.sets(st.sampled_from("abcdefg"), min_size=0, max_size=7))
+        groups[f"{name}{i}"] = WeightedSet({e: _WEIGHTS[e] for e in els})
+    return PreparedRelation.from_sets(groups, name=name)
+
+
+@st.composite
+def predicates(draw):
+    kind = draw(st.sampled_from(["absolute", "one_left", "one_right", "two", "max", "sum"]))
+    if kind == "absolute":
+        return OverlapPredicate.absolute(draw(st.floats(min_value=0.1, max_value=6.0)))
+    fraction = draw(st.floats(min_value=0.05, max_value=1.0))
+    if kind == "one_left":
+        return OverlapPredicate([LeftNormBound(fraction)])
+    if kind == "one_right":
+        return OverlapPredicate([RightNormBound(fraction)])
+    if kind == "two":
+        return OverlapPredicate.two_sided(fraction)
+    if kind == "max":
+        offset = draw(st.floats(min_value=-3.0, max_value=0.0))
+        return OverlapPredicate([MaxNormBound(fraction, offset)])
+    offset = draw(st.floats(min_value=-3.0, max_value=0.0))
+    return OverlapPredicate([SumNormBound(fraction / 2, fraction / 2, offset)])
+
+
+class TestImplementationsMatchOracle:
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=200, deadline=None)
+    def test_basic_equals_oracle(self, left, right, predicate):
+        expected = oracle(left, right, predicate)
+        got = basic_ssjoin(left, right, predicate)
+        assert {(r[0], r[1]) for r in got.rows} == expected
+
+    @given(
+        prepared_relations("r"),
+        prepared_relations("s"),
+        predicates(),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_prefix_equals_oracle_under_any_ordering(self, left, right, predicate, seed):
+        expected = oracle(left, right, predicate)
+        ordering = random_ordering(seed, left, right)
+        got = prefix_filtered_ssjoin(left, right, predicate, ordering=ordering)
+        assert {(r[0], r[1]) for r in got.rows} == expected
+
+    @given(
+        prepared_relations("r"),
+        prepared_relations("s"),
+        predicates(),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_inline_equals_oracle_under_any_ordering(self, left, right, predicate, seed):
+        expected = oracle(left, right, predicate)
+        ordering = random_ordering(seed, left, right)
+        got = inline_ssjoin(left, right, predicate, ordering=ordering)
+        assert {(r[0], r[1]) for r in got.rows} == expected
+
+    @given(prepared_relations("r"), predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_self_join_consistency(self, rel, predicate):
+        """All three implementations agree on self-joins too."""
+        ordering = frequency_ordering(rel)
+        b = {(r[0], r[1]) for r in basic_ssjoin(rel, rel, predicate).rows}
+        p = {
+            (r[0], r[1])
+            for r in prefix_filtered_ssjoin(rel, rel, predicate, ordering=ordering).rows
+        }
+        i = {(r[0], r[1]) for r in inline_ssjoin(rel, rel, predicate, ordering=ordering).rows}
+        assert b == p == i
+
+
+class TestReportedOverlaps:
+    @given(prepared_relations("r"), prepared_relations("s"))
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_column_is_exact(self, left, right):
+        predicate = OverlapPredicate.absolute(0.1)
+        got = basic_ssjoin(left, right, predicate)
+        for a_r, a_s, overlap, norm_r, norm_s in got.rows:
+            true = left.group(a_r).overlap(right.group(a_s))
+            assert overlap == pytest.approx(true)
+            assert norm_r == pytest.approx(left.norm(a_r))
+            assert norm_s == pytest.approx(right.norm(a_s))
+
+    @given(prepared_relations("r"), prepared_relations("s"))
+    @settings(max_examples=100, deadline=None)
+    def test_all_implementations_report_same_overlaps(self, left, right):
+        predicate = OverlapPredicate.absolute(0.1)
+        ordering = frequency_ordering(left, right)
+
+        def as_map(rel):
+            return {(r[0], r[1]): r[2] for r in rel.rows}
+
+        b = as_map(basic_ssjoin(left, right, predicate))
+        p = as_map(prefix_filtered_ssjoin(left, right, predicate, ordering=ordering))
+        i = as_map(inline_ssjoin(left, right, predicate, ordering=ordering))
+        assert set(b) == set(p) == set(i)
+        for key, val in b.items():
+            assert p[key] == pytest.approx(val)
+            assert i[key] == pytest.approx(val)
+
+
+class TestPaperExamples:
+    def test_example_1_microsoft(self):
+        """Example 1: the 3-gram sets of 'Microsoft Corp' and 'Mcrosoft
+        Corp' overlap in >= 10 grams."""
+        from repro.core.prepared import NORM_LENGTH
+        from repro.tokenize.qgrams import qgrams
+
+        r = PreparedRelation.from_strings(
+            ["Microsoft Corp"], lambda s: qgrams(s, 3), norm=NORM_LENGTH
+        )
+        s = PreparedRelation.from_strings(
+            ["Mcrosoft Corp"], lambda t: qgrams(t, 3), norm=NORM_LENGTH
+        )
+        got = basic_ssjoin(r, s, OverlapPredicate.absolute(10.0))
+        assert {(row[0], row[1]) for row in got.rows} == {
+            ("Microsoft Corp", "Mcrosoft Corp")
+        }
+
+    def test_example_2_one_sided(self):
+        """Example 2: overlap 10 is more than 80% of 12 grams."""
+        from repro.core.prepared import NORM_CARDINALITY
+        from repro.tokenize.qgrams import qgrams
+
+        r = PreparedRelation.from_strings(
+            ["Microsoft Corp"], lambda s: qgrams(s, 3), norm=NORM_CARDINALITY
+        )
+        s = PreparedRelation.from_strings(
+            ["Mcrosoft Corp"], lambda t: qgrams(t, 3), norm=NORM_CARDINALITY
+        )
+        got = basic_ssjoin(r, s, OverlapPredicate.one_sided(0.8, side="left"))
+        assert len(got) == 1
+
+    def test_example_2_two_sided(self):
+        """Example 2: 10 is more than 80% of 12 and of 11."""
+        from repro.core.prepared import NORM_CARDINALITY
+        from repro.tokenize.qgrams import qgrams
+
+        r = PreparedRelation.from_strings(
+            ["Microsoft Corp"], lambda s: qgrams(s, 3), norm=NORM_CARDINALITY
+        )
+        s = PreparedRelation.from_strings(
+            ["Mcrosoft Corp"], lambda t: qgrams(t, 3), norm=NORM_CARDINALITY
+        )
+        got = basic_ssjoin(r, s, OverlapPredicate.two_sided(0.8))
+        assert len(got) == 1
+
+    def test_states_cities_motivating_example(self):
+        """Section 1's washington/wa example via co-occurring cities."""
+        pairs_r = [("washington", "seattle"), ("washington", "spokane"),
+                   ("washington", "tacoma"), ("wisconsin", "madison"),
+                   ("wisconsin", "milwaukee")]
+        pairs_s = [("wa", "seattle"), ("wa", "spokane"), ("wa", "tacoma"),
+                   ("wi", "madison"), ("wi", "milwaukee")]
+        r = PreparedRelation.from_pairs(pairs_r)
+        s = PreparedRelation.from_pairs(pairs_s)
+        got = basic_ssjoin(r, s, OverlapPredicate.one_sided(1.0, side="left"))
+        assert {(row[0], row[1]) for row in got.rows} == {
+            ("washington", "wa"),
+            ("wisconsin", "wi"),
+        }

@@ -1,0 +1,130 @@
+"""Incremental SSJoin must replay the batch self-join exactly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import basic_ssjoin
+from repro.core.incremental import IncrementalSSJoin
+from repro.core.metrics import ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.errors import ReproError
+from repro.tokenize.sets import WeightedSet
+from repro.tokenize.words import words
+
+from tests.core.test_implementations import predicates, prepared_relations
+
+
+def replay(prepared: PreparedRelation, predicate: OverlapPredicate):
+    """Feed the groups one by one; accumulate every directed pair."""
+    inc = IncrementalSSJoin(predicate)
+    gained = set()
+    for key in prepared.keys():
+        for left, right, _ in inc.add(
+            key, prepared.group(key), norm=prepared.norm(key)
+        ):
+            gained.add((left, right))
+    return gained
+
+
+def batch_pairs(prepared: PreparedRelation, predicate: OverlapPredicate):
+    rel = basic_ssjoin(prepared, prepared, predicate)
+    return {(r[0], r[1]) for r in rel.rows if r[0] != r[1]}
+
+
+class TestEquivalenceWithBatch:
+    @given(prepared_relations("r"), predicates())
+    @settings(max_examples=150, deadline=None)
+    def test_replay_equals_batch(self, prepared, predicate):
+        assert replay(prepared, predicate) == batch_pairs(prepared, predicate)
+
+    @given(prepared_relations("r"), predicates(), st.integers(0, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_arrival_order_irrelevant(self, prepared, predicate, seed):
+        import random
+
+        keys = list(prepared.keys())
+        random.Random(seed).shuffle(keys)
+        inc = IncrementalSSJoin(predicate)
+        gained = set()
+        for key in keys:
+            for left, right, _ in inc.add(
+                key, prepared.group(key), norm=prepared.norm(key)
+            ):
+                gained.add((left, right))
+        assert gained == batch_pairs(prepared, predicate)
+
+    def test_sample_seeded_ordering_still_exact(self):
+        values = [f"the tok{i} common" for i in range(20)] + ["the tok0 common x"]
+        prepared = PreparedRelation.from_strings(values, words)
+        predicate = OverlapPredicate.two_sided(0.7)
+        sample = PreparedRelation.from_strings(values[:5], words)
+        inc = IncrementalSSJoin.from_sample(predicate, sample)
+        gained = set()
+        for key in prepared.keys():
+            for left, right, _ in inc.add(key, prepared.group(key)):
+                gained.add((left, right))
+        assert gained == batch_pairs(prepared, predicate)
+
+
+class TestBehaviour:
+    def test_returns_exact_overlaps(self):
+        inc = IncrementalSSJoin(OverlapPredicate.absolute(1.0))
+        inc.add("a", WeightedSet({"x": 2.0, "y": 1.0}))
+        triples = inc.add("b", WeightedSet({"x": 2.0, "z": 1.0}))
+        assert {(l, r) for l, r, _ in triples} == {("a", "b"), ("b", "a")}
+        assert all(ov == pytest.approx(2.0) for _, _, ov in triples)
+
+    def test_asymmetric_directions_reported_independently(self):
+        # JC(small, big) = 1.0; JC(big, small) = 2/3: at theta 0.9 only one
+        # direction qualifies.
+        inc = IncrementalSSJoin(OverlapPredicate.one_sided(0.9, side="left"))
+        inc.add("big", WeightedSet({"x": 1.0, "y": 1.0, "z": 1.0}))
+        triples = inc.add("small", WeightedSet({"x": 1.0, "y": 1.0}))
+        assert [(l, r) for l, r, _ in triples] == [("small", "big")]
+
+    def test_duplicate_key_rejected(self):
+        inc = IncrementalSSJoin(OverlapPredicate.absolute(1.0))
+        inc.add("a", WeightedSet({"x": 1.0}))
+        with pytest.raises(ReproError):
+            inc.add("a", WeightedSet({"y": 1.0}))
+
+    def test_state_accessors(self):
+        inc = IncrementalSSJoin(OverlapPredicate.absolute(1.0))
+        inc.add("a", WeightedSet({"x": 1.0}))
+        assert len(inc) == 1
+        assert "a" in inc
+        assert inc.group("a").norm == 1.0
+        assert inc.keys() == ("a",)
+
+    def test_add_tokens_convenience(self):
+        inc = IncrementalSSJoin(OverlapPredicate.absolute(2.0))
+        inc.add_tokens("a", ["x", "y", "z"])
+        triples = inc.add_tokens("b", ["x", "y", "q"])
+        assert {(l, r) for l, r, _ in triples} == {("a", "b"), ("b", "a")}
+
+    def test_metrics_accumulate(self):
+        m = ExecutionMetrics()
+        inc = IncrementalSSJoin(OverlapPredicate.absolute(1.0), metrics=m)
+        inc.add("a", WeightedSet({"x": 1.0}))
+        inc.add("b", WeightedSet({"x": 1.0}))
+        assert m.output_pairs == 2  # both directions
+        assert m.similarity_comparisons >= 1
+
+    def test_streaming_dedupe_scenario(self):
+        """End-to-end: streaming addresses flag duplicates on arrival."""
+        from repro.data.customers import CustomerConfig, generate_addresses
+        from repro.tokenize.weights import build_weighted_set
+
+        rows = generate_addresses(CustomerConfig(num_rows=120, seed=71))
+        prepared = PreparedRelation.from_strings(rows, words)
+        predicate = OverlapPredicate.two_sided(0.8)
+
+        inc = IncrementalSSJoin.from_sample(predicate, prepared)
+        gained = set()
+        for key in prepared.keys():
+            for left, right, _ in inc.add(key, prepared.group(key)):
+                gained.add((left, right))
+        assert gained == batch_pairs(prepared, predicate)
+        assert len(gained) > 0

@@ -1,0 +1,57 @@
+"""Unit + property tests for the inline set encoding and its overlap UDF."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inline import encode_set, encoded_overlap
+from repro.tokenize.sets import WeightedSet
+
+_WEIGHTS = {"a": 0.5, "b": 1.0, "c": 2.0, "d": 0.25, "e": 1.5}
+
+
+@st.composite
+def sets_(draw):
+    els = draw(st.sets(st.sampled_from("abcde"), max_size=5))
+    return WeightedSet({e: _WEIGHTS[e] for e in els})
+
+
+class TestEncoding:
+    def test_empty_set(self):
+        assert encode_set(WeightedSet({})) == ""
+        assert encoded_overlap("", "") == 0.0
+
+    def test_deterministic(self):
+        a = WeightedSet({"b": 1.0, "a": 0.5})
+        b = WeightedSet({"a": 0.5, "b": 1.0})
+        assert encode_set(a) == encode_set(b)
+
+    def test_tuple_elements_roundtrip(self):
+        """Ordinal-encoded elements (token, n) must survive the encoding."""
+        a = WeightedSet({("the", 1): 1.0, ("the", 2): 1.0})
+        b = WeightedSet({("the", 1): 1.0, ("cat", 1): 1.0})
+        assert encoded_overlap(encode_set(a), encode_set(b)) == pytest.approx(1.0)
+
+    def test_cache_shared_across_calls(self):
+        a = encode_set(WeightedSet({"a": 0.5}))
+        b = encode_set(WeightedSet({"a": 0.5, "b": 1.0}))
+        cache = {}
+        encoded_overlap(a, b, cache)
+        assert len(cache) == 2
+        encoded_overlap(a, b, cache)
+        assert len(cache) == 2  # reused, not re-parsed
+
+
+class TestOverlapUDF:
+    @given(sets_(), sets_())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_weighted_set_overlap(self, s1, s2):
+        got = encoded_overlap(encode_set(s1), encode_set(s2))
+        assert got == pytest.approx(s1.overlap(s2))
+
+    def test_left_weights_win_on_asymmetric_sets(self):
+        """Out-of-model case used by the GES expansion: left's weights."""
+        left = WeightedSet({"x": 5.0})
+        right = WeightedSet({"x": 1.0})
+        assert encoded_overlap(encode_set(left), encode_set(right)) == pytest.approx(5.0)
+        assert encoded_overlap(encode_set(right), encode_set(left)) == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Unit tests for ExecutionMetrics."""
+
+import time
+
+from repro.core.metrics import (
+    PHASE_FILTER,
+    PHASE_PREP,
+    PHASE_SSJOIN,
+    ExecutionMetrics,
+)
+
+
+class TestPhases:
+    def test_phase_accumulates_time(self):
+        m = ExecutionMetrics()
+        with m.phase(PHASE_PREP):
+            time.sleep(0.002)
+        assert m.seconds(PHASE_PREP) > 0
+
+    def test_phase_reentry_adds(self):
+        m = ExecutionMetrics()
+        with m.phase(PHASE_PREP):
+            pass
+        first = m.seconds(PHASE_PREP)
+        with m.phase(PHASE_PREP):
+            time.sleep(0.002)
+        assert m.seconds(PHASE_PREP) > first
+
+    def test_phase_records_on_exception(self):
+        m = ExecutionMetrics()
+        try:
+            with m.phase(PHASE_SSJOIN):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert PHASE_SSJOIN in m.phase_seconds
+
+    def test_total_is_sum(self):
+        m = ExecutionMetrics()
+        m.phase_seconds = {PHASE_PREP: 1.0, PHASE_FILTER: 0.5}
+        assert m.total_seconds == 1.5
+
+    def test_unknown_phase_is_zero(self):
+        assert ExecutionMetrics().seconds("nope") == 0.0
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_times(self):
+        a = ExecutionMetrics()
+        a.candidate_pairs = 3
+        a.phase_seconds[PHASE_PREP] = 1.0
+        b = ExecutionMetrics()
+        b.candidate_pairs = 4
+        b.similarity_comparisons = 7
+        b.phase_seconds[PHASE_PREP] = 0.5
+        b.phase_seconds[PHASE_FILTER] = 2.0
+        a.merge(b)
+        assert a.candidate_pairs == 7
+        assert a.similarity_comparisons == 7
+        assert a.phase_seconds[PHASE_PREP] == 1.5
+        assert a.phase_seconds[PHASE_FILTER] == 2.0
+
+
+class TestSummary:
+    def test_summary_mentions_counts(self):
+        m = ExecutionMetrics()
+        m.implementation = "prefix"
+        m.candidate_pairs = 42
+        text = m.summary()
+        assert "prefix" in text
+        assert "candidates=42" in text

@@ -1,0 +1,142 @@
+"""Unit + property tests for element orderings and Lemma 1 prefixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ordering import (
+    frequency_ordering,
+    random_ordering,
+    reverse_frequency_ordering,
+    weight_ordering,
+)
+from repro.core.prefixes import prefix_elements, prefix_of_sorted, prefix_set
+from repro.core.prepared import PreparedRelation
+from repro.tokenize.sets import WeightedSet
+from repro.tokenize.weights import IDFWeights
+from repro.tokenize.words import words
+
+
+@pytest.fixture
+def prepared():
+    return PreparedRelation.from_strings(
+        ["the cat", "the dog", "the fox", "rare token"], words
+    )
+
+
+class TestOrderings:
+    def test_frequency_puts_rare_first(self, prepared):
+        o = frequency_ordering(prepared)
+        assert o.key(("rare", 1)) < o.key(("the", 1))
+
+    def test_reverse_frequency_puts_common_first(self, prepared):
+        o = reverse_frequency_ordering(prepared)
+        assert o.key(("the", 1)) < o.key(("rare", 1))
+
+    def test_unseen_elements_sort_last_deterministically(self, prepared):
+        o = frequency_ordering(prepared)
+        assert o.key(("zzz", 1)) > o.key(("the", 1))
+        assert o.key(("aaa", 1)) < o.key(("zzz", 1))  # repr tiebreak
+
+    def test_weight_ordering_matches_frequency_under_idf(self, prepared):
+        idf = IDFWeights.fit([words(v) for v in ("the cat", "the dog", "the fox", "rare token")])
+        wo = weight_ordering(idf, prepared)
+        fo = frequency_ordering(prepared)
+        # Rarest-first in both: 'cat' (freq 1) before 'the' (freq 3).
+        assert wo.key(("cat", 1)) < wo.key(("the", 1))
+        assert fo.key(("cat", 1)) < fo.key(("the", 1))
+
+    def test_random_ordering_is_seeded(self, prepared):
+        a = random_ordering(1, prepared)
+        b = random_ordering(1, prepared)
+        c = random_ordering(2, prepared)
+        elements = list(prepared.element_frequencies())
+        assert [a.key(e) for e in elements] == [b.key(e) for e in elements]
+        assert [a.key(e) for e in elements] != [c.key(e) for e in elements]
+
+    def test_rank_table_materializes(self, prepared):
+        table = frequency_ordering(prepared).rank_table()
+        assert len(table) == len(prepared.element_frequencies())
+
+    def test_repr(self, prepared):
+        assert "increasing-frequency" in repr(frequency_ordering(prepared))
+
+
+class TestPrefixOfSorted:
+    def test_stops_when_weight_exceeds_beta(self):
+        items = [("a", 1.0), ("b", 1.0), ("c", 1.0)]
+        assert prefix_of_sorted(items, 1.5) == ["a", "b"]
+
+    def test_beta_zero_keeps_one(self):
+        items = [("a", 1.0), ("b", 1.0)]
+        assert prefix_of_sorted(items, 0.0) == ["a"]
+
+    def test_negative_beta_prunes_group(self):
+        assert prefix_of_sorted([("a", 1.0)], -0.1) == []
+
+    def test_beta_at_least_norm_keeps_all(self):
+        items = [("a", 1.0), ("b", 1.0)]
+        assert prefix_of_sorted(items, 2.0) == ["a", "b"]
+
+    def test_empty_set(self):
+        assert prefix_of_sorted([], 0.0) == []
+
+
+_WEIGHTS = {"a": 0.5, "b": 1.0, "c": 2.0, "d": 0.25, "e": 1.5, "f": 3.0}
+
+
+@st.composite
+def unit_universe_sets(draw):
+    els = draw(st.sets(st.sampled_from("abcdef"), min_size=0, max_size=6))
+    return WeightedSet({e: _WEIGHTS[e] for e in els})
+
+
+class TestLemma1:
+    """Property: Lemma 1 — overlapping sets have intersecting prefixes."""
+
+    @given(
+        unit_universe_sets(),
+        unit_universe_sets(),
+        st.floats(min_value=0.01, max_value=8.0, allow_nan=False),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_prefixes_intersect_when_overlap_reaches_alpha(self, s1, s2, alpha, seed):
+        prepared = PreparedRelation.from_sets({"s1": s1, "s2": s2})
+        ordering = random_ordering(seed, prepared)
+        if s1.overlap(s2) >= alpha:
+            p1 = set(prefix_elements(s1, ordering, s1.norm - alpha))
+            p2 = set(prefix_elements(s2, ordering, s2.norm - alpha))
+            assert p1 & p2, (
+                f"Lemma 1 violated: overlap={s1.overlap(s2)} >= alpha={alpha} "
+                f"but prefixes {p1} and {p2} are disjoint"
+            )
+
+    @given(unit_universe_sets(), st.floats(min_value=-1.0, max_value=9.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_is_a_prefix_under_ordering(self, s, beta):
+        prepared = PreparedRelation.from_sets({"s": s})
+        ordering = frequency_ordering(prepared)
+        kept = prefix_elements(s, ordering, beta)
+        ordered = s.sorted_elements(ordering.key)
+        assert kept == ordered[: len(kept)]
+
+    @given(unit_universe_sets(), st.floats(min_value=0.0, max_value=9.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_weight_minimality(self, s, beta):
+        """The prefix is the SHORTEST one whose weight exceeds beta."""
+        prepared = PreparedRelation.from_sets({"s": s})
+        ordering = frequency_ordering(prepared)
+        kept = prefix_elements(s, ordering, beta)
+        weight = sum(s.weight(e) for e in kept)
+        if weight > beta and kept:
+            shorter = sum(s.weight(e) for e in kept[:-1])
+            assert shorter <= beta
+
+    def test_prefix_set_returns_weighted_set(self):
+        s = WeightedSet({"a": 1.0, "b": 2.0})
+        prepared = PreparedRelation.from_sets({"s": s})
+        ordering = frequency_ordering(prepared)
+        out = prefix_set(s, ordering, 0.5)
+        assert isinstance(out, WeightedSet)
+        assert len(out) >= 1

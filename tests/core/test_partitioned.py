@@ -1,0 +1,108 @@
+"""The partitioned SSJoin must equal the unpartitioned result."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import basic_ssjoin
+from repro.core.metrics import ExecutionMetrics
+from repro.core.partitioned import (
+    PartitionedResult,
+    partition_by_set_size,
+    partitioned_ssjoin,
+)
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.errors import PlanError
+from repro.tokenize.words import words
+
+from tests.core.test_implementations import oracle, predicates, prepared_relations
+
+
+class TestPartitionBySetSize:
+    def test_partitions_cover_all_groups(self):
+        p = PreparedRelation.from_strings(["a", "a b", "a b c", "a b c d"], words)
+        parts = partition_by_set_size(p)
+        merged = set(parts["small"].groups) | set(parts["large"].groups)
+        assert merged == set(p.groups)
+        assert not set(parts["small"].groups) & set(parts["large"].groups)
+
+    def test_norms_preserved(self):
+        p = PreparedRelation.from_strings(["a b c"], words, norm="length")
+        parts = partition_by_set_size(p, boundary=10)
+        assert parts["small"].norm("a b c") == 5.0
+
+    def test_explicit_boundary(self):
+        p = PreparedRelation.from_strings(["a", "a b c d e"], words)
+        parts = partition_by_set_size(p, boundary=1)
+        assert set(parts["small"].groups) == {"a"}
+        assert set(parts["large"].groups) == {"a b c d e"}
+
+    def test_empty_relation(self):
+        parts = partition_by_set_size(PreparedRelation.from_sets({}))
+        assert parts["small"].num_groups == 0
+
+
+class TestPartitionedJoin:
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_equals_oracle(self, left, right, predicate):
+        expected = oracle(left, right, predicate)
+        got = partitioned_ssjoin(left, right, predicate)
+        assert got.pair_set() == expected
+
+    def test_equals_basic_on_mixed_sizes(self):
+        values = ["a", "a b", "the a b c d e f", "the a b c d e g", "the x"]
+        p = PreparedRelation.from_strings(values, words)
+        pred = OverlapPredicate.two_sided(0.5)
+        got = partitioned_ssjoin(p, p, pred)
+        expected = basic_ssjoin(p, p, pred)
+        assert got.pair_set() == {(r[0], r[1]) for r in expected.rows}
+
+    def test_choices_recorded(self):
+        values = [f"tok{i} the" for i in range(10)] + ["a b c d e f g h i j"]
+        p = PreparedRelation.from_strings(values, words)
+        result = partitioned_ssjoin(p, p, OverlapPredicate.two_sided(0.8))
+        assert set(result.choices) == {"small", "large"}
+        assert all(
+            c in ("basic", "prefix", "inline", "probe", "(empty)")
+            for c in result.choices.values()
+        )
+        assert "choices=" in repr(result)
+
+    def test_custom_partition_function(self):
+        p = PreparedRelation.from_strings(["aa x", "bb x"], words)
+
+        def by_first_letter(prepared):
+            return {
+                "a": PreparedRelation.from_sets(
+                    {k: v for k, v in prepared.groups.items() if k.startswith("a")}
+                ),
+                "b": PreparedRelation.from_sets(
+                    {k: v for k, v in prepared.groups.items() if k.startswith("b")}
+                ),
+            }
+
+        result = partitioned_ssjoin(
+            p, p, OverlapPredicate.absolute(1.0), partition=by_first_letter
+        )
+        # Every left group still joins against the full right side.
+        assert ("aa x", "bb x") in result.pair_set()
+        assert ("bb x", "aa x") in result.pair_set()
+
+    def test_empty_partition_function_rejected(self):
+        p = PreparedRelation.from_strings(["a"], words)
+        with pytest.raises(PlanError):
+            partitioned_ssjoin(
+                p, p, OverlapPredicate.absolute(1.0), partition=lambda _: {}
+            )
+
+    def test_metrics_accumulate_across_partitions(self):
+        values = ["a b", "a c", "long one two three four five"]
+        p = PreparedRelation.from_strings(values, words)
+        m = ExecutionMetrics()
+        partitioned_ssjoin(p, p, OverlapPredicate.absolute(1.0), metrics=m)
+        assert m.prepared_rows > 0
+        assert m.output_pairs == len(
+            partitioned_ssjoin(p, p, OverlapPredicate.absolute(1.0)).pairs
+        )

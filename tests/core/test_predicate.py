@@ -1,0 +1,122 @@
+"""Unit + property tests for the overlap predicate language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicate import (
+    AbsoluteBound,
+    LeftNormBound,
+    MaxNormBound,
+    OverlapPredicate,
+    RightNormBound,
+    SumNormBound,
+)
+from repro.errors import PredicateError
+
+norms = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestBounds:
+    def test_absolute(self):
+        b = AbsoluteBound(5.0)
+        assert b.value(1, 99) == 5.0
+        assert b.lower_bound_left(1) == 5.0
+        assert b.lower_bound_right(99) == 5.0
+
+    def test_absolute_rejects_non_positive(self):
+        with pytest.raises(PredicateError):
+            AbsoluteBound(0.0)
+
+    def test_left_norm(self):
+        b = LeftNormBound(0.8)
+        assert b.value(10, 99) == pytest.approx(8.0)
+        assert b.lower_bound_left(10) == pytest.approx(8.0)
+        assert b.lower_bound_right(99) == 0.0  # knows nothing of the left
+
+    def test_right_norm(self):
+        b = RightNormBound(0.8, offset=1.0)
+        assert b.value(99, 10) == pytest.approx(9.0)
+        assert b.lower_bound_right(10) == pytest.approx(9.0)
+        assert b.lower_bound_left(99) == 1.0
+
+    def test_max_norm_edit_reduction(self):
+        # Property 4 at q=3, eps=1: Overlap >= max - 2 - 3.
+        b = MaxNormBound(1.0, offset=float(1 - 3 - 1 * 3))
+        assert b.value(14, 13) == pytest.approx(14 - 5)
+
+    def test_sum_norm_hamming_reduction(self):
+        b = SumNormBound(0.5, 0.5, -1.0)
+        assert b.value(4, 6) == pytest.approx(4.0)
+
+    def test_negative_fractions_rejected(self):
+        with pytest.raises(PredicateError):
+            LeftNormBound(-0.1)
+        with pytest.raises(PredicateError):
+            MaxNormBound(-1.0)
+        with pytest.raises(PredicateError):
+            SumNormBound(-0.5, 0.5)
+
+    @given(norms, norms)
+    @settings(max_examples=100, deadline=None)
+    def test_lower_bounds_are_sound(self, l, r):
+        """lower_bound_left(l) <= value(l, r) for every bound type."""
+        bounds = [
+            AbsoluteBound(3.0),
+            LeftNormBound(0.7, 0.5),
+            RightNormBound(0.7, 0.5),
+            MaxNormBound(0.9, -2.0),
+            SumNormBound(0.4, 0.6, -1.0),
+        ]
+        for b in bounds:
+            assert b.lower_bound_left(l) <= b.value(l, r) + 1e-9
+            assert b.lower_bound_right(r) <= b.value(l, r) + 1e-9
+
+
+class TestOverlapPredicate:
+    def test_requires_bounds(self):
+        with pytest.raises(PredicateError):
+            OverlapPredicate([])
+
+    def test_rejects_non_bounds(self):
+        with pytest.raises(PredicateError):
+            OverlapPredicate(["not a bound"])
+
+    def test_threshold_is_max_of_conjuncts(self):
+        p = OverlapPredicate([LeftNormBound(0.5), RightNormBound(0.5)])
+        assert p.threshold(10, 20) == pytest.approx(10.0)
+
+    def test_satisfied(self):
+        p = OverlapPredicate.two_sided(0.5)
+        assert p.satisfied(10.0, 10, 20)
+        assert not p.satisfied(9.0, 10, 20)
+
+    def test_satisfied_tolerates_float_noise(self):
+        p = OverlapPredicate.absolute(3.0)
+        assert p.satisfied(3.0 - 1e-12, 0, 0)
+
+    def test_filter_thresholds(self):
+        p = OverlapPredicate.two_sided(0.8)
+        assert p.left_filter_threshold(10) == pytest.approx(8.0)
+        assert p.right_filter_threshold(5) == pytest.approx(4.0)
+
+    def test_one_sided_constructor(self):
+        p = OverlapPredicate.one_sided(0.8, side="right")
+        assert p.threshold(1, 10) == pytest.approx(8.0)
+        with pytest.raises(PredicateError):
+            OverlapPredicate.one_sided(0.8, side="middle")
+
+    def test_max_norm_constructor(self):
+        p = OverlapPredicate.max_norm(1.0, offset=-5.0)
+        assert p.threshold(12, 9) == pytest.approx(7.0)
+
+    def test_repr_mentions_every_conjunct(self):
+        p = OverlapPredicate.two_sided(0.8)
+        assert "R.norm" in repr(p) and "S.norm" in repr(p)
+
+    @given(norms, norms, st.floats(min_value=0, max_value=50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_satisfied_iff_every_conjunct_holds(self, l, r, overlap):
+        p = OverlapPredicate([AbsoluteBound(2.0), LeftNormBound(0.5)])
+        expected = all(overlap + 1e-9 >= b.value(l, r) for b in p.bounds)
+        assert p.satisfied(overlap, l, r) == expected

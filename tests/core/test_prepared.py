@@ -1,0 +1,108 @@
+"""Unit tests for PreparedRelation (the normalized set representation)."""
+
+import pytest
+
+from repro.core.prepared import (
+    NORM_CARDINALITY,
+    NORM_LENGTH,
+    NORM_WEIGHT,
+    PreparedRelation,
+)
+from repro.errors import ReproError
+from repro.tokenize.qgrams import qgrams
+from repro.tokenize.sets import WeightedSet
+from repro.tokenize.weights import TableWeights
+from repro.tokenize.words import words
+
+
+class TestFromStrings:
+    def test_figure1_shape(self):
+        """Figure 1: 'microsoft corp' with its 3-grams, norm = length 14."""
+        p = PreparedRelation.from_strings(
+            ["microsoft corp"], lambda s: qgrams(s, 3), norm=NORM_LENGTH
+        )
+        assert p.num_groups == 1
+        assert p.norm("microsoft corp") == 14.0
+        assert p.num_elements == 12  # 14 - 3 + 1
+
+    def test_duplicates_collapse(self):
+        p = PreparedRelation.from_strings(["a b", "a b"], words)
+        assert p.num_groups == 1
+
+    def test_norm_kinds(self):
+        weights = TableWeights({"a": 2.0, "bb": 3.0})
+        for kind, expected in [
+            (NORM_WEIGHT, 5.0),
+            (NORM_CARDINALITY, 2.0),
+            (NORM_LENGTH, 4.0),
+        ]:
+            p = PreparedRelation.from_strings(["a bb"], words, weights=weights, norm=kind)
+            assert p.norm("a bb") == expected
+
+    def test_unknown_norm_kind(self):
+        with pytest.raises(ReproError):
+            PreparedRelation.from_strings(["x"], words, norm="bogus")
+
+    def test_multiset_elements_are_ordinal_pairs(self):
+        p = PreparedRelation.from_strings(["the the"], words)
+        assert ("the", 1) in p.group("the the")
+        assert ("the", 2) in p.group("the the")
+
+
+class TestFromPairs:
+    def test_groups_by_first_component(self):
+        p = PreparedRelation.from_pairs([("x", "p1"), ("x", "p2"), ("y", "p1")])
+        assert p.num_groups == 2
+        assert len(p.group("x")) == 2
+
+    def test_duplicate_pairs_ordinal_encoded(self):
+        p = PreparedRelation.from_pairs([("x", "p"), ("x", "p")])
+        assert ("p", 2) in p.group("x")
+
+
+class TestFromSets:
+    def test_wraps_directly(self):
+        s = WeightedSet({"e": 2.0})
+        p = PreparedRelation.from_sets({"k": s})
+        assert p.group("k") is s
+        assert p.norm("k") == 2.0
+
+    def test_explicit_norms(self):
+        p = PreparedRelation.from_sets({"k": WeightedSet({"e": 2.0})}, norms={"k": 9.0})
+        assert p.norm("k") == 9.0
+
+    def test_missing_norms_rejected(self):
+        with pytest.raises(ReproError):
+            PreparedRelation.from_sets(
+                {"k": WeightedSet({"e": 1.0})}, norms={"other": 1.0}
+            )
+
+
+class TestRelationView:
+    def test_schema_and_rows(self):
+        p = PreparedRelation.from_strings(["a b"], words, name="T")
+        rel = p.relation
+        assert rel.column_names == ("a", "b", "w", "norm")
+        assert rel.num_rows == 2
+        assert rel.name == "T"
+
+    def test_cached(self):
+        p = PreparedRelation.from_strings(["a"], words)
+        assert p.relation is p.relation
+
+    def test_norm_repeated_per_element(self):
+        p = PreparedRelation.from_strings(["a b c"], words)
+        assert set(p.relation.column_values("norm")) == {3.0}
+
+
+class TestFrequencies:
+    def test_element_frequencies_count_groups(self):
+        p = PreparedRelation.from_strings(["a b", "a c"], words)
+        freq = p.element_frequencies()
+        assert freq[("a", 1)] == 2
+        assert freq[("b", 1)] == 1
+
+    def test_len_and_repr(self):
+        p = PreparedRelation.from_strings(["a b", "c"], words, name="P")
+        assert len(p) == 2
+        assert "P" in repr(p)

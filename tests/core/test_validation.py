@@ -1,0 +1,110 @@
+"""Tests for the result-verification debugging tools."""
+
+import pytest
+
+from repro.core.basic import RESULT_SCHEMA, basic_ssjoin
+from repro.core.ordering import frequency_ordering
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.core.validation import explain_pair, verify_result
+from repro.relational.relation import Relation
+from repro.tokenize.words import words
+
+
+@pytest.fixture
+def operands():
+    left = PreparedRelation.from_strings(["a b c", "x y", "p q r"], words)
+    right = PreparedRelation.from_strings(["a b d", "x y z", "unrelated"], words)
+    return left, right
+
+
+class TestVerifyResult:
+    def test_correct_result_passes(self, operands):
+        left, right = operands
+        pred = OverlapPredicate.absolute(2.0)
+        result = basic_ssjoin(left, right, pred)
+        report = verify_result(left, right, pred, result)
+        assert report.ok
+        assert report.expected_pairs == len(result)
+        assert report.summary().startswith("OK")
+
+    def test_missing_pair_detected(self, operands):
+        left, right = operands
+        pred = OverlapPredicate.absolute(2.0)
+        result = basic_ssjoin(left, right, pred)
+        truncated = Relation(result.schema, result.rows[1:])
+        report = verify_result(left, right, pred, truncated)
+        assert not report.ok
+        assert len(report.missing) == 1
+        assert "false dismissals" in report.summary()
+
+    def test_spurious_pair_detected(self, operands):
+        left, right = operands
+        pred = OverlapPredicate.absolute(2.0)
+        result = basic_ssjoin(left, right, pred)
+        padded = Relation(
+            result.schema, result.rows + (("p q r", "unrelated", 2.0, 3.0, 1.0),)
+        )
+        report = verify_result(left, right, pred, padded)
+        assert report.spurious == {("p q r", "unrelated")}
+
+    def test_wrong_overlap_detected(self, operands):
+        left, right = operands
+        pred = OverlapPredicate.absolute(2.0)
+        result = basic_ssjoin(left, right, pred)
+        row = list(result.rows[0])
+        row[2] += 0.5  # corrupt the overlap
+        broken = Relation(result.schema, [tuple(row)] + list(result.rows[1:]))
+        report = verify_result(left, right, pred, broken)
+        assert len(report.wrong_overlap) == 1
+        ((reported, true),) = report.wrong_overlap.values()
+        assert reported == pytest.approx(true + 0.5)
+
+    def test_empty_result_on_empty_inputs(self):
+        empty = PreparedRelation.from_sets({})
+        report = verify_result(
+            empty, empty, OverlapPredicate.absolute(1.0),
+            Relation(RESULT_SCHEMA, ()),
+        )
+        assert report.ok
+        assert report.expected_pairs == 0
+
+
+class TestExplainPair:
+    def test_accepting_pair(self, operands):
+        left, right = operands
+        text = explain_pair(
+            left, right, OverlapPredicate.absolute(2.0), "a b c", "a b d"
+        )
+        assert "ACCEPT" in text
+        assert "overlap: 2" in text
+
+    def test_rejecting_pair(self, operands):
+        left, right = operands
+        text = explain_pair(
+            left, right, OverlapPredicate.absolute(3.0), "a b c", "a b d"
+        )
+        assert "REJECT" in text
+
+    def test_zero_overlap_note(self, operands):
+        left, right = operands
+        text = explain_pair(
+            left, right, OverlapPredicate.absolute(1.0), "p q r", "unrelated"
+        )
+        assert "no equi-join plan" in text
+
+    def test_prefix_diagnostics(self, operands):
+        left, right = operands
+        ordering = frequency_ordering(left, right)
+        text = explain_pair(
+            left, right, OverlapPredicate.absolute(2.0), "a b c", "a b d",
+            ordering=ordering,
+        )
+        assert "prefixes:" in text
+        assert "intersect=yes" in text
+
+    def test_conjuncts_listed(self, operands):
+        left, right = operands
+        pred = OverlapPredicate.two_sided(0.5)
+        text = explain_pair(left, right, pred, "a b c", "a b d")
+        assert text.count("conjunct") == 2

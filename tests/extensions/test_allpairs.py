@@ -1,0 +1,92 @@
+"""All-Pairs vs a brute-force binary-cosine oracle."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import ExecutionMetrics
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.errors import PredicateError
+from repro.extensions.allpairs import allpairs, allpairs_strings
+from repro.joins.cosine_join import cosine_join
+from repro.tokenize.words import word_set
+
+
+def binary_cosine(a, b) -> float:
+    sa, sb = set(a), set(b)
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / math.sqrt(len(sa) * len(sb))
+
+
+def oracle_triples(records, threshold):
+    out = set()
+    for i in range(len(records)):
+        for j in range(i + 1, len(records)):
+            if binary_cosine(records[i], records[j]) + 1e-9 >= threshold:
+                out.add((i, j))
+    return out
+
+
+class TestAllPairsCore:
+    @pytest.mark.parametrize("threshold", [0.4, 0.6, 0.8, 0.95, 1.0])
+    def test_handcrafted(self, threshold):
+        records = [
+            ["a", "b", "c", "d"],
+            ["a", "b", "c", "e"],
+            ["a", "b"],
+            ["x", "y", "z"],
+            ["x", "y"],
+            ["solo"],
+        ]
+        got = {(i, j) for i, j, _ in allpairs(records, threshold)}
+        assert got == oracle_triples(records, threshold)
+
+    def test_reported_cosine_exact(self):
+        records = [["a", "b", "c", "d"], ["a", "b", "c", "e"]]
+        ((i, j, cosine),) = allpairs(records, 0.5)
+        assert cosine == pytest.approx(3 / 4)
+
+    def test_empty_records_never_match(self):
+        assert allpairs([[], ["a"], []], 0.5) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(PredicateError):
+            allpairs([["a"]], 1.5)
+
+    @given(
+        st.lists(st.lists(st.sampled_from("abcdefgh"), max_size=8), max_size=10),
+        st.sampled_from([0.3, 0.5, 0.7, 0.9, 1.0]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_oracle_property(self, records, threshold):
+        got = {(i, j) for i, j, _ in allpairs(records, threshold)}
+        assert got == oracle_triples(records, threshold)
+
+    def test_metrics(self):
+        m = ExecutionMetrics()
+        allpairs([["a", "b"], ["a", "c"]], 0.5, metrics=m)
+        assert m.implementation == "allpairs"
+        assert m.similarity_comparisons >= m.result_pairs
+
+
+class TestAllPairsStrings:
+    def test_agrees_with_cosine_join_on_addresses(self):
+        """All-Pairs and the SSJoin-based cosine join must find the same
+        unordered pairs (both are exact for unweighted binary cosine)."""
+        rows = generate_addresses(CustomerConfig(num_rows=120, seed=61))
+        ap = allpairs_strings(rows, threshold=0.8)
+        ssjoin_based = cosine_join(rows, threshold=0.8, weights=None)
+        assert ap.pair_set() == ssjoin_based.pair_set()
+
+    def test_duplicate_strings_collapse(self):
+        res = allpairs_strings(["a b", "a b", "a c"], threshold=0.4)
+        assert res.pair_set() == {("a b", "a c")}
+
+    def test_prefix_indexing_prunes(self):
+        rows = generate_addresses(CustomerConfig(num_rows=150, seed=67))
+        m = ExecutionMetrics()
+        allpairs_strings(rows, threshold=0.85, metrics=m)
+        assert m.similarity_comparisons < len(rows) ** 2 / 10

@@ -1,0 +1,72 @@
+"""Cosine join vs a binary-vector oracle."""
+
+import math
+
+import pytest
+
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.errors import PredicateError
+from repro.joins.cosine_join import cosine_join
+from repro.joins.direct import direct_join
+from repro.sim.cosine import cosine_vectors
+from repro.tokenize.weights import IDFWeights, UnitWeights, WeightTable
+from repro.tokenize.words import word_set, words
+
+STRINGS = [
+    "microsoft corp redmond wa",
+    "microsoft corp redmond",
+    "microsoft corporation redmond wa",
+    "oracle corp redwood ca",
+    "oracle corp redwood shores ca",
+    "solo",
+]
+
+
+def binary_cosine(a: str, b: str, table: WeightTable = UnitWeights()) -> float:
+    """Oracle: cosine of binary (distinct-token) weighted vectors."""
+    u = {t: table.weight(t) for t in word_set(a)}
+    v = {t: table.weight(t) for t in word_set(b)}
+    return cosine_vectors(u, v)
+
+
+class TestCosineJoin:
+    @pytest.mark.parametrize("threshold", [0.5, 0.7, 0.85, 0.95])
+    @pytest.mark.parametrize("implementation", ["basic", "prefix", "inline", "probe"])
+    def test_matches_oracle_unweighted(self, threshold, implementation):
+        res = cosine_join(STRINGS, threshold=threshold, weights=None,
+                          implementation=implementation)
+        oracle = direct_join(STRINGS, similarity=binary_cosine, threshold=threshold)
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_matches_oracle_idf(self):
+        table = IDFWeights.fit([words(v) for v in STRINGS] * 2)
+        res = cosine_join(STRINGS, threshold=0.7, weights=table)
+        oracle = direct_join(
+            STRINGS,
+            similarity=lambda a, b: binary_cosine(a, b, table),
+            threshold=0.7,
+        )
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_matches_oracle_on_generated_addresses(self):
+        rows = generate_addresses(CustomerConfig(num_rows=120, seed=19))
+        res = cosine_join(rows, threshold=0.8, weights=None)
+        oracle = direct_join(rows, similarity=binary_cosine, threshold=0.8)
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_known_value(self):
+        # |{a,b,c} ∩ {a,b,d}| / sqrt(3*3) = 2/3
+        res = cosine_join(["a b c", "a b d"], threshold=0.6, weights=None)
+        assert res.pairs[0].similarity == pytest.approx(2 / 3)
+
+    def test_two_relation(self):
+        res = cosine_join(["a b"], ["a b c", "x"], threshold=0.8, weights=None)
+        assert res.pair_set() == {("a b", "a b c")}
+
+    def test_identical_strings_cosine_one(self):
+        res = cosine_join(["a b", "b a"], threshold=0.99, weights=None)
+        assert res.pairs[0].similarity == pytest.approx(1.0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(PredicateError):
+            cosine_join(STRINGS, threshold=0.0)

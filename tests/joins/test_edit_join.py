@@ -1,0 +1,108 @@
+"""Edit joins vs the brute-force oracle, on handcrafted and generated data."""
+
+import pytest
+
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.errors import PredicateError
+from repro.joins.direct import direct_join
+from repro.joins.edit_join import edit_distance_join, edit_similarity_join
+from repro.sim.edit import edit_distance, edit_similarity
+
+NAMES = [
+    "microsoft corporation",
+    "microsoft corp",
+    "mcrosoft corp",
+    "oracle corp",
+    "oracle corporation",
+    "ibm",
+    "ibn",
+    "x",
+    "xy",
+    "intl business machines",
+]
+
+
+class TestEditSimilarityJoin:
+    @pytest.mark.parametrize("threshold", [0.7, 0.8, 0.85, 0.9, 0.95])
+    @pytest.mark.parametrize("implementation", ["basic", "prefix", "inline", "probe"])
+    def test_matches_oracle_self_join(self, threshold, implementation):
+        res = edit_similarity_join(NAMES, threshold=threshold, implementation=implementation)
+        oracle = direct_join(NAMES, similarity=edit_similarity, threshold=threshold)
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_matches_oracle_two_relations(self):
+        left = NAMES[:5]
+        right = NAMES[3:]
+        res = edit_similarity_join(left, right, threshold=0.8)
+        oracle = direct_join(left, right, similarity=edit_similarity, threshold=0.8,
+                             symmetric=False)
+        # oracle drops identity pairs only on self-joins; R-S joins keep them
+        expected = {
+            (a, b)
+            for a in dict.fromkeys(left)
+            for b in dict.fromkeys(right)
+            if edit_similarity(a, b) >= 0.8
+        }
+        assert res.pair_set() == expected
+
+    def test_generated_addresses_match_oracle(self):
+        rows = generate_addresses(CustomerConfig(num_rows=120, seed=11))
+        res = edit_similarity_join(rows, threshold=0.85)
+        oracle = direct_join(rows, similarity=edit_similarity, threshold=0.85)
+        assert res.pair_set() == oracle.pair_set()
+        assert len(res) > 0  # planted duplicates must surface
+
+    def test_short_strings_handled(self):
+        """Degenerate pairs (threshold bound non-positive, possibly no
+        shared q-gram) must still appear via the short-string path."""
+        values = ["ab", "abc", "abcdefgh"]
+        res = edit_similarity_join(values, threshold=0.6, q=2)
+        oracle = direct_join(values, similarity=edit_similarity, threshold=0.6)
+        assert res.pair_set() == oracle.pair_set()
+        assert ("ab", "abc") in res.pair_set()
+
+    def test_threshold_too_low_for_q_rejected(self):
+        with pytest.raises(PredicateError):
+            edit_similarity_join(NAMES, threshold=0.5, q=3)
+
+    def test_threshold_out_of_range(self):
+        with pytest.raises(PredicateError):
+            edit_similarity_join(NAMES, threshold=0.0)
+
+    def test_similarity_scores_reported(self):
+        res = edit_similarity_join(["microsoft", "mcrosoft"], threshold=0.8)
+        (pair,) = res.pairs
+        assert pair.similarity == pytest.approx(edit_similarity("microsoft", "mcrosoft"))
+
+    def test_udf_calls_counted(self):
+        res = edit_similarity_join(NAMES, threshold=0.85)
+        assert res.metrics.similarity_comparisons >= len(res.pairs)
+
+
+class TestEditDistanceJoin:
+    @pytest.mark.parametrize("epsilon", [0, 1, 2, 3])
+    def test_matches_oracle(self, epsilon):
+        res = edit_distance_join(NAMES, epsilon=epsilon)
+        expected = set()
+        distinct = list(dict.fromkeys(NAMES))
+        for i, a in enumerate(distinct):
+            for b in distinct[i + 1 :]:
+                if edit_distance(a, b) <= epsilon:
+                    expected.add((a, b) if repr(a) <= repr(b) else (b, a))
+        assert res.pair_set() == expected
+
+    def test_epsilon_zero_finds_nothing_on_distinct_inputs(self):
+        res = edit_distance_join(["abc", "abd"], epsilon=0)
+        assert len(res) == 0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(PredicateError):
+            edit_distance_join(NAMES, epsilon=-1)
+
+    def test_two_relation_form(self):
+        res = edit_distance_join(["abc"], ["abd", "zzz"], epsilon=1)
+        assert res.pair_set() == {("abc", "abd")}
+
+    def test_duplicate_inputs_collapse(self):
+        res = edit_distance_join(["abc", "abc", "abd"], epsilon=1)
+        assert res.pair_set() == {("abc", "abd")}

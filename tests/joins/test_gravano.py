@@ -1,0 +1,87 @@
+"""The customized edit join [9] must agree with the oracle — and do more
+UDF work than the SSJoin plan (Table 1's headline fact)."""
+
+import pytest
+
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.errors import PredicateError
+from repro.joins.direct import direct_join
+from repro.joins.edit_join import edit_similarity_join
+from repro.joins.gravano import gravano_edit_join
+from repro.sim.edit import edit_distance, edit_similarity
+
+NAMES = [
+    "microsoft corporation",
+    "microsoft corp",
+    "mcrosoft corp",
+    "oracle corp",
+    "oracle corporation",
+    "ibm",
+    "ibn",
+    "ab",
+    "intl business machines",
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("threshold", [0.7, 0.8, 0.85, 0.9, 0.95])
+    def test_similarity_form_matches_oracle(self, threshold):
+        res = gravano_edit_join(NAMES, threshold=threshold)
+        oracle = direct_join(NAMES, similarity=edit_similarity, threshold=threshold)
+        assert res.pair_set() == oracle.pair_set()
+
+    @pytest.mark.parametrize("epsilon", [0, 1, 2])
+    def test_distance_form_matches_oracle(self, epsilon):
+        res = gravano_edit_join(NAMES, epsilon=epsilon)
+        distinct = list(dict.fromkeys(NAMES))
+        expected = set()
+        for i, a in enumerate(distinct):
+            for b in distinct[i + 1 :]:
+                if edit_distance(a, b) <= epsilon:
+                    expected.add((a, b) if repr(a) <= repr(b) else (b, a))
+        assert res.pair_set() == expected
+
+    def test_generated_addresses(self):
+        rows = generate_addresses(CustomerConfig(num_rows=100, seed=17))
+        res = gravano_edit_join(rows, threshold=0.85)
+        oracle = direct_join(rows, similarity=edit_similarity, threshold=0.85)
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_two_relation_form(self):
+        res = gravano_edit_join(["microsoft"], ["mcrosoft", "oracle"], threshold=0.85)
+        assert res.pair_set() == {("microsoft", "mcrosoft")}
+
+    def test_agrees_with_ssjoin_based_join(self):
+        rows = generate_addresses(CustomerConfig(num_rows=80, seed=23))
+        custom = gravano_edit_join(rows, threshold=0.85)
+        via_ssjoin = edit_similarity_join(rows, threshold=0.85)
+        assert custom.pair_set() == via_ssjoin.pair_set()
+
+
+class TestTable1Shape:
+    def test_custom_does_more_udf_work_than_ssjoin(self):
+        """The reproduction of Table 1's qualitative claim: the customized
+        plan's position/length filters are weaker than the overlap
+        predicate, so it verifies many more candidates."""
+        rows = generate_addresses(CustomerConfig(num_rows=200, seed=29))
+        custom = gravano_edit_join(rows, threshold=0.85)
+        via_ssjoin = edit_similarity_join(rows, threshold=0.85, implementation="inline")
+        assert custom.pair_set() == via_ssjoin.pair_set()
+        assert (
+            custom.metrics.similarity_comparisons
+            > via_ssjoin.metrics.similarity_comparisons
+        )
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(PredicateError):
+            gravano_edit_join(NAMES, threshold=1.5)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(PredicateError):
+            gravano_edit_join(NAMES, epsilon=-1)
+
+    def test_implementation_is_fixed(self):
+        with pytest.raises(PredicateError):
+            gravano_edit_join(NAMES, implementation="prefix")

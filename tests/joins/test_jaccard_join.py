@@ -1,0 +1,148 @@
+"""Jaccard joins vs oracles, weighted and unweighted."""
+
+import pytest
+
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.errors import PredicateError
+from repro.joins.direct import direct_join
+from repro.joins.jaccard_join import (
+    jaccard_containment_join,
+    jaccard_resemblance_join,
+    resolve_weights,
+)
+from repro.sim.jaccard import string_jaccard_containment, string_jaccard_resemblance
+from repro.tokenize.weights import IDFWeights, TableWeights, UnitWeights
+from repro.tokenize.words import words
+
+STRINGS = [
+    "microsoft corp redmond wa",
+    "microsoft corp redmond",
+    "microsoft corporation redmond wa",
+    "oracle corp redwood ca",
+    "oracle corp redwood shores ca",
+    "the the repeated tokens the",
+    "the the repeated tokens",
+    "solo",
+]
+
+
+class TestContainmentJoin:
+    @pytest.mark.parametrize("threshold", [0.5, 0.75, 0.9, 1.0])
+    @pytest.mark.parametrize("implementation", ["basic", "prefix", "inline", "probe"])
+    def test_matches_oracle_unweighted(self, threshold, implementation):
+        res = jaccard_containment_join(
+            STRINGS, threshold=threshold, weights=None, implementation=implementation
+        )
+        oracle = direct_join(
+            STRINGS,
+            similarity=string_jaccard_containment,
+            threshold=threshold,
+            symmetric=False,
+        )
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_matches_oracle_idf_weighted(self):
+        table = IDFWeights.fit([words(v) for v in STRINGS] * 2)
+        res = jaccard_containment_join(STRINGS, threshold=0.8, weights=table)
+        oracle = direct_join(
+            STRINGS,
+            similarity=lambda a, b: string_jaccard_containment(a, b, weights=table),
+            threshold=0.8,
+            symmetric=False,
+        )
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_asymmetric_direction(self):
+        # 'microsoft corp redmond' fully contained in the longer variant.
+        res = jaccard_containment_join(
+            ["microsoft corp redmond", "microsoft corp redmond wa"],
+            threshold=1.0,
+            weights=None,
+        )
+        assert ("microsoft corp redmond", "microsoft corp redmond wa") in res.pair_set()
+        assert (
+            "microsoft corp redmond wa",
+            "microsoft corp redmond",
+        ) not in res.pair_set()
+
+    def test_similarity_column_exact(self):
+        res = jaccard_containment_join(STRINGS, threshold=0.5, weights=None)
+        for pair in res.pairs:
+            assert pair.similarity == pytest.approx(
+                string_jaccard_containment(pair.left, pair.right)
+            )
+
+    def test_two_relation_join(self):
+        left = ["a b c"]
+        right = ["a b c d", "x y"]
+        res = jaccard_containment_join(left, right, threshold=0.9, weights=None)
+        assert res.pair_set() == {("a b c", "a b c d")}
+
+    def test_bad_threshold(self):
+        with pytest.raises(PredicateError):
+            jaccard_containment_join(STRINGS, threshold=1.5)
+
+    def test_bad_weights_spec(self):
+        with pytest.raises(PredicateError):
+            jaccard_containment_join(STRINGS, weights="tfidf-pro")
+
+
+class TestResemblanceJoin:
+    @pytest.mark.parametrize("threshold", [0.4, 0.6, 0.8, 0.95])
+    @pytest.mark.parametrize("implementation", ["basic", "prefix", "inline", "probe"])
+    def test_matches_oracle_unweighted(self, threshold, implementation):
+        res = jaccard_resemblance_join(
+            STRINGS, threshold=threshold, weights=None, implementation=implementation
+        )
+        oracle = direct_join(
+            STRINGS, similarity=string_jaccard_resemblance, threshold=threshold
+        )
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_matches_oracle_on_generated_addresses(self):
+        rows = generate_addresses(CustomerConfig(num_rows=150, seed=5))
+        res = jaccard_resemblance_join(rows, threshold=0.75, weights=None)
+        oracle = direct_join(
+            rows, similarity=string_jaccard_resemblance, threshold=0.75
+        )
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_idf_weighted_matches_weighted_oracle(self):
+        table = IDFWeights.fit([words(v) for v in STRINGS] * 2)
+        res = jaccard_resemblance_join(STRINGS, threshold=0.7, weights=table)
+        oracle = direct_join(
+            STRINGS,
+            similarity=lambda a, b: string_jaccard_resemblance(a, b, weights=table),
+            threshold=0.7,
+        )
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_multiset_tokens_respected(self):
+        # 'the the repeated tokens the' vs 'the the repeated tokens':
+        # multiset resemblance = 4/5.
+        res = jaccard_resemblance_join(
+            ["the the repeated tokens the", "the the repeated tokens"],
+            threshold=0.8,
+            weights=None,
+        )
+        assert len(res) == 1
+        assert res.pairs[0].similarity == pytest.approx(0.8)
+
+    def test_symmetric_canonicalization(self):
+        res = jaccard_resemblance_join(["a b", "b a"], threshold=0.9, weights=None)
+        assert len(res) == 1  # one unordered pair, not two
+
+
+class TestResolveWeights:
+    def test_none_passthrough(self):
+        assert resolve_weights(None, words, [], []) is None
+
+    def test_table_passthrough(self):
+        t = UnitWeights()
+        assert resolve_weights(t, words, [], []) is t
+
+    def test_idf_fits_both_sides(self):
+        t = resolve_weights("idf", words, ["a b"], ["a c"])
+        assert isinstance(t, IDFWeights)
+        assert t.num_documents == 2
+        assert t.document_frequency["a"] == 2

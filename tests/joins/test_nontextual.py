@@ -1,0 +1,153 @@
+"""Co-occurrence, soft-FD and top-k joins (Section 3.4 / Section 6)."""
+
+import pytest
+
+from repro.data.persons import PersonConfig, generate_persons
+from repro.data.publications import PublicationConfig, generate_publications
+from repro.errors import PredicateError
+from repro.joins.cooccurrence import cooccurrence_join
+from repro.joins.fd_join import fd_agreement_join
+from repro.joins.topk import topk_matches
+from repro.sim.edit import edit_similarity
+
+
+class TestCooccurrenceJoin:
+    def test_example_5_shape(self):
+        r = [("a. gupta", "p1"), ("a. gupta", "p2"), ("a. gupta", "p3")]
+        s = [("anil gupta", "p1"), ("anil gupta", "p2"), ("anil gupta", "p3"),
+             ("bob", "q1")]
+        res = cooccurrence_join(r, s, threshold=0.9, weights=None)
+        assert res.pair_set() == {("a. gupta", "anil gupta")}
+
+    def test_recovers_ground_truth_on_generated_data(self):
+        data = generate_publications(PublicationConfig(num_authors=30, seed=3))
+        res = cooccurrence_join(
+            data.source2, data.source1, threshold=0.9, weights=None
+        )
+        # Every source2 author's titles are a subset of its source1 twin's.
+        found = {(a, b) for a, b in res.pair_set()}
+        expected = {(full, abbrev) for abbrev, full in data.truth.items()}
+        assert expected <= found
+        # Precision: generated titles are distinctive enough to be exact.
+        assert found == expected
+
+    def test_idf_weights_supported(self):
+        r = [("x", "p1"), ("x", "p2"), ("y", "p2")]
+        res = cooccurrence_join(r, threshold=0.4, weights="idf")
+        assert isinstance(res.pair_set(), set)
+
+    def test_self_join_drops_identity(self):
+        r = [("x", "p1"), ("y", "p1")]
+        res = cooccurrence_join(r, threshold=0.9, weights=None)
+        assert ("x", "x") not in res.pair_set()
+        # containment is asymmetric: both directions appear
+        assert ("x", "y") in res.pair_set() and ("y", "x") in res.pair_set()
+
+    def test_bad_threshold(self):
+        with pytest.raises(PredicateError):
+            cooccurrence_join([("a", "b")], threshold=0.0)
+
+    def test_bad_weights(self):
+        with pytest.raises(PredicateError):
+            cooccurrence_join([("a", "b")], weights="bogus")
+
+
+class TestFDJoin:
+    def test_example_6(self):
+        a1 = [{"name": "j. smith", "address": "1 main", "email": "js@x.com",
+               "phone": "555"}]
+        a2 = [{"name": "john smith", "address": "1 main", "email": "js@x.com",
+               "phone": "999"},
+              {"name": "jane smythe", "address": "9 oak", "email": "j@y.com",
+               "phone": "555"}]
+        res = fd_agreement_join(a1, a2, key="name",
+                                attributes=("address", "email", "phone"), k=2)
+        assert res.pair_set() == {("j. smith", "john smith")}
+
+    def test_oracle_equivalence(self):
+        data = generate_persons(PersonConfig(num_persons=40, seed=9))
+        res = fd_agreement_join(data.table1, data.table2, k=2)
+        expected = set()
+        for r1 in data.table1:
+            for r2 in data.table2:
+                agreements = sum(
+                    1
+                    for c in ("address", "email", "phone")
+                    if r1[c] is not None and r1[c] == r2[c]
+                )
+                if agreements >= 2:
+                    expected.add((r1["name"], r2["name"]))
+        assert res.pair_set() == expected
+
+    def test_similarity_is_agreement_fraction(self):
+        a1 = [{"name": "a", "address": "x", "email": "e", "phone": "p"}]
+        a2 = [{"name": "b", "address": "x", "email": "e", "phone": "q"}]
+        res = fd_agreement_join(a1, a2, k=2)
+        assert res.pairs[0].similarity == pytest.approx(2 / 3)
+
+    def test_none_values_never_agree(self):
+        a1 = [{"name": "a", "address": None, "email": None, "phone": "p"}]
+        a2 = [{"name": "b", "address": None, "email": None, "phone": "p"}]
+        res = fd_agreement_join(a1, a2, k=2)
+        assert len(res) == 0
+
+    def test_self_join_unordered(self):
+        recs = [
+            {"name": "a", "address": "x", "email": "e", "phone": "p"},
+            {"name": "b", "address": "x", "email": "e", "phone": "p"},
+        ]
+        res = fd_agreement_join(recs, k=2)
+        assert res.pair_set() == {("a", "b")}
+
+    def test_k_bounds(self):
+        recs = [{"name": "a", "address": "x", "email": "e", "phone": "p"}]
+        with pytest.raises(PredicateError):
+            fd_agreement_join(recs, k=0)
+        with pytest.raises(PredicateError):
+            fd_agreement_join(recs, k=4)
+
+    def test_duplicate_keys_rejected(self):
+        recs = [
+            {"name": "a", "address": "x", "email": "e", "phone": "p"},
+            {"name": "a", "address": "y", "email": "f", "phone": "q"},
+        ]
+        with pytest.raises(PredicateError):
+            fd_agreement_join(recs, k=1)
+
+
+class TestTopK:
+    REFS = ["microsoft corp", "microsoft corporation", "oracle corp", "ibm"]
+
+    def test_best_matches_ranked(self):
+        out = topk_matches(["microsoft corp"], self.REFS, k=2, threshold=0.4,
+                           weights=None)
+        matches = out["microsoft corp"]
+        assert len(matches) == 2
+        assert matches[0].right == "microsoft corp"
+        assert matches[0].similarity >= matches[1].similarity
+
+    def test_no_match_gives_empty_list(self):
+        out = topk_matches(["zzzz qqqq"], self.REFS, k=3, threshold=0.5, weights=None)
+        assert out["zzzz qqqq"] == []
+
+    def test_custom_similarity_reranks(self):
+        out = topk_matches(
+            ["microsoft corp"],
+            self.REFS,
+            k=1,
+            threshold=0.3,
+            weights=None,
+            similarity=edit_similarity,
+        )
+        assert out["microsoft corp"][0].right == "microsoft corp"
+
+    def test_k_limits_results(self):
+        out = topk_matches(["microsoft corp"], self.REFS, k=1, threshold=0.1,
+                           weights=None)
+        assert len(out["microsoft corp"]) == 1
+
+    def test_validation(self):
+        with pytest.raises(PredicateError):
+            topk_matches(["a"], ["b"], k=0)
+        with pytest.raises(PredicateError):
+            topk_matches(["a"], ["b"], threshold=2.0)

@@ -1,0 +1,139 @@
+"""Hamming, soundex and direct joins vs oracles."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.joins.direct import direct_join
+from repro.joins.hamming_join import set_hamming_join, string_hamming_join
+from repro.joins.soundex_join import soundex_join
+from repro.sim.edit import edit_similarity
+from repro.sim.hamming import string_hamming
+from repro.tokenize.soundex import soundex
+
+
+class TestStringHammingJoin:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    @pytest.mark.parametrize("implementation", ["basic", "prefix", "inline", "probe"])
+    def test_matches_oracle(self, k, implementation):
+        values = ["karolin", "kathrin", "karlott", "kerstin", "short", "carol"]
+        res = string_hamming_join(values, k=k, implementation=implementation)
+        expected = set()
+        for i, a in enumerate(values):
+            for b in values[i + 1 :]:
+                if len(a) == len(b) and string_hamming(a, b) <= k:
+                    expected.add((a, b) if repr(a) <= repr(b) else (b, a))
+        assert res.pair_set() == expected
+
+    def test_cross_length_pairs_excluded(self):
+        res = string_hamming_join(["abcd", "abcde"], k=5)
+        assert len(res) == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(PredicateError):
+            string_hamming_join(["ab"], k=-1)
+
+    def test_similarity_score(self):
+        res = string_hamming_join(["karolin", "kathrin"], k=3)
+        assert res.pairs[0].similarity == pytest.approx(1 - 3 / 7)
+
+
+class TestSetHammingJoin:
+    def test_exact_reduction(self):
+        values = ["a b c", "a b d", "a x y", "p q"]
+        res = set_hamming_join(values, k=2)
+        assert res.pair_set() == {("a b c", "a b d")}
+
+    def test_k_zero_means_identical_sets(self):
+        res = set_hamming_join(["a b", "b a", "a c"], k=0)
+        assert res.pair_set() == {("a b", "b a")}
+
+    def test_two_relation(self):
+        res = set_hamming_join(["a b c"], ["a b z", "zzz"], k=2)
+        assert res.pair_set() == {("a b c", "a b z")}
+
+
+class TestSoundexJoin:
+    def test_classic_pairs(self):
+        res = soundex_join(["Robert", "Rupert", "Ashcraft", "Ashcroft"])
+        assert res.pair_set() == {("Ashcraft", "Ashcroft"), ("Robert", "Rupert")}
+
+    def test_matches_code_equality_oracle(self):
+        names = ["Smith", "Smyth", "Johnson", "Jonson", "Miller", "Muller", "X"]
+        res = soundex_join(names)
+        expected = set()
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if soundex(a) == soundex(b) and soundex(a):
+                    expected.add((a, b) if repr(a) <= repr(b) else (b, a))
+        assert res.pair_set() == expected
+
+    def test_unpronounceable_strings_never_join(self):
+        res = soundex_join(["123", "456"])
+        assert len(res) == 0
+
+    def test_two_relation(self):
+        res = soundex_join(["Robert"], ["Rupert", "Oracle"])
+        assert res.pair_set() == {("Robert", "Rupert")}
+
+
+class TestDirectJoin:
+    def test_requires_similarity(self):
+        with pytest.raises(TypeError):
+            direct_join(["a"], threshold=0.5)
+
+    def test_self_join_counts_each_unordered_pair_once(self):
+        res = direct_join(["a", "b", "c"], similarity=lambda x, y: 1.0, threshold=0.5)
+        assert res.metrics.similarity_comparisons == 3
+        assert len(res) == 3
+
+    def test_asymmetric_mode_counts_both_directions(self):
+        res = direct_join(
+            ["a", "b"], similarity=lambda x, y: 1.0, threshold=0.5, symmetric=False
+        )
+        assert res.metrics.similarity_comparisons == 2
+
+    def test_two_relation_mode(self):
+        res = direct_join(["abc"], ["abd", "zzz"], similarity=edit_similarity,
+                          threshold=0.6)
+        assert res.pair_set() == {("abc", "abd")}
+
+    def test_duplicates_deduplicated(self):
+        res = direct_join(["a", "a", "b"], similarity=lambda x, y: 1.0, threshold=0.5)
+        assert res.metrics.similarity_comparisons == 1
+
+
+class TestOverlapJoin:
+    def test_absolute_overlap(self):
+        from repro.joins.overlap_join import overlap_join
+
+        res = overlap_join(["a b c", "a b x", "p q"], alpha=2.0)
+        assert res.pair_set() == {("a b c", "a b x")}
+        assert res.pairs[0].similarity == pytest.approx(2.0)
+
+    def test_multiset_overlap_counts_copies(self):
+        from repro.joins.overlap_join import overlap_join
+
+        res = overlap_join(["the the cat", "the the dog"], alpha=2.0)
+        assert len(res) == 1  # both 'the' copies count
+
+    def test_weighted_overlap(self):
+        from repro.joins.overlap_join import overlap_join
+        from repro.tokenize.weights import TableWeights
+
+        table = TableWeights({"rare": 5.0}, default=1.0)
+        res = overlap_join(["rare x", "rare y"], alpha=4.0, weights=table)
+        assert res.pair_set() == {("rare x", "rare y")}
+
+    def test_two_relation(self):
+        from repro.joins.overlap_join import overlap_join
+
+        res = overlap_join(["a b"], ["b c", "a b z"], alpha=2.0)
+        assert res.pair_set() == {("a b", "a b z")}
+
+    @pytest.mark.parametrize("impl", ["basic", "prefix", "inline", "probe"])
+    def test_implementations_agree(self, impl):
+        from repro.joins.overlap_join import overlap_join
+
+        values = ["a b c d", "a b c x", "a y z", "q r"]
+        res = overlap_join(values, alpha=3.0, implementation=impl)
+        assert res.pair_set() == {("a b c d", "a b c x")}

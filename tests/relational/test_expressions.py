@@ -1,0 +1,112 @@
+"""Unit tests for the scalar expression language."""
+
+import pytest
+
+from repro.errors import PlanError, UnknownColumnError
+from repro.relational.expressions import (
+    BinaryOp,
+    FunctionCall,
+    col,
+    const,
+    maximum,
+    minimum,
+)
+from repro.relational.schema import Schema
+
+SCHEMA = Schema(["a", "norm", "w"])
+ROW = ("x", 10, 2.5)
+
+
+def evaluate(expr, row=ROW, schema=SCHEMA):
+    return expr.bind(schema)(row)
+
+
+class TestLeaves:
+    def test_column_ref(self):
+        assert evaluate(col("norm")) == 10
+
+    def test_column_ref_unknown(self):
+        with pytest.raises(UnknownColumnError):
+            col("zzz").bind(SCHEMA)
+
+    def test_constant(self):
+        assert evaluate(const(7)) == 7
+
+    def test_columns_introspection(self):
+        assert col("a").columns() == ("a",)
+        assert const(1).columns() == ()
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert evaluate(col("norm") + 5) == 15
+
+    def test_radd(self):
+        assert evaluate(5 + col("norm")) == 15
+
+    def test_sub(self):
+        assert evaluate(col("norm") - 1) == 9
+
+    def test_rsub(self):
+        assert evaluate(100 - col("norm")) == 90
+
+    def test_mul(self):
+        assert evaluate(col("norm") * 0.8) == pytest.approx(8.0)
+
+    def test_rmul(self):
+        assert evaluate(0.8 * col("norm")) == pytest.approx(8.0)
+
+    def test_div(self):
+        assert evaluate(col("norm") / 4) == pytest.approx(2.5)
+
+    def test_nested(self):
+        expr = (col("norm") * 2 + col("w")) / 2
+        assert evaluate(expr) == pytest.approx(11.25)
+
+
+class TestComparisons:
+    def test_ge(self):
+        assert evaluate(col("norm") >= 10) is True
+        assert evaluate(col("norm") >= 11) is False
+
+    def test_gt_le_lt(self):
+        assert evaluate(col("norm") > 9)
+        assert evaluate(col("norm") <= 10)
+        assert not evaluate(col("norm") < 10)
+
+    def test_eq_ne(self):
+        assert evaluate(col("a").eq("x"))
+        assert evaluate(col("a").ne("y"))
+
+    def test_and_or(self):
+        both = (col("norm") >= 10).and_(col("w") > 2)
+        either = (col("norm") >= 99).or_(col("w") > 2)
+        assert evaluate(both)
+        assert evaluate(either)
+
+    def test_columns_of_binary(self):
+        expr = col("a").eq(col("norm"))
+        assert set(expr.columns()) == {"a", "norm"}
+
+
+class TestFunctions:
+    def test_maximum(self):
+        assert evaluate(maximum(col("norm"), col("w"), 3)) == 10
+
+    def test_minimum(self):
+        assert evaluate(minimum(col("norm"), col("w"))) == 2.5
+
+    def test_zero_arg_function_rejected(self):
+        with pytest.raises(PlanError):
+            FunctionCall("f", max, ())
+
+    def test_function_columns(self):
+        assert set(maximum(col("a"), col("w")).columns()) == {"a", "w"}
+
+
+class TestRepr:
+    def test_binary_repr(self):
+        assert repr(col("norm") * 0.8) == "(norm * 0.8)"
+
+    def test_function_repr(self):
+        assert repr(maximum(col("a"), 1)) == "MAX(a, 1)"

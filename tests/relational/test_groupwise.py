@@ -1,0 +1,71 @@
+"""Unit tests for the groupwise-processing operator and ordered group scan."""
+
+import pytest
+
+from repro.errors import PlanError, SchemaError
+from repro.relational.groupwise import groupwise_apply, scan_groups
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def table():
+    return Relation.from_rows(
+        ["a", "w"],
+        [("x", 2), ("y", 5), ("x", 9), ("y", 1), ("x", 4)],
+    )
+
+
+class TestGroupwiseApply:
+    def test_top1_per_group(self, table):
+        top1 = lambda g: g.order_by(["w"], reverse=True).head(1)
+        out = groupwise_apply(table, ["a"], top1)
+        assert sorted(out.rows) == [("x", 9), ("y", 5)]
+
+    def test_subquery_may_filter_everything(self, table):
+        out = groupwise_apply(table, ["a"], lambda g: g.select(lambda r: False))
+        assert out.num_rows == 0
+        assert out.column_names == ("a", "w")
+
+    def test_subquery_may_change_schema(self, table):
+        summarize = lambda g: Relation.from_rows(
+            ["a", "total"], [(g.rows[0][0], sum(r[1] for r in g.rows))]
+        )
+        out = groupwise_apply(table, ["a"], summarize)
+        assert sorted(out.rows) == [("x", 15), ("y", 6)]
+
+    def test_inconsistent_schema_rejected(self, table):
+        flaky = lambda g: (
+            g if g.rows[0][0] == "x" else g.rename({"w": "v"})
+        )
+        with pytest.raises(SchemaError):
+            groupwise_apply(table, ["a"], flaky)
+
+    def test_empty_input_probes_schema(self):
+        empty = Relation.empty(["a", "w"])
+        out = groupwise_apply(empty, ["a"], lambda g: g.project(["w"]))
+        assert out.column_names == ("w",)
+        assert out.num_rows == 0
+
+    def test_prefix_marking_use_case(self, table):
+        """The paper's use: keep each group's 2 smallest-w elements."""
+        prefix2 = lambda g: g.order_by(["w"]).head(2)
+        out = groupwise_apply(table, ["a"], prefix2)
+        assert sorted(out.rows) == [("x", 2), ("x", 4), ("y", 1), ("y", 5)]
+
+
+class TestScanGroups:
+    def test_groups_are_contiguous_and_sorted(self, table):
+        groups = list(scan_groups(table, ["a"]))
+        assert [k for k, _ in groups] == [("x",), ("y",)]
+        assert len(groups[0][1]) == 3
+
+    def test_order_within(self, table):
+        groups = dict(scan_groups(table, ["a"], order_within=["w"]))
+        assert [r[1] for r in groups[("x",)]] == [2, 4, 9]
+
+    def test_requires_keys(self, table):
+        with pytest.raises(PlanError):
+            list(scan_groups(table, []))
+
+    def test_empty_relation(self):
+        assert list(scan_groups(Relation.empty(["a"]), ["a"])) == []

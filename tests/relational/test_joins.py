@@ -1,0 +1,195 @@
+"""Unit + property tests for the join algorithms.
+
+The load-bearing invariant: hash join, merge join and the nested-loop join
+with an equality predicate must produce identical bags on any input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.relational.joins import (
+    JoinCounters,
+    cross_product,
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    semi_join,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def left():
+    return Relation.from_rows(
+        ["a", "b"], [("x", 1), ("y", 2), ("z", 2), ("w", None)]
+    )
+
+
+@pytest.fixture
+def right():
+    return Relation.from_rows(
+        ["b", "c"], [(2, "p"), (2, "q"), (3, "r"), (None, "s")]
+    )
+
+
+class TestHashJoin:
+    def test_basic(self, left, right):
+        out = hash_join(left, right, keys=[("b", "b")])
+        assert sorted(out.rows) == [
+            ("y", 2, 2, "p"),
+            ("y", 2, 2, "q"),
+            ("z", 2, 2, "p"),
+            ("z", 2, 2, "q"),
+        ]
+
+    def test_null_never_matches(self, left, right):
+        out = hash_join(left, right, keys=[("b", "b")])
+        assert all(None not in row for row in out.rows)
+
+    def test_single_string_key(self):
+        a = Relation.from_rows(["k", "v"], [("a", 1)])
+        b = Relation.from_rows(["k", "w"], [("a", 2)])
+        out = hash_join(a.rename({"v": "v1"}), b.rename({"w": "v2"}), keys="k")
+        assert out.num_rows == 1
+
+    def test_prefixes_qualify_columns(self, left, right):
+        out = hash_join(left, right, keys=[("b", "b")], prefixes=("L", "R"))
+        assert out.column_names == ("L.a", "L.b", "R.b", "R.c")
+
+    def test_output_order_is_left_then_right_regardless_of_build_side(self):
+        small = Relation.from_rows(["a"], [(1,)])
+        big = Relation.from_rows(["a2", "pad"], [(1, i) for i in range(5)])
+        out = hash_join(big, small, keys=[("a2", "a")])
+        assert out.column_names == ("a2", "pad", "a")
+        out = hash_join(small, big, keys=[("a", "a2")])
+        assert out.column_names == ("a", "a2", "pad")
+
+    def test_multi_key(self):
+        a = Relation.from_rows(["x", "y"], [(1, 1), (1, 2)])
+        b = Relation.from_rows(["x2", "y2"], [(1, 1), (1, 3)])
+        out = hash_join(a, b, keys=[("x", "x2"), ("y", "y2")])
+        assert out.rows == ((1, 1, 1, 1),)
+
+    def test_counters(self, left, right):
+        c = JoinCounters()
+        hash_join(left, right, keys=[("b", "b")], counters=c)
+        assert c.output_rows == 4
+        assert c.probes > 0
+        assert "output_rows=4" in repr(c)
+
+    def test_empty_key_spec_rejected(self, left, right):
+        with pytest.raises(PlanError):
+            hash_join(left, right, keys=[])
+
+
+class TestMergeJoin:
+    def test_matches_hash_join(self, left, right):
+        h = hash_join(left, right, keys=[("b", "b")])
+        m = merge_join(left, right, keys=[("b", "b")])
+        assert sorted(h.rows) == sorted(m.rows)
+
+    def test_prefixes(self, left, right):
+        out = merge_join(left, right, keys=[("b", "b")], prefixes=("L", "R"))
+        assert out.column_names == ("L.a", "L.b", "R.b", "R.c")
+
+    def test_counters(self, left, right):
+        c = JoinCounters()
+        merge_join(left, right, keys=[("b", "b")], counters=c)
+        assert c.output_rows == 4
+
+
+class TestNestedLoop:
+    def test_theta_join(self, left, right):
+        out = nested_loop_join(
+            left, right, lambda l, r: l[1] is not None and r[0] is not None and l[1] < r[0]
+        )
+        # b=1 < {2,2,3} -> 3 rows; b=2 < 3 -> 2 rows
+        assert out.num_rows == 5
+
+    def test_counter_counts_all_pairs(self, left, right):
+        c = JoinCounters()
+        nested_loop_join(left, right, lambda l, r: False, counters=c)
+        assert c.comparisons == 16
+
+    def test_cross_product(self, left, right):
+        assert cross_product(left, right).num_rows == 16
+
+
+class TestSemiJoin:
+    def test_semi(self, left, right):
+        out = semi_join(left, right, keys=[("b", "b")])
+        assert sorted(out.column_values("a")) == ["y", "z"]
+        assert out.column_names == ("a", "b")
+
+    def test_semi_null(self, left, right):
+        out = semi_join(left, right, keys=[("b", "b")])
+        assert ("w", None) not in out.rows
+
+
+@st.composite
+def join_inputs(draw):
+    keys = st.integers(min_value=0, max_value=5)
+    lrows = draw(st.lists(st.tuples(keys, st.integers(0, 9)), max_size=12))
+    rrows = draw(st.lists(st.tuples(keys, st.integers(0, 9)), max_size=12))
+    left = Relation.from_rows(["k", "v"], lrows)
+    right = Relation.from_rows(["k2", "w"], rrows)
+    return left, right
+
+
+class TestJoinEquivalenceProperties:
+    @given(join_inputs())
+    @settings(max_examples=80, deadline=None)
+    def test_hash_merge_nested_agree(self, inputs):
+        left, right = inputs
+        h = hash_join(left, right, keys=[("k", "k2")])
+        m = merge_join(left, right, keys=[("k", "k2")])
+        n = nested_loop_join(left, right, lambda l, r: l[0] == r[0])
+        assert sorted(h.rows) == sorted(m.rows) == sorted(n.rows)
+
+    @given(join_inputs())
+    @settings(max_examples=40, deadline=None)
+    def test_join_size_formula(self, inputs):
+        left, right = inputs
+        h = hash_join(left, right, keys=[("k", "k2")])
+        from collections import Counter
+
+        lc = Counter(left.column_values("k"))
+        rc = Counter(right.column_values("k2"))
+        expected = sum(lc[k] * rc[k] for k in lc)
+        assert h.num_rows == expected
+
+
+class TestLeftOuterJoin:
+    def test_unmatched_left_rows_padded(self, left, right):
+        from repro.relational.joins import left_outer_join
+
+        out = left_outer_join(left, right, keys=[("b", "b")])
+        # x(b=1) and w(b=None) have no match: padded rows survive.
+        padded = [r for r in out.rows if r[2] is None]
+        assert sorted(r[0] for r in padded) == ["w", "x"]
+        # matched rows identical to the inner join
+        inner = hash_join(left, right, keys=[("b", "b")])
+        matched = [r for r in out.rows if r[2] is not None]
+        assert sorted(matched) == sorted(inner.rows)
+
+    def test_null_left_key_still_survives(self, left, right):
+        from repro.relational.joins import left_outer_join
+
+        out = left_outer_join(left, right, keys=[("b", "b")])
+        assert ("w", None, None, None) in out.rows
+
+    def test_counters(self, left, right):
+        from repro.relational.joins import left_outer_join
+
+        c = JoinCounters()
+        out = left_outer_join(left, right, keys=[("b", "b")], counters=c)
+        assert c.probes == 4
+        assert c.output_rows == len(out)
+
+    def test_prefixes(self, left, right):
+        from repro.relational.joins import left_outer_join
+
+        out = left_outer_join(left, right, keys=[("b", "b")], prefixes=("L", "R"))
+        assert out.column_names == ("L.a", "L.b", "R.b", "R.c")

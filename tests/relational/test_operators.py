@@ -1,0 +1,92 @@
+"""Unit tests for expression-driven unary operators."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational import operators
+from repro.relational.expressions import col
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def table():
+    return Relation.from_rows(
+        ["name", "score"],
+        [("ann", 3), ("bob", 9), ("cid", 3), ("dee", 7)],
+    )
+
+
+class TestSelect:
+    def test_select(self, table):
+        out = operators.select(table, col("score") >= 7)
+        assert out.column_values("name") == ("bob", "dee")
+
+    def test_select_none(self, table):
+        assert len(operators.select(table, col("score") > 100)) == 0
+
+
+class TestProject:
+    def test_passthrough(self, table):
+        out = operators.project(table, ["score"])
+        assert out.column_names == ("score",)
+        assert out.num_rows == 4
+
+    def test_derived(self, table):
+        out = operators.project(table, ["name", ("double", col("score") * 2)])
+        assert out.column_values("double") == (6, 18, 6, 14)
+
+    def test_bad_item(self, table):
+        with pytest.raises(PlanError):
+            operators.project(table, [42])
+
+
+class TestExtend:
+    def test_extend(self, table):
+        out = operators.extend(table, "bonus", col("score") + 1)
+        assert out.column_names[-1] == "bonus"
+        assert out.column_values("bonus") == (4, 10, 4, 8)
+
+
+class TestDistinct:
+    def test_distinct_projected(self, table):
+        out = operators.distinct(table, ["score"])
+        assert sorted(out.column_values("score")) == [3, 7, 9]
+
+    def test_distinct_full(self, table):
+        assert len(operators.distinct(table)) == 4
+
+
+class TestOrderBy:
+    def test_single_key(self, table):
+        out = operators.order_by(table, ["score"])
+        assert out.column_values("score") == (3, 3, 7, 9)
+
+    def test_descending(self, table):
+        out = operators.order_by(table, [("score", "desc")])
+        assert out.column_values("score") == (9, 7, 3, 3)
+
+    def test_mixed_direction(self, table):
+        out = operators.order_by(table, [("score", "asc"), ("name", "desc")])
+        assert out.column_values("name") == ("cid", "ann", "dee", "bob")
+
+
+class TestLimitUnion:
+    def test_limit(self, table):
+        assert operators.limit(table, 2).num_rows == 2
+
+    def test_limit_negative(self, table):
+        with pytest.raises(PlanError):
+            operators.limit(table, -1)
+
+    def test_union_all_multi(self, table):
+        out = operators.union_all(table, table, table)
+        assert out.num_rows == 12
+
+    def test_union_all_empty_args(self):
+        with pytest.raises(PlanError):
+            operators.union_all()
+
+
+class TestValueCounts:
+    def test_counts(self, table):
+        assert operators.value_counts(table, "score") == {3: 2, 9: 1, 7: 1}

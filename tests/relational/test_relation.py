@@ -1,0 +1,166 @@
+"""Unit tests for Relation."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+@pytest.fixture
+def people():
+    return Relation.from_rows(
+        ["name", "age"], [("ann", 31), ("bob", 27), ("cid", 31)], name="people"
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, people):
+        assert people.num_rows == 3
+        assert people.column_names == ("name", "age")
+
+    def test_from_rows_validates_on_request(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows([("a", int)], [("x",)], validate=True)
+
+    def test_from_dicts_fills_missing_with_none(self):
+        r = Relation.from_dicts(["a", "b"], [{"a": 1}])
+        assert r.rows == ((1, None),)
+
+    def test_empty(self):
+        r = Relation.empty(["a"])
+        assert len(r) == 0
+
+    def test_accepts_schema_object(self):
+        r = Relation.from_rows(Schema(["a"]), [(1,)])
+        assert r.rows == ((1,),)
+
+
+class TestProtocol:
+    def test_iter(self, people):
+        assert list(people)[0] == ("ann", 31)
+
+    def test_bag_equality_order_insensitive(self):
+        a = Relation.from_rows(["x"], [(1,), (2,)])
+        b = Relation.from_rows(["x"], [(2,), (1,)])
+        assert a == b
+
+    def test_bag_equality_counts_duplicates(self):
+        a = Relation.from_rows(["x"], [(1,), (1,)])
+        b = Relation.from_rows(["x"], [(1,)])
+        assert a != b
+
+    def test_equality_requires_same_columns(self):
+        a = Relation.from_rows(["x"], [(1,)])
+        b = Relation.from_rows(["y"], [(1,)])
+        assert a != b
+
+    def test_repr(self, people):
+        assert "people" in repr(people)
+        assert "rows=3" in repr(people)
+
+
+class TestAccessors:
+    def test_column_values(self, people):
+        assert people.column_values("age") == (31, 27, 31)
+
+    def test_column_values_unknown(self, people):
+        with pytest.raises(UnknownColumnError):
+            people.column_values("zzz")
+
+    def test_row_dicts(self, people):
+        assert people.row_dicts()[1] == {"name": "bob", "age": 27}
+
+    def test_head(self, people):
+        assert people.head(2).num_rows == 2
+
+
+class TestAlgebra:
+    def test_project_keeps_duplicates(self, people):
+        assert people.project(["age"]).rows == ((31,), (27,), (31,))
+
+    def test_select(self, people):
+        r = people.select(lambda row: row[1] > 30)
+        assert r.num_rows == 2
+
+    def test_select_dict(self, people):
+        r = people.select_dict(lambda d: d["name"] == "bob")
+        assert r.rows == (("bob", 27),)
+
+    def test_distinct_preserves_first_seen_order(self):
+        r = Relation.from_rows(["x"], [(2,), (1,), (2,)]).distinct()
+        assert r.rows == ((2,), (1,))
+
+    def test_extend(self, people):
+        r = people.extend("age2", lambda row: row[1] * 2)
+        assert r.column_values("age2") == (62, 54, 62)
+        assert r.column_names == ("name", "age", "age2")
+
+    def test_rename(self, people):
+        r = people.rename({"name": "who"})
+        assert r.column_names == ("who", "age")
+        assert r.rows == people.rows
+
+    def test_prefixed(self, people):
+        assert people.prefixed("P").column_names == ("P.name", "P.age")
+
+    def test_order_by(self, people):
+        r = people.order_by(["age", "name"])
+        assert r.column_values("name") == ("bob", "ann", "cid")
+
+    def test_order_by_reverse(self, people):
+        r = people.order_by(["age"], reverse=True)
+        assert r.column_values("age") == (31, 31, 27)
+
+    def test_union_all(self):
+        a = Relation.from_rows(["x"], [(1,)])
+        b = Relation.from_rows(["x"], [(1,), (2,)])
+        assert a.union_all(b).num_rows == 3
+
+    def test_union_all_mismatch(self):
+        a = Relation.from_rows(["x"], [(1,)])
+        b = Relation.from_rows(["y"], [(1,)])
+        with pytest.raises(SchemaError):
+            a.union_all(b)
+
+    def test_validated_passes(self):
+        r = Relation.from_rows([("a", int)], [(1,), (2,)])
+        assert r.validated() is r
+
+    def test_validated_fails(self):
+        r = Relation.from_rows([("a", int)], [("oops",)])
+        with pytest.raises(SchemaError):
+            r.validated()
+
+
+class TestTsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        r = Relation.from_rows(
+            ["name", "n", "score"],
+            [("ann", 1, 2.5), ("bob", 2, None)],
+            name="t",
+        )
+        path = tmp_path / "t.tsv"
+        r.to_tsv(path)
+        back = Relation.from_tsv(path, name="t")
+        assert back.column_names == ("name", "n", "score")
+        assert back.rows == (("ann", 1, 2.5), ("bob", 2, None))
+
+    def test_type_affinity(self, tmp_path):
+        path = tmp_path / "t.tsv"
+        path.write_text("a\tb\tc\n7\t7.5\tseven\n")
+        back = Relation.from_tsv(path)
+        assert back.rows == ((7, 7.5, "seven"),)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            Relation.from_tsv(path)
+
+    def test_header_only_gives_empty_relation(self, tmp_path):
+        path = tmp_path / "h.tsv"
+        path.write_text("a\tb\n")
+        back = Relation.from_tsv(path)
+        assert back.num_rows == 0
+        assert back.column_names == ("a", "b")

@@ -1,0 +1,138 @@
+"""Unit tests for Column/Schema."""
+
+import pytest
+
+from repro.errors import DuplicateColumnError, SchemaError, UnknownColumnError
+from repro.relational.schema import Column, Schema
+
+
+class TestColumn:
+    def test_plain_column_accepts_anything(self):
+        c = Column("x")
+        assert c.accepts(1)
+        assert c.accepts("s")
+        assert c.accepts(None)
+
+    def test_typed_column_checks_type(self):
+        c = Column("x", int)
+        assert c.accepts(3)
+        assert not c.accepts("3")
+
+    def test_typed_column_accepts_none(self):
+        assert Column("x", int).accepts(None)
+
+    def test_float_column_accepts_int(self):
+        assert Column("x", float).accepts(3)
+
+    def test_float_column_rejects_bool(self):
+        assert not Column("x", float).accepts(True)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column(3)  # type: ignore[arg-type]
+
+    def test_renamed_keeps_dtype(self):
+        c = Column("x", int).renamed("y")
+        assert c.name == "y"
+        assert c.dtype is int
+
+
+class TestSchemaConstruction:
+    def test_from_strings(self):
+        s = Schema(["a", "b"])
+        assert s.names == ("a", "b")
+
+    def test_from_columns(self):
+        s = Schema([Column("a", int), Column("b")])
+        assert s.column("a").dtype is int
+
+    def test_from_tuples(self):
+        s = Schema([("a", int)])
+        assert s.column("a").dtype is int
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema(["a", "a"])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([42])
+
+    def test_len_iter_contains(self):
+        s = Schema(["a", "b", "c"])
+        assert len(s) == 3
+        assert [c.name for c in s] == ["a", "b", "c"]
+        assert "b" in s
+        assert "z" not in s
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_repr_shows_types(self):
+        assert "a:int" in repr(Schema([("a", int)]))
+
+
+class TestSchemaAccess:
+    def test_position(self):
+        s = Schema(["a", "b"])
+        assert s.position("b") == 1
+
+    def test_positions(self):
+        s = Schema(["a", "b", "c"])
+        assert s.positions(["c", "a"]) == (2, 0)
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError) as exc:
+            Schema(["a"]).position("z")
+        assert "z" in str(exc.value)
+        assert "a" in str(exc.value)
+
+
+class TestSchemaTransforms:
+    def test_project_reorders(self):
+        s = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert s.names == ("c", "a")
+
+    def test_rename(self):
+        s = Schema(["a", "b"]).rename({"a": "x"})
+        assert s.names == ("x", "b")
+
+    def test_rename_unknown_raises(self):
+        with pytest.raises(UnknownColumnError):
+            Schema(["a"]).rename({"z": "x"})
+
+    def test_prefixed(self):
+        s = Schema(["a", "b"]).prefixed("R")
+        assert s.names == ("R.a", "R.b")
+
+    def test_concat(self):
+        s = Schema(["a"]).concat(Schema(["b"]))
+        assert s.names == ("a", "b")
+
+    def test_concat_conflict_raises(self):
+        with pytest.raises(DuplicateColumnError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_extend(self):
+        s = Schema(["a"]).extend([("w", float)])
+        assert s.names == ("a", "w")
+
+
+class TestValidation:
+    def test_validate_ok(self):
+        Schema([("a", int), "b"]).validate_row((1, "x"))
+
+    def test_validate_arity(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "b"]).validate_row((1,))
+
+    def test_validate_type(self):
+        with pytest.raises(SchemaError) as exc:
+            Schema([("a", int)]).validate_row(("bad",))
+        assert "a" in str(exc.value)

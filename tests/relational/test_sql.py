@@ -1,0 +1,372 @@
+"""Tests for the mini-SQL front end: lexer, parser, compiler, execution."""
+
+import pytest
+
+from repro.errors import PlanError, UnknownColumnError
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.sql import SqlSyntaxError, execute_sql, parse, tokenize
+from repro.relational.sql.ast import Binary, Call, ColumnName, Literal
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.register(
+        "emp",
+        Relation.from_rows(
+            ["dept", "name", "salary"],
+            [("eng", "ann", 120), ("eng", "bob", 100), ("ops", "cid", 90),
+             ("ops", "dee", None)],
+        ),
+    )
+    c.register("sites", Relation.from_rows(["d", "city"], [("eng", "sea"), ("ops", "pdx")]))
+    return c
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select From WHERE")]
+        assert kinds[:3] == ["keyword"] * 3
+
+    def test_string_literal_with_escape(self):
+        tokens = tokenize("SELECT 'o''brien'")
+        assert tokens[1].value == "o'brien"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "0.125"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT a -- comment here\nFROM t")
+        assert [t.value for t in tokens[:4]] == ["SELECT", "a", "FROM", "t"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_multichar_operators(self):
+        values = [t.value for t in tokenize("a <= b >= c <> d")]
+        assert "<=" in values and ">=" in values and "<>" in values
+
+
+class TestParser:
+    def test_simple(self):
+        stmt = parse("SELECT a, b FROM t")
+        assert [i.expr.name for i in stmt.items] == ["a", "b"]
+        assert stmt.table.table == "t"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert len(stmt.items) == 1
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.table.alias == "u"
+
+    def test_join_on_conjunction(self):
+        stmt = parse("SELECT * FROM r JOIN s ON r.a = s.a AND r.b = s.b")
+        assert len(stmt.joins) == 1
+        assert len(stmt.joins[0].on) == 2
+
+    def test_join_requires_equality(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM r JOIN s ON r.a < s.a")
+
+    def test_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1 "
+            "ORDER BY n DESC, a LIMIT 5"
+        )
+        assert stmt.group_by[0].name == "a"
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+
+    def test_expression_precedence(self):
+        stmt = parse("SELECT * FROM t WHERE a + b * 2 >= 10 AND c = 'x' OR d = 1")
+        # OR at the top
+        assert isinstance(stmt.where, Binary) and stmt.where.op == "OR"
+        left = stmt.where.left
+        assert left.op == "AND"
+
+    def test_is_null(self):
+        stmt = parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+        assert stmt.where.left.op == "ISNULL"
+        assert stmt.where.right.op == "ISNOTNULL"
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, Call) and call.star
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t extra, tokens")
+
+    def test_literals(self):
+        stmt = parse("SELECT * FROM t WHERE a = 'str' AND b = 2 AND c = TRUE AND d = NULL")
+        comparisons = []
+
+        def walk(e):
+            if isinstance(e, Binary):
+                if e.op == "=":
+                    comparisons.append(e.right)
+                else:
+                    walk(e.left)
+                    walk(e.right)
+
+        walk(stmt.where)
+        values = [c.value for c in comparisons if isinstance(c, Literal)]
+        assert "str" in values and 2 in values and True in values and None in values
+
+
+class TestExecution:
+    def test_projection_and_where(self, catalog):
+        out = execute_sql(catalog, "SELECT name FROM emp WHERE salary >= 100")
+        assert sorted(out.column_values("name")) == ["ann", "bob"]
+
+    def test_star(self, catalog):
+        out = execute_sql(catalog, "SELECT * FROM emp")
+        assert out.num_rows == 4
+        assert out.column_names == ("dept", "name", "salary")
+
+    def test_derived_column(self, catalog):
+        out = execute_sql(
+            catalog, "SELECT name, salary * 2 AS double FROM emp WHERE salary = 90"
+        )
+        assert out.rows == (("cid", 180),)
+
+    def test_order_and_limit(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT name FROM emp WHERE salary IS NOT NULL "
+            "ORDER BY salary DESC LIMIT 2",
+        )
+        assert out.column_values("name") == ("ann", "bob")
+
+    def test_distinct(self, catalog):
+        out = execute_sql(catalog, "SELECT DISTINCT dept FROM emp")
+        assert out.num_rows == 2
+
+    def test_is_null(self, catalog):
+        out = execute_sql(catalog, "SELECT name FROM emp WHERE salary IS NULL")
+        assert out.column_values("name") == ("dee",)
+
+    def test_scalar_functions(self, catalog):
+        out = execute_sql(
+            catalog, "SELECT UPPER(name) AS u, LENGTH(dept) AS l FROM emp LIMIT 1"
+        )
+        assert out.rows == (("ANN", 3),)
+
+    def test_string_comparison(self, catalog):
+        out = execute_sql(catalog, "SELECT name FROM emp WHERE dept = 'ops'")
+        assert sorted(out.column_values("name")) == ["cid", "dee"]
+
+
+class TestJoins:
+    def test_equi_join_with_aliases(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT e.name, s.city FROM emp e JOIN sites s ON e.dept = s.d",
+        )
+        assert out.num_rows == 4
+        assert ("ann", "sea") in out.rows
+
+    def test_self_join(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT a.name AS n1, b.name AS n2 FROM emp a JOIN emp b "
+            "ON a.dept = b.dept WHERE a.name <> b.name",
+        )
+        # eng: ann-bob both directions; ops: cid-dee both directions.
+        assert out.num_rows == 4
+
+    def test_ambiguous_unqualified_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            execute_sql(
+                catalog,
+                "SELECT name FROM emp a JOIN emp b ON a.dept = b.dept",
+            )
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(UnknownColumnError):
+            execute_sql(catalog, "SELECT bogus FROM emp")
+
+
+class TestAggregates:
+    def test_group_by_sum(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT dept, SUM(salary) AS payroll FROM emp "
+            "WHERE salary IS NOT NULL GROUP BY dept ORDER BY dept",
+        )
+        assert out.rows == (("eng", 220), ("ops", 90))
+
+    def test_having_with_aggregate_call(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) >= 2",
+        )
+        assert sorted(out.column_values("dept")) == ["eng", "ops"]
+
+    def test_global_aggregate(self, catalog):
+        out = execute_sql(catalog, "SELECT COUNT(*) AS n, MIN(salary) AS lo FROM emp")
+        assert out.rows == ((4, 90),)
+
+    def test_count_expr_skips_null(self, catalog):
+        out = execute_sql(catalog, "SELECT COUNT(salary) AS n FROM emp")
+        assert out.rows == ((3,),)
+
+    def test_avg(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT AVG(salary) AS mean FROM emp WHERE salary IS NOT NULL",
+        )
+        assert out.rows[0][0] == pytest.approx(310 / 3)
+
+    def test_non_key_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            execute_sql(catalog, "SELECT name, COUNT(*) FROM emp GROUP BY dept")
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            execute_sql(catalog, "SELECT dept FROM emp WHERE SUM(salary) > 1")
+
+
+class TestFigure7AsSql:
+    """The paper's basic SSJoin plan, expressed as the SQL it describes."""
+
+    def test_basic_ssjoin_sql(self):
+        from repro.core.prepared import PreparedRelation
+        from repro.tokenize.qgrams import qgrams
+
+        prepared = PreparedRelation.from_strings(
+            ["Microsoft Corp", "Mcrosoft Corp", "Oracle Corp"],
+            lambda s: qgrams(s, 3),
+            norm="length",
+        )
+        c = Catalog()
+        # SQL needs plain string keys: serialize the ordinal elements.
+        rows = [
+            (a, repr(b), w)
+            for a, b, w, _ in prepared.relation.rows
+        ]
+        c.register("tokens", Relation.from_rows(["a", "b", "w"], rows))
+        out = execute_sql(
+            c,
+            "SELECT r.a AS a_r, s.a AS a_s, SUM(r.w) AS overlap "
+            "FROM tokens r JOIN tokens s ON r.b = s.b "
+            "GROUP BY r.a, s.a "
+            "HAVING SUM(r.w) >= 10",
+        )
+        pairs = {(row[0], row[1]) for row in out.rows if row[0] != row[1]}
+        assert pairs == {
+            ("Microsoft Corp", "Mcrosoft Corp"),
+            ("Mcrosoft Corp", "Microsoft Corp"),
+        }
+
+    def test_sql_matches_operator(self):
+        """The SQL formulation and basic_ssjoin return identical pairs."""
+        from repro.core.basic import basic_ssjoin
+        from repro.core.predicate import OverlapPredicate
+        from repro.core.prepared import PreparedRelation
+        from repro.tokenize.words import words
+
+        values = ["a b c", "a b d", "x y", "x y z"]
+        prepared = PreparedRelation.from_strings(values, words)
+        c = Catalog()
+        rows = [(a, repr(b), w) for a, b, w, _ in prepared.relation.rows]
+        c.register("tokens", Relation.from_rows(["a", "b", "w"], rows))
+        out = execute_sql(
+            c,
+            "SELECT r.a AS a_r, s.a AS a_s, SUM(r.w) AS overlap "
+            "FROM tokens r JOIN tokens s ON r.b = s.b "
+            "GROUP BY r.a, s.a HAVING SUM(r.w) >= 2",
+        )
+        sql_pairs = {(row[0], row[1]) for row in out.rows}
+        op = basic_ssjoin(prepared, prepared, OverlapPredicate.absolute(2.0))
+        op_pairs = {(row[0], row[1]) for row in op.rows}
+        assert sql_pairs == op_pairs
+
+
+class TestLeftJoinSql:
+    def test_left_join(self, catalog):
+        out = execute_sql(
+            catalog,
+            "SELECT e.name, s.city FROM emp e LEFT JOIN sites s ON e.dept = s.d "
+            "ORDER BY name",
+        )
+        assert out.num_rows == 4
+        assert all(len(r) == 2 for r in out.rows)
+
+    def test_left_outer_join_null_filter(self, catalog):
+        c2 = Catalog()
+        c2.register("emp", Relation.from_rows(["dept", "name"],
+                                              [("eng", "ann"), ("hr", "zed")]))
+        c2.register("sites", Relation.from_rows(["d", "city"], [("eng", "sea")]))
+        out = execute_sql(
+            c2,
+            "SELECT e.name FROM emp e LEFT OUTER JOIN sites s ON e.dept = s.d "
+            "WHERE s.city IS NULL",
+        )
+        assert out.rows == (("zed",),)
+
+
+class TestInAndBetween:
+    @pytest.fixture
+    def values(self):
+        c = Catalog()
+        c.register("t", Relation.from_rows(
+            ["a", "w"], [("x", 1), ("y", 5), ("z", 9), ("q", None)]
+        ))
+        return c
+
+    def test_in_list(self, values):
+        out = execute_sql(values, "SELECT a FROM t WHERE a IN ('x','z') ORDER BY a")
+        assert out.rows == (("x",), ("z",))
+
+    def test_not_in(self, values):
+        out = execute_sql(values, "SELECT a FROM t WHERE a NOT IN ('x','z') ORDER BY a")
+        assert out.rows == (("q",), ("y",))
+
+    def test_in_with_expressions(self, values):
+        out = execute_sql(values, "SELECT a FROM t WHERE w IN (1, 4+5) ORDER BY a")
+        assert out.rows == (("x",), ("z",))
+
+    def test_null_never_in(self, values):
+        out = execute_sql(values, "SELECT a FROM t WHERE w IN (1, 5, 9)")
+        assert ("q",) not in out.rows
+
+    def test_between(self, values):
+        out = execute_sql(values, "SELECT a FROM t WHERE w BETWEEN 2 AND 9 ORDER BY a")
+        assert out.rows == (("y",), ("z",))
+
+    def test_between_inclusive(self, values):
+        out = execute_sql(values, "SELECT a FROM t WHERE w BETWEEN 1 AND 1")
+        assert out.rows == (("x",),)
+
+    def test_not_between_flattened_null_semantics(self, values):
+        """Documented divergence: flattened 3VL admits NULL under NOT."""
+        out = execute_sql(
+            values, "SELECT a FROM t WHERE w NOT BETWEEN 2 AND 9 ORDER BY a"
+        )
+        assert out.rows == (("q",), ("x",))
+
+    def test_not_without_in_or_between_is_error(self, values):
+        with pytest.raises(SqlSyntaxError):
+            execute_sql(values, "SELECT a FROM t WHERE a NOT 5")
+
+    def test_in_parses_inside_conjunction(self, values):
+        out = execute_sql(
+            values,
+            "SELECT a FROM t WHERE a IN ('x','y') AND w BETWEEN 0 AND 2",
+        )
+        assert out.rows == (("x",),)

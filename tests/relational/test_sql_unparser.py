@@ -1,0 +1,138 @@
+"""Round-trip property tests: parse(to_sql(ast)) must reproduce the AST."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.sql.ast import (
+    Binary,
+    Call,
+    ColumnName,
+    JoinClause,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    Unary,
+)
+from repro.relational.sql.parser import parse
+from repro.relational.sql.unparser import expr_to_sql, to_sql
+
+NAMES = st.sampled_from(["a", "b", "c", "w", "total"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 3:
+        choice = draw(st.sampled_from(["col", "lit"]))
+    else:
+        choice = draw(
+            st.sampled_from(["col", "lit", "binary", "not", "isnull", "in"])
+        )
+    if choice == "col":
+        qualifier = draw(st.sampled_from([None, "t", "u"]))
+        return ColumnName(draw(NAMES), qualifier=qualifier)
+    if choice == "lit":
+        return Literal(
+            draw(st.one_of(st.integers(-9, 9), st.sampled_from(["x", "y z"]),
+                           st.booleans(), st.none()))
+        )
+    if choice == "binary":
+        op = draw(st.sampled_from(["OR", "AND", "=", "<", ">=", "+", "*", "-"]))
+        return Binary(op, draw(exprs(depth + 1)), draw(exprs(depth + 1)))
+    if choice == "not":
+        return Unary("NOT", draw(exprs(depth + 1)))
+    if choice == "isnull":
+        kind = draw(st.sampled_from(["ISNULL", "ISNOTNULL"]))
+        return Unary(kind, ColumnName(draw(NAMES)))
+    members = draw(st.lists(st.integers(0, 9), min_size=1, max_size=3))
+    return Call(
+        "__IN__",
+        tuple([ColumnName(draw(NAMES))] + [Literal(v) for v in members]),
+    )
+
+
+@st.composite
+def statements(draw):
+    use_aggregates = draw(st.booleans())
+    if use_aggregates:
+        group_cols = draw(st.lists(NAMES, min_size=1, max_size=2, unique=True))
+        items = [SelectItem(ColumnName(c)) for c in group_cols]
+        items.append(
+            SelectItem(Call("SUM", (ColumnName(draw(NAMES)),)), alias="total")
+        )
+        group_by = [ColumnName(c) for c in group_cols]
+        having = draw(st.one_of(st.none(), st.just(
+            Binary(">=", ColumnName("total"), Literal(draw(st.integers(0, 5))))
+        )))
+    else:
+        cols = draw(st.lists(NAMES, min_size=1, max_size=3, unique=True))
+        items = [SelectItem(ColumnName(c)) for c in cols]
+        group_by, having = [], None
+
+    joins = []
+    if draw(st.booleans()):
+        joins.append(
+            JoinClause(
+                TableRef("u", None),
+                ((ColumnName("a", "t"), ColumnName("a", "u")),),
+                outer=draw(st.booleans()),
+            )
+        )
+    where = draw(st.one_of(st.none(), exprs()))
+    order_by = [
+        OrderItem(ColumnName(c), descending=draw(st.booleans()))
+        for c in draw(st.lists(NAMES, max_size=2, unique=True))
+    ]
+    limit = draw(st.one_of(st.none(), st.integers(0, 99)))
+    return SelectStatement(
+        items=items,
+        table=TableRef("t", "t" if joins else None),
+        joins=joins,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+        distinct=draw(st.booleans()) and not use_aggregates,
+    )
+
+
+class TestExpressionRoundTrip:
+    @given(exprs())
+    @settings(max_examples=300, deadline=None)
+    def test_expr_round_trip(self, expr):
+        sql = f"SELECT a FROM t WHERE {expr_to_sql(expr)}"
+        reparsed = parse(sql).where
+        assert reparsed == expr, f"{expr_to_sql(expr)!r} reparsed as {reparsed!r}"
+
+    def test_precedence_parens(self):
+        # (a OR b) AND c must keep its parentheses.
+        expr = Binary("AND", Binary("OR", ColumnName("a"), ColumnName("b")),
+                      ColumnName("c"))
+        text = expr_to_sql(expr)
+        assert text == "(a OR b) AND c"
+        assert parse(f"SELECT a FROM t WHERE {text}").where == expr
+
+    def test_string_escaping(self):
+        expr = Binary("=", ColumnName("a"), Literal("o'brien"))
+        text = expr_to_sql(expr)
+        assert "''" in text
+        assert parse(f"SELECT a FROM t WHERE {text}").where == expr
+
+
+class TestStatementRoundTrip:
+    @given(statements())
+    @settings(max_examples=200, deadline=None)
+    def test_statement_round_trip(self, statement):
+        sql = to_sql(statement)
+        assert parse(sql) == statement, sql
+
+    def test_doc_example(self):
+        sql = "SELECT a, SUM(w) AS total FROM t GROUP BY a HAVING SUM(w) >= 5"
+        assert to_sql(parse(sql)) == sql
+
+    def test_left_join_rendered(self):
+        sql = "SELECT a FROM t t LEFT JOIN u ON t.a = u.a"
+        assert to_sql(parse(sql)) == sql

@@ -1,0 +1,131 @@
+"""Unit tests for statistics and the catalog."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateTableError, UnknownTableError
+from repro.relational.catalog import Catalog
+from repro.relational.joins import hash_join
+from repro.relational.relation import Relation
+from repro.relational.stats import (
+    ColumnStats,
+    TableStats,
+    estimate_equijoin_size,
+    estimate_self_equijoin_size,
+)
+
+
+@pytest.fixture
+def tokens():
+    return Relation.from_rows(
+        ["t"], [("the",), ("the",), ("the",), ("inc",), ("acme",), (None,)]
+    )
+
+
+class TestColumnStats:
+    def test_counts(self, tokens):
+        s = ColumnStats.from_relation(tokens, "t")
+        assert s.num_rows == 5  # nulls excluded
+        assert s.num_distinct == 3
+        assert s.frequencies["the"] == 3
+
+    def test_max_mean_skew(self, tokens):
+        s = ColumnStats.from_relation(tokens, "t")
+        assert s.max_frequency == 3
+        assert s.mean_frequency == pytest.approx(5 / 3)
+        assert s.skew() == pytest.approx(3 / (5 / 3))
+
+    def test_top_k(self, tokens):
+        s = ColumnStats.from_relation(tokens, "t")
+        assert s.top_k(1) == (("the", 3),)
+
+    def test_entropy_uniform_is_log_n(self):
+        r = Relation.from_rows(["t"], [("a",), ("b",), ("c",), ("d",)])
+        s = ColumnStats.from_relation(r, "t")
+        assert s.entropy() == pytest.approx(2.0)
+
+    def test_empty_column(self):
+        s = ColumnStats.from_relation(Relation.empty(["t"]), "t")
+        assert s.max_frequency == 0
+        assert s.mean_frequency == 0.0
+        assert s.skew() == 0.0
+        assert s.entropy() == 0.0
+
+
+class TestJoinSizeEstimates:
+    def test_exactness_vs_real_join(self, tokens):
+        other = Relation.from_rows(["t2"], [("the",), ("inc",), ("inc",), ("xyz",)])
+        ls = ColumnStats.from_relation(tokens, "t")
+        rs = ColumnStats.from_relation(other, "t2")
+        joined = hash_join(tokens, other, keys=[("t", "t2")])
+        assert estimate_equijoin_size(ls, rs) == joined.num_rows
+
+    def test_self_join_size(self, tokens):
+        s = ColumnStats.from_relation(tokens, "t")
+        assert estimate_self_equijoin_size(s) == 9 + 1 + 1
+
+    @given(
+        st.lists(st.sampled_from("abcde"), max_size=30),
+        st.lists(st.sampled_from("abcde"), max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_always_exact(self, lvals, rvals):
+        left = Relation.from_rows(["t"], [(v,) for v in lvals])
+        right = Relation.from_rows(["t2"], [(v,) for v in rvals])
+        ls = ColumnStats.from_relation(left, "t")
+        rs = ColumnStats.from_relation(right, "t2")
+        joined = hash_join(left, right, keys=[("t", "t2")])
+        assert estimate_equijoin_size(ls, rs) == joined.num_rows
+
+
+class TestTableStats:
+    def test_lazily_cached(self, tokens):
+        ts = TableStats(tokens)
+        first = ts.column("t")
+        assert ts.column("t") is first
+        assert ts.num_rows == 6
+
+
+class TestCatalog:
+    def test_register_get(self, tokens):
+        c = Catalog()
+        c.register("tok", tokens)
+        assert c.get("tok").name == "tok"
+        assert "tok" in c
+        assert len(c) == 1
+
+    def test_duplicate_register(self, tokens):
+        c = Catalog()
+        c.register("tok", tokens)
+        with pytest.raises(DuplicateTableError):
+            c.register("tok", tokens)
+        c.register("tok", tokens, replace=True)  # allowed
+
+    def test_unknown_get_drop(self):
+        c = Catalog()
+        with pytest.raises(UnknownTableError):
+            c.get("zzz")
+        with pytest.raises(UnknownTableError):
+            c.drop("zzz")
+
+    def test_drop_clears_stats(self, tokens):
+        c = Catalog()
+        c.register("tok", tokens)
+        c.stats("tok")
+        c.drop("tok")
+        assert "tok" not in c
+
+    def test_stats_cached_until_replace(self, tokens):
+        c = Catalog()
+        c.register("tok", tokens)
+        s1 = c.stats("tok")
+        assert c.stats("tok") is s1
+        c.register("tok", tokens, replace=True)
+        assert c.stats("tok") is not s1
+
+    def test_names_sorted(self, tokens):
+        c = Catalog()
+        c.register("b", tokens)
+        c.register("a", tokens)
+        assert c.names() == ("a", "b")

@@ -1,0 +1,53 @@
+"""Unit tests for cosine similarity over token vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cosine import cosine_vectors, string_cosine
+from repro.tokenize.weights import TableWeights
+
+vectors = st.dictionaries(
+    st.sampled_from("abcde"),
+    st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    max_size=5,
+)
+
+
+class TestCosineVectors:
+    def test_identical(self):
+        assert cosine_vectors({"a": 2.0}, {"a": 2.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_vectors({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        u = {"a": 1.0, "b": 2.0}
+        v = {"a": 10.0, "b": 20.0}
+        assert cosine_vectors(u, v) == pytest.approx(1.0)
+
+    def test_empty_conventions(self):
+        assert cosine_vectors({}, {}) == 1.0
+        assert cosine_vectors({}, {"a": 1.0}) == 0.0
+
+    @given(vectors, vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_and_bounded(self, u, v):
+        s = cosine_vectors(u, v)
+        assert s == pytest.approx(cosine_vectors(v, u))
+        assert -1e-9 <= s <= 1.0 + 1e-9
+
+
+class TestStringCosine:
+    def test_identical_strings(self):
+        assert string_cosine("microsoft corp", "microsoft corp") == pytest.approx(1.0)
+
+    def test_term_frequency_counts(self):
+        # 'the the' vs 'the' point the same direction -> cosine 1.
+        assert string_cosine("the the", "the") == pytest.approx(1.0)
+
+    def test_weighted(self):
+        w = TableWeights({"rare": 10.0}, default=1.0)
+        weighted = string_cosine("rare common", "rare other", weights=w)
+        unweighted = string_cosine("rare common", "rare other")
+        assert weighted > unweighted

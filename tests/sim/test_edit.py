@@ -1,0 +1,118 @@
+"""Unit + property tests for edit distance / edit similarity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.edit import (
+    edit_distance,
+    edit_distance_within,
+    edit_similarity,
+    edit_similarity_at_least,
+)
+
+short_text = st.text(alphabet="abcd", max_size=12)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,d",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("microsoft", "mcrosoft", 1),
+            ("microsoft corp", "mcrosoft corp", 1),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, d):
+        assert edit_distance(a, b) == d
+
+    @given(short_text, short_text)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(short_text, short_text)
+    @settings(max_examples=150, deadline=None)
+    def test_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(short_text)
+    @settings(max_examples=50, deadline=None)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+
+class TestEditDistanceWithin:
+    def test_within_returns_distance(self):
+        assert edit_distance_within("kitten", "sitting", 3) == 3
+
+    def test_exceeding_returns_none(self):
+        assert edit_distance_within("kitten", "sitting", 2) is None
+
+    def test_negative_budget(self):
+        assert edit_distance_within("a", "a", -1) is None
+
+    def test_length_gap_short_circuit(self):
+        assert edit_distance_within("a", "abcdef", 2) is None
+
+    def test_zero_budget_equal_strings(self):
+        assert edit_distance_within("same", "same", 0) == 0
+
+    def test_empty_vs_short(self):
+        assert edit_distance_within("", "ab", 2) == 2
+        assert edit_distance_within("", "ab", 1) is None
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_full_dp(self, a, b, k):
+        full = edit_distance(a, b)
+        banded = edit_distance_within(a, b, k)
+        if full <= k:
+            assert banded == full
+        else:
+            assert banded is None
+
+
+class TestEditSimilarity:
+    def test_definition(self):
+        # ES = 1 - ED/max(len): paper Definition 2.
+        assert edit_similarity("microsoft", "mcrosoft") == pytest.approx(1 - 1 / 9)
+
+    def test_identical(self):
+        assert edit_similarity("x", "x") == 1.0
+
+    def test_both_empty(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_disjoint(self):
+        assert edit_similarity("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=100, deadline=None)
+    def test_in_unit_interval(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0
+
+
+class TestThresholdedSimilarity:
+    @given(short_text, short_text, st.sampled_from([0.5, 0.8, 0.9, 1.0]))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_exact_computation(self, a, b, threshold):
+        expected = edit_similarity(a, b) + 1e-12 >= threshold
+        # The integer edit budget floors (1-t)*maxlen, which is exactly the
+        # equivalence ES >= t <=> ED <= floor((1-t)*maxlen).
+        assert edit_similarity_at_least(a, b, threshold) == expected
+
+    def test_empty_strings_similar(self):
+        assert edit_similarity_at_least("", "", 1.0)

@@ -1,0 +1,90 @@
+"""Unit + property tests for generalized edit similarity (Definition 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.ges import ges, normalized_edit_distance, transformation_cost
+from repro.tokenize.weights import TableWeights
+
+phrases = st.lists(st.sampled_from(["micro", "soft", "corp", "inc", "x"]), max_size=5).map(
+    " ".join
+)
+
+
+class TestNormalizedEditDistance:
+    def test_range(self):
+        assert normalized_edit_distance("abc", "abc") == 0.0
+        assert normalized_edit_distance("abc", "xyz") == 1.0
+
+    def test_both_empty(self):
+        assert normalized_edit_distance("", "") == 0.0
+
+    def test_partial(self):
+        assert normalized_edit_distance("microsoft", "mcrosoft") == pytest.approx(1 / 9)
+
+
+class TestTransformationCost:
+    def test_identical_is_free(self):
+        assert transformation_cost(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_pure_insertions(self):
+        assert transformation_cost([], ["a", "b"]) == 2.0
+
+    def test_pure_deletions(self):
+        assert transformation_cost(["a", "b"], []) == 2.0
+
+    def test_replacement_cheaper_than_delete_insert(self):
+        # 'microsoft' -> 'microsift': ed 1/9, so replace costs 1/9 < 2.
+        cost = transformation_cost(["microsoft"], ["microsift"])
+        assert cost == pytest.approx(1 / 9)
+
+    def test_weights_scale_costs(self):
+        w = TableWeights({"a": 10.0}, default=1.0)
+        assert transformation_cost(["a"], [], weights=w) == 10.0
+
+    def test_chooses_min_alignment(self):
+        # Aligning 'corp' with 'corp' and replacing only the first token
+        # beats deleting+inserting everything.
+        cost = transformation_cost(["microsoft", "corp"], ["mcrosoft", "corp"])
+        assert cost == pytest.approx(normalized_edit_distance("microsoft", "mcrosoft"))
+
+
+class TestGES:
+    def test_identity(self):
+        assert ges("microsoft corp", "microsoft corp") == pytest.approx(1.0)
+
+    def test_empty_source(self):
+        assert ges("", "anything") == 0.0
+        assert ges("", "") == 1.0
+
+    def test_paper_motivation(self):
+        """'microsoft corp' should be closer to 'microsft corporation' under
+        GES-style reasoning than plain Jaccard would say, because 'microsoft'
+        and 'microsft' are cheap replacements."""
+        close = ges("microsoft corp", "microsft corp")
+        far = ges("microsoft corp", "oracle systems")
+        assert close > 0.9
+        assert far < 0.3
+
+    def test_weights_change_score(self):
+        w = TableWeights({"corp": 0.1}, default=1.0)
+        # Dropping a low-weight token barely hurts.
+        assert ges("microsoft corp", "microsoft", weights=w) > ges(
+            "microsoft corp", "microsoft"
+        )
+
+    def test_asymmetry(self):
+        # Normalized by the source's weight: directions can differ.
+        a, b = "microsoft", "microsoft corp extra tokens"
+        assert ges(a, b) != ges(b, a)
+
+    @given(phrases, phrases)
+    @settings(max_examples=100, deadline=None)
+    def test_unit_interval(self, a, b):
+        assert 0.0 <= ges(a, b) <= 1.0
+
+    @given(phrases)
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity(self, a):
+        assert ges(a, a) == pytest.approx(1.0)

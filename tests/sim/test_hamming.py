@@ -1,0 +1,57 @@
+"""Unit tests for hamming distances and the overlap reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.sim.hamming import hamming_overlap_bound, set_hamming, string_hamming
+from repro.tokenize.sets import WeightedSet
+
+
+class TestStringHamming:
+    def test_known(self):
+        assert string_hamming("karolin", "kathrin") == 3
+
+    def test_identical(self):
+        assert string_hamming("abc", "abc") == 0
+
+    def test_empty(self):
+        assert string_hamming("", "") == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            string_hamming("ab", "abc")
+
+
+class TestSetHamming:
+    def test_symmetric_difference_weight(self):
+        a = WeightedSet({"x": 1.0, "y": 2.0})
+        b = WeightedSet({"y": 2.0, "z": 5.0})
+        assert set_hamming(a, b) == pytest.approx(6.0)
+
+    def test_identical_sets(self):
+        a = WeightedSet({"x": 1.0})
+        assert set_hamming(a, a) == 0.0
+
+    def test_disjoint(self):
+        a = WeightedSet({"x": 1.0})
+        b = WeightedSet({"y": 1.0})
+        assert set_hamming(a, b) == 2.0
+
+
+@st.composite
+def unit_sets(draw):
+    els = draw(st.sets(st.sampled_from("abcdefgh"), max_size=8))
+    return WeightedSet({e: 1.0 for e in els})
+
+
+class TestOverlapReduction:
+    @given(unit_sets(), unit_sets(), st.floats(min_value=0, max_value=10))
+    @settings(max_examples=150, deadline=None)
+    def test_reduction_equivalence(self, a, b, k):
+        """HD <= k  <=>  Overlap >= (wt(a)+wt(b)-k)/2 (exact, both ways)."""
+        hd_ok = set_hamming(a, b) <= k + 1e-9
+        bound = hamming_overlap_bound(a.norm, b.norm, k)
+        overlap_ok = a.overlap(b) + 1e-9 >= bound
+        assert hd_ok == overlap_ok

@@ -1,0 +1,47 @@
+"""Unit tests for string-level overlap/Jaccard scores."""
+
+import pytest
+
+from repro.sim.jaccard import (
+    string_jaccard_containment,
+    string_jaccard_resemblance,
+    string_overlap,
+)
+from repro.tokenize.qgrams import qgrams
+from repro.tokenize.weights import TableWeights
+
+
+class TestStringOverlap:
+    def test_word_overlap(self):
+        assert string_overlap("microsoft corp", "microsoft inc") == 1.0
+
+    def test_multiset_semantics(self):
+        # 'the' appears twice in both: multiset overlap counts both copies.
+        assert string_overlap("the the cat", "the the dog") == 2.0
+
+    def test_custom_tokenizer(self):
+        got = string_overlap("abcd", "bcde", tokenizer=lambda s: qgrams(s, 2))
+        assert got == 2.0  # shares 'bc', 'cd'
+
+    def test_weighted(self):
+        w = TableWeights({"microsoft": 5.0}, default=1.0)
+        assert string_overlap("microsoft corp", "microsoft inc", weights=w) == 5.0
+
+
+class TestContainmentAndResemblance:
+    def test_containment_asymmetric(self):
+        a, b = "microsoft corp", "microsoft corp redmond wa"
+        assert string_jaccard_containment(a, b) == 1.0
+        assert string_jaccard_containment(b, a) == pytest.approx(0.5)
+
+    def test_resemblance_symmetric(self):
+        a, b = "x y", "y z"
+        assert string_jaccard_resemblance(a, b) == string_jaccard_resemblance(b, a)
+        assert string_jaccard_resemblance(a, b) == pytest.approx(1 / 3)
+
+    def test_identical(self):
+        assert string_jaccard_resemblance("a b c", "a b c") == 1.0
+
+    def test_empty_strings(self):
+        assert string_jaccard_resemblance("", "") == 1.0
+        assert string_jaccard_containment("", "x") == 1.0  # vacuous containment

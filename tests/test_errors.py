@@ -1,0 +1,67 @@
+"""The exception hierarchy: structure and message quality."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SchemaError,
+            errors.UnknownColumnError,
+            errors.DuplicateColumnError,
+            errors.UnknownTableError,
+            errors.DuplicateTableError,
+            errors.PlanError,
+            errors.PredicateError,
+            errors.TokenizationError,
+            errors.WeightError,
+            errors.OptimizerError,
+            errors.BenchmarkConfigError,
+            errors.DataGenerationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_column_errors_are_schema_errors(self):
+        assert issubclass(errors.UnknownColumnError, errors.SchemaError)
+        assert issubclass(errors.DuplicateColumnError, errors.SchemaError)
+
+    def test_catch_all(self):
+        """One except clause catches every library error."""
+        from repro.relational.schema import Schema
+
+        with pytest.raises(errors.ReproError):
+            Schema(["a", "a"])
+
+
+class TestMessages:
+    def test_unknown_column_lists_available(self):
+        e = errors.UnknownColumnError("zzz", ("a", "b"))
+        assert "zzz" in str(e)
+        assert "a, b" in str(e)
+        assert e.column == "zzz"
+        assert e.available == ("a", "b")
+
+    def test_unknown_column_without_candidates(self):
+        e = errors.UnknownColumnError("zzz")
+        assert "available" not in str(e)
+
+    def test_duplicate_column_carries_name(self):
+        e = errors.DuplicateColumnError("x")
+        assert e.column == "x"
+
+    def test_table_errors_carry_name(self):
+        assert errors.UnknownTableError("t").table == "t"
+        assert errors.DuplicateTableError("t").table == "t"
+
+    def test_sql_syntax_error_is_plan_error(self):
+        from repro.relational.sql.lexer import SqlSyntaxError
+
+        e = SqlSyntaxError("boom", 5, "SELECT !")
+        assert isinstance(e, errors.PlanError)
+        assert "offset 5" in str(e)
+        assert e.position == 5

@@ -1,0 +1,147 @@
+"""Cross-module integration tests: full pipelines at moderate scale.
+
+These tie the layers together — data generation → preparation → operator →
+join → verification — and check the invariants that hold *across* modules
+(metrics consistency, implementation agreement, determinism end to end).
+"""
+
+import pytest
+
+from repro import (
+    OverlapPredicate,
+    PreparedRelation,
+    SSJoin,
+    cosine_join,
+    direct_join,
+    edit_similarity_join,
+    ges_join,
+    jaccard_resemblance_join,
+)
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.joins.jaccard_join import resolve_weights
+from repro.sim.edit import edit_similarity
+from repro.sim.ges import ges
+from repro.sim.jaccard import string_jaccard_resemblance
+from repro.tokenize.words import words
+
+IMPLEMENTATIONS = ("basic", "prefix", "inline", "probe")
+
+
+@pytest.fixture(scope="module")
+def addresses():
+    return generate_addresses(CustomerConfig(num_rows=200, seed=77))
+
+
+class TestAllImplementationsAgreeEndToEnd:
+    @pytest.mark.parametrize("threshold", [0.8, 0.9])
+    def test_edit_join_agreement(self, addresses, threshold):
+        results = {
+            impl: edit_similarity_join(addresses, threshold=threshold,
+                                       implementation=impl).pair_set()
+            for impl in IMPLEMENTATIONS
+        }
+        reference = results["basic"]
+        assert all(r == reference for r in results.values())
+
+    def test_jaccard_join_agreement_weighted(self, addresses):
+        results = {
+            impl: jaccard_resemblance_join(addresses, threshold=0.75,
+                                           weights="idf",
+                                           implementation=impl).pair_set()
+            for impl in IMPLEMENTATIONS
+        }
+        reference = results["basic"]
+        assert all(r == reference for r in results.values())
+
+
+class TestOracleAgreementAtScale:
+    def test_every_join_vs_oracle_on_one_corpus(self, addresses):
+        subset = addresses[:100]
+        cases = [
+            (
+                edit_similarity_join(subset, threshold=0.85),
+                direct_join(subset, similarity=edit_similarity, threshold=0.85),
+            ),
+            (
+                jaccard_resemblance_join(subset, threshold=0.7, weights=None),
+                direct_join(subset, similarity=string_jaccard_resemblance,
+                            threshold=0.7),
+            ),
+            (
+                ges_join(subset, threshold=0.85, weights=None),
+                direct_join(subset, similarity=ges, threshold=0.85, symmetric=False),
+            ),
+        ]
+        for got, expected in cases:
+            assert got.pair_set() == expected.pair_set()
+
+
+class TestMetricsInvariants:
+    @pytest.mark.parametrize("implementation", IMPLEMENTATIONS)
+    def test_counts_are_consistent(self, addresses, implementation):
+        res = jaccard_resemblance_join(
+            addresses, threshold=0.8, weights="idf", implementation=implementation
+        )
+        m = res.metrics
+        assert m.output_pairs <= m.candidate_pairs or implementation == "basic"
+        assert m.result_pairs <= m.output_pairs
+        assert m.prepared_rows > 0
+        assert m.total_seconds > 0
+        # every phase present is non-negative
+        assert all(s >= 0 for s in m.phase_seconds.values())
+
+    def test_prefix_rows_never_exceed_prepared(self, addresses):
+        res = jaccard_resemblance_join(
+            addresses, threshold=0.9, weights="idf", implementation="prefix"
+        )
+        assert res.metrics.prefix_rows <= res.metrics.prepared_rows
+
+
+class TestDeterminismEndToEnd:
+    def test_same_seed_same_join_output(self):
+        def run():
+            rows = generate_addresses(CustomerConfig(num_rows=150, seed=123))
+            return edit_similarity_join(rows, threshold=0.85).pair_set()
+
+        assert run() == run()
+
+    def test_operator_result_order_insensitive_to_impl(self, addresses):
+        table = resolve_weights("idf", words, addresses, addresses)
+        prepared = PreparedRelation.from_strings(
+            addresses, words, weights=table, norm="weight"
+        )
+        pred = OverlapPredicate.two_sided(0.85)
+        op = SSJoin(prepared, prepared, pred)
+        sets = [op.execute(i).pair_set() for i in IMPLEMENTATIONS]
+        assert all(s == sets[0] for s in sets)
+
+
+class TestUnicodeAndEdgeInputs:
+    def test_unicode_strings(self):
+        values = ["café münchen straße", "cafe münchen straße", "東京 渋谷区", "東京 渋谷"]
+        res = edit_similarity_join(values, threshold=0.7)
+        oracle = direct_join(values, similarity=edit_similarity, threshold=0.7)
+        assert res.pair_set() == oracle.pair_set()
+
+    def test_empty_and_whitespace_strings(self):
+        """Token-less strings never join (documented operator semantics);
+        the oracle agrees once restricted to non-empty token sets."""
+        values = ["", "   ", "real value", "real valu"]
+        res = jaccard_resemblance_join(values, threshold=0.5, weights=None)
+        oracle = direct_join(values, similarity=string_jaccard_resemblance,
+                             threshold=0.5)
+        tokenful = {
+            pair for pair in oracle.pair_set()
+            if words(pair[0]) and words(pair[1])
+        }
+        assert res.pair_set() == tokenful
+        assert ("", "   ") not in res.pair_set()
+
+    def test_single_string_input(self):
+        assert len(edit_similarity_join(["only one"], threshold=0.8)) == 0
+
+    def test_very_long_strings(self):
+        long_a = "token " * 200 + "end"
+        long_b = "token " * 200 + "end extra"
+        res = jaccard_resemblance_join([long_a, long_b], threshold=0.9, weights=None)
+        assert len(res) == 1

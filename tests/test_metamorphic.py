@@ -1,0 +1,153 @@
+"""Metamorphic properties of the similarity joins.
+
+These invariants hold for *any* correct filter-and-verify join and catch
+whole classes of bugs that example-based tests miss:
+
+* **threshold monotonicity** — raising the threshold can only shrink the
+  result;
+* **context independence** — adding unrelated strings to the input never
+  removes (or alters the scores of) existing pairs;
+* **duplicate invariance** — repeating an input string changes nothing
+  (joins operate on distinct values of A);
+* **permutation invariance** — input order is irrelevant;
+* **symmetry/asymmetry contracts** — symmetric functions report each
+  unordered pair once, asymmetric ones report directions independently.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.cosine_join import cosine_join
+from repro.joins.edit_join import edit_similarity_join
+from repro.joins.jaccard_join import jaccard_containment_join, jaccard_resemblance_join
+
+# Small string pools that generate plenty of near-duplicates.
+WORDS = ["main", "oak", "st", "ave", "seattle", "portland", "12", "99"]
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(min_value=0, max_value=8))
+    return [
+        " ".join(draw(st.lists(st.sampled_from(WORDS), min_size=1, max_size=5)))
+        for _ in range(n)
+    ]
+
+
+JOINS = {
+    "jaccard": lambda values, t: jaccard_resemblance_join(values, threshold=t, weights=None),
+    "containment": lambda values, t: jaccard_containment_join(values, threshold=t, weights=None),
+    "cosine": lambda values, t: cosine_join(values, threshold=t, weights=None),
+    "edit": lambda values, t: edit_similarity_join(values, threshold=t, q=2),
+}
+
+
+class TestThresholdMonotonicity:
+    @pytest.mark.parametrize("name", ["jaccard", "containment", "cosine"])
+    @given(corpus=corpora(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_higher_threshold_shrinks_result(self, name, corpus, data):
+        lo = data.draw(st.sampled_from([0.3, 0.5, 0.6]))
+        hi = data.draw(st.sampled_from([0.7, 0.85, 0.95]))
+        loose = JOINS[name](corpus, lo).pair_set()
+        tight = JOINS[name](corpus, hi).pair_set()
+        assert tight <= loose
+
+    @given(corpus=corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_edit_monotonicity(self, corpus):
+        loose = JOINS["edit"](corpus, 0.7).pair_set()
+        tight = JOINS["edit"](corpus, 0.9).pair_set()
+        assert tight <= loose
+
+
+class TestContextIndependence:
+    @pytest.mark.parametrize("name", ["jaccard", "containment", "cosine", "edit"])
+    @given(corpus=corpora(), extra=corpora())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_strings_never_removes_pairs(self, name, corpus, extra):
+        threshold = 0.7
+        before = JOINS[name](corpus, threshold).pair_set()
+        after = JOINS[name](corpus + extra, threshold).pair_set()
+        # Unweighted joins: scores don't depend on corpus statistics, so
+        # every original pair must survive.
+        assert before <= after
+
+
+class TestInputInvariances:
+    @pytest.mark.parametrize("name", list(JOINS))
+    @given(corpus=corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_duplicate_inputs_ignored(self, name, corpus):
+        threshold = 0.6
+        once = JOINS[name](corpus, threshold).pair_set()
+        doubled = JOINS[name](corpus + corpus, threshold).pair_set()
+        assert once == doubled
+
+    @pytest.mark.parametrize("name", list(JOINS))
+    @given(corpus=corpora(), seed=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance(self, name, corpus, seed):
+        import random
+
+        threshold = 0.6
+        shuffled = list(corpus)
+        random.Random(seed).shuffle(shuffled)
+        assert JOINS[name](corpus, threshold).pair_set() == JOINS[name](
+            shuffled, threshold
+        ).pair_set()
+
+
+class TestSymmetryContracts:
+    @given(corpus=corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_joins_report_each_pair_once(self, corpus):
+        res = jaccard_resemblance_join(corpus, threshold=0.5, weights=None)
+        pairs = res.pair_set()
+        for a, b in pairs:
+            assert (b, a) not in pairs or a == b
+
+    @given(corpus=corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_containment_directions_independent(self, corpus):
+        """JC(a,b) >= t does not imply JC(b,a) >= t; both directions must be
+        decided independently (per-direction oracle check)."""
+        from repro.sim.jaccard import string_jaccard_containment
+        from repro.tokenize.words import words as tokenize
+
+        res = jaccard_containment_join(corpus, threshold=0.8, weights=None)
+        pairs = res.pair_set()
+        distinct = [v for v in dict.fromkeys(corpus) if tokenize(v)]
+        for a in distinct:
+            for b in distinct:
+                if a == b:
+                    continue
+                expected = string_jaccard_containment(a, b) + 1e-9 >= 0.8
+                assert ((a, b) in pairs) == expected
+
+    @given(corpus=corpora())
+    @settings(max_examples=30, deadline=None)
+    def test_identity_pairs_never_reported(self, corpus):
+        for name in JOINS:
+            res = JOINS[name](corpus, 0.6)  # q=2 edit join needs t > 0.5
+            assert all(p.left != p.right for p in res.pairs)
+
+
+class TestScoreConsistency:
+    @given(corpus=corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_reported_scores_meet_threshold(self, corpus):
+        threshold = 0.6
+        for name in JOINS:
+            res = JOINS[name](corpus, threshold)
+            for pair in res.pairs:
+                assert pair.similarity + 1e-6 >= threshold
+
+    @given(corpus=corpora())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_bounded(self, corpus):
+        for name in JOINS:
+            res = JOINS[name](corpus, 0.6)  # q=2 edit join needs t > 0.5
+            for pair in res.pairs:
+                assert 0.0 <= pair.similarity <= 1.0 + 1e-9

@@ -1,0 +1,60 @@
+"""Unit + property tests for the multiset ordinal encoding (paper 4.3.1)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenize.elements import ordinal_decode, ordinal_encode
+
+tokens = st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=20)
+
+
+class TestOrdinalEncode:
+    def test_paper_example(self):
+        # {1, 1, 2} -> {<1,1>, <1,2>, <2,1>}
+        assert ordinal_encode([1, 1, 2]) == [(1, 1), (1, 2), (2, 1)]
+
+    def test_empty(self):
+        assert ordinal_encode([]) == []
+
+    def test_all_distinct(self):
+        assert ordinal_encode(["x", "y"]) == [("x", 1), ("y", 1)]
+
+    def test_encoding_is_a_set(self):
+        encoded = ordinal_encode(["a"] * 5 + ["b"] * 3)
+        assert len(set(encoded)) == len(encoded)
+
+    @given(tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_encoded_elements_always_distinct(self, toks):
+        encoded = ordinal_encode(toks)
+        assert len(set(encoded)) == len(encoded)
+
+    @given(tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_order_invariance_as_multiset(self, toks):
+        """Two orderings of the same multiset encode to the same SET."""
+        assert set(ordinal_encode(toks)) == set(ordinal_encode(sorted(toks)))
+
+    @given(tokens, tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_set_intersection_equals_multiset_intersection(self, t1, t2):
+        """The whole point of the encoding (Section 4.3.1)."""
+        e1, e2 = set(ordinal_encode(t1)), set(ordinal_encode(t2))
+        c1, c2 = Counter(t1), Counter(t2)
+        multiset_overlap = sum(min(c1[t], c2[t]) for t in c1)
+        assert len(e1 & e2) == multiset_overlap
+
+
+class TestOrdinalDecode:
+    def test_roundtrip_simple(self):
+        assert ordinal_decode([("a", 1), ("a", 2), ("b", 1)]) == ["a", "a", "b"]
+
+    def test_empty(self):
+        assert ordinal_decode([]) == []
+
+    @given(tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_preserves_multiset(self, toks):
+        assert Counter(ordinal_decode(ordinal_encode(toks))) == Counter(toks)

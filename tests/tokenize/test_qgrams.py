@@ -1,0 +1,83 @@
+"""Unit + property tests for q-gram tokenization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TokenizationError
+from repro.tokenize.qgrams import num_qgrams, padded_qgrams, positional_qgrams, qgrams
+
+text = st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=30)
+
+
+class TestQgrams:
+    def test_basic(self):
+        assert qgrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_shorter_than_q(self):
+        assert qgrams("ab", 3) == []
+
+    def test_exact_length(self):
+        assert qgrams("abc", 3) == ["abc"]
+
+    def test_lowercases_by_default(self):
+        assert qgrams("AB", 1) == ["a", "b"]
+
+    def test_preserves_case_on_request(self):
+        assert qgrams("AB", 1, lowercase=False) == ["A", "B"]
+
+    def test_duplicates_preserved(self):
+        assert qgrams("aaa", 2) == ["aa", "aa"]
+
+    def test_invalid_q(self):
+        with pytest.raises(TokenizationError):
+            qgrams("abc", 0)
+
+    @given(text, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_count_formula(self, s, q):
+        assert len(qgrams(s, q)) == num_qgrams(len(s), q)
+
+    @given(text, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_each_gram_has_length_q(self, s, q):
+        assert all(len(g) == q for g in qgrams(s, q))
+
+
+class TestPaddedQgrams:
+    def test_count(self):
+        # L + q - 1 grams
+        assert len(padded_qgrams("ab", 2)) == 3
+
+    def test_first_gram_ends_with_first_char(self):
+        grams = padded_qgrams("xyz", 3, lowercase=False)
+        assert grams[0].endswith("x")
+        assert grams[-1].startswith("z")
+
+    def test_empty_string(self):
+        # padding alone yields q-1 grams over sentinels for q >= 2
+        assert len(padded_qgrams("", 3)) == 2
+
+    @given(text.filter(lambda s: len(s) >= 1), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_count_formula(self, s, q):
+        assert len(padded_qgrams(s, q)) == len(s) + q - 1
+
+
+class TestPositionalQgrams:
+    def test_positions(self):
+        assert positional_qgrams("abcd", 2) == [(0, "ab"), (1, "bc"), (2, "cd")]
+
+    def test_empty(self):
+        assert positional_qgrams("a", 3) == []
+
+
+class TestNumQgrams:
+    def test_never_negative(self):
+        assert num_qgrams(0, 3) == 0
+        assert num_qgrams(2, 3) == 0
+        assert num_qgrams(5, 3) == 3
+
+    def test_invalid_q(self):
+        with pytest.raises(TokenizationError):
+            num_qgrams(5, 0)

@@ -1,0 +1,152 @@
+"""Unit + property tests for WeightedSet and its similarity identities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WeightError
+from repro.tokenize.sets import WeightedSet
+
+
+# A single global weight table: Section 2's model fixes one weight per
+# element of the universe, so both sets of a pair must agree on weights.
+_UNIVERSE_WEIGHTS = {
+    "a": 0.3, "b": 1.0, "c": 2.5, "d": 0.7, "e": 4.0, "f": 1.1, "g": 0.2, "h": 3.3,
+}
+
+
+@st.composite
+def weighted_sets(draw):
+    elements = draw(st.sets(st.sampled_from("abcdefgh"), max_size=8))
+    return WeightedSet({e: _UNIVERSE_WEIGHTS[e] for e in elements})
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = WeightedSet({"x": 1.0, "y": 2.0})
+        assert len(s) == 2
+        assert s.norm == pytest.approx(3.0)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(WeightError):
+            WeightedSet({"x": 0.0})
+        with pytest.raises(WeightError):
+            WeightedSet({"x": -1.0})
+
+    def test_from_elements_unit_weights(self):
+        s = WeightedSet.from_elements(["a", "b"])
+        assert s.norm == 2.0
+
+    def test_from_elements_weight_fn(self):
+        s = WeightedSet.from_elements(["a", "bb"], weight_fn=len)
+        assert s.weight("bb") == 2.0
+
+    def test_from_elements_rejects_duplicates(self):
+        with pytest.raises(WeightError):
+            WeightedSet.from_elements(["a", "a"])
+
+    def test_empty(self):
+        assert WeightedSet.empty().norm == 0.0
+
+
+class TestProtocol:
+    def test_contains_iter(self):
+        s = WeightedSet({"x": 1.0})
+        assert "x" in s
+        assert list(s) == ["x"]
+
+    def test_equality_and_hash(self):
+        a = WeightedSet({"x": 1.0, "y": 2.0})
+        b = WeightedSet({"y": 2.0, "x": 1.0})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_weight_absent_is_zero(self):
+        assert WeightedSet({"x": 1.0}).weight("z") == 0.0
+
+    def test_repr_truncates(self):
+        s = WeightedSet({c: 1.0 for c in "abcdefg"})
+        assert "…" in repr(s)
+
+
+class TestAlgebra:
+    def test_overlap(self):
+        a = WeightedSet({"x": 1.0, "y": 2.0})
+        b = WeightedSet({"y": 2.0, "z": 5.0})
+        assert a.overlap(b) == pytest.approx(2.0)
+
+    def test_intersection_union_difference(self):
+        a = WeightedSet({"x": 1.0, "y": 2.0})
+        b = WeightedSet({"y": 2.0, "z": 5.0})
+        assert a.intersection(b) == WeightedSet({"y": 2.0})
+        assert a.union(b).norm == pytest.approx(8.0)
+        assert a.difference(b) == WeightedSet({"x": 1.0})
+
+    def test_union_conflicting_weights_rejected(self):
+        a = WeightedSet({"x": 1.0})
+        b = WeightedSet({"x": 2.0})
+        with pytest.raises(WeightError):
+            a.union(b)
+
+    def test_restrict(self):
+        a = WeightedSet({"x": 1.0, "y": 2.0})
+        assert a.restrict(["y", "zzz"]) == WeightedSet({"y": 2.0})
+
+    def test_sorted_elements(self):
+        a = WeightedSet({"b": 1.0, "a": 1.0, "c": 1.0})
+        assert a.sorted_elements(lambda e: e) == ["a", "b", "c"]
+
+
+class TestSimilarities:
+    def test_containment_definition(self):
+        a = WeightedSet({"x": 1.0, "y": 3.0})
+        b = WeightedSet({"y": 3.0})
+        assert a.jaccard_containment(b) == pytest.approx(0.75)
+        assert b.jaccard_containment(a) == pytest.approx(1.0)
+
+    def test_resemblance_definition(self):
+        a = WeightedSet({"x": 1.0, "y": 1.0})
+        b = WeightedSet({"y": 1.0, "z": 2.0})
+        assert a.jaccard_resemblance(b) == pytest.approx(1.0 / 4.0)
+
+    def test_empty_conventions(self):
+        e = WeightedSet.empty()
+        assert e.jaccard_resemblance(e) == 1.0
+        assert e.jaccard_containment(WeightedSet({"x": 1.0})) == 1.0  # vacuous
+        assert e.dice(e) == 1.0
+
+
+class TestProperties:
+    @given(weighted_sets(), weighted_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlap(b) == pytest.approx(b.overlap(a))
+
+    @given(weighted_sets(), weighted_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_bounded_by_min_norm(self, a, b):
+        assert a.overlap(b) <= min(a.norm, b.norm) + 1e-9
+
+    @given(weighted_sets(), weighted_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_containment_at_least_resemblance(self, a, b):
+        """JC(s1,s2) >= JR(s1,s2) — the inequality Section 3.2 relies on."""
+        assert a.jaccard_containment(b) + 1e-9 >= a.jaccard_resemblance(b)
+
+    @given(weighted_sets(), weighted_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_union_norm_inclusion_exclusion(self, a, b):
+        assert a.union_norm(b) == pytest.approx(a.norm + b.norm - a.overlap(b))
+
+    @given(weighted_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_self_similarity_is_one(self, a):
+        if len(a):
+            assert a.jaccard_resemblance(a) == pytest.approx(1.0)
+            assert a.jaccard_containment(a) == pytest.approx(1.0)
+
+    @given(weighted_sets(), weighted_sets())
+    @settings(max_examples=100, deadline=None)
+    def test_scores_in_unit_interval(self, a, b):
+        for score in (a.jaccard_resemblance(b), a.jaccard_containment(b), a.dice(b)):
+            assert -1e-9 <= score <= 1.0 + 1e-9

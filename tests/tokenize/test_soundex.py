@@ -1,0 +1,55 @@
+"""Unit tests for American Soundex against the canonical reference codes."""
+
+import pytest
+
+from repro.tokenize.soundex import soundex
+
+
+class TestCanonicalCodes:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+            ("Washington", "W252"),
+            ("Lee", "L000"),
+            ("Gutierrez", "G362"),
+            ("Jackson", "J250"),
+        ],
+    )
+    def test_reference_codes(self, name, code):
+        assert soundex(name) == code
+
+
+class TestBehaviour:
+    def test_case_insensitive(self):
+        assert soundex("ROBERT") == soundex("robert")
+
+    def test_non_alpha_ignored(self):
+        assert soundex("O'Brien") == soundex("OBrien")
+
+    def test_empty_and_nonalpha(self):
+        assert soundex("") == ""
+        assert soundex("1234!") == ""
+
+    def test_padded_to_four(self):
+        assert len(soundex("Lee")) == 4
+
+    def test_truncated_to_four(self):
+        assert len(soundex("supercalifragilistic")) == 4
+
+    def test_hw_transparent(self):
+        # 'h' between letters of the same code group does not split them.
+        assert soundex("Ashcraft") == "A261"  # not A226
+
+    def test_vowel_separates_code_group(self):
+        # Same-code consonants separated by a vowel are coded twice.
+        assert soundex("Tymczak") == "T522"
+
+    def test_single_letter(self):
+        assert soundex("A") == "A000"

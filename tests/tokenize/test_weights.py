@@ -1,0 +1,88 @@
+"""Unit tests for weight tables (incl. the paper's exact IDF formula)."""
+
+import math
+
+import pytest
+
+from repro.errors import WeightError
+from repro.tokenize.weights import (
+    IDFWeights,
+    TableWeights,
+    UnitWeights,
+    build_weighted_set,
+)
+
+
+class TestUnitWeights:
+    def test_always_one(self):
+        u = UnitWeights()
+        assert u.weight("anything") == 1.0
+        assert u.element_weight(("tok", 3)) == 1.0
+
+
+class TestIDFWeights:
+    def test_paper_formula(self):
+        """w(t) = log((|R|+|S|)/f_t) with f_t = documents containing t."""
+        r_docs = [["the", "cat"], ["the", "dog"]]
+        s_docs = [["the", "fox"], ["lonely"]]
+        idf = IDFWeights.fit_two(r_docs, s_docs)
+        assert idf.num_documents == 4
+        assert idf.weight("the") == pytest.approx(math.log(4 / 3))
+        assert idf.weight("cat") == pytest.approx(math.log(4 / 1))
+
+    def test_token_repeated_in_doc_counts_once(self):
+        idf = IDFWeights.fit([["a", "a", "b"]])
+        assert idf.document_frequency["a"] == 1
+
+    def test_unseen_token_gets_max_weight(self):
+        idf = IDFWeights.fit([["a"], ["a"]])
+        assert idf.weight("zzz") == pytest.approx(math.log(2.0))
+
+    def test_ubiquitous_token_floored_positive(self):
+        idf = IDFWeights.fit([["a"], ["a"]])
+        assert idf.weight("a") == IDFWeights.MIN_WEIGHT
+        assert idf.weight("a") > 0
+
+    def test_ordinal_element_weight_uses_token(self):
+        idf = IDFWeights.fit([["a"], ["b"]])
+        assert idf.element_weight(("a", 2)) == idf.weight("a")
+
+    def test_rejects_non_positive_documents(self):
+        with pytest.raises(WeightError):
+            IDFWeights(0, {})
+
+    def test_rarer_token_weighs_more(self):
+        idf = IDFWeights.fit([["common", "rare"], ["common"], ["common"]])
+        assert idf.weight("rare") > idf.weight("common")
+
+
+class TestTableWeights:
+    def test_lookup_and_default(self):
+        t = TableWeights({"a": 3.0}, default=0.5)
+        assert t.weight("a") == 3.0
+        assert t.weight("z") == 0.5
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(WeightError):
+            TableWeights({"a": 0.0})
+        with pytest.raises(WeightError):
+            TableWeights({}, default=-1.0)
+
+
+class TestBuildWeightedSet:
+    def test_multiset_encodes_duplicates(self):
+        s = build_weighted_set(["a", "a", "b"])
+        assert ("a", 1) in s and ("a", 2) in s and ("b", 1) in s
+        assert s.norm == 3.0
+
+    def test_set_semantics_collapses(self):
+        s = build_weighted_set(["a", "a", "b"], multiset=False)
+        assert len(s) == 2
+
+    def test_weights_applied(self):
+        t = TableWeights({"a": 2.0})
+        s = build_weighted_set(["a", "a"], weights=t)
+        assert s.norm == pytest.approx(4.0)
+
+    def test_empty_tokens(self):
+        assert build_weighted_set([]).norm == 0.0

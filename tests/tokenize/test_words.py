@@ -1,0 +1,34 @@
+"""Unit tests for word tokenization."""
+
+from repro.tokenize.words import word_set, words
+
+
+class TestWords:
+    def test_basic(self):
+        assert words("Microsoft Corp., Redmond") == ["microsoft", "corp", "redmond"]
+
+    def test_alphanumeric_kept_together(self):
+        assert words("148th Ave NE") == ["148th", "ave", "ne"]
+
+    def test_duplicates_preserved(self):
+        assert words("the cat the hat") == ["the", "cat", "the", "hat"]
+
+    def test_empty(self):
+        assert words("") == []
+
+    def test_only_delimiters(self):
+        assert words("-- ,, !!") == []
+
+    def test_case_preserved_on_request(self):
+        assert words("Ab Cd", lowercase=False) == ["Ab", "Cd"]
+
+    def test_min_length(self):
+        assert words("a bb ccc", min_length=2) == ["bb", "ccc"]
+
+
+class TestWordSet:
+    def test_dedupes_in_first_occurrence_order(self):
+        assert word_set("b a b c a") == ["b", "a", "c"]
+
+    def test_empty(self):
+        assert word_set("") == []
