@@ -1,0 +1,119 @@
+"""Produce ``BENCH_core.json`` — the committed core-sweep artifact.
+
+Runs the Figure-12 Jaccard resemblance sweep (IDF-weighted word tokens
+over the synthetic Customer relation) across every SSJoin implementation,
+tuple-based and dictionary-encoded, and writes one ``repro-bench/v1``
+JSON document with per-phase timings and tuple-vs-encoded speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_core_bench.py \
+        [--rows N] [--repeats K] [--out PATH]
+
+Row count defaults to ``REPRO_BENCH_ROWS`` or 700 (see
+benchmarks/conftest.py for why the paper's 25K is scaled down). The CI
+perf-smoke job runs this with a small row count and uploads the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import SweepRunner
+from repro.bench.reporting import render_json, render_phase_table, speedup_table
+from repro.data.corruptions import CorruptionConfig
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.joins.jaccard_join import jaccard_resemblance_join
+
+#: Paper threshold sweep (Figures 10-13).
+THRESHOLDS = (0.80, 0.85, 0.90, 0.95)
+
+IMPLEMENTATIONS = (
+    "basic",
+    "prefix",
+    "inline",
+    "probe",
+    "encoded-prefix",
+    "encoded-probe",
+)
+
+#: Tuple plan vs its encoded twin — the speedup series the JSON carries.
+SPEEDUP_PAIRS = (
+    ("prefix", "encoded-prefix"),
+    ("probe", "encoded-probe"),
+    ("basic", "encoded-prefix"),
+)
+
+
+def jaccard_corpus(rows: int):
+    """The conftest ``jaccard_addresses`` corpus, importable without pytest."""
+    config = CustomerConfig(
+        num_rows=rows,
+        duplicate_fraction=0.25,
+        seed=20060403,
+        corruption=CorruptionConfig(char_edit_prob=0.35, max_char_edits=1,
+                                    abbreviation_prob=0.55, token_drop_prob=0.15,
+                                    token_swap_prob=0.45),
+    )
+    return generate_addresses(config)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_rows = int(os.environ.get("REPRO_BENCH_ROWS") or 700)
+    parser.add_argument("--rows", type=int, default=default_rows)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="keep the fastest of K runs per cell")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_core.json")
+    args = parser.parse_args(argv)
+
+    values = jaccard_corpus(args.rows)
+    runner = SweepRunner(
+        "fig12-jaccard-core",
+        lambda t, i: jaccard_resemblance_join(
+            values, threshold=t, weights="idf", implementation=i
+        ),
+    )
+    for threshold in THRESHOLDS:
+        for implementation in IMPLEMENTATIONS:
+            runner.run([threshold], implementations=[implementation],
+                       repeats=args.repeats)
+            r = runner.records[-1]
+            print(f"  {implementation:>14} @ {threshold:.2f}: "
+                  f"{r.total_seconds:.3f}s  pairs={r.result_pairs}")
+
+    speedups = {
+        f"{base}/{cont}": speedup_table(runner.records, base, cont)
+        for base, cont in SPEEDUP_PAIRS
+    }
+    doc = render_json(
+        runner.records,
+        label="fig12-jaccard-core",
+        meta={"rows": args.rows, "repeats": args.repeats,
+              "weights": "idf", "tokenizer": "words"},
+        speedups=speedups,
+    )
+    args.out.write_text(doc + "\n")
+
+    print()
+    for impl in IMPLEMENTATIONS:
+        print(render_phase_table(
+            [r for r in runner.records if r.implementation == impl],
+            title=f"[{impl}]",
+        ))
+        print()
+    for pair, series in speedups.items():
+        rendered = ", ".join(f"{t:.2f}: {s:.1f}x" for t, s in series.items())
+        print(f"speedup {pair}: {rendered}")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,13 @@
 from repro.bench.baseline import COUNTER_FIELDS, CounterBaseline, counters_of
 from repro.bench.figures import figure_from_records, series_chart, stacked_bars
 from repro.bench.harness import SweepRecord, SweepRunner, time_call
-from repro.bench.reporting import render_phase_table, render_series, render_table
+from repro.bench.reporting import (
+    render_json,
+    render_phase_table,
+    render_series,
+    render_table,
+    speedup_table,
+)
 
 __all__ = [
     "COUNTER_FIELDS",
@@ -15,7 +21,9 @@ __all__ = [
     "SweepRecord",
     "SweepRunner",
     "time_call",
+    "render_json",
     "render_phase_table",
     "render_series",
     "render_table",
+    "speedup_table",
 ]

@@ -41,6 +41,23 @@ class SweepRecord:
     def phase(self, name: str) -> float:
         return self.phase_seconds.get(name, 0.0)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of this cell (the ``repro-bench/v1`` record
+        shape — see EXPERIMENTS.md for the file-level schema)."""
+        return {
+            "label": self.label,
+            "threshold": self.threshold,
+            "implementation": self.implementation,
+            "total_seconds": self.total_seconds,
+            "phase_seconds": dict(self.phase_seconds),
+            "candidate_pairs": self.candidate_pairs,
+            "output_pairs": self.output_pairs,
+            "similarity_comparisons": self.similarity_comparisons,
+            "result_pairs": self.result_pairs,
+            "prepared_rows": self.prepared_rows,
+            "extra": dict(self.extra),
+        }
+
 
 class SweepRunner:
     """Run a join callable across thresholds × implementations.

@@ -9,12 +9,23 @@ tables (Table 1, Table 2).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence
+import json
+import platform
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.harness import SweepRecord
 from repro.core.metrics import PHASES
 
-__all__ = ["render_table", "render_phase_table", "render_series"]
+__all__ = [
+    "render_table",
+    "render_phase_table",
+    "render_series",
+    "render_json",
+    "speedup_table",
+]
+
+#: Version tag of the machine-readable sweep format (see EXPERIMENTS.md).
+BENCH_JSON_SCHEMA = "repro-bench/v1"
 
 
 def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
@@ -73,6 +84,54 @@ def render_series(
     for points in series.values():
         points.sort()
     return series
+
+
+def speedup_table(
+    records: Sequence[SweepRecord],
+    baseline: str,
+    contender: str,
+) -> Dict[float, float]:
+    """``{threshold: baseline_seconds / contender_seconds}`` — how many
+    times faster *contender* ran than *baseline* at each threshold."""
+    base = {r.threshold: r.total_seconds for r in records if r.implementation == baseline}
+    cont = {r.threshold: r.total_seconds for r in records if r.implementation == contender}
+    return {
+        t: base[t] / cont[t]
+        for t in sorted(base)
+        if t in cont and cont[t] > 0
+    }
+
+
+def render_json(
+    records: Sequence[SweepRecord],
+    label: str,
+    meta: Optional[Dict[str, Any]] = None,
+    speedups: Optional[Dict[str, Dict[float, float]]] = None,
+) -> str:
+    """The machine-readable sweep artifact (``repro-bench/v1``).
+
+    One JSON document per sweep: environment header, one record per
+    (implementation × threshold) cell with per-phase timings, and optional
+    precomputed speedup series keyed ``"baseline/contender"``. The format
+    is documented in EXPERIMENTS.md; CI uploads these as artifacts.
+    """
+    doc: Dict[str, Any] = {
+        "schema": BENCH_JSON_SCHEMA,
+        "label": label,
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "meta": dict(meta or {}),
+        "records": [r.to_dict() for r in records],
+    }
+    if speedups is not None:
+        doc["speedups"] = {
+            pair: {f"{t:.2f}": s for t, s in series.items()}
+            for pair, series in speedups.items()
+        }
+    return json.dumps(doc, indent=2, sort_keys=False)
 
 
 def _fmt(value: Any) -> str:

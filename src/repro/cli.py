@@ -76,7 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     dedupe.add_argument("--threshold", type=float, default=0.8)
     dedupe.add_argument(
         "--implementation",
-        choices=["auto", "basic", "prefix", "inline", "probe"],
+        choices=["auto", "basic", "prefix", "inline", "probe",
+                 "encoded-prefix", "encoded-probe"],
         default="auto",
     )
     dedupe.add_argument("--weights", choices=["idf", "unit"], default="idf")

@@ -6,6 +6,16 @@ Section 4, the prefix machinery of Lemma 1, and the cost-based optimizer.
 """
 
 from repro.core.basic import RESULT_SCHEMA, basic_ssjoin
+from repro.core.dictionary import TokenDictionary
+from repro.core.encoded import (
+    EncodedPreparedRelation,
+    EncodingCache,
+    encode_pair,
+    encoding_cached,
+    global_encoding_cache,
+)
+from repro.core.encoded_index import EncodedInvertedIndex, encoded_index_probe_ssjoin
+from repro.core.encoded_prefix import encoded_prefix_ssjoin, merge_overlap
 from repro.core.incremental import IncrementalSSJoin
 from repro.core.index import InvertedIndex, index_probe_ssjoin
 from repro.core.inline import encode_set, encoded_overlap, inline_ssjoin
@@ -57,6 +67,16 @@ from repro.core.validation import VerificationReport, explain_pair, verify_resul
 __all__ = [
     "RESULT_SCHEMA",
     "basic_ssjoin",
+    "TokenDictionary",
+    "EncodedPreparedRelation",
+    "EncodingCache",
+    "encode_pair",
+    "encoding_cached",
+    "global_encoding_cache",
+    "EncodedInvertedIndex",
+    "encoded_index_probe_ssjoin",
+    "encoded_prefix_ssjoin",
+    "merge_overlap",
     "IncrementalSSJoin",
     "InvertedIndex",
     "index_probe_ssjoin",

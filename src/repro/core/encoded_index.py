@@ -1,0 +1,148 @@
+"""Encoded index-probe SSJoin: the [13]-style inverted index over int ids.
+
+The tuple-based :mod:`repro.core.index` plan probes a hash index keyed by
+``(token, ordinal)`` tuples and sorts every probe group with a Python key
+function. Here the index maps dense ``int`` ids to postings arrays and
+each probe group's elements already sit in a sorted id array, so
+
+* the discovery pass walks the group's leading β-prefix *slice*,
+* the completion pass walks the remaining suffix slice, updating only
+  candidates discovered earlier (the OptMerge discount), and
+* every index lookup hashes a machine int instead of a tuple.
+
+Identical output to :func:`repro.core.index.index_probe_ssjoin` (same
+Lemma 1 argument: the whole right side is indexed, i.e. the right filter
+threshold is zero).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.basic import RESULT_SCHEMA
+from repro.core.encoded import EncodedPreparedRelation, encode_pair
+from repro.core.encoded_prefix import prefix_length
+from repro.core.metrics import (
+    PHASE_FILTER,
+    PHASE_PREP,
+    PHASE_SSJOIN,
+    ExecutionMetrics,
+)
+from repro.core.ordering import ElementOrdering
+from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.relational.relation import Relation
+
+__all__ = ["EncodedInvertedIndex", "encoded_index_probe_ssjoin"]
+
+
+class EncodedInvertedIndex:
+    """``int id -> [(right group pos, weight)]`` over an encoded relation."""
+
+    __slots__ = ("encoded", "_postings")
+
+    def __init__(self, encoded: EncodedPreparedRelation) -> None:
+        self.encoded = encoded
+        postings: Dict[int, List[Tuple[int, float]]] = {}
+        for g, ids in enumerate(encoded.ids):
+            weights = encoded.weights[g]
+            for i, t in enumerate(ids):
+                postings.setdefault(t, []).append((g, weights[i]))
+        self._postings = postings
+
+    def postings(self, token_id: int) -> List[Tuple[int, float]]:
+        return self._postings.get(token_id, [])
+
+    @property
+    def num_elements(self) -> int:
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(len(p) for p in self._postings.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedInvertedIndex(elements={self.num_elements}, "
+            f"postings={self.num_postings})"
+        )
+
+
+def encoded_index_probe_ssjoin(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    ordering: Optional[ElementOrdering] = None,
+    metrics: Optional[ExecutionMetrics] = None,
+    index: Optional[EncodedInvertedIndex] = None,
+) -> Relation:
+    """Probe-side encoded SSJoin; returns a RESULT_SCHEMA relation.
+
+    Pass a prebuilt *index* (whose encoded relation must share the
+    dictionary that will encode *left*) to amortize construction across a
+    lookup workload.
+    """
+    m = metrics if metrics is not None else ExecutionMetrics()
+    m.implementation = "encoded-probe"
+
+    with m.phase(PHASE_PREP):
+        if index is None:
+            enc_left, enc_right, _ = encode_pair(left, right, ordering, metrics=m)
+            index = EncodedInvertedIndex(enc_right)
+        else:
+            # Probe against a prebuilt index: the probe side must speak the
+            # index's dictionary. Lenient encoding gives elements unknown to
+            # that dictionary past-the-end ids, which match no posting.
+            enc_left = EncodedPreparedRelation(
+                left, index.encoded.dictionary, lenient=True
+            )
+        m.prepared_rows += enc_left.num_elements + index.num_postings
+
+    enc_right = index.encoded
+    out_rows: List[Tuple] = []
+    with m.phase(PHASE_SSJOIN):
+        right_keys = enc_right.keys
+        right_norms = enc_right.norms
+        left_threshold = predicate.left_filter_threshold
+        satisfied = predicate.satisfied
+        get_postings = index.postings
+        for g, lids in enumerate(enc_left.ids):
+            lw = enc_left.weights[g]
+            norm_r = enc_left.norms[g]
+            beta = enc_left.set_norms[g] - left_threshold(norm_r) + OVERLAP_EPSILON
+            k = prefix_length(lw, beta)
+            if k == 0:
+                continue
+
+            # Discovery pass: only prefix ids can introduce candidates.
+            overlaps: Dict[int, float] = {}
+            for i in range(k):
+                postings = get_postings(lids[i])
+                if postings:
+                    w = lw[i]
+                    for h, _w_s in postings:
+                        overlaps[h] = overlaps.get(h, 0.0) + w
+            if not overlaps:
+                continue
+            m.candidate_pairs += len(overlaps)
+
+            # Completion pass: suffix ids only grow known candidates.
+            for i in range(k, len(lids)):
+                postings = get_postings(lids[i])
+                if postings:
+                    w = lw[i]
+                    for h, _w_s in postings:
+                        if h in overlaps:
+                            overlaps[h] += w
+            m.equijoin_rows += len(overlaps)
+
+            a_r = enc_left.keys[g]
+            for h, overlap in overlaps.items():
+                norm_s = right_norms[h]
+                if satisfied(overlap, norm_r, norm_s):
+                    out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
+
+    with m.phase(PHASE_FILTER):
+        result = Relation(RESULT_SCHEMA, out_rows)
+        m.output_pairs += len(result)
+    return result

@@ -1,0 +1,174 @@
+"""Encoded prefix-filter SSJoin: Figure 8 over integer id columns.
+
+Same logical plan as :mod:`repro.core.prefix_filter` — β-prefix both
+sides, equi-join prefixes for candidates, verify full overlaps — but run
+over :class:`~repro.core.encoded.EncodedPreparedRelation` columns:
+
+1. **Prefix extraction** is a cumulative-weight walk over each group's
+   weight array; the kept prefix is a leading *slice* of the id array
+   (ids are stored in the ordering ``O``), no per-element key calls.
+2. **Candidate enumeration** probes an ``int id -> [right group]``
+   inverted index built from the right prefixes.
+3. **Verification** replaces Figure 8's two hash-joins-back-to-base (the
+   regroup step) with a merge-intersection kernel over the two groups'
+   full sorted id arrays, summing left-side weights of shared ids — the
+   same ``SUM(R.w)`` every other implementation computes.
+
+Output is a :data:`~repro.core.basic.RESULT_SCHEMA` relation with exactly
+the rows of the tuple-based plans (row order may differ; overlap values
+agree to float round-off, absorbed by the shared ``OVERLAP_EPSILON``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.basic import RESULT_SCHEMA
+from repro.core.encoded import EncodedPreparedRelation, encode_pair
+from repro.core.metrics import (
+    PHASE_FILTER,
+    PHASE_PREFIX,
+    PHASE_PREP,
+    PHASE_SSJOIN,
+    ExecutionMetrics,
+)
+from repro.core.ordering import ElementOrdering
+from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.relational.relation import Relation
+
+__all__ = ["encoded_prefix_ssjoin", "merge_overlap", "prefix_length"]
+
+
+def prefix_length(weights, beta: float) -> int:
+    """Length of the shortest prefix whose cumulative weight exceeds *beta*.
+
+    Mirrors :func:`repro.core.prefixes.prefix_of_sorted` exactly: 0 when
+    ``beta < 0`` (the group can never qualify), the whole array when no
+    proper prefix exceeds β.
+    """
+    if beta < 0:
+        return 0
+    cumulative = 0.0
+    for i, w in enumerate(weights):
+        cumulative += w
+        if cumulative > beta:
+            return i + 1
+    return len(weights)
+
+
+def merge_overlap(left_ids, left_weights, right_ids) -> float:
+    """Merge-intersection kernel: ``SUM(left weight)`` over shared ids.
+
+    Both id arrays are sorted ascending (the ordering ``O``), so one
+    linear pass finds the intersection without hashing.
+    """
+    i = j = 0
+    n_left = len(left_ids)
+    n_right = len(right_ids)
+    total = 0.0
+    while i < n_left and j < n_right:
+        li = left_ids[i]
+        rj = right_ids[j]
+        if li == rj:
+            total += left_weights[i]
+            i += 1
+            j += 1
+        elif li < rj:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def _prefix_lengths(
+    encoded: EncodedPreparedRelation, bound_fn
+) -> List[int]:
+    """β-prefix length per group (β widened by the shared epsilon, as in
+    the tuple plans, so boundary pairs are never pruned)."""
+    norms = encoded.norms
+    set_norms = encoded.set_norms
+    weights = encoded.weights
+    return [
+        prefix_length(weights[g], set_norms[g] - bound_fn(norms[g]) + OVERLAP_EPSILON)
+        for g in range(len(weights))
+    ]
+
+
+def encoded_prefix_ssjoin(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+    ordering: Optional[ElementOrdering] = None,
+    metrics: Optional[ExecutionMetrics] = None,
+    encoding: Optional[Tuple[EncodedPreparedRelation, EncodedPreparedRelation]] = None,
+) -> Relation:
+    """Execute the encoded Figure 8 plan; returns a RESULT_SCHEMA relation.
+
+    *ordering* selects the dictionary order (default: joint frequency,
+    identical to :func:`~repro.core.ordering.frequency_ordering`). Pass a
+    prebuilt *encoding* pair to skip the cache lookup entirely.
+    """
+    m = metrics if metrics is not None else ExecutionMetrics()
+    m.implementation = "encoded-prefix"
+
+    with m.phase(PHASE_PREP):
+        if encoding is None:
+            enc_left, enc_right, _ = encode_pair(left, right, ordering, metrics=m)
+        else:
+            enc_left, enc_right = encoding
+        m.prepared_rows += enc_left.num_elements + enc_right.num_elements
+
+    with m.phase(PHASE_PREFIX):
+        left_prefix = _prefix_lengths(enc_left, predicate.left_filter_threshold)
+        right_prefix = _prefix_lengths(enc_right, predicate.right_filter_threshold)
+        m.prefix_rows += sum(left_prefix) + sum(right_prefix)
+
+    with m.phase(PHASE_SSJOIN):
+        # Inverted index over the right prefixes: id -> [right group pos].
+        index: Dict[int, List[int]] = {}
+        right_ids = enc_right.ids
+        for g, k in enumerate(right_prefix):
+            ids = right_ids[g]
+            for t in ids[:k]:
+                index.setdefault(t, []).append(g)
+
+        # Probe left prefixes; dedup to candidate pairs per left group.
+        candidates: List[Tuple[int, List[int]]] = []
+        left_ids = enc_left.ids
+        probe_rows = 0
+        for g, k in enumerate(left_prefix):
+            if k == 0:
+                continue
+            matched: set = set()
+            for t in left_ids[g][:k]:
+                postings = index.get(t)
+                if postings:
+                    probe_rows += len(postings)
+                    matched.update(postings)
+            if matched:
+                candidates.append((g, sorted(matched)))
+                m.candidate_pairs += len(matched)
+        m.equijoin_rows += probe_rows
+
+    with m.phase(PHASE_FILTER):
+        out_rows: List[Tuple] = []
+        left_keys = enc_left.keys
+        right_keys = enc_right.keys
+        left_weights = enc_left.weights
+        left_norms = enc_left.norms
+        right_norms = enc_right.norms
+        satisfied = predicate.satisfied
+        for g, matches in candidates:
+            lids = left_ids[g]
+            lw = left_weights[g]
+            norm_r = left_norms[g]
+            a_r = left_keys[g]
+            for h in matches:
+                overlap = merge_overlap(lids, lw, right_ids[h])
+                norm_s = right_norms[h]
+                if satisfied(overlap, norm_r, norm_s):
+                    out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
+        result = Relation(RESULT_SCHEMA, out_rows)
+        m.output_pairs += len(result)
+    return result

@@ -49,6 +49,11 @@ class ExecutionMetrics:
         Invocations of the post-filter similarity UDF (Table 1's metric).
     result_pairs:
         Final pairs after the similarity post-filter.
+    encode_cache_hits / encode_cache_misses:
+        Encoding-cache outcomes for the dictionary-encoded fast path: a
+        hit means the ``TokenDictionary`` + columnar arrays of a previous
+        content-identical input pair were reused; a miss means they were
+        built (and cached) for this execution.
     """
 
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -59,6 +64,8 @@ class ExecutionMetrics:
     output_pairs: int = 0
     similarity_comparisons: int = 0
     result_pairs: int = 0
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
     implementation: Optional[str] = None
 
     @contextmanager
@@ -89,16 +96,21 @@ class ExecutionMetrics:
         self.output_pairs += other.output_pairs
         self.similarity_comparisons += other.similarity_comparisons
         self.result_pairs += other.result_pairs
+        self.encode_cache_hits += other.encode_cache_hits
+        self.encode_cache_misses += other.encode_cache_misses
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""
         times = ", ".join(
             f"{p}={self.phase_seconds[p]:.3f}s" for p in PHASES if p in self.phase_seconds
         )
-        return (
+        text = (
             f"[{self.implementation or 'ssjoin'}] {times} | "
             f"prepared={self.prepared_rows} prefix={self.prefix_rows} "
             f"equijoin={self.equijoin_rows} candidates={self.candidate_pairs} "
             f"output={self.output_pairs} udf_calls={self.similarity_comparisons} "
             f"final={self.result_pairs}"
         )
+        if self.encode_cache_hits or self.encode_cache_misses:
+            text += f" encode_cache={self.encode_cache_hits}h/{self.encode_cache_misses}m"
+        return text

@@ -15,6 +15,11 @@ The model is deliberately simple and histogram-exact where it can be:
   over the *actual* extracted prefixes), and a verification term — regroup
   joins proportional to candidate-pair set sizes for the plain prefix plan,
   an encoded-set overlap per candidate for the inline plan.
+* The **dictionary-encoded** plans (``encoded-prefix``, ``encoded-probe``)
+  share the prefix/probe shapes but with integer-native per-row constants,
+  plus a one-time encode term that drops to zero when the encoding cache
+  already holds this input pair — which is how repeat workloads (sweeps,
+  re-planning) automatically route to the fast path.
 
 Because prefixes are cheap to extract relative to any join, the optimizer
 *actually extracts them* and prices the real filtered relations instead of
@@ -27,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.encoded import encoding_cached
 from repro.core.ordering import ElementOrdering, frequency_ordering
 from repro.core.predicate import OverlapPredicate
 from repro.core.prefix_filter import prefix_filter_relation
@@ -40,7 +46,14 @@ __all__ = [
     "choose_implementation",
 ]
 
-IMPLEMENTATIONS = ("basic", "prefix", "inline", "probe")
+IMPLEMENTATIONS = (
+    "basic",
+    "prefix",
+    "inline",
+    "probe",
+    "encoded-prefix",
+    "encoded-probe",
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +93,16 @@ class CostModel:
     #: discounted cost of a suffix-completion posting visit in the
     #: index-probe plan (only already-discovered candidates are updated)
     PROBE_COMPLETION = 0.3
+    #: cost of interning + array-encoding one element into the dictionary
+    #: layer (paid only on an encoding-cache miss)
+    ENCODE_ELEMENT = 0.15
+    #: cost of one merge-intersection step during encoded verification —
+    #: an int compare on sorted arrays, far below VERIFY_ROW's regroup-join
+    #: row cost
+    MERGE_ELEMENT = 0.15
+    #: cost of one int-keyed index/posting visit in the encoded plans
+    #: (discovery probes and index builds)
+    ENCODED_POSTING = 0.35
 
     def estimate_all(
         self,
@@ -166,7 +189,44 @@ class CostModel:
             },
         )
 
-        return sorted([basic, prefix, inline, probe], key=lambda e: e.cost)
+        # Dictionary-encoded plans: the same shapes as prefix/probe but
+        # with int-native per-row costs, plus a one-time encode term that
+        # the encoding cache amortizes away on repeat workloads.
+        # The facade encodes under the *user's* ordering key (None when it
+        # defaulted to joint frequency), so probe both cache keys.
+        cached = encoding_cached(left, right, None) or encoding_cached(
+            left, right, ordering
+        )
+        encode_cost = 0.0 if cached else self.ENCODE_ELEMENT * (n_left + n_right)
+        encoded_prefix = CostEstimate(
+            "encoded-prefix",
+            encode_cost
+            + self.ENCODED_POSTING * (len(pl) + len(pr) + prefix_join_rows)
+            + self.MERGE_ELEMENT * candidates * (avg_left + avg_right),
+            {
+                "encode_rows": 0.0 if encode_cost == 0.0 else float(n_left + n_right),
+                "prefix_rows": float(len(pl) + len(pr)),
+                "prefix_join_rows": prefix_join_rows,
+                "est_candidates": candidates,
+            },
+        )
+        encoded_probe = CostEstimate(
+            "encoded-probe",
+            encode_cost
+            + self.ENCODED_POSTING * (n_right + left_prefix_probe_rows)
+            + self.PROBE_COMPLETION * 0.5 * suffix_rows,
+            {
+                "encode_rows": 0.0 if encode_cost == 0.0 else float(n_left + n_right),
+                "index_postings": float(n_right),
+                "probe_rows": left_prefix_probe_rows,
+                "completion_rows": suffix_rows,
+            },
+        )
+
+        return sorted(
+            [basic, prefix, inline, probe, encoded_prefix, encoded_probe],
+            key=lambda e: e.cost,
+        )
 
 
 def calibrate_cost_model(

@@ -14,7 +14,7 @@ ablation benchmark that demonstrates the choice matters.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable
 
 from repro.core.prepared import PreparedRelation
 from repro.tokenize.weights import WeightTable
@@ -31,24 +31,42 @@ __all__ = [
 class ElementOrdering:
     """A fixed total order over set elements.
 
-    Internally a rank table (element -> position); unseen elements sort
-    after all ranked ones, tie-broken by ``repr`` so the order is total and
-    deterministic.
+    Internally a rank table (element -> position). The sort key is a plain
+    ``int`` — the hot loops of every prefix plan call :meth:`key` once per
+    element per sort, so it must not allocate. Unseen elements sort after
+    all ranked ones: on first sight each is assigned the next
+    sentinel-offset rank in a secondary overflow table, which keeps the
+    order total, stable across repeat queries, and allocation-free (the
+    pre-PR implementation returned a fresh ``(rank, repr)`` tuple per
+    call; see the encoded layer in :mod:`repro.core.dictionary` for the
+    fully integer-native form of the same idea).
     """
 
     def __init__(self, ranks: Dict[Any, int], description: str = "custom") -> None:
         self._ranks = ranks
         self.description = description
         self._sentinel = len(ranks)
+        self._overflow: Dict[Any, int] = {}
 
-    def key(self, element: Any) -> Tuple[int, str]:
-        """Sort key implementing the total order."""
+    def key(self, element: Any) -> int:
+        """Sort key implementing the total order (an ``int`` rank).
+
+        Ranked elements return their table rank; unseen elements get
+        ``sentinel + k`` where ``k`` is their first-seen position in the
+        overflow table — always after every ranked element, and the same
+        rank every time the element is queried again.
+        """
         rank = self._ranks.get(element)
+        if rank is not None:
+            return rank
+        overflow = self._overflow
+        rank = overflow.get(element)
         if rank is None:
-            return (self._sentinel, repr(element))
-        return (rank, "")
+            rank = self._sentinel + len(overflow)
+            overflow[element] = rank
+        return rank
 
-    def __call__(self, element: Any) -> Tuple[int, str]:
+    def __call__(self, element: Any) -> int:
         return self.key(element)
 
     def rank_table(self) -> Dict[Any, int]:

@@ -57,6 +57,9 @@ class PreparedRelation:
                 raise ReproError(f"norms missing for groups: {sorted(map(repr, missing))[:5]}")
             self.norms = {a: float(norms[a]) for a in self.groups}
         self._relation: Optional[Relation] = None
+        self._fingerprint: Optional[int] = None
+        #: per-instance memo for prefix_filter_relation (see prefix_filter.py)
+        self._prefix_cache: Dict[Any, Any] = {}
 
     # -- constructors ------------------------------------------------------------
 
@@ -154,6 +157,26 @@ class PreparedRelation:
 
     def keys(self) -> Tuple[Any, ...]:
         return tuple(self.groups)
+
+    def fingerprint(self) -> int:
+        """Content hash over groups, weights, and norms (memoized).
+
+        Two relations prepared from the same values with the same
+        tokenizer and weight table fingerprint identically, which is what
+        lets the encoding cache (:mod:`repro.core.encoded`) recognize a
+        repeat workload across freshly-built instances. Hash collisions
+        are possible, so cache consumers must verify content on a hit.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = hash(
+                (
+                    len(self.groups),
+                    frozenset(
+                        (a, wset, self.norms[a]) for a, wset in self.groups.items()
+                    ),
+                )
+            )
+        return self._fingerprint
 
     def element_frequencies(self) -> Dict[Any, int]:
         """How many groups contain each element (drives the ordering O)."""

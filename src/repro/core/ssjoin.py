@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.core.basic import basic_ssjoin
+from repro.core.encoded_index import encoded_index_probe_ssjoin
+from repro.core.encoded_prefix import encoded_prefix_ssjoin
 from repro.core.index import index_probe_ssjoin
 from repro.core.inline import inline_ssjoin
 from repro.core.metrics import ExecutionMetrics
@@ -73,6 +75,10 @@ class SSJoin:
         self.right = right
         self.predicate = predicate
         self._ordering = ordering
+        # The ordering as the *user* supplied it (None when defaulted) —
+        # the encoded plans key their encoding cache on this, so that the
+        # lazily-built default frequency ordering never fragments the key.
+        self._user_ordering = ordering
 
     @property
     def ordering(self) -> ElementOrdering:
@@ -92,8 +98,11 @@ class SSJoin:
         Parameters
         ----------
         implementation:
-            ``"basic"``, ``"prefix"``, ``"inline"``, or ``"auto"`` to let
-            the cost model decide.
+            ``"basic"``, ``"prefix"``, ``"inline"``, ``"probe"``, the
+            dictionary-encoded fast paths ``"encoded-prefix"`` /
+            ``"encoded-probe"``, or ``"auto"`` to let the cost model
+            decide (which routes encodable repeat workloads to the
+            encoded plans automatically).
         metrics:
             Optional pre-existing metrics object to accumulate into
             (multi-stage joins pass their own).
@@ -121,10 +130,24 @@ class SSJoin:
             pairs = index_probe_ssjoin(
                 self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
             )
+        elif impl == "encoded-prefix":
+            # The encoded plans take the *user's* ordering (None when it
+            # defaulted): the dictionary's joint-frequency ids already
+            # realize the default ordering, and None keys the encoding
+            # cache consistently across executions.
+            pairs = encoded_prefix_ssjoin(
+                self.left, self.right, self.predicate,
+                ordering=self._user_ordering, metrics=m,
+            )
+        elif impl == "encoded-probe":
+            pairs = encoded_index_probe_ssjoin(
+                self.left, self.right, self.predicate,
+                ordering=self._user_ordering, metrics=m,
+            )
         else:
             raise PlanError(
-                f"unknown implementation {implementation!r}; "
-                "expected basic/prefix/inline/probe/auto"
+                f"unknown implementation {implementation!r}; expected "
+                "basic/prefix/inline/probe/encoded-prefix/encoded-probe/auto"
             )
         return SSJoinResult(pairs=pairs, metrics=m, implementation=impl, cost_estimate=estimate)
 
@@ -165,6 +188,20 @@ class SSJoin:
                 "  IndexProbe(per R group: prefix elements discover,\n"
                 "             suffix elements complete)\n"
                 "    InvertedIndex(S.b -> postings)"
+            ),
+            "encoded-prefix": (
+                "Filter(merge_overlap(ids_r, ids_s) >= pred)\n"
+                "  CandidateProbe(left prefix slices x right prefix index)\n"
+                "    EncodedPrefix(R: leading slice of sorted id arrays)\n"
+                "    EncodedPrefix(S: leading slice of sorted id arrays)\n"
+                "      Encode(TokenDictionary: joint-frequency int ids, cached)"
+            ),
+            "encoded-probe": (
+                "Filter(overlap >= pred)\n"
+                "  EncodedIndexProbe(per R group: prefix id slice discovers,\n"
+                "                    suffix id slice completes)\n"
+                "    EncodedInvertedIndex(int id -> (group, weight) postings)\n"
+                "      Encode(TokenDictionary: joint-frequency int ids, cached)"
             ),
         }
         if impl not in shapes:

@@ -20,11 +20,13 @@ candidates are verified by an exact sorted-merge intersection.
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.dictionary import TokenDictionary
 from repro.core.metrics import ExecutionMetrics, PHASE_FILTER, PHASE_PREP, PHASE_SSJOIN
 from repro.errors import PredicateError
-from repro.extensions.ppjoin import _key, _overlap_from_sorted
+from repro.extensions.ppjoin import _overlap_from_sorted
 from repro.joins.base import MatchPair, SimilarityJoinResult
 from repro.tokenize.words import word_set
 
@@ -49,20 +51,23 @@ def allpairs(
     t2 = t * t
 
     with m.phase(PHASE_PREP):
+        # Same dictionary substrate as ppjoin: records become sorted int-id
+        # arrays ranked by ascending document frequency.
         freq: Dict[Any, int] = {}
         for rec in records:
             for token in set(rec):
                 freq[token] = freq.get(token, 0) + 1
-        canonical: List[Tuple[int, List[Any]]] = []
+        dictionary = TokenDictionary.from_frequencies(freq)
+        canonical: List[Tuple[int, array]] = []
         for idx, rec in enumerate(records):
-            tokens = sorted(set(rec), key=lambda w: (freq[w], _key(w)))
+            tokens = array("q", sorted(dictionary.id_of(t) for t in set(rec)))
             if tokens:
                 canonical.append((idx, tokens))
         canonical.sort(key=lambda entry: (len(entry[1]), entry[0]))
         m.prepared_rows += sum(len(tokens) for _, tokens in canonical)
 
     results: List[Tuple[int, int, float]] = []
-    index: Dict[Any, List[int]] = {}  # token -> [record position]
+    index: Dict[int, List[int]] = {}  # token id -> [record position]
 
     with m.phase(PHASE_SSJOIN):
         for xpos, (xid, x) in enumerate(canonical):
@@ -74,14 +79,14 @@ def allpairs(
                     candidates[ypos] = True
             m.candidate_pairs += len(candidates)
 
-            x_sorted = sorted(x, key=_key)
             for ypos in candidates:
                 yid, y = canonical[ypos]
                 size_y = len(y)
                 if size_y < t2 * size_x:  # size filter
                     continue
                 m.similarity_comparisons += 1
-                overlap = _overlap_from_sorted(x_sorted, sorted(y, key=_key))
+                # x and y are already ascending id arrays — merge directly.
+                overlap = _overlap_from_sorted(x, y)
                 cosine = overlap / math.sqrt(size_x * size_y)
                 if cosine + 1e-9 >= t:
                     a, b = sorted((xid, yid))

@@ -24,8 +24,10 @@ Definitions (for Jaccard threshold t, set sizes ``|x| ⩾ |y|``):
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.dictionary import TokenDictionary
 from repro.core.metrics import ExecutionMetrics, PHASE_FILTER, PHASE_PREP, PHASE_SSJOIN
 from repro.errors import PredicateError
 from repro.joins.base import MatchPair, SimilarityJoinResult
@@ -34,23 +36,21 @@ from repro.tokenize.words import word_set
 __all__ = ["ppjoin", "ppjoin_strings"]
 
 
-def _overlap_from_sorted(x: Sequence[Any], y: Sequence[Any]) -> int:
-    """Merge-count intersection of two sequences sorted by the same order."""
+def _overlap_from_sorted(x: Sequence[int], y: Sequence[int]) -> int:
+    """Merge-count intersection of two ascending int-id arrays."""
     i = j = count = 0
-    while i < len(x) and j < len(y):
-        if x[i] == y[j]:
+    nx, ny = len(x), len(y)
+    while i < nx and j < ny:
+        xi, yj = x[i], y[j]
+        if xi == yj:
             count += 1
             i += 1
             j += 1
-        elif _key(x[i]) < _key(y[j]):
+        elif xi < yj:
             i += 1
         else:
             j += 1
     return count
-
-
-#: Tokens are compared by a stable global key during the merge.
-_key = repr
 
 
 def ppjoin(
@@ -72,23 +72,26 @@ def ppjoin(
     t = threshold
 
     with m.phase(PHASE_PREP):
-        # Canonicalize: distinct tokens, sorted by ascending document
-        # frequency (the same ordering principle as the paper's Sec 4.3.2),
+        # Canonicalize on the dictionary substrate: intern distinct tokens
+        # into dense int ids in ascending document-frequency order (the
+        # same ordering principle as the paper's Sec 4.3.2), so each record
+        # becomes a sorted int array — id comparison IS the global order —
         # then order records by size so the index only holds smaller sets.
         freq: Dict[Any, int] = {}
         for rec in records:
             for token in set(rec):
                 freq[token] = freq.get(token, 0) + 1
-        canonical: List[Tuple[int, List[Any]]] = []
+        dictionary = TokenDictionary.from_frequencies(freq)
+        canonical: List[Tuple[int, array]] = []
         for idx, rec in enumerate(records):
-            tokens = sorted(set(rec), key=lambda w: (freq[w], _key(w)))
+            tokens = array("q", sorted(dictionary.id_of(t) for t in set(rec)))
             if tokens:
                 canonical.append((idx, tokens))
         canonical.sort(key=lambda entry: (len(entry[1]), entry[0]))
         m.prepared_rows += sum(len(tokens) for _, tokens in canonical)
 
     results: List[Tuple[int, int, float]] = []
-    index: Dict[Any, List[Tuple[int, int]]] = {}  # token -> [(record pos, token pos)]
+    index: Dict[int, List[Tuple[int, int]]] = {}  # token id -> [(record pos, token pos)]
 
     with m.phase(PHASE_SSJOIN):
         for xpos, (xid, x) in enumerate(canonical):
@@ -120,9 +123,8 @@ def ppjoin(
                     continue
                 yid, y = canonical[ypos]
                 m.similarity_comparisons += 1
-                overlap = _overlap_from_sorted(
-                    sorted(x, key=_key), sorted(y, key=_key)
-                )
+                # x and y are already ascending id arrays — merge directly.
+                overlap = _overlap_from_sorted(x, y)
                 union = size_x + len(y) - overlap
                 jaccard = overlap / union if union else 1.0
                 if jaccard + 1e-9 >= t:

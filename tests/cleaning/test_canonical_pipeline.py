@@ -108,4 +108,5 @@ class TestDedupePipeline:
         assert report.metrics.total_seconds > 0
         assert report.join_result.implementation in (
             "basic", "prefix", "inline", "probe",
+            "encoded-prefix", "encoded-probe",
         )

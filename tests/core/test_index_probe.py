@@ -97,6 +97,6 @@ class TestFacadeIntegration:
             [f"the tok{i}" for i in range(20)], words
         )
         estimates = CostModel().estimate_all(rel, rel, OverlapPredicate.two_sided(0.9))
-        assert {e.implementation for e in estimates} == {
-            "basic", "prefix", "inline", "probe",
-        }
+        from repro.core.optimizer import IMPLEMENTATIONS
+
+        assert {e.implementation for e in estimates} == set(IMPLEMENTATIONS)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.optimizer import CostModel, choose_implementation
+from repro.core.optimizer import IMPLEMENTATIONS, CostModel, choose_implementation
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.core.ssjoin import ssjoin
@@ -19,9 +19,7 @@ class TestEstimates:
     def test_all_implementations_costed(self):
         rel = skewed_relation()
         estimates = CostModel().estimate_all(rel, rel, OverlapPredicate.two_sided(0.9))
-        assert {e.implementation for e in estimates} == {
-            "basic", "prefix", "inline", "probe",
-        }
+        assert {e.implementation for e in estimates} == set(IMPLEMENTATIONS)
         assert all(e.cost > 0 for e in estimates)
 
     def test_sorted_cheapest_first(self):
@@ -62,7 +60,9 @@ class TestChoice:
         be costed below basic — the paper's Figure 12 regime."""
         rel = skewed_relation(80)
         est = choose_implementation(rel, rel, OverlapPredicate.two_sided(0.95))
-        assert est.implementation in ("prefix", "inline", "probe")
+        assert est.implementation in (
+            "prefix", "inline", "probe", "encoded-prefix", "encoded-probe",
+        )
 
     def test_chooser_returns_minimum(self):
         rel = skewed_relation(30)
@@ -89,9 +89,7 @@ class TestCalibration:
         pred = OverlapPredicate.two_sided(0.9)
         model = calibrate_cost_model(rel, rel, pred, repeats=1)
         estimates = model.estimate_all(rel, rel, pred)
-        assert {e.implementation for e in estimates} == {
-            "basic", "prefix", "inline", "probe",
-        }
+        assert {e.implementation for e in estimates} == set(IMPLEMENTATIONS)
         assert all(e.cost > 0 for e in estimates)
         best = choose_implementation(rel, rel, pred, model=model)
         assert best.cost == min(e.cost for e in estimates)
@@ -112,7 +110,7 @@ class TestCalibration:
 
         op = SSJoin(rel, rel, pred)
         times = {}
-        for impl in ("basic", "prefix", "inline", "probe"):
+        for impl in IMPLEMENTATIONS:
             start = time.perf_counter()
             op.execute(impl)
             times[impl] = time.perf_counter() - start

@@ -65,7 +65,8 @@ class TestPartitionedJoin:
         result = partitioned_ssjoin(p, p, OverlapPredicate.two_sided(0.8))
         assert set(result.choices) == {"small", "large"}
         assert all(
-            c in ("basic", "prefix", "inline", "probe", "(empty)")
+            c in ("basic", "prefix", "inline", "probe",
+                  "encoded-prefix", "encoded-probe", "(empty)")
             for c in result.choices.values()
         )
         assert "choices=" in repr(result)

@@ -32,7 +32,9 @@ class TestExecute:
         r, s = operands
         res = SSJoin(r, s, OverlapPredicate.absolute(2.0)).execute("auto")
         assert res.cost_estimate is not None
-        assert res.implementation in ("basic", "prefix", "inline", "probe")
+        assert res.implementation in (
+            "basic", "prefix", "inline", "probe", "encoded-prefix", "encoded-probe",
+        )
 
     def test_unknown_implementation(self, operands):
         r, s = operands
