@@ -1,0 +1,163 @@
+"""Structured diagnostics shared by every analysis layer.
+
+All three analyzers — the plan verifier, the SSJoin invariant linter, and
+the repo-level ``ast`` lint — report findings as :class:`Diagnostic`
+values: a stable rule id, a severity, a human message, the location the
+finding anchors to (a plan path like ``GroupBy > HashJoin[right]`` or a
+``file:line`` pair), and an optional fix hint. :class:`AnalysisReport`
+collects them and decides pass/fail (any ERROR fails).
+
+Rule-id namespaces:
+
+``PV1xx``
+    Plan verifier (schema propagation over operator trees and SQL).
+``SSJ1xx``
+    SSJoin invariant rules (Lemma 1 / ordering O / predicate soundness).
+``RL2xx``
+    Repo-level engine-hygiene lint (:mod:`repro.analysis.lint`).
+
+The catalog in ``docs/analysis_rules.md`` maps each rule to the paper
+claim it guards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SEVERITY_INFO",
+    "Diagnostic",
+    "AnalysisReport",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+_SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding.
+
+    Parameters
+    ----------
+    rule:
+        Stable rule id (``PV101``, ``SSJ102``, ``RL203`` ...).
+    severity:
+        ``"error"`` (rejects the plan / fails the gate), ``"warning"``
+        (suspicious but sound), or ``"info"``.
+    message:
+        Human-readable statement of the finding.
+    location:
+        Where it anchors: a plan path (``"GroupBy > HashJoin[right]"``),
+        an SSJoin component (``"predicate.bounds[0]"``), or ``file:line``.
+    hint:
+        Optional suggestion for fixing the finding.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {_SEVERITIES}, got {self.severity!r}"
+            )
+
+    def __str__(self) -> str:
+        loc = f" at {self.location}" if self.location else ""
+        text = f"[{self.rule}:{self.severity}]{loc}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-friendly form (the ``repro analyze --format json`` rows)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class AnalysisReport:  # repro: ignore[RL204] -- accumulator, filled as rules run
+    """An ordered collection of diagnostics with pass/fail semantics."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        severity: str,
+        message: str,
+        location: str = "",
+        hint: str = "",
+    ) -> Diagnostic:
+        d = Diagnostic(rule, severity, message, location, hint)
+        self.diagnostics.append(d)
+        return d
+
+    def extend(self, other: "AnalysisReport") -> "AnalysisReport":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == SEVERITY_ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == SEVERITY_WARNING]
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was recorded."""
+        return not self.errors()
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        # Truthiness reports "is clean", matching ``if report: proceed()``.
+        return self.ok
+
+    def render(self) -> str:
+        """Multi-line text form, one diagnostic per line."""
+        if not self.diagnostics:
+            return "no findings"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def render_json(self) -> str:
+        """The ``repro analyze --format json`` document."""
+        return json.dumps(
+            {
+                "schema": "repro-analysis/v1",
+                "ok": self.ok,
+                "findings": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def combine(cls, reports: Iterable["AnalysisReport"]) -> "AnalysisReport":
+        out = cls()
+        for r in reports:
+            out.extend(r)
+        return out

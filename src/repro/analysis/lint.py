@@ -1,0 +1,363 @@
+"""Engine-hygiene lint: ``ast``-based custom rules for the hot paths.
+
+``python -m repro.analysis.lint [paths...]`` walks Python sources
+(default: ``repro.core`` and ``repro.relational``, the operator hot
+paths) and enforces the determinism/precision rules the SSJoin engine
+relies on. These are exactly the bug classes that produce *silent result
+loss* in prefix-filter joins — wrong-but-plausible output, not crashes —
+which is why they are gated in CI rather than left to review.
+
+Rules:
+
+``RL201`` iteration over an unordered ``set`` value — result order (and
+with it prefix contents under tie-breaking) becomes run-dependent.
+``RL202`` unseeded ``random`` module calls — nondeterministic orderings
+and samples; use ``random.Random(seed)``.
+``RL203`` ``==``/``!=`` on float weights/thresholds — summation-order
+drift makes boundary comparisons flip; use epsilon comparisons.
+``RL204`` mutable ``@dataclass`` in the engine core — row/value types
+must be ``frozen=True`` (hashable, safe to share across plans) unless
+explicitly suppressed as an accumulator.
+``RL205`` missing type annotations — every function in the hot paths is
+fully annotated so the strict mypy CI gate stays meaningful.
+
+Suppression: append ``# repro: ignore[RL204]`` (or a comma-separated
+list) to the offending line. A bare ``# repro: ignore`` suppresses all
+rules on that line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import (
+    SEVERITY_ERROR,
+    AnalysisReport,
+    Diagnostic,
+)
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "main", "DEFAULT_PATHS"]
+
+#: The operator hot paths gated by default (relative to the repo root).
+DEFAULT_PATHS = ("src/repro/core", "src/repro/relational")
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Identifier fragments that mark a value as a float weight/threshold.
+_FLOATY_NAMES = re.compile(
+    r"(weight|norm|threshold|overlap|alpha|beta|fraction|similarity"
+    r"|score|cost|seconds|epsilon)",
+    re.IGNORECASE,
+)
+
+
+def _suppressed(source_lines: Sequence[str], lineno: int, rule: str) -> bool:
+    """Whether *rule* is suppressed by a ``# repro: ignore`` comment."""
+    if not 1 <= lineno <= len(source_lines):
+        return False
+    m = _SUPPRESS_RE.search(source_lines[lineno - 1])
+    if not m:
+        return False
+    listed = m.group(1)
+    if listed is None:
+        return True
+    return rule in {r.strip() for r in listed.split(",")}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _is_caps_sentinel(node: ast.AST) -> bool:
+    """ALL_CAPS identifiers are module constants, typically string
+    sentinels (NORM_WEIGHT, ...) — equality on those is tag dispatch."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name is not None and name == name.upper()
+
+
+def _floaty(node: ast.AST) -> Optional[str]:
+    """A human-readable reason this operand looks like a float quantity."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    # ALL_CAPS names are module constants, typically string sentinels
+    # (NORM_WEIGHT, ...) — equality on those is tag dispatch, not math.
+    if (
+        name is not None
+        and name != name.upper()
+        and _FLOATY_NAMES.search(name)
+    ):
+        return f"identifier {name!r}"
+    return None
+
+
+def _function_annotation_gaps(node: ast.AST) -> List[str]:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = node.args
+    gaps: List[str] = []
+    positional = args.posonlyargs + args.args
+    for i, a in enumerate(positional):
+        if i == 0 and a.arg in ("self", "cls"):
+            continue
+        if a.annotation is None:
+            gaps.append(f"parameter {a.arg!r}")
+    for a in args.kwonlyargs:
+        if a.annotation is None:
+            gaps.append(f"parameter {a.arg!r}")
+    if args.vararg is not None and args.vararg.annotation is None:
+        gaps.append(f"parameter *{args.vararg.arg}")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        gaps.append(f"parameter **{args.kwarg.arg}")
+    if node.returns is None:
+        gaps.append("return type")
+    return gaps
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.findings: List[Diagnostic] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _emit(
+        self, rule: str, lineno: int, message: str, hint: str = ""
+    ) -> None:
+        if _suppressed(self.lines, lineno, rule):
+            return
+        self.findings.append(
+            Diagnostic(
+                rule,
+                SEVERITY_ERROR,
+                message,
+                f"{self.path}:{lineno}",
+                hint,
+            )
+        )
+
+    def _check_iteration_target(self, iter_node: ast.AST, lineno: int) -> None:
+        if _is_set_expr(iter_node):
+            self._emit(
+                "RL201",
+                lineno,
+                "iteration over an unordered set: element order is "
+                "run-dependent, which leaks into prefix/tie-break order",
+                hint="iterate sorted(...) or keep a list/dict instead",
+            )
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration_target(node.iter, node.lineno)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iteration_target(comp.iter, node.lineno)  # type: ignore[attr-defined]
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr not in ("Random", "SystemRandom")
+        ):
+            self._emit(
+                "RL202",
+                node.lineno,
+                f"call to unseeded module-level random.{func.attr}(): "
+                "results are irreproducible across runs",
+                hint="thread a seeded random.Random(seed) instance through",
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            # Comparing against a string/None/bool literal — or an
+            # ALL_CAPS sentinel constant — is tag dispatch, not a float
+            # test, whatever the other side is called.
+            benign = any(
+                (
+                    isinstance(o, ast.Constant)
+                    and not isinstance(o.value, float)
+                )
+                or _is_caps_sentinel(o)
+                for o in operands
+            )
+            if not benign:
+                for operand in operands:
+                    reason = _floaty(operand)
+                    if reason is not None:
+                        self._emit(
+                            "RL203",
+                            node.lineno,
+                            f"==/!= comparison on {reason}: float summation "
+                            "order makes exact equality flip at boundaries",
+                            hint="compare with an epsilon "
+                            "(see OVERLAP_EPSILON) or restructure",
+                        )
+                        break
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for dec in node.decorator_list:
+            frozen = None
+            if isinstance(dec, ast.Name) and dec.id == "dataclass":
+                frozen = False
+            elif (
+                isinstance(dec, ast.Call)
+                and isinstance(dec.func, ast.Name)
+                and dec.func.id == "dataclass"
+            ):
+                frozen = any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                )
+            if frozen is False and not _suppressed(
+                self.lines, node.lineno, "RL204"
+            ):
+                self._emit(
+                    "RL204",
+                    dec.lineno,
+                    f"mutable @dataclass {node.name!r} in the engine core: "
+                    "row/value types must be frozen",
+                    hint="use @dataclass(frozen=True), or suppress with "
+                    "'# repro: ignore[RL204]' for a deliberate accumulator",
+                )
+        self.generic_visit(node)
+
+    def _visit_function(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        gaps = _function_annotation_gaps(node)
+        if gaps:
+            self._emit(
+                "RL205",
+                node.lineno,
+                f"function {node.name!r} is missing annotations: "
+                f"{', '.join(gaps)}",
+                hint="the strict mypy gate needs fully annotated hot paths",
+            )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def lint_source(source: str, path: str = "<string>") -> AnalysisReport:
+    """Lint one source string; *path* is used in diagnostic locations."""
+    report = AnalysisReport()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.add(
+            "RL200",
+            SEVERITY_ERROR,
+            f"syntax error: {exc.msg}",
+            f"{path}:{exc.lineno or 0}",
+        )
+        return report
+    linter = _Linter(path, source.splitlines())
+    linter.visit(tree)
+    linter.findings.sort(key=lambda d: (d.location, d.rule))
+    report.diagnostics.extend(linter.findings)
+    return report
+
+
+def lint_file(path: Path) -> AnalysisReport:
+    return lint_source(path.read_text(encoding="utf-8"), str(path))
+
+
+def _discover(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Lint every ``.py`` file under *paths* (default: the hot paths)."""
+    report = AnalysisReport()
+    for f in _discover(paths or DEFAULT_PATHS):
+        report.extend(lint_file(f))
+    if select:
+        wanted = set(select)
+        report = AnalysisReport(
+            [d for d in report.diagnostics if d.rule in wanted]
+        )
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="engine-hygiene lint for the SSJoin hot paths",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="only report these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+    report = lint_paths(args.paths, select=args.select)
+    if args.fmt == "json":
+        print(report.render_json())
+    elif report.diagnostics:
+        print(report.render())
+    if not report.ok:
+        print(
+            f"{len(report.errors())} error(s) in "
+            f"{len(set(d.location.rsplit(':', 1)[0] for d in report.errors()))} "
+            "file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

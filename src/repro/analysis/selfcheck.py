@@ -1,0 +1,160 @@
+"""Self-audit: verify the shipped engine's own plans and predicates.
+
+Runs the three analysis layers against *representative artifacts built
+from the shipped engine itself* — the four predicate families of
+Definition 1 across every physical implementation, a relational plan
+exercising every operator the verifier knows, the SQL front end, and the
+engine-hygiene lint over the hot paths. A clean report here is the
+regression guarantee behind the CI ``static-analysis`` gate: if a change
+to the engine introduces an unsound bound, a broken ordering contract,
+or a schema bug in the shipped operators, ``repro analyze`` goes red
+before any test dataset does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.invariants import KNOWN_IMPLEMENTATIONS, verify_ssjoin
+from repro.analysis.lint import lint_paths
+from repro.analysis.plan_verifier import verify_plan
+from repro.analysis.sql_check import verify_sql
+from repro.core.encoded import encode_pair
+from repro.core.ordering import frequency_ordering
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.relational.aggregates import agg_count, agg_sum
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import col
+from repro.relational.plan import (
+    Extend,
+    GroupBy,
+    HashJoin,
+    Limit,
+    OrderBy,
+    Project,
+    Select,
+    TableScan,
+)
+from repro.relational.relation import Relation
+
+__all__ = ["selfcheck"]
+
+
+def _sample_relations() -> Tuple[PreparedRelation, PreparedRelation]:
+    tokenize = lambda s: s.split()  # noqa: E731 - trivial whitespace tokenizer
+    left = PreparedRelation.from_strings(
+        ["data cleaning primer", "similarity joins", "primitive operator"],
+        tokenize,
+        name="L",
+    )
+    right = PreparedRelation.from_strings(
+        ["data cleaning", "similarity join operator", "prefix filter"],
+        tokenize,
+        name="R",
+    )
+    return left, right
+
+
+def _predicate_families() -> List[Tuple[str, OverlapPredicate]]:
+    return [
+        ("absolute", OverlapPredicate.absolute(1.5)),
+        ("one_sided", OverlapPredicate.one_sided(0.6)),
+        ("two_sided", OverlapPredicate.two_sided(0.5)),
+        ("max_norm", OverlapPredicate.max_norm(0.4)),
+    ]
+
+
+def _ssjoin_selfcheck() -> AnalysisReport:
+    left, right = _sample_relations()
+    ordering = frequency_ordering(left, right)
+    enc_left, enc_right, _ = encode_pair(left, right, ordering=ordering)
+    reports: List[Diagnostic] = []
+    for family, predicate in _predicate_families():
+        for impl in KNOWN_IMPLEMENTATIONS:
+            encoding = (
+                (enc_left, enc_right)
+                if impl.startswith("encoded-")
+                else None
+            )
+            report = verify_ssjoin(
+                left,
+                right,
+                predicate,
+                ordering=ordering,
+                implementation=impl,
+                encoding=encoding,
+            )
+            for d in report.diagnostics:
+                reports.append(
+                    dataclasses.replace(
+                        d, location=f"ssjoin[{family}/{impl}] {d.location}"
+                    )
+                )
+    return AnalysisReport(reports)
+
+
+def _plan_selfcheck() -> AnalysisReport:
+    catalog = Catalog()
+    catalog.register(
+        "orders",
+        Relation.from_rows(
+            ["order_id", "customer", "amount"],
+            [(1, "ada", 10.0), (2, "bob", 7.5), (3, "ada", 2.5)],
+        ),
+    )
+    catalog.register(
+        "customers",
+        Relation.from_rows(
+            ["customer", "city"], [("ada", "london"), ("bob", "berlin")]
+        ),
+    )
+    plan = Limit(
+        OrderBy(
+            GroupBy(
+                Project(
+                    Select(
+                        HashJoin(
+                            TableScan("orders"),
+                            TableScan("customers"),
+                            keys=["customer"],
+                        ),
+                        col("amount") >= 1.0,
+                    ),
+                    ["customer", "amount", "city"],
+                ),
+                keys=["customer"],
+                aggregates=[agg_count("n"), agg_sum("total", col("amount"))],
+                having=col("n") >= 1,
+            ),
+            ["customer"],
+        ),
+        2,
+    )
+    extend_plan = Extend(
+        TableScan("orders"), "flagged", col("amount") >= 5.0
+    )
+    report = verify_plan(plan, catalog)
+    report.extend(verify_plan(extend_plan, catalog))
+    report.extend(
+        verify_sql(
+            catalog,
+            "SELECT customer, SUM(amount) AS total FROM orders "
+            "GROUP BY customer HAVING SUM(amount) >= 1 ORDER BY total",
+        )
+    )
+    return report
+
+
+def selfcheck(include_lint: bool = True) -> AnalysisReport:
+    """Audit the shipped engine; a non-``ok`` report is a regression.
+
+    Set ``include_lint=False`` to skip the source-tree lint (e.g. when
+    running from an installed package without the source checkout).
+    """
+    parts = [_ssjoin_selfcheck(), _plan_selfcheck()]
+    if include_lint:
+        parts.append(lint_paths())
+    return AnalysisReport.combine(parts)

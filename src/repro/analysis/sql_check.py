@@ -1,0 +1,362 @@
+"""Static verification of SQL-compiler output before execution.
+
+Mirrors the name-resolution and aggregate rules that
+:mod:`repro.relational.sql.compiler` applies *lazily at bind time*, but
+runs them eagerly over the parsed :class:`SelectStatement` against a
+concrete catalog — so a bad query is rejected with structured
+diagnostics instead of failing mid-execution (or worse, silently
+producing an empty join).
+
+Shares the ``PV1xx`` rule namespace with the plan verifier, plus:
+
+``PV107`` unknown or mis-used function (not an aggregate, scalar, or
+supported predicate form; wrong arity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.analysis.diagnostics import SEVERITY_ERROR, AnalysisReport
+from repro.errors import AnalysisError
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Schema
+from repro.relational.sql.ast import (
+    Binary,
+    Call,
+    ColumnName,
+    SelectStatement,
+    SqlExpr,
+    Star,
+    Unary,
+)
+from repro.relational.sql.parser import parse
+
+__all__ = ["verify_select", "verify_sql", "check_sql"]
+
+_AGGREGATES = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+_SCALARS = ("ABS", "LENGTH", "LOWER", "UPPER")
+
+
+def _walk_expr(node: SqlExpr) -> Iterator[SqlExpr]:
+    yield node
+    if isinstance(node, Binary):
+        yield from _walk_expr(node.left)
+        yield from _walk_expr(node.right)
+    elif isinstance(node, Unary):
+        yield from _walk_expr(node.operand)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            yield from _walk_expr(arg)
+
+
+def _column_refs(node: SqlExpr, *, inside_aggregates: bool = True) -> List[ColumnName]:
+    """Column references in *node*; optionally skipping aggregate bodies."""
+    out: List[ColumnName] = []
+
+    def visit(n: SqlExpr) -> None:
+        if isinstance(n, ColumnName):
+            out.append(n)
+        elif isinstance(n, Binary):
+            visit(n.left)
+            visit(n.right)
+        elif isinstance(n, Unary):
+            visit(n.operand)
+        elif isinstance(n, Call):
+            if n.name in _AGGREGATES and not inside_aggregates:
+                return
+            for arg in n.args:
+                visit(arg)
+
+    visit(node)
+    return out
+
+
+def _aggregate_calls(node: SqlExpr) -> List[Call]:
+    return [
+        n
+        for n in _walk_expr(node)
+        if isinstance(n, Call) and n.name in _AGGREGATES
+    ]
+
+
+def _resolve_name(schema: Schema, column: ColumnName) -> Optional[str]:
+    """Non-raising twin of the compiler's ``_resolve``; None = unresolved."""
+    if column.qualifier:
+        qualified = f"{column.qualifier}.{column.name}"
+        if qualified in schema:
+            return qualified
+        if column.name in schema:
+            return column.name
+        return None
+    if column.name in schema:
+        return column.name
+    suffix = "." + column.name
+    matches = [n for n in schema.names if n.endswith(suffix)]
+    if len(matches) == 1:
+        return matches[0]
+    return None
+
+
+def _check_refs(
+    report: AnalysisReport,
+    refs: Sequence[ColumnName],
+    schema: Schema,
+    location: str,
+) -> None:
+    for ref in refs:
+        if _resolve_name(schema, ref) is None:
+            suffix = "." + ref.name
+            ambiguous = [n for n in schema.names if n.endswith(suffix)]
+            if len(ambiguous) > 1:
+                report.add(
+                    "PV101",
+                    SEVERITY_ERROR,
+                    f"ambiguous column {ref.display()!r}: matches "
+                    f"{', '.join(sorted(ambiguous))}",
+                    location,
+                    hint="qualify the column with its table alias",
+                )
+            else:
+                report.add(
+                    "PV101",
+                    SEVERITY_ERROR,
+                    f"unknown column {ref.display()!r}; available: "
+                    f"{', '.join(schema.names)}",
+                    location,
+                )
+
+
+def _check_functions(
+    report: AnalysisReport, expr: SqlExpr, location: str, allow_aggregates: bool
+) -> None:
+    for node in _walk_expr(expr):
+        if not isinstance(node, Call) or node.name == "__IN__":
+            continue
+        if node.name in _AGGREGATES:
+            if not allow_aggregates:
+                report.add(
+                    "PV103",
+                    SEVERITY_ERROR,
+                    f"aggregate {node.name} is only allowed in the select "
+                    "list or HAVING",
+                    location,
+                )
+        elif node.name in _SCALARS:
+            if len(node.args) != 1:
+                report.add(
+                    "PV107",
+                    SEVERITY_ERROR,
+                    f"{node.name} takes exactly one argument, got {len(node.args)}",
+                    location,
+                )
+        else:
+            report.add(
+                "PV107",
+                SEVERITY_ERROR,
+                f"unknown function {node.name}",
+                location,
+                hint=f"supported: {', '.join(_AGGREGATES + _SCALARS)}",
+            )
+
+
+def _item_name(item: object, index: int) -> str:
+    # Mirrors the compiler's output-naming rule.
+    alias = getattr(item, "alias", None)
+    expr = getattr(item, "expr", None)
+    if alias:
+        return str(alias)
+    if isinstance(expr, ColumnName):
+        return expr.name
+    if isinstance(expr, Call):
+        return expr.name.lower()
+    return f"expr_{index}"
+
+
+def verify_select(
+    statement: SelectStatement, catalog: Catalog
+) -> AnalysisReport:
+    """Statically verify one parsed SELECT against *catalog*."""
+    report = AnalysisReport()
+
+    # -- FROM / JOIN: build the input schema exactly as the compiler does.
+    prefix_tables = bool(statement.joins)
+    if statement.table.table not in catalog:
+        report.add(
+            "PV101",
+            SEVERITY_ERROR,
+            f"unknown table {statement.table.table!r}",
+            "from",
+        )
+        return report
+    schema = catalog.get(statement.table.table).schema
+    if prefix_tables:
+        schema = schema.prefixed(statement.table.label)
+    for j, join in enumerate(statement.joins):
+        location = f"join[{j}]"
+        if join.table.table not in catalog:
+            report.add(
+                "PV101",
+                SEVERITY_ERROR,
+                f"unknown table {join.table.table!r}",
+                location,
+            )
+            return report
+        right = catalog.get(join.table.table).schema.prefixed(join.table.label)
+        combined = schema.concat(right)
+        for c1, c2 in join.on:
+            _check_refs(report, [c1, c2], combined, location)
+        schema = combined
+
+    # -- WHERE: no aggregates, every column resolvable.
+    if statement.where is not None:
+        _check_refs(report, _column_refs(statement.where), schema, "where")
+        _check_functions(report, statement.where, "where", allow_aggregates=False)
+
+    has_aggregates = any(
+        _aggregate_calls(item.expr)
+        for item in statement.items
+        if not isinstance(item.expr, Star)
+    )
+    grouped = bool(statement.group_by) or has_aggregates
+
+    # -- GROUP BY keys.
+    key_names: List[str] = []
+    for c in statement.group_by:
+        resolved = _resolve_name(schema, c)
+        if resolved is None:
+            _check_refs(report, [c], schema, "group by")
+        else:
+            key_names.append(resolved)
+
+    # -- Select list.
+    out_names: List[str] = []
+    for i, item in enumerate(statement.items):
+        location = f"select[{i}]"
+        if isinstance(item.expr, Star):
+            if grouped:
+                report.add(
+                    "PV103",
+                    SEVERITY_ERROR,
+                    "'*' is not allowed in an aggregate select list",
+                    location,
+                )
+            elif len(statement.items) > 1:
+                report.add(
+                    "PV102",
+                    SEVERITY_ERROR,
+                    "'*' cannot be mixed with other select items",
+                    location,
+                )
+            else:
+                out_names.extend(schema.names)
+            continue
+        _check_refs(report, _column_refs(item.expr), schema, location)
+        _check_functions(report, item.expr, location, allow_aggregates=True)
+        if grouped and not _aggregate_calls(item.expr):
+            if isinstance(item.expr, ColumnName):
+                resolved = _resolve_name(schema, item.expr)
+                if resolved is not None and resolved not in key_names:
+                    report.add(
+                        "PV103",
+                        SEVERITY_ERROR,
+                        f"column {item.expr.display()!r} must appear in "
+                        "GROUP BY or inside an aggregate",
+                        location,
+                        hint="add it to GROUP BY or wrap it in an aggregate",
+                    )
+            else:
+                report.add(
+                    "PV103",
+                    SEVERITY_ERROR,
+                    "select items in an aggregate query must be group "
+                    "columns or aggregate calls",
+                    location,
+                )
+        name = _item_name(item, i)
+        if name in out_names:
+            report.add(
+                "PV102",
+                SEVERITY_ERROR,
+                f"duplicate output column {name!r} in select list",
+                location,
+                hint="alias one of the items with AS",
+            )
+        out_names.append(name)
+
+    # -- HAVING: aggregates plus group keys only.
+    if statement.having is not None:
+        if not grouped:
+            report.add(
+                "PV103",
+                SEVERITY_ERROR,
+                "HAVING requires GROUP BY or an aggregate select list",
+                "having",
+            )
+        _check_functions(report, statement.having, "having", allow_aggregates=True)
+        for ref in _column_refs(statement.having, inside_aggregates=False):
+            resolved = _resolve_name(schema, ref)
+            if resolved is None:
+                _check_refs(report, [ref], schema, "having")
+            elif resolved not in key_names:
+                report.add(
+                    "PV103",
+                    SEVERITY_ERROR,
+                    f"HAVING references {ref.display()!r}, which is not a "
+                    "group key; non-key columns must appear inside an "
+                    "aggregate",
+                    "having",
+                )
+        for ref in (
+            r
+            for call in _aggregate_calls(statement.having)
+            for a in call.args
+            for r in _column_refs(a)
+        ):
+            _check_refs(report, [ref], schema, "having")
+
+    # -- ORDER BY: aggregate queries sort the projected schema, plain
+    # queries sort pre-projection (aliases or input columns).
+    for i, order in enumerate(statement.order_by):
+        location = f"order by[{i}]"
+        display = order.column.display()
+        if grouped:
+            if order.column.qualifier is None and display in out_names:
+                continue
+            report.add(
+                "PV101",
+                SEVERITY_ERROR,
+                f"ORDER BY references {display!r}, which is not an output "
+                f"column of the aggregate query (outputs: {', '.join(out_names)})",
+                location,
+            )
+        else:
+            if order.column.qualifier is None and display in out_names:
+                continue
+            _check_refs(report, [order.column], schema, location)
+
+    return report
+
+
+def verify_sql(catalog: Catalog, sql: str) -> AnalysisReport:
+    """Parse and statically verify one SELECT statement.
+
+    >>> from repro.relational import Catalog, Relation
+    >>> c = Catalog()
+    >>> _ = c.register("t", Relation.from_rows(["a", "w"], [("x", 1)]))
+    >>> verify_sql(c, "SELECT a FROM t").ok
+    True
+    >>> [d.rule for d in verify_sql(c, "SELECT nope FROM t")]
+    ['PV101']
+    """
+    return verify_select(parse(sql), catalog)
+
+
+def check_sql(catalog: Catalog, sql: str) -> None:
+    """Verify and raise :class:`AnalysisError` on any error diagnostic."""
+    report = verify_sql(catalog, sql)
+    if not report.ok:
+        raise AnalysisError(
+            f"SQL verification failed with {len(report.errors())} error(s)",
+            report.errors(),
+        )

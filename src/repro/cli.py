@@ -107,6 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--query", required=True, help="the SELECT statement")
     sql.add_argument("--out", help="output TSV (default stdout)")
 
+    ana = sub.add_parser(
+        "analyze",
+        help="static analysis: engine self-audit and source lint",
+    )
+    ana.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    ana.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the source-tree lint (audit the engine invariants only)",
+    )
+    ana.add_argument(
+        "paths",
+        nargs="*",
+        help="extra files/directories to lint beyond the default hot paths",
+    )
+
     gen = sub.add_parser("generate", help="write a synthetic customer-address file")
     gen.add_argument("--rows", type=int, default=500)
     gen.add_argument("--seed", type=int, default=20060403)
@@ -206,6 +224,26 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_paths, selfcheck
+
+    report = selfcheck(include_lint=not args.no_lint)
+    if args.paths:
+        report.extend(lint_paths(args.paths))
+    if args.fmt == "json":
+        print(report.render_json())
+    else:
+        if report.diagnostics:
+            print(report.render())
+        n_err, n_warn = len(report.errors()), len(report.warnings())
+        print(
+            f"analysis {'passed' if report.ok else 'FAILED'}: "
+            f"{n_err} error(s), {n_warn} warning(s)",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     rows = generate_addresses(
         CustomerConfig(num_rows=args.rows, seed=args.seed,
@@ -226,6 +264,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "match": _cmd_match,
         "sql": _cmd_sql,
         "explain": _cmd_explain,
+        "analyze": _cmd_analyze,
         "generate": _cmd_generate,
     }
     return handlers[args.command](args)

@@ -27,7 +27,7 @@ from repro.core.metrics import (
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.relational.aggregates import agg_sum, group_by
-from repro.relational.expressions import FunctionCall, col
+from repro.relational.expressions import Expr, FunctionCall, col
 from repro.relational.joins import hash_join
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -38,7 +38,9 @@ __all__ = ["basic_ssjoin", "RESULT_SCHEMA"]
 RESULT_SCHEMA = Schema(["a_r", "a_s", "overlap", "norm_r", "norm_s"])
 
 
-def _having_expr(predicate: OverlapPredicate, overlap_col: str, lnorm_col: str, rnorm_col: str):
+def _having_expr(
+    predicate: OverlapPredicate, overlap_col: str, lnorm_col: str, rnorm_col: str
+) -> Expr:
     """HAVING: overlap (+ε for float round-off) >= predicate threshold."""
     threshold = FunctionCall(
         "THRESHOLD", predicate.threshold, (col(lnorm_col), col(rnorm_col))

@@ -170,7 +170,8 @@ class EncodingCache:
         cached = encoded.prepared
         if cached is prepared:
             return True
-        return cached.groups == prepared.groups and cached.norms == prepared.norms
+        # Content-identity check for cache reuse: exact equality intended.
+        return cached.groups == prepared.groups and cached.norms == prepared.norms  # repro: ignore[RL203]
 
     def clear(self) -> None:
         self._entries.clear()

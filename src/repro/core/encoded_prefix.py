@@ -21,7 +21,7 @@ agree to float round-off, absorbed by the shared ``OVERLAP_EPSILON``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.basic import RESULT_SCHEMA
 from repro.core.encoded import EncodedPreparedRelation, encode_pair
@@ -40,7 +40,7 @@ from repro.relational.relation import Relation
 __all__ = ["encoded_prefix_ssjoin", "merge_overlap", "prefix_length"]
 
 
-def prefix_length(weights, beta: float) -> int:
+def prefix_length(weights: Sequence[float], beta: float) -> int:
     """Length of the shortest prefix whose cumulative weight exceeds *beta*.
 
     Mirrors :func:`repro.core.prefixes.prefix_of_sorted` exactly: 0 when
@@ -57,7 +57,11 @@ def prefix_length(weights, beta: float) -> int:
     return len(weights)
 
 
-def merge_overlap(left_ids, left_weights, right_ids) -> float:
+def merge_overlap(
+    left_ids: Sequence[int],
+    left_weights: Sequence[float],
+    right_ids: Sequence[int],
+) -> float:
     """Merge-intersection kernel: ``SUM(left weight)`` over shared ids.
 
     Both id arrays are sorted ascending (the ordering ``O``), so one
@@ -82,7 +86,7 @@ def merge_overlap(left_ids, left_weights, right_ids) -> float:
 
 
 def _prefix_lengths(
-    encoded: EncodedPreparedRelation, bound_fn
+    encoded: EncodedPreparedRelation, bound_fn: Callable[[float], float]
 ) -> List[int]:
     """β-prefix length per group (β widened by the shared epsilon, as in
     the tuple plans, so boundary pairs are never pruned)."""

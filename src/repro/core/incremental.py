@@ -23,7 +23,7 @@ filter only gets *weaker*, never wrong.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.metrics import ExecutionMetrics
 from repro.core.ordering import ElementOrdering, frequency_ordering
@@ -32,6 +32,9 @@ from repro.core.prefixes import prefix_of_sorted
 from repro.core.prepared import PreparedRelation
 from repro.errors import ReproError
 from repro.tokenize.sets import WeightedSet
+
+if TYPE_CHECKING:  # deferred: tokenize.weights imports are cycle-prone
+    from repro.tokenize.weights import WeightTable
 
 __all__ = ["IncrementalSSJoin"]
 
@@ -90,7 +93,9 @@ class IncrementalSSJoin:
 
     # -- internals ----------------------------------------------------------------
 
-    def _prefix(self, wset: WeightedSet, ordered: List[Any], side: str, norm: float):
+    def _prefix(
+        self, wset: WeightedSet, ordered: List[Any], side: str, norm: float
+    ) -> List[Any]:
         bound = (
             self.predicate.left_filter_threshold(norm)
             if side == "left"
@@ -169,7 +174,7 @@ class IncrementalSSJoin:
         self,
         key: Any,
         tokens: Sequence[Any],
-        weights=None,
+        weights: Optional["WeightTable"] = None,
         norm: Optional[float] = None,
     ) -> List[Tuple[Any, Any, float]]:
         """Convenience: ordinal-encode *tokens* and :meth:`add` the set."""

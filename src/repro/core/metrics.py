@@ -25,7 +25,7 @@ PHASE_FILTER = "filter"
 PHASES = (PHASE_PREP, PHASE_PREFIX, PHASE_SSJOIN, PHASE_FILTER)
 
 
-@dataclass
+@dataclass  # repro: ignore[RL204] -- mutable by design: counters accumulate during execution
 class ExecutionMetrics:
     """Counters and per-phase wall-clock timings for one join execution.
 

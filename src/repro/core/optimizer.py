@@ -30,7 +30,7 @@ sample rate turned up to 100%.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.encoded import encoding_cached
 from repro.core.ordering import ElementOrdering, frequency_ordering
@@ -38,6 +38,9 @@ from repro.core.predicate import OverlapPredicate
 from repro.core.prefix_filter import prefix_filter_relation
 from repro.core.prepared import PreparedRelation
 from repro.errors import OptimizerError
+
+if TYPE_CHECKING:  # the optimizer only touches Relation in estimates
+    from repro.relational.relation import Relation
 
 __all__ = [
     "CostEstimate",
@@ -204,7 +207,7 @@ class CostModel:
             + self.ENCODED_POSTING * (len(pl) + len(pr) + prefix_join_rows)
             + self.MERGE_ELEMENT * candidates * (avg_left + avg_right),
             {
-                "encode_rows": 0.0 if encode_cost == 0.0 else float(n_left + n_right),
+                "encode_rows": 0.0 if cached else float(n_left + n_right),
                 "prefix_rows": float(len(pl) + len(pr)),
                 "prefix_join_rows": prefix_join_rows,
                 "est_candidates": candidates,
@@ -216,7 +219,7 @@ class CostModel:
             + self.ENCODED_POSTING * (n_right + left_prefix_probe_rows)
             + self.PROBE_COMPLETION * 0.5 * suffix_rows,
             {
-                "encode_rows": 0.0 if encode_cost == 0.0 else float(n_left + n_right),
+                "encode_rows": 0.0 if cached else float(n_left + n_right),
                 "index_postings": float(n_right),
                 "probe_rows": left_prefix_probe_rows,
                 "completion_rows": suffix_rows,
@@ -274,7 +277,13 @@ def calibrate_cost_model(
 
         _SCALES = scales
 
-        def estimate_all(self, left, right, predicate, ordering=None):
+        def estimate_all(
+            self,
+            left: PreparedRelation,
+            right: PreparedRelation,
+            predicate: OverlapPredicate,
+            ordering: Optional[ElementOrdering] = None,
+        ) -> List[CostEstimate]:
             raw = CostModel.estimate_all(self, left, right, predicate, ordering)
             rescaled = [
                 CostEstimate(
@@ -314,7 +323,7 @@ def _histogram_join_size(left: Dict, right: Dict) -> float:
     return float(total)
 
 
-def _relation_frequencies(relation) -> Dict:
+def _relation_frequencies(relation: "Relation") -> Dict:
     """Frequency histogram of the ``b`` column of a filtered relation."""
     pos = relation.schema.position("b")
     freq: Dict = {}

@@ -42,11 +42,29 @@ class ElementOrdering:
     fully integer-native form of the same idea).
     """
 
-    def __init__(self, ranks: Dict[Any, int], description: str = "custom") -> None:
+    #: Default cap on the memoized overflow table. Past it, unseen
+    #: elements fall back to a computed (memory-free) rank, so a
+    #: long-lived ordering probed with an endless stream of new elements
+    #: cannot grow without bound.
+    DEFAULT_MAX_OVERFLOW = 1 << 16
+
+    def __init__(
+        self,
+        ranks: Dict[Any, int],
+        description: str = "custom",
+        max_overflow: int = DEFAULT_MAX_OVERFLOW,
+    ) -> None:
+        if max_overflow < 0:
+            raise ValueError(f"max_overflow must be >= 0, got {max_overflow}")
         self._ranks = ranks
         self.description = description
         self._sentinel = len(ranks)
         self._overflow: Dict[Any, int] = {}
+        self._max_overflow = max_overflow
+        # Computed fallback ranks start after every possible memoized
+        # rank, so the three tiers (ranked < memoized < computed) never
+        # interleave even as the overflow table fills.
+        self._fallback_base = self._sentinel + max_overflow
 
     def key(self, element: Any) -> int:
         """Sort key implementing the total order (an ``int`` rank).
@@ -54,7 +72,13 @@ class ElementOrdering:
         Ranked elements return their table rank; unseen elements get
         ``sentinel + k`` where ``k`` is their first-seen position in the
         overflow table — always after every ranked element, and the same
-        rank every time the element is queried again.
+        rank every time the element is queried again. Once the overflow
+        table holds ``max_overflow`` entries, further unseen elements get
+        a *computed* rank derived from their repr: still deterministic
+        (identical across processes, even), still after every memoized
+        rank, but requiring no storage. It is injective because ``repr``
+        starts with a printable character, so the big-endian integer of
+        its UTF-8 bytes never collides across distinct reprs.
         """
         rank = self._ranks.get(element)
         if rank is not None:
@@ -62,9 +86,20 @@ class ElementOrdering:
         overflow = self._overflow
         rank = overflow.get(element)
         if rank is None:
-            rank = self._sentinel + len(overflow)
-            overflow[element] = rank
+            if len(overflow) < self._max_overflow:
+                rank = self._sentinel + len(overflow)
+                overflow[element] = rank
+            else:
+                rank = self._fallback_base + int.from_bytes(
+                    repr(element).encode("utf-8"), "big"
+                )
         return rank
+
+    @property
+    def overflow_size(self) -> int:
+        """Number of memoized unseen-element ranks (bounded by
+        ``max_overflow``)."""
+        return len(self._overflow)
 
     def __call__(self, element: Any) -> int:
         return self.key(element)

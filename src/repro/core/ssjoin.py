@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.core.basic import basic_ssjoin
-from repro.core.encoded_index import encoded_index_probe_ssjoin
+from repro.core.encoded import EncodedPreparedRelation
+from repro.core.encoded_index import EncodedInvertedIndex, encoded_index_probe_ssjoin
 from repro.core.encoded_prefix import encoded_prefix_ssjoin
 from repro.core.index import index_probe_ssjoin
 from repro.core.inline import inline_ssjoin
@@ -31,7 +32,7 @@ from repro.relational.relation import Relation
 __all__ = ["SSJoinResult", "SSJoin", "ssjoin"]
 
 
-@dataclass
+@dataclass(frozen=True)
 class SSJoinResult:
     """Outcome of one SSJoin execution."""
 
@@ -70,6 +71,9 @@ class SSJoin:
         right: PreparedRelation,
         predicate: OverlapPredicate,
         ordering: Optional[ElementOrdering] = None,
+        encoding: Optional[
+            Tuple["EncodedPreparedRelation", "EncodedPreparedRelation"]
+        ] = None,
     ) -> None:
         self.left = left
         self.right = right
@@ -79,6 +83,10 @@ class SSJoin:
         # the encoded plans key their encoding cache on this, so that the
         # lazily-built default frequency ordering never fragments the key.
         self._user_ordering = ordering
+        # Optional prebuilt (left, right) encoding pair for the encoded
+        # plans. Both sides must share one TokenDictionary and encode the
+        # *current* contents of left/right — `verify=True` checks both.
+        self._encoding = encoding
 
     @property
     def ordering(self) -> ElementOrdering:
@@ -92,6 +100,7 @@ class SSJoin:
         implementation: str = "auto",
         metrics: Optional[ExecutionMetrics] = None,
         cost_model: Optional[CostModel] = None,
+        verify: bool = False,
     ) -> SSJoinResult:
         """Run the join with the named (or cost-chosen) implementation.
 
@@ -106,7 +115,26 @@ class SSJoin:
         metrics:
             Optional pre-existing metrics object to accumulate into
             (multi-stage joins pass their own).
+        verify:
+            Run the static invariant verifier
+            (:func:`repro.analysis.check_ssjoin`) before executing:
+            Lemma-1 bound soundness, ordering/dictionary coherence of any
+            prebuilt encoding, float-equality and verify-step audits. An
+            unsafe plan raises :class:`repro.errors.AnalysisError` with
+            structured diagnostics instead of running.
         """
+        if verify:
+            # Imported here: repro.analysis depends on repro.core.
+            from repro.analysis.invariants import check_ssjoin
+
+            check_ssjoin(
+                self.left,
+                self.right,
+                self.predicate,
+                ordering=self._user_ordering,
+                implementation=implementation,
+                encoding=self._encoding,
+            )
         m = metrics if metrics is not None else ExecutionMetrics()
         estimate: Optional[CostEstimate] = None
         impl = implementation
@@ -138,11 +166,17 @@ class SSJoin:
             pairs = encoded_prefix_ssjoin(
                 self.left, self.right, self.predicate,
                 ordering=self._user_ordering, metrics=m,
+                encoding=self._encoding,
             )
         elif impl == "encoded-probe":
             pairs = encoded_index_probe_ssjoin(
                 self.left, self.right, self.predicate,
                 ordering=self._user_ordering, metrics=m,
+                index=(
+                    None
+                    if self._encoding is None
+                    else EncodedInvertedIndex(self._encoding[1])
+                ),
             )
         else:
             raise PlanError(
@@ -217,8 +251,9 @@ def ssjoin(
     implementation: str = "auto",
     ordering: Optional[ElementOrdering] = None,
     metrics: Optional[ExecutionMetrics] = None,
+    verify: bool = False,
 ) -> SSJoinResult:
     """Functional shorthand for ``SSJoin(left, right, pred).execute(...)``."""
     return SSJoin(left, right, predicate, ordering=ordering).execute(
-        implementation, metrics=metrics
+        implementation, metrics=metrics, verify=verify
     )

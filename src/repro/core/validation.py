@@ -22,7 +22,7 @@ from repro.relational.relation import Relation
 __all__ = ["VerificationReport", "verify_result", "explain_pair"]
 
 
-@dataclass
+@dataclass  # repro: ignore[RL204] -- mutable by design: findings accumulate during verification
 class VerificationReport:
     """Outcome of :func:`verify_result`."""
 

@@ -7,6 +7,8 @@ while still being able to discriminate finer-grained failure modes.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence, Tuple
+
 __all__ = [
     "ReproError",
     "SchemaError",
@@ -21,6 +23,7 @@ __all__ = [
     "OptimizerError",
     "BenchmarkConfigError",
     "DataGenerationError",
+    "AnalysisError",
 ]
 
 
@@ -35,9 +38,9 @@ class SchemaError(ReproError):
 class UnknownColumnError(SchemaError):
     """A referenced column does not exist in the schema."""
 
-    def __init__(self, column: str, available: tuple = ()):  # type: ignore[type-arg]
+    def __init__(self, column: str, available: Iterable[str] = ()) -> None:
         self.column = column
-        self.available = tuple(available)
+        self.available: Tuple[str, ...] = tuple(available)
         msg = f"unknown column {column!r}"
         if self.available:
             msg += f"; available columns: {', '.join(self.available)}"
@@ -94,3 +97,20 @@ class BenchmarkConfigError(ReproError):
 
 class DataGenerationError(ReproError):
     """A synthetic data generator received inconsistent parameters."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis rejected a plan before execution.
+
+    Raised by ``SSJoin(..., verify=True)`` and the plan verifier when one
+    or more error-severity diagnostics were found. The structured
+    diagnostics are kept on :attr:`diagnostics` so callers (and tests) can
+    inspect rule ids and locations instead of parsing the message.
+    """
+
+    def __init__(self, message: str, diagnostics: Sequence[object] = ()) -> None:
+        self.diagnostics: Tuple[object, ...] = tuple(diagnostics)
+        if self.diagnostics:
+            lines = "\n".join(f"  {d}" for d in self.diagnostics)
+            message = f"{message}\n{lines}"
+        super().__init__(message)

@@ -39,7 +39,9 @@ class Aggregate:
 
     __slots__ = ("name", "fn", "input_expr")
 
-    def __init__(self, name: str, fn: Callable[[List[Any]], Any], input_expr: Optional[Expr]):
+    def __init__(
+        self, name: str, fn: Callable[[List[Any]], Any], input_expr: Optional[Expr]
+    ) -> None:
         self.name = name
         self.fn = fn
         self.input_expr = input_expr

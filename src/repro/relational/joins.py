@@ -12,7 +12,11 @@ prefixed when a prefix pair is supplied — mirroring how SQL disambiguates
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: A join-key spec: one column name, a list of names (same both sides),
+#: or a list of ``(left, right)`` pairs. Normalized by ``_resolve_keys``.
+JoinKeys = Union[str, Sequence[Union[str, Tuple[str, str]]]]
 
 from repro.errors import PlanError
 from repro.relational.relation import Relation
@@ -55,7 +59,7 @@ class JoinCounters:
         )
 
 
-def _resolve_keys(keys) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+def _resolve_keys(keys: JoinKeys) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
     """Normalize a join-key spec into (left_cols, right_cols).
 
     Accepts a single column name, a list of names (same both sides), or a
@@ -102,7 +106,7 @@ def _prefixed_pair(
 def hash_join(
     left: Relation,
     right: Relation,
-    keys,
+    keys: JoinKeys,
     prefixes: Optional[Tuple[str, str]] = None,
     counters: Optional[JoinCounters] = None,
 ) -> Relation:
@@ -162,7 +166,7 @@ def hash_join(
 def merge_join(
     left: Relation,
     right: Relation,
-    keys,
+    keys: JoinKeys,
     prefixes: Optional[Tuple[str, str]] = None,
     counters: Optional[JoinCounters] = None,
 ) -> Relation:
@@ -176,7 +180,7 @@ def merge_join(
     lpos = left.schema.positions(lkeys)
     rpos = right.schema.positions(rkeys)
 
-    def sort_key(positions):
+    def sort_key(positions: Sequence[int]) -> Callable[[Sequence[Any]], Tuple[Any, ...]]:
         return lambda row: tuple(row[p] for p in positions)
 
     lrows = sorted(
@@ -250,7 +254,7 @@ def nested_loop_join(
 def left_outer_join(
     left: Relation,
     right: Relation,
-    keys,
+    keys: JoinKeys,
     prefixes: Optional[Tuple[str, str]] = None,
     counters: Optional[JoinCounters] = None,
 ) -> Relation:
@@ -302,7 +306,7 @@ def cross_product(
 def semi_join(
     left: Relation,
     right: Relation,
-    keys,
+    keys: JoinKeys,
 ) -> Relation:
     """Left semi-join: left rows having at least one key match in right."""
     lkeys, rkeys = _resolve_keys(keys)

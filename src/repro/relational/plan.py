@@ -9,7 +9,7 @@ which plan (basic / prefix-filter / inline) was chosen.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.relational import operators
@@ -19,6 +19,7 @@ from repro.relational.expressions import Expr
 from repro.relational.groupwise import groupwise_apply
 from repro.relational.joins import hash_join, merge_join, nested_loop_join
 from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
 
 __all__ = [
     "PlanNode",
@@ -40,8 +41,62 @@ __all__ = [
 ]
 
 
+def _tolerant_schema(columns: Sequence[Column]) -> Schema:
+    """Build a schema for *static propagation*, dropping duplicate names.
+
+    The runtime operators raise on duplicates; the static checker reports
+    that as a diagnostic instead and still wants a usable schema for the
+    rest of the tree, so propagation keeps the first occurrence.
+    """
+    seen = set()
+    kept: List[Column] = []
+    for c in columns:
+        if c.name not in seen:
+            seen.add(c.name)
+            kept.append(c)
+    return Schema(kept)
+
+
+def _disambiguated_join_schema(
+    left: Schema, right: Schema, prefixes: Optional[Tuple[str, str]]
+) -> Schema:
+    """Static mirror of the equi-join output schema.
+
+    Replicates :func:`repro.relational.joins._prefixed_pair`: with
+    *prefixes* both sides are qualified; without, clashing right-side
+    names get ``_2``/``_3``... suffixes.
+    """
+    if prefixes is not None:
+        lp, rp = prefixes
+        return _tolerant_schema(
+            list(left.prefixed(lp).columns) + list(right.prefixed(rp).columns)
+        )
+    taken = set(left.names)
+    cols: List[Column] = list(left.columns)
+    for col in right.columns:
+        name = col.name
+        if name in taken:
+            n = 2
+            while f"{name}_{n}" in taken:
+                n += 1
+            name = f"{name}_{n}"
+        taken.add(name)
+        cols.append(col.renamed(name))
+    return Schema(cols)
+
+
 class PlanNode:
-    """Base class of all logical plan nodes."""
+    """Base class of all logical plan nodes.
+
+    Besides execution, every node participates in **static schema
+    propagation**: :meth:`output_schema` computes the schema this node
+    would produce from its children's schemas *without executing
+    anything*. Nodes wrapping opaque callables (:class:`Custom`,
+    :class:`Groupwise`) return ``None`` (unknown) unless constructed with
+    a declared output schema — the plan verifier
+    (:mod:`repro.analysis.plan_verifier`) degrades gracefully on unknown
+    subtrees and checks everything else.
+    """
 
     #: Child nodes, in order. Populated by subclasses.
     children: Tuple["PlanNode", ...] = ()
@@ -53,6 +108,20 @@ class PlanNode:
     def label(self) -> str:
         """One-line description used by :func:`explain`."""
         return type(self).__name__
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        """The statically-known output schema, or ``None`` if unknowable.
+
+        Never raises: unknown column references propagate as best-effort
+        placeholder columns so one bad reference doesn't hide findings in
+        the rest of the tree (the verifier reports the reference itself).
+        """
+        return None
+
+    def _child_schema(
+        self, catalog: Optional[Catalog], index: int = 0
+    ) -> Optional[Schema]:
+        return self.children[index].output_schema(catalog)
 
 
 class TableScan(PlanNode):
@@ -66,6 +135,11 @@ class TableScan(PlanNode):
 
     def label(self) -> str:
         return f"Scan({self.table})"
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        if catalog is not None and self.table in catalog:
+            return catalog.get(self.table).schema
+        return None
 
 
 class MaterializedInput(PlanNode):
@@ -81,6 +155,9 @@ class MaterializedInput(PlanNode):
     def label(self) -> str:
         return f"Materialized({self._label}, rows={len(self.relation)})"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self.relation.schema
+
 
 class Select(PlanNode):
     """σ over a boolean expression."""
@@ -94,6 +171,9 @@ class Select(PlanNode):
 
     def label(self) -> str:
         return f"Select({self.predicate!r})"
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self._child_schema(catalog)
 
 
 class Project(PlanNode):
@@ -110,6 +190,18 @@ class Project(PlanNode):
         names = [c if isinstance(c, str) else c[0] for c in self.columns]
         return f"Project({', '.join(names)})"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        child = self._child_schema(catalog)
+        if child is None:
+            return None
+        cols: List[Column] = []
+        for c in self.columns:
+            if isinstance(c, str):
+                cols.append(child.column(c) if c in child else Column(c))
+            else:
+                cols.append(Column(c[0]))
+        return _tolerant_schema(cols)
+
 
 class Extend(PlanNode):
     """Append one derived column."""
@@ -125,6 +217,12 @@ class Extend(PlanNode):
     def label(self) -> str:
         return f"Extend({self.column} := {self.expr!r})"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        child = self._child_schema(catalog)
+        if child is None:
+            return None
+        return _tolerant_schema(list(child.columns) + [Column(self.column)])
+
 
 class Distinct(PlanNode):
     """δ duplicate elimination."""
@@ -134,6 +232,9 @@ class Distinct(PlanNode):
 
     def execute(self, catalog: Catalog) -> Relation:
         return self.children[0].execute(catalog).distinct()
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self._child_schema(catalog)
 
 
 class OrderBy(PlanNode):
@@ -149,6 +250,9 @@ class OrderBy(PlanNode):
     def label(self) -> str:
         return f"OrderBy({self.keys})"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self._child_schema(catalog)
+
 
 class Limit(PlanNode):
     """Keep the first *n* rows."""
@@ -163,13 +267,16 @@ class Limit(PlanNode):
     def label(self) -> str:
         return f"Limit({self.n})"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self._child_schema(catalog)
+
 
 class _JoinBase(PlanNode):
     def __init__(
         self,
         left: PlanNode,
         right: PlanNode,
-        keys,
+        keys: Any,
         prefixes: Optional[Tuple[str, str]] = None,
     ) -> None:
         self.children = (left, right)
@@ -178,6 +285,13 @@ class _JoinBase(PlanNode):
 
     def label(self) -> str:
         return f"{type(self).__name__}(keys={self.keys})"
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        left = self._child_schema(catalog, 0)
+        right = self._child_schema(catalog, 1)
+        if left is None or right is None:
+            return None
+        return _disambiguated_join_schema(left, right, self.prefixes)
 
 
 class HashJoin(_JoinBase):
@@ -222,6 +336,13 @@ class NestedLoopJoin(PlanNode):
     def label(self) -> str:
         return f"NestedLoopJoin({self.description})"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        left = self._child_schema(catalog, 0)
+        right = self._child_schema(catalog, 1)
+        if left is None or right is None:
+            return None
+        return _disambiguated_join_schema(left, right, self.prefixes)
+
 
 class GroupBy(PlanNode):
     """γ with aggregates and optional HAVING."""
@@ -249,6 +370,15 @@ class GroupBy(PlanNode):
             text += f", having={self.having!r}"
         return text + ")"
 
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        child = self._child_schema(catalog)
+        if child is None:
+            return None
+        cols = [
+            child.column(k) if k in child else Column(k) for k in self.keys
+        ] + [Column(a.name) for a in self.aggregates]
+        return _tolerant_schema(cols)
+
 
 class Groupwise(PlanNode):
     """Groupwise-processing operator: per-group subquery application."""
@@ -259,11 +389,13 @@ class Groupwise(PlanNode):
         keys: Sequence[str],
         subquery: Callable[[Relation], Relation],
         description: str = "subquery",
+        declares: Optional[Schema] = None,
     ) -> None:
         self.children = (child,)
         self.keys = list(keys)
         self.subquery = subquery
         self.description = description
+        self.declares = declares
 
     def execute(self, catalog: Catalog) -> Relation:
         child = self.children[0].execute(catalog)
@@ -271,6 +403,14 @@ class Groupwise(PlanNode):
 
     def label(self) -> str:
         return f"Groupwise(keys={self.keys}, subquery={self.description})"
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        if self.declares is not None:
+            return self.declares
+        # A subquery that preserves the group schema (filter/truncate) is
+        # the common case, but it may also project — unknowable statically
+        # without a declaration.
+        return None
 
 
 class Custom(PlanNode):
@@ -285,16 +425,21 @@ class Custom(PlanNode):
         child: PlanNode,
         fn: Callable[[Relation], Relation],
         description: str,
+        declares: Optional[Schema] = None,
     ) -> None:
         self.children = (child,)
         self.fn = fn
         self.description = description
+        self.declares = declares
 
     def execute(self, catalog: Catalog) -> Relation:
         return self.fn(self.children[0].execute(catalog))
 
     def label(self) -> str:
         return f"Custom({self.description})"
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self.declares
 
 
 def explain(node: PlanNode, indent: str = "") -> str:

@@ -46,7 +46,7 @@ from repro.relational.plan import (
     TableScan,
     explain,
 )
-from repro.relational.joins import left_outer_join
+from repro.relational.joins import JoinKeys, left_outer_join
 from repro.relational.relation import Relation
 
 __all__ = ["Query"]
@@ -119,7 +119,7 @@ class Query:
     def join(
         self,
         other: Union["Query", str, Relation],
-        on,
+        on: JoinKeys,
         how: str = "hash",
         prefixes: Optional[Tuple[str, str]] = None,
     ) -> "Query":
@@ -141,7 +141,7 @@ class Query:
     def left_join(
         self,
         other: Union["Query", str, Relation],
-        on,
+        on: JoinKeys,
         prefixes: Optional[Tuple[str, str]] = None,
     ) -> "Query":
         """LEFT OUTER equi-join: unmatched left rows survive, NULL-padded."""
@@ -206,12 +206,18 @@ class Query:
 class _LeftOuterJoinNode(PlanNode):
     """Plan node for the LEFT OUTER equi-join (used by Query.left_join)."""
 
-    def __init__(self, left, right, keys, prefixes=None):
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        keys: JoinKeys,
+        prefixes: Optional[Tuple[str, str]] = None,
+    ) -> None:
         self.children = (left, right)
         self.keys = keys
         self.prefixes = prefixes
 
-    def execute(self, catalog):
+    def execute(self, catalog: Catalog) -> Relation:
         return left_outer_join(
             self.children[0].execute(catalog),
             self.children[1].execute(catalog),
@@ -219,5 +225,5 @@ class _LeftOuterJoinNode(PlanNode):
             prefixes=self.prefixes,
         )
 
-    def label(self):
+    def label(self) -> str:
         return f"LeftOuterJoin(keys={self.keys})"

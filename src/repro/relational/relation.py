@@ -9,7 +9,8 @@ for set semantics.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+import os
+from typing import Any, Callable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.errors import SchemaError
 from repro.relational.schema import Column, Schema
@@ -83,7 +84,7 @@ class Relation:
         return cls(schema, (), name=name)
 
     @classmethod
-    def from_tsv(cls, path, name: Optional[str] = None) -> "Relation":
+    def from_tsv(cls, path: "Union[str, os.PathLike]", name: Optional[str] = None) -> "Relation":
         """Load a TSV file: first line is the header; empty cells are NULL.
 
         Values parse as int, then float, then string — the affinity rule
@@ -113,7 +114,7 @@ class Relation:
         ]
         return cls.from_rows(headers, rows, name=name)
 
-    def to_tsv(self, path) -> None:
+    def to_tsv(self, path: "Union[str, os.PathLike]") -> None:
         """Write this relation as TSV (NULLs become empty cells)."""
         with open(path, "w", encoding="utf-8") as f:
             f.write("\t".join(self.schema.names) + "\n")

@@ -117,7 +117,7 @@ class OrderItem:
     descending: bool = False
 
 
-@dataclass
+@dataclass(frozen=True)
 class SelectStatement:
     """A parsed SELECT."""
 

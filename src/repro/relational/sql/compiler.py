@@ -34,7 +34,7 @@ from repro.relational.aggregates import (
     group_by,
 )
 from repro.relational.catalog import Catalog
-from repro.relational.expressions import BinaryOp, Constant, Expr, UnaryOp
+from repro.relational.expressions import BinaryOp, Constant, Expr, RowFn, UnaryOp
 from repro.relational.joins import hash_join, left_outer_join
 from repro.relational.operators import order_by as op_order_by
 from repro.relational.operators import project as op_project
@@ -96,7 +96,7 @@ class _ResolvingRef(Expr):
     def __init__(self, column: ColumnName) -> None:
         self.column = column
 
-    def bind(self, schema: Schema):
+    def bind(self, schema: Schema) -> RowFn:
         pos = schema.position(_resolve(schema, self.column))
         return lambda row: row[pos]
 
@@ -176,7 +176,7 @@ def _compile_expr(node: SqlExpr) -> Expr:
             members = [_compile_expr(a) for a in node.args[1:]]
 
             class _InExpr(Expr):
-                def bind(self, schema):
+                def bind(self, schema: Schema) -> RowFn:
                     tf = target.bind(schema)
                     mfs = [m.bind(schema) for m in members]
                     return lambda row: (
@@ -184,13 +184,13 @@ def _compile_expr(node: SqlExpr) -> Expr:
                         and tf(row) in {f(row) for f in mfs}
                     )
 
-                def columns(self):
+                def columns(self) -> Tuple[str, ...]:
                     out = target.columns()
                     for m in members:
                         out += m.columns()
                     return out
 
-                def __repr__(self):
+                def __repr__(self) -> str:
                     return f"({target!r} IN ...)"
 
             return _InExpr()
@@ -237,9 +237,9 @@ def _extract_having(
     node: SqlExpr, hidden: List[Tuple[str, Call]]
 ) -> SqlExpr:
     """Replace aggregate calls inside HAVING by hidden-column references."""
-    if _is_aggregate_call(node):
+    if isinstance(node, Call) and node.name in _AGGREGATES:
         name = f"__agg{len(hidden)}"
-        hidden.append((name, node))  # type: ignore[arg-type]
+        hidden.append((name, node))
         return ColumnName(name)
     if isinstance(node, Binary):
         return Binary(
@@ -262,7 +262,9 @@ def _item_name(item: SelectItem, index: int) -> str:
     return f"expr_{index}"
 
 
-def compile_statement(statement: SelectStatement, catalog: Catalog):
+def compile_statement(
+    statement: SelectStatement, catalog: Catalog
+) -> Callable[[], Relation]:
     """Compile *statement* into an executable closure ``() -> Relation``."""
 
     def run() -> Relation:
@@ -372,8 +374,8 @@ def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relat
     item_resolved: Dict[int, str] = {}  # select-item index -> resolved key column
     for i, item in enumerate(statement.items):
         name = _item_name(item, i)
-        if _is_aggregate_call(item.expr):
-            aggregates.append(_make_aggregate(name, item.expr))  # type: ignore[arg-type]
+        if isinstance(item.expr, Call) and item.expr.name in _AGGREGATES:
+            aggregates.append(_make_aggregate(name, item.expr))
         elif isinstance(item.expr, ColumnName):
             resolved = _resolve(current.schema, item.expr)
             if resolved not in key_names:
@@ -413,8 +415,13 @@ def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relat
     return op_project(grouped, columns)
 
 
-def execute_sql(catalog: Catalog, sql: str) -> Relation:
+def execute_sql(catalog: Catalog, sql: str, verify: bool = False) -> Relation:
     """Parse, compile and execute one SELECT against *catalog*.
+
+    With ``verify=True`` the statement is first checked statically
+    (:func:`repro.analysis.check_sql`) and rejected with structured
+    diagnostics — :class:`repro.errors.AnalysisError` — before anything
+    executes.
 
     >>> from repro.relational import Catalog, Relation
     >>> c = Catalog()
@@ -424,4 +431,9 @@ def execute_sql(catalog: Catalog, sql: str) -> Relation:
     ...                "GROUP BY a HAVING SUM(w) >= 5 ORDER BY a").rows
     (('x', 5), ('y', 10))
     """
+    if verify:
+        # Imported here: repro.analysis depends on repro.relational.
+        from repro.analysis.sql_check import check_sql
+
+        check_sql(catalog, sql)
     return compile_statement(parse(sql), catalog)()

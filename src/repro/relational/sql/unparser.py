@@ -8,7 +8,7 @@ and the grammar to each other.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, List
 
 from repro.errors import PlanError
 from repro.relational.sql.ast import (
@@ -38,7 +38,7 @@ _PRECEDENCE = {
 }
 
 
-def _literal(value) -> str:
+def _literal(value: Any) -> str:
     if value is None:
         return "NULL"
     if value is True:

@@ -83,7 +83,7 @@ class ColumnStats:
         return h
 
 
-@dataclass
+@dataclass  # repro: ignore[RL204] -- mutable by design: column stats are computed lazily
 class TableStats:
     """Per-table statistics container with lazily computed column stats."""
 

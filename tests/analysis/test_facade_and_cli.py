@@ -1,0 +1,142 @@
+"""End-to-end wiring: SSJoin(verify=True), selfcheck, and `repro analyze`."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import selfcheck
+from repro.cli import main as cli_main
+from repro.core import (
+    OverlapPredicate,
+    PreparedRelation,
+    SSJoin,
+    encode_pair,
+    ssjoin,
+)
+from repro.core.predicate import Bound
+from repro.errors import AnalysisError
+from repro.tokenize.words import words
+
+
+@pytest.fixture
+def pair():
+    left = PreparedRelation.from_strings(
+        ["microsoft corp", "data cleaning primer"], words, name="L"
+    )
+    right = PreparedRelation.from_strings(
+        ["microsoft corporation", "data cleaning"], words, name="R"
+    )
+    return left, right
+
+
+@dataclass(frozen=True)
+class OvershootingBound(Bound):
+    alpha: float
+
+    def value(self, left_norm, right_norm):
+        return self.alpha
+
+    def lower_bound_left(self, left_norm):
+        return self.alpha + 5.0
+
+    def lower_bound_right(self, right_norm):
+        return self.alpha
+
+
+def test_verify_true_executes_clean_plans(pair):
+    left, right = pair
+    pred = OverlapPredicate.absolute(1.0)
+    for impl in ("basic", "prefix", "encoded-prefix", "auto"):
+        result = SSJoin(left, right, pred).execute(impl, verify=True)
+        assert ("microsoft corp", "microsoft corporation") in result.pair_set()
+
+
+def test_verify_rejects_misordered_encoding_before_execution(pair):
+    left, right = pair
+    # Encodings built under two *separate* dictionaries: element ids
+    # disagree, so the prefix equi-join would silently lose pairs.
+    enc_left, _, _ = encode_pair(left, left)
+    _, enc_right, _ = encode_pair(right, right)
+    op = SSJoin(
+        left, right, OverlapPredicate.absolute(1.0), encoding=(enc_left, enc_right)
+    )
+    with pytest.raises(AnalysisError) as exc:
+        op.execute("encoded-prefix", verify=True)
+    assert any(d.rule == "SSJ102" for d in exc.value.diagnostics)
+
+
+def test_verify_rejects_mismatched_beta_bound(pair):
+    left, right = pair
+    bad = OverlapPredicate([OvershootingBound(1.0)])
+    with pytest.raises(AnalysisError) as exc:
+        SSJoin(left, right, bad).execute("prefix", verify=True)
+    assert any(d.rule == "SSJ101" for d in exc.value.diagnostics)
+
+
+def test_unverified_execution_still_runs_unsafe_plans(pair):
+    """verify=False (the default) preserves the old permissive behavior."""
+    left, right = pair
+    bad = OverlapPredicate([OvershootingBound(1.0)])
+    result = SSJoin(left, right, bad).execute("basic")
+    assert result.implementation == "basic"
+
+
+def test_functional_form_verify_flag(pair):
+    left, right = pair
+    result = ssjoin(
+        left, right, OverlapPredicate.absolute(1.0),
+        implementation="prefix", verify=True,
+    )
+    assert len(result) >= 1
+    with pytest.raises(AnalysisError):
+        ssjoin(
+            left, right, OverlapPredicate([OvershootingBound(1.0)]),
+            implementation="prefix", verify=True,
+        )
+
+
+def test_prebuilt_encoding_is_used_for_execution(pair):
+    left, right = pair
+    enc = encode_pair(left, right)
+    result = SSJoin(
+        left, right, OverlapPredicate.absolute(1.0), encoding=(enc[0], enc[1])
+    ).execute("encoded-prefix", verify=True)
+    assert ("microsoft corp", "microsoft corporation") in result.pair_set()
+
+
+# -- the shipped engine audits clean ------------------------------------------
+
+
+def test_selfcheck_is_clean():
+    report = selfcheck(include_lint=False)
+    assert report.ok, report.render()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_analyze_passes(capsys):
+    code = cli_main(["analyze", "--no-lint"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "analysis passed" in captured.err
+
+
+def test_cli_analyze_json(capsys):
+    code = cli_main(["analyze", "--no-lint", "--format", "json"])
+    captured = capsys.readouterr()
+    assert code == 0
+    doc = json.loads(captured.out)
+    assert doc["schema"] == "repro-analysis/v1"
+    assert doc["ok"] is True
+
+
+def test_cli_analyze_flags_bad_paths(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(a):\n    return a\n")
+    code = cli_main(["analyze", "--no-lint", str(bad)])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "RL205" in captured.out
+    assert "FAILED" in captured.err

@@ -1,0 +1,266 @@
+"""SSJoin invariant linter: each SSJ rule with a passing and failing case."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import KNOWN_IMPLEMENTATIONS, check_ssjoin, verify_ssjoin
+from repro.core import (
+    OverlapPredicate,
+    PreparedRelation,
+    encode_pair,
+    reverse_frequency_ordering,
+)
+from repro.core.predicate import Bound
+from repro.errors import AnalysisError
+from repro.tokenize.words import words
+
+
+@pytest.fixture
+def pair():
+    left = PreparedRelation.from_strings(
+        ["data cleaning primer", "similarity joins", "primitive operator"],
+        words,
+        name="L",
+    )
+    right = PreparedRelation.from_strings(
+        ["data cleaning", "similarity join operator"], words, name="R"
+    )
+    return left, right
+
+
+def rules(report):
+    return sorted({d.rule for d in report})
+
+
+def error_rules(report):
+    return sorted({d.rule for d in report.errors()})
+
+
+# -- the shipped predicate families are clean on every implementation --------
+
+
+@pytest.mark.parametrize("impl", KNOWN_IMPLEMENTATIONS)
+@pytest.mark.parametrize(
+    "predicate",
+    [
+        OverlapPredicate.absolute(1.5),
+        OverlapPredicate.one_sided(0.6),
+        OverlapPredicate.two_sided(0.5),
+        OverlapPredicate.max_norm(0.4),
+    ],
+    ids=["absolute", "one_sided", "two_sided", "max_norm"],
+)
+def test_shipped_families_pass(pair, impl, predicate):
+    left, right = pair
+    report = verify_ssjoin(left, right, predicate, implementation=impl)
+    assert report.ok, report.render()
+
+
+def test_data_free_audit():
+    report = verify_ssjoin(None, None, OverlapPredicate.absolute(2.0))
+    assert report.ok
+
+
+# -- SSJ101: beta-bound inconsistency ----------------------------------------
+
+
+@dataclass(frozen=True)
+class OvershootingBound(Bound):
+    """lower_bound_left overshoots value: the β-mismatch fixture."""
+
+    alpha: float
+
+    def value(self, left_norm, right_norm):
+        return self.alpha
+
+    def lower_bound_left(self, left_norm):
+        return self.alpha + 5.0  # unsound: exceeds value for every norm
+
+    def lower_bound_right(self, right_norm):
+        return self.alpha
+
+
+def test_ssj101_unsound_bound(pair):
+    left, right = pair
+    report = verify_ssjoin(
+        left, right, OverlapPredicate([OvershootingBound(1.0)]),
+        implementation="prefix",
+    )
+    assert "SSJ101" in error_rules(report)
+    diag = next(d for d in report.errors() if d.rule == "SSJ101")
+    assert "lower_bound_left" in diag.message
+    assert diag.location == "predicate.bounds[0]"
+
+
+def test_ssj101_raising_bound(pair):
+    left, right = pair
+
+    @dataclass(frozen=True)
+    class RaisingBound(Bound):
+        def value(self, left_norm, right_norm):
+            raise ZeroDivisionError("boom")
+
+        def lower_bound_left(self, left_norm):
+            return 0.0
+
+        def lower_bound_right(self, right_norm):
+            return 0.0
+
+    report = verify_ssjoin(left, right, OverlapPredicate([RaisingBound()]))
+    assert "SSJ101" in error_rules(report)
+
+
+# -- SSJ102: ordering mismatch in encoded plans -------------------------------
+
+
+def test_ssj102_different_dictionaries(pair):
+    left, right = pair
+    enc_left, _, _ = encode_pair(left, left)
+    _, enc_right, _ = encode_pair(right, right)
+    report = verify_ssjoin(
+        left,
+        right,
+        OverlapPredicate.absolute(1.0),
+        implementation="encoded-prefix",
+        encoding=(enc_left, enc_right),
+    )
+    assert "SSJ102" in error_rules(report)
+    diag = next(d for d in report.errors() if d.rule == "SSJ102")
+    assert "different dictionaries" in diag.message
+
+
+def test_ssj102_stale_encoding(pair):
+    left, right = pair
+    enc_left, enc_right, _ = encode_pair(left, right)
+    changed = PreparedRelation.from_strings(
+        ["entirely different content"], words, name="L2"
+    )
+    report = verify_ssjoin(
+        changed,
+        right,
+        OverlapPredicate.absolute(1.0),
+        implementation="encoded-prefix",
+        encoding=(enc_left, enc_right),
+    )
+    assert "SSJ102" in error_rules(report)
+    diag = next(d for d in report.errors() if d.rule == "SSJ102")
+    assert "different relation" in diag.message
+
+
+def test_ssj102_dictionary_disagrees_with_supplied_ordering(pair):
+    left, right = pair
+    # Encoded under the default joint-frequency order...
+    enc_left, enc_right, _ = encode_pair(left, right)
+    # ...but the plan claims the adversarial reverse order.
+    report = verify_ssjoin(
+        left,
+        right,
+        OverlapPredicate.absolute(1.0),
+        ordering=reverse_frequency_ordering(left, right),
+        implementation="encoded-prefix",
+        encoding=(enc_left, enc_right),
+    )
+    assert "SSJ102" in error_rules(report)
+
+
+def test_ssj102_consistent_encoding_passes(pair):
+    left, right = pair
+    enc_left, enc_right, _ = encode_pair(left, right)
+    report = verify_ssjoin(
+        left,
+        right,
+        OverlapPredicate.absolute(1.0),
+        implementation="encoded-prefix",
+        encoding=(enc_left, enc_right),
+    )
+    assert report.ok, report.render()
+
+
+# -- SSJ103: float-equality threshold test ------------------------------------
+
+
+class EqualityPredicate(OverlapPredicate):
+    def satisfied(self, overlap, left_norm, right_norm):
+        return overlap == self.threshold(left_norm, right_norm)
+
+
+def test_ssj103_float_equality(pair):
+    left, right = pair
+    report = verify_ssjoin(left, right, EqualityPredicate.absolute(1.0))
+    assert "SSJ103" in error_rules(report)
+    diag = next(d for d in report.errors() if d.rule == "SSJ103")
+    assert "satisfied" in diag.message
+
+
+# -- SSJ104: verify step disagrees with the predicate family ------------------
+
+
+class StrictPredicate(OverlapPredicate):
+    def satisfied(self, overlap, left_norm, right_norm):
+        return overlap > self.threshold(left_norm, right_norm)  # drops boundary
+
+
+class LaxPredicate(OverlapPredicate):
+    def satisfied(self, overlap, left_norm, right_norm):
+        return True  # admits sub-threshold pairs
+
+
+def test_ssj104_boundary_dropping(pair):
+    left, right = pair
+    report = verify_ssjoin(left, right, StrictPredicate.absolute(1.0))
+    assert "SSJ104" in error_rules(report)
+    assert "SSJ103" not in error_rules(report)  # no equality test involved
+
+
+def test_ssj104_sub_threshold_admission(pair):
+    left, right = pair
+    report = verify_ssjoin(left, right, LaxPredicate.absolute(1.0))
+    assert "SSJ104" in error_rules(report)
+
+
+# -- SSJ106 / SSJ107 ----------------------------------------------------------
+
+
+def test_ssj106_unknown_implementation(pair):
+    left, right = pair
+    report = verify_ssjoin(
+        left, right, OverlapPredicate.absolute(1.0), implementation="hyperdrive"
+    )
+    assert "SSJ106" in error_rules(report)
+
+
+def test_ssj107_degenerate_prefix_warns(pair):
+    left, right = pair
+    # One-sided predicates leave the unnormalized side unfiltered.
+    report = verify_ssjoin(
+        left, right, OverlapPredicate.one_sided(0.6), implementation="prefix"
+    )
+    assert report.ok
+    assert "SSJ107" in rules(report)
+    assert any(d.location == "right" for d in report.warnings())
+
+
+def test_ssj107_not_raised_for_probe_left(pair):
+    left, right = pair
+    # Probe plans only prefix the left side, which *is* filtered here.
+    report = verify_ssjoin(
+        left, right, OverlapPredicate.one_sided(0.6), implementation="probe"
+    )
+    assert "SSJ107" not in rules(report)
+
+
+# -- check_ssjoin -------------------------------------------------------------
+
+
+def test_check_ssjoin_raises_and_lists_rules(pair):
+    left, right = pair
+    with pytest.raises(AnalysisError) as exc:
+        check_ssjoin(left, right, OverlapPredicate([OvershootingBound(1.0)]))
+    assert any(d.rule == "SSJ101" for d in exc.value.diagnostics)
+
+
+def test_check_ssjoin_returns_report_when_safe(pair):
+    left, right = pair
+    report = check_ssjoin(left, right, OverlapPredicate.absolute(1.0))
+    assert report.ok

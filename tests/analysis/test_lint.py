@@ -1,0 +1,143 @@
+"""Engine-hygiene lint: per-rule snippets plus the repo-clean gate."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def rules(report):
+    return sorted({d.rule for d in report})
+
+
+# -- RL201: set iteration -----------------------------------------------------
+
+
+def test_rl201_for_over_set_literal():
+    report = lint_source("for x in {1, 2, 3}:\n    print(x)\n")
+    assert rules(report) == ["RL201"]
+
+
+def test_rl201_comprehension_over_set_call():
+    report = lint_source("out = [x for x in set(items)]\n")
+    assert rules(report) == ["RL201"]
+
+
+def test_rl201_sorted_set_is_fine():
+    assert lint_source("for x in sorted({1, 2}):\n    pass\n").ok
+    assert lint_source("for x in [1, 2]:\n    pass\n").ok
+
+
+# -- RL202: unseeded random ---------------------------------------------------
+
+
+def test_rl202_module_level_random():
+    report = lint_source("import random\nx = random.shuffle(items)\n")
+    assert rules(report) == ["RL202"]
+
+
+def test_rl202_seeded_instance_is_fine():
+    src = "import random\nrng = random.Random(42)\nrng.shuffle(items)\n"
+    assert lint_source(src).ok
+
+
+# -- RL203: float equality ----------------------------------------------------
+
+
+def test_rl203_float_literal():
+    report = lint_source("if x == 0.8:\n    pass\n")
+    assert rules(report) == ["RL203"]
+
+
+def test_rl203_floaty_identifier():
+    report = lint_source("if threshold != computed:\n    pass\n")
+    assert rules(report) == ["RL203"]
+
+
+def test_rl203_string_comparison_is_fine():
+    assert lint_source("if kind == 'weight':\n    pass\n").ok
+    assert lint_source("if norm_kind == NORM_WEIGHT:\n    pass\n").ok
+    assert lint_source("if threshold >= computed:\n    pass\n").ok
+
+
+# -- RL204: mutable dataclass -------------------------------------------------
+
+
+def test_rl204_mutable_dataclass():
+    src = "from dataclasses import dataclass\n\n@dataclass\nclass Row:\n    a: int = 0\n"
+    report = lint_source(src)
+    assert rules(report) == ["RL204"]
+
+
+def test_rl204_frozen_is_fine():
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(frozen=True)\nclass Row:\n    a: int = 0\n"
+    )
+    assert lint_source(src).ok
+
+
+def test_rl204_suppression_comment():
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass  # repro: ignore[RL204] -- accumulator\n"
+        "class Acc:\n    n: int = 0\n"
+    )
+    assert lint_source(src).ok
+
+
+# -- RL205: missing annotations ----------------------------------------------
+
+
+def test_rl205_missing_annotations():
+    report = lint_source("def f(a, b):\n    return a\n")
+    assert rules(report) == ["RL205"]
+    (diag,) = report.errors()
+    assert "'a'" in diag.message and "return type" in diag.message
+
+
+def test_rl205_fully_annotated_is_fine():
+    assert lint_source("def f(a: int, b: str = 'x') -> int:\n    return a\n").ok
+
+
+def test_rl205_self_is_exempt():
+    src = "class C:\n    def m(self) -> None:\n        pass\n"
+    assert lint_source(src).ok
+
+
+# -- suppression mechanics ----------------------------------------------------
+
+
+def test_bare_suppression_covers_all_rules():
+    assert lint_source("for x in {1, 2}:  # repro: ignore\n    pass\n").ok
+
+
+def test_listed_suppression_is_rule_specific():
+    src = "for x in {1, 2}:  # repro: ignore[RL203]\n    pass\n"
+    assert rules(lint_source(src)) == ["RL201"]
+
+
+def test_syntax_error_reported_as_rl200():
+    assert rules(lint_source("def broken(:\n")) == ["RL200"]
+
+
+# -- diagnostics carry file locations ----------------------------------------
+
+
+def test_location_is_path_and_line():
+    report = lint_source("x = 1\nfor x in {1}:\n    pass\n", path="mod.py")
+    assert report.errors()[0].location == "mod.py:2"
+
+
+# -- the hot paths themselves are clean ---------------------------------------
+
+
+def test_engine_hot_paths_are_lint_clean():
+    report = lint_paths(
+        [
+            str(REPO_ROOT / "src" / "repro" / "core"),
+            str(REPO_ROOT / "src" / "repro" / "relational"),
+        ]
+    )
+    assert report.ok, report.render()

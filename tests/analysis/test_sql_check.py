@@ -1,0 +1,103 @@
+"""Static SQL verification: rule coverage against the compiler's semantics."""
+
+import pytest
+
+from repro.analysis import check_sql, verify_sql
+from repro.errors import AnalysisError
+from repro.relational.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.sql import execute_sql
+
+
+@pytest.fixture
+def catalog():
+    c = Catalog()
+    c.register(
+        "orders",
+        Relation.from_rows(
+            ["order_id", "customer", "amount"],
+            [(1, "ada", 10.0), (2, "bob", 7.5), (3, "ada", 2.5)],
+        ),
+    )
+    c.register(
+        "customers",
+        Relation.from_rows(["customer", "city"], [("ada", "london")]),
+    )
+    return c
+
+
+def rules(report):
+    return sorted({d.rule for d in report})
+
+
+GOOD_QUERIES = [
+    "SELECT * FROM orders",
+    "SELECT order_id, amount FROM orders WHERE amount >= 5 ORDER BY amount DESC",
+    "SELECT customer, SUM(amount) AS total FROM orders GROUP BY customer "
+    "HAVING SUM(amount) >= 5 ORDER BY total",
+    "SELECT o.order_id, c.city FROM orders o JOIN customers c "
+    "ON o.customer = c.customer",
+    "SELECT COUNT(*) AS n FROM orders",
+    "SELECT UPPER(customer) AS shout FROM orders",
+]
+
+
+@pytest.mark.parametrize("sql", GOOD_QUERIES)
+def test_valid_queries_pass(catalog, sql):
+    report = verify_sql(catalog, sql)
+    assert report.ok, report.render()
+
+
+BAD_QUERIES = [
+    ("SELECT nope FROM orders", "PV101"),
+    ("SELECT * FROM missing", "PV101"),
+    ("SELECT order_id FROM orders WHERE ghost = 1", "PV101"),
+    (
+        "SELECT customer FROM orders o JOIN customers c ON o.customer = c.customer",
+        "PV101",  # ambiguous bare reference
+    ),
+    ("SELECT amount, amount FROM orders", "PV102"),
+    ("SELECT amount AS x, order_id AS x FROM orders", "PV102"),
+    (
+        "SELECT amount FROM orders GROUP BY customer",
+        "PV103",  # non-key column outside an aggregate
+    ),
+    (
+        "SELECT customer FROM orders GROUP BY customer HAVING amount >= 5",
+        "PV103",  # HAVING on a non-key, non-aggregated column
+    ),
+    ("SELECT order_id FROM orders WHERE SUM(amount) >= 5", "PV103"),
+    ("SELECT SQRT(amount) FROM orders", "PV107"),
+    ("SELECT ABS(amount, amount) FROM orders", "PV107"),
+    (
+        "SELECT customer, SUM(amount) AS total FROM orders "
+        "GROUP BY customer ORDER BY amount",
+        "PV101",  # ORDER BY must use an output column of the aggregate
+    ),
+]
+
+
+@pytest.mark.parametrize("sql,rule", BAD_QUERIES)
+def test_invalid_queries_flag_the_rule(catalog, sql, rule):
+    report = verify_sql(catalog, sql)
+    assert rule in rules(report), f"{sql!r} -> {report.render()}"
+
+
+def test_diagnostics_carry_location_and_hint(catalog):
+    report = verify_sql(catalog, "SELECT nope FROM orders")
+    (diag,) = report.errors()
+    assert diag.location == "select[0]"
+    assert "available" in diag.message
+
+
+def test_check_sql_raises(catalog):
+    with pytest.raises(AnalysisError) as exc:
+        check_sql(catalog, "SELECT nope FROM orders")
+    assert any(d.rule == "PV101" for d in exc.value.diagnostics)
+
+
+def test_execute_sql_verify_flag(catalog):
+    result = execute_sql(catalog, "SELECT order_id FROM orders", verify=True)
+    assert len(result) == 3
+    with pytest.raises(AnalysisError):
+        execute_sql(catalog, "SELECT nope FROM orders", verify=True)

@@ -1,0 +1,71 @@
+"""Regression: the ElementOrdering overflow table is bounded.
+
+PR 1 made unseen-element ranks allocation-free by memoizing them in an
+overflow dict — which grew without bound in long-lived sessions (one
+entry per distinct unseen element, forever). The table is now capped:
+past ``max_overflow`` entries, ranks are *computed* from the element repr
+instead of stored.
+"""
+
+from repro.core.ordering import ElementOrdering, frequency_ordering
+from repro.core.prepared import PreparedRelation
+from repro.tokenize.words import words
+
+
+def test_overflow_table_is_capped():
+    o = ElementOrdering({"a": 0, "b": 1}, max_overflow=8)
+    for i in range(1000):
+        o.key(f"unseen-{i}")
+    assert o.overflow_size == 8
+
+
+def test_ranks_stay_distinct_and_stable_past_the_cap():
+    o = ElementOrdering({"a": 0, "b": 1}, max_overflow=4)
+    first = [o.key(f"tok{i}") for i in range(64)]
+    second = [o.key(f"tok{i}") for i in range(64)]
+    assert first == second  # stable on re-query
+    assert len(set(first)) == 64  # injective fallback
+
+
+def test_all_unseen_elements_sort_after_ranked_ones():
+    o = ElementOrdering({"a": 0, "b": 1}, max_overflow=2)
+    unseen = [o.key(f"tok{i}") for i in range(10)]
+    assert min(unseen) > o.key("b")
+
+
+def test_tiers_do_not_interleave():
+    # Memoized overflow ranks all sort before computed fallback ranks,
+    # even though assignment order and repr order differ.
+    o = ElementOrdering({}, max_overflow=2)
+    memoized = [o.key("zz-first"), o.key("yy-second")]  # fill the table
+    computed = [o.key(f"aa-{i}") for i in range(5)]
+    assert max(memoized) < min(computed)
+
+
+def test_computed_ranks_are_process_independent():
+    # Unlike memoized ranks (first-seen order), computed ranks depend
+    # only on the element itself.
+    o1 = ElementOrdering({"a": 0}, max_overflow=0)
+    o2 = ElementOrdering({"a": 0}, max_overflow=0)
+    assert o1.key("x") == o2.key("x")
+    assert [o1.key(e) for e in ("p", "q", "r")] == [
+        o2.key(e) for e in ("r", "q", "p")
+    ][::-1]
+
+
+def test_prefix_filter_unaffected_by_cap():
+    # A join whose probe elements exceed the cap still produces the same
+    # result order: the ordering stays total and deterministic.
+    left = PreparedRelation.from_strings(
+        ["data cleaning primer", "similarity joins"], words
+    )
+    ordering = frequency_ordering(left)
+    tight = ElementOrdering(ordering.rank_table(), max_overflow=1)
+    novel = [f"never-seen-{i}" for i in range(8)]
+    ranks = sorted(tight.key(e) for e in novel)
+    assert len(set(ranks)) == len(novel)
+
+
+def test_default_cap_is_generous():
+    o = ElementOrdering({})
+    assert o.DEFAULT_MAX_OVERFLOW == 1 << 16

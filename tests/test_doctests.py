@@ -15,6 +15,8 @@ import importlib
 import pytest
 
 MODULE_NAMES = [
+    "repro.analysis.plan_verifier",
+    "repro.analysis.sql_check",
     "repro.bench.reporting",
     "repro.core.ssjoin",
     "repro.joins.cooccurrence",
