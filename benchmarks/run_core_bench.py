@@ -25,10 +25,20 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench.harness import SweepRunner
-from repro.bench.reporting import render_json, render_phase_table, speedup_table
+from repro.bench.reporting import (
+    render_json,
+    render_phase_table,
+    render_scaling_table,
+    speedup_table,
+)
+from repro.core.metrics import ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import NORM_WEIGHT, PreparedRelation
+from repro.core.ssjoin import SSJoin
 from repro.data.corruptions import CorruptionConfig
 from repro.data.customers import CustomerConfig, generate_addresses
-from repro.joins.jaccard_join import jaccard_resemblance_join
+from repro.joins.jaccard_join import jaccard_resemblance_join, resolve_weights
+from repro.tokenize.words import words
 
 #: Paper threshold sweep (Figures 10-13).
 THRESHOLDS = (0.80, 0.85, 0.90, 0.95)
@@ -49,6 +59,9 @@ SPEEDUP_PAIRS = (
     ("basic", "encoded-prefix"),
 )
 
+#: Worker counts for the parallel scaling sweep (encoded-prefix plan).
+WORKER_COUNTS = (1, 2, 4)
+
 
 def jaccard_corpus(rows: int):
     """The conftest ``jaccard_addresses`` corpus, importable without pytest."""
@@ -67,11 +80,21 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     default_rows = int(os.environ.get("REPRO_BENCH_ROWS") or 700)
     parser.add_argument("--rows", type=int, default=default_rows)
+    default_scaling_rows = int(
+        os.environ.get("REPRO_BENCH_SCALING_ROWS") or 0
+    ) or None
+    parser.add_argument("--scaling-rows", type=int, default=default_scaling_rows,
+                        help="row count for the worker-scaling sweep "
+                        "(default: max(rows, 60000), ~2x the paper's Fig-12 "
+                        "scale — at toy sizes shard compute cannot amortize "
+                        "dispatch and planning overhead)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="keep the fastest of K runs per cell")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_core.json")
     args = parser.parse_args(argv)
+    if args.scaling_rows is None:
+        args.scaling_rows = max(args.rows, 60000)
 
     values = jaccard_corpus(args.rows)
     runner = SweepRunner(
@@ -88,6 +111,77 @@ def main(argv=None) -> int:
             print(f"  {implementation:>14} @ {threshold:.2f}: "
                   f"{r.total_seconds:.3f}s  pairs={r.result_pairs}")
 
+    # Worker-scaling sweep: the encoded-prefix plan across worker counts
+    # on the same Fig-12 workload at its own (larger) row count — the
+    # operator's scaling, so the relation is prepared once outside the
+    # timed region (re-tokenizing per cell is identical for every worker
+    # count and is already measured by the main sweep's Prep phase).
+    # workers=1 goes through the same executor (sequential-fallback mode)
+    # so every scaling record carries the telemetry block.  Shards run on
+    # the serial backend: the CI box is single-core, so process-pool wall
+    # cannot shrink there; the in-process backend executes the identical
+    # shard code and its per-shard times feed the modeled-wall figure the
+    # speedup rows report (see EXPERIMENTS.md E15).  Process-backend
+    # equivalence is covered by tests/parallel/test_process_backend.py.
+    print(f"\nworker scaling (encoded-prefix, {args.scaling_rows} rows):")
+    scaling_values = (
+        values if args.scaling_rows == args.rows
+        else jaccard_corpus(args.scaling_rows)
+    )
+    table = resolve_weights("idf", words, scaling_values, scaling_values)
+    prep = PreparedRelation.from_strings(
+        scaling_values, words, weights=table, norm=NORM_WEIGHT, name="R"
+    )
+
+    def scaling_join(threshold, implementation, w):
+        metrics = ExecutionMetrics()
+        result = SSJoin(
+            prep, prep, OverlapPredicate.two_sided(threshold)
+        ).execute(implementation, metrics=metrics, workers=w)
+        metrics.result_pairs = len(result.pairs)
+        return result
+
+    scaling_records = []
+    old_backend = os.environ.get("REPRO_PARALLEL_BACKEND")
+    os.environ["REPRO_PARALLEL_BACKEND"] = "serial"
+    try:
+        # Repeat rounds interleave the worker counts (all of w=1,2,4 for a
+        # threshold run back-to-back within a round) so slow clock drift /
+        # thermal throttle lands on every cell about equally, instead of
+        # inflating whole per-worker blocks and skewing the speedup ratio.
+        # The fastest round per cell — by the modeled wall the scaling
+        # table reports — is kept.
+        best = {}
+        for _ in range(args.repeats):
+            for threshold in THRESHOLDS:
+                for w in WORKER_COUNTS:
+                    scaler = SweepRunner(
+                        f"fig12-jaccard-workers-{w}",
+                        lambda t, i, w=w: scaling_join(t, i, w),
+                    )
+                    scaler.run([threshold], implementations=["encoded-prefix"],
+                               repeats=1)
+                    r = scaler.records[0]
+                    p = r.extra.get("parallel", {})
+                    score = p.get("modeled_wall_seconds", r.total_seconds)
+                    key = (w, threshold)
+                    if key not in best or score < best[key][0]:
+                        best[key] = (score, r)
+        for w in WORKER_COUNTS:
+            for threshold in THRESHOLDS:
+                _, r = best[(w, threshold)]
+                p = r.extra.get("parallel", {})
+                print(f"  w={w} @ {r.threshold:.2f}: "
+                      f"wall={p.get('wall_seconds', 0.0):.3f}s "
+                      f"modeled={p.get('modeled_wall_seconds', 0.0):.3f}s "
+                      f"shards={p.get('n_shards', 0)}")
+                scaling_records.append(r)
+    finally:
+        if old_backend is None:
+            os.environ.pop("REPRO_PARALLEL_BACKEND", None)
+        else:
+            os.environ["REPRO_PARALLEL_BACKEND"] = old_backend
+
     speedups = {
         f"{base}/{cont}": speedup_table(runner.records, base, cont)
         for base, cont in SPEEDUP_PAIRS
@@ -96,8 +190,12 @@ def main(argv=None) -> int:
         runner.records,
         label="fig12-jaccard-core",
         meta={"rows": args.rows, "repeats": args.repeats,
-              "weights": "idf", "tokenizer": "words"},
+              "weights": "idf", "tokenizer": "words",
+              "worker_counts": list(WORKER_COUNTS),
+              "scaling_rows": args.scaling_rows,
+              "scaling_backend": "serial"},
         speedups=speedups,
+        parallel=scaling_records,
     )
     args.out.write_text(doc + "\n")
 
@@ -108,6 +206,8 @@ def main(argv=None) -> int:
             title=f"[{impl}]",
         ))
         print()
+    print(render_scaling_table(scaling_records, title="[worker scaling]"))
+    print()
     for pair, series in speedups.items():
         rendered = ", ".join(f"{t:.2f}: {s:.1f}x" for t, s in series.items())
         print(f"speedup {pair}: {rendered}")

@@ -24,7 +24,9 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.invariants import (
     KNOWN_IMPLEMENTATIONS,
+    check_shards,
     check_ssjoin,
+    verify_shards,
     verify_ssjoin,
 )
 from repro.analysis.lint import lint_file, lint_paths, lint_source
@@ -43,6 +45,8 @@ __all__ = [
     "KNOWN_IMPLEMENTATIONS",
     "verify_ssjoin",
     "check_ssjoin",
+    "verify_shards",
+    "check_shards",
     "verify_plan",
     "check_plan",
     "verify_select",

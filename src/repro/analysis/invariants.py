@@ -31,6 +31,10 @@ norm, suspicious for every family in Example 2.
 ``SSJ106`` unknown implementation name.
 ``SSJ107`` degenerate prefix (warning) — the filtered side's bound is
 ⩽ 0 for every group, so the "prefix" keeps whole sets.
+``SSJ108`` shard-coverage violation — a parallel shard plan does not
+cover its universe exactly once (token ranges with a gap/overlap, or
+group positions missing/duplicated), so the merged result would drop or
+double pairs. Checked by the executor before any shard is dispatched.
 """
 
 from __future__ import annotations
@@ -51,7 +55,13 @@ from repro.core.predicate import Bound, OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.errors import AnalysisError
 
-__all__ = ["verify_ssjoin", "check_ssjoin", "KNOWN_IMPLEMENTATIONS"]
+__all__ = [
+    "verify_ssjoin",
+    "check_ssjoin",
+    "verify_shards",
+    "check_shards",
+    "KNOWN_IMPLEMENTATIONS",
+]
 
 KNOWN_IMPLEMENTATIONS = (
     "auto",
@@ -386,6 +396,141 @@ def _check_degenerate_prefix(
                 hint="expected for the unnormalized side of a 1-sided "
                 "predicate (Section 4.2); otherwise check the bound",
             )
+
+
+# ---------------------------------------------------------------------------
+# SSJ108 — parallel shard plans must cover the universe exactly once
+# ---------------------------------------------------------------------------
+
+
+def verify_shards(shards: Sequence[object], universe: int) -> AnalysisReport:
+    """Check a parallel shard plan against the coverage invariant.
+
+    *universe* is the size of the space the plan partitions: the
+    dictionary size for token-range shards, the left group count for
+    group-hash shards.  Token-range shards must tile ``[0, universe)``
+    contiguously with no gap or overlap; group-hash shards' position
+    lists must form an exact partition of ``range(universe)``.  Either
+    violation means the merged parallel result would silently drop or
+    duplicate pairs — the one failure mode a parallel join must never
+    have.
+    """
+    # Imported here (not at module top): repro.parallel imports this
+    # module for its pre-dispatch check, so the top-level edge must stay
+    # one-directional (analysis -> parallel only inside functions).
+    from repro.parallel.shards import (
+        KIND_GROUP_HASH,
+        KIND_TOKEN_RANGE,
+        ShardDescriptor,
+    )
+
+    report = AnalysisReport()
+    if universe < 0:
+        report.add(
+            "SSJ108", SEVERITY_ERROR,
+            f"shard universe must be >= 0, got {universe}", "shards",
+        )
+        return report
+    if not shards:
+        if universe > 0:
+            report.add(
+                "SSJ108",
+                SEVERITY_ERROR,
+                f"empty shard plan over a universe of {universe}: every "
+                "unit of work would be dropped",
+                "shards",
+            )
+        return report
+
+    kinds = {getattr(s, "kind", None) for s in shards}
+    if len(kinds) > 1 or not all(isinstance(s, ShardDescriptor) for s in shards):
+        report.add(
+            "SSJ108",
+            SEVERITY_ERROR,
+            f"shard plan mixes kinds {sorted(str(k) for k in kinds)}; a plan "
+            "must be all token-range or all group-hash",
+            "shards",
+        )
+        return report
+    ids = [s.shard_id for s in shards]  # type: ignore[attr-defined]
+    if len(set(ids)) != len(ids):
+        report.add(
+            "SSJ108", SEVERITY_ERROR,
+            "duplicate shard_id in plan; per-shard metrics would collide",
+            "shards",
+        )
+
+    kind = next(iter(kinds))
+    if kind == KIND_TOKEN_RANGE:
+        ordered = sorted(shards, key=lambda s: s.lo)  # type: ignore[attr-defined]
+        expected_lo = 0
+        for s in ordered:
+            if s.lo >= s.hi:
+                report.add(
+                    "SSJ108", SEVERITY_ERROR,
+                    f"shard {s.shard_id} has empty or inverted range "
+                    f"[{s.lo}, {s.hi})", f"shards[{s.shard_id}]",
+                )
+                return report
+            if s.lo != expected_lo:
+                gap_or_overlap = "overlap" if s.lo < expected_lo else "gap"
+                report.add(
+                    "SSJ108",
+                    SEVERITY_ERROR,
+                    f"token-range {gap_or_overlap} at id {min(s.lo, expected_lo)}: "
+                    f"shard {s.shard_id} starts at {s.lo}, expected {expected_lo}; "
+                    "candidate pairs would be "
+                    + ("enumerated twice" if s.lo < expected_lo else "lost"),
+                    f"shards[{s.shard_id}]",
+                    hint="ranges must tile [0, universe) contiguously",
+                )
+                return report
+            expected_lo = s.hi
+        if expected_lo != universe:
+            report.add(
+                "SSJ108",
+                SEVERITY_ERROR,
+                f"token ranges end at {expected_lo} but the dictionary has "
+                f"{universe} ids; trailing tokens would never be probed",
+                "shards",
+                hint="the last shard's hi must equal the universe size",
+            )
+    elif kind == KIND_GROUP_HASH:
+        positions: List[int] = []
+        for s in shards:
+            positions.extend(s.group_positions)  # type: ignore[attr-defined]
+        if sorted(positions) != list(range(universe)):
+            missing = sorted(set(range(universe)) - set(positions))[:5]
+            dupes = sorted(
+                {p for p in positions if positions.count(p) > 1}
+            )[:5]
+            report.add(
+                "SSJ108",
+                SEVERITY_ERROR,
+                "group-hash shards do not partition the left groups exactly"
+                + (f"; missing positions {missing}" if missing else "")
+                + (f"; duplicated positions {dupes}" if dupes else ""),
+                "shards",
+                hint="every group position must appear in exactly one shard",
+            )
+    else:
+        report.add(
+            "SSJ108", SEVERITY_ERROR,
+            f"unknown shard kind {kind!r}", "shards",
+        )
+    return report
+
+
+def check_shards(shards: Sequence[object], universe: int) -> AnalysisReport:
+    """Like :func:`verify_shards` but raises :class:`AnalysisError`."""
+    report = verify_shards(shards, universe)
+    if not report.ok:
+        raise AnalysisError(
+            f"shard coverage verification failed with "
+            f"{len(report.errors())} error(s)",
+            report.errors(),
+        )
+    return report
 
 
 # ---------------------------------------------------------------------------

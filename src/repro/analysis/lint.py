@@ -44,7 +44,7 @@ from repro.analysis.diagnostics import (
 __all__ = ["lint_source", "lint_file", "lint_paths", "main", "DEFAULT_PATHS"]
 
 #: The operator hot paths gated by default (relative to the repo root).
-DEFAULT_PATHS = ("src/repro/core", "src/repro/relational")
+DEFAULT_PATHS = ("src/repro/core", "src/repro/relational", "src/repro/parallel")
 
 _SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 

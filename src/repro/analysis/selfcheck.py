@@ -17,7 +17,11 @@ import dataclasses
 from typing import List, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
-from repro.analysis.invariants import KNOWN_IMPLEMENTATIONS, verify_ssjoin
+from repro.analysis.invariants import (
+    KNOWN_IMPLEMENTATIONS,
+    verify_shards,
+    verify_ssjoin,
+)
 from repro.analysis.lint import lint_paths
 from repro.analysis.plan_verifier import verify_plan
 from repro.analysis.sql_check import verify_sql
@@ -96,6 +100,40 @@ def _ssjoin_selfcheck() -> AnalysisReport:
     return AnalysisReport(reports)
 
 
+def _parallel_selfcheck() -> AnalysisReport:
+    """SSJ108 over the shipped shard planners: plan real shards on the
+    sample relations and verify they cover their universes exactly."""
+    from repro.core.encoded_prefix import group_prefix_lengths
+    from repro.parallel.shards import plan_group_shards, plan_token_range_shards
+
+    left, right = _sample_relations()
+    ordering = frequency_ordering(left, right)
+    enc_left, enc_right, dictionary = encode_pair(left, right, ordering=ordering)
+    predicate = OverlapPredicate.two_sided(0.5)
+    left_prefix = group_prefix_lengths(enc_left, predicate.left_filter_threshold)
+    right_prefix = group_prefix_lengths(enc_right, predicate.right_filter_threshold)
+
+    diagnostics: List[Diagnostic] = []
+    for n_shards in (1, 2, 4, 8):
+        group_plan = plan_group_shards(left, n_shards)
+        token_plan = plan_token_range_shards(
+            enc_left.ids, left_prefix, enc_right.ids, right_prefix,
+            len(dictionary), n_shards,
+        )
+        for kind, plan, universe in (
+            ("group-hash", group_plan, left.num_groups),
+            ("token-range", token_plan, len(dictionary)),
+        ):
+            report = verify_shards(plan, universe)
+            for d in report.diagnostics:
+                diagnostics.append(
+                    dataclasses.replace(
+                        d, location=f"parallel[{kind}/n={n_shards}] {d.location}"
+                    )
+                )
+    return AnalysisReport(diagnostics)
+
+
 def _plan_selfcheck() -> AnalysisReport:
     catalog = Catalog()
     catalog.register(
@@ -154,7 +192,7 @@ def selfcheck(include_lint: bool = True) -> AnalysisReport:
     Set ``include_lint=False`` to skip the source-tree lint (e.g. when
     running from an installed package without the source checkout).
     """
-    parts = [_ssjoin_selfcheck(), _plan_selfcheck()]
+    parts = [_ssjoin_selfcheck(), _parallel_selfcheck(), _plan_selfcheck()]
     if include_lint:
         parts.append(lint_paths())
     return AnalysisReport.combine(parts)

@@ -100,7 +100,13 @@ class SweepRunner:
         self, threshold: float, implementation: str, result: SimilarityJoinResult
     ) -> SweepRecord:
         m: ExecutionMetrics = result.metrics
+        extra: Dict[str, Any] = {}
+        if m.parallel_stats is not None:
+            # The parallel executor's telemetry becomes the record's (and
+            # the repro-bench/v1 JSON's) ``parallel`` block.
+            extra["parallel"] = m.parallel_stats
         return SweepRecord(
+            extra=extra,
             label=self.label,
             threshold=threshold,
             implementation=result.implementation,

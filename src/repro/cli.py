@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import IO, List, Optional, Sequence
+from typing import IO, List, Optional, Sequence, Union
 
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
@@ -39,18 +39,37 @@ from repro.tokenize.words import words
 __all__ = ["main", "build_parser"]
 
 _JOINS = {
-    "edit": lambda l, r, t, i, w: edit_similarity_join(l, r, threshold=t, implementation=i),
-    "jaccard": lambda l, r, t, i, w: jaccard_resemblance_join(
-        l, r, threshold=t, implementation=i, weights=w
+    "edit": lambda l, r, t, i, w, wk: edit_similarity_join(
+        l, r, threshold=t, implementation=i, workers=wk
     ),
-    "containment": lambda l, r, t, i, w: jaccard_containment_join(
-        l, r, threshold=t, implementation=i, weights=w
+    "jaccard": lambda l, r, t, i, w, wk: jaccard_resemblance_join(
+        l, r, threshold=t, implementation=i, weights=w, workers=wk
     ),
-    "ges": lambda l, r, t, i, w: ges_join(l, r, threshold=t, implementation=i, weights=w),
-    "cosine": lambda l, r, t, i, w: cosine_join(
-        l, r, threshold=t, implementation=i, weights=w
+    "containment": lambda l, r, t, i, w, wk: jaccard_containment_join(
+        l, r, threshold=t, implementation=i, weights=w, workers=wk
+    ),
+    "ges": lambda l, r, t, i, w, wk: ges_join(
+        l, r, threshold=t, implementation=i, weights=w, workers=wk
+    ),
+    "cosine": lambda l, r, t, i, w, wk: cosine_join(
+        l, r, threshold=t, implementation=i, weights=w, workers=wk
     ),
 }
+
+
+def _parse_workers(value: str) -> Union[int, str]:
+    """argparse type for ``--workers``: an int >= 1 or the string 'auto'."""
+    if value == "auto":
+        return "auto"
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"workers must be >= 1, got {n}")
+    return n
 
 
 def _read_lines(path: str) -> List[str]:
@@ -81,6 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
     )
     dedupe.add_argument("--weights", choices=["idf", "unit"], default="idf")
+    dedupe.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        metavar="N|auto",
+        help="parallel worker processes: an integer >= 1, or 'auto' to let "
+        "the cost model decide (sequential when omitted)",
+    )
     dedupe.add_argument("--out", help="output file (default stdout)")
     dedupe.add_argument("--metrics", action="store_true",
                         help="print the execution metrics summary to stderr")
@@ -140,7 +167,7 @@ def _cmd_dedupe(args: argparse.Namespace) -> int:
     right = _read_lines(args.right) if args.right else None
     weights = None if args.weights == "unit" else "idf"
     result = _JOINS[args.similarity](
-        left, right, args.threshold, args.implementation, weights
+        left, right, args.threshold, args.implementation, weights, args.workers
     )
     out = _open_out(args.out)
     try:

@@ -59,7 +59,16 @@ class EncodedPreparedRelation:
         total weight regardless of which norm the predicate uses.
     """
 
-    __slots__ = ("prepared", "dictionary", "keys", "ids", "weights", "norms", "set_norms")
+    __slots__ = (
+        "prepared",
+        "dictionary",
+        "keys",
+        "ids",
+        "weights",
+        "norms",
+        "set_norms",
+        "prefix_cache",
+    )
 
     def __init__(
         self,
@@ -69,6 +78,10 @@ class EncodedPreparedRelation:
     ) -> None:
         self.prepared = prepared
         self.dictionary = dictionary
+        # β-prefix lengths are a pure function of (this encoding, predicate
+        # bound); group_prefix_lengths memoizes them here so repeated
+        # executes against one encoding skip the per-group recomputation.
+        self.prefix_cache: dict = {}
         self.keys = list(prepared.groups)
         self.ids: List[array] = []
         self.weights: List[array] = []

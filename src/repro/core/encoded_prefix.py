@@ -37,7 +37,12 @@ from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.relational.relation import Relation
 
-__all__ = ["encoded_prefix_ssjoin", "merge_overlap", "prefix_length"]
+__all__ = [
+    "encoded_prefix_ssjoin",
+    "group_prefix_lengths",
+    "merge_overlap",
+    "prefix_length",
+]
 
 
 def prefix_length(weights: Sequence[float], beta: float) -> int:
@@ -85,18 +90,44 @@ def merge_overlap(
     return total
 
 
-def _prefix_lengths(
+def group_prefix_lengths(
     encoded: EncodedPreparedRelation, bound_fn: Callable[[float], float]
 ) -> List[int]:
     """β-prefix length per group (β widened by the shared epsilon, as in
-    the tuple plans, so boundary pairs are never pruned)."""
+    the tuple plans, so boundary pairs are never pruned).
+
+    Public because the parallel executor computes prefixes once in the
+    parent process and ships the lengths to token-range shard workers.
+
+    Memoized on ``encoded.prefix_cache``: the lengths are a pure function
+    of the encoding and the predicate bound, and a cached encoding (the
+    normal case via :class:`~repro.core.encoded.EncodingCache`) is
+    executed against many times — per sweep repeat, per worker count —
+    so the per-group recomputation is pure waste after the first call.
+    Predicates are frozen/hashable; an unhashable bound owner skips the
+    cache rather than failing.
+    """
+    key = None
+    try:
+        owner = bound_fn.__self__
+        hash(owner)  # unhashable owners (mutable predicates) skip the cache
+        key = (getattr(bound_fn, "__name__", None), owner)
+    except (AttributeError, TypeError):
+        pass
+    if key is not None:
+        cached = encoded.prefix_cache.get(key)
+        if cached is not None:
+            return cached
     norms = encoded.norms
     set_norms = encoded.set_norms
     weights = encoded.weights
-    return [
+    lengths = [
         prefix_length(weights[g], set_norms[g] - bound_fn(norms[g]) + OVERLAP_EPSILON)
         for g in range(len(weights))
     ]
+    if key is not None:
+        encoded.prefix_cache[key] = lengths
+    return lengths
 
 
 def encoded_prefix_ssjoin(
@@ -124,8 +155,8 @@ def encoded_prefix_ssjoin(
         m.prepared_rows += enc_left.num_elements + enc_right.num_elements
 
     with m.phase(PHASE_PREFIX):
-        left_prefix = _prefix_lengths(enc_left, predicate.left_filter_threshold)
-        right_prefix = _prefix_lengths(enc_right, predicate.right_filter_threshold)
+        left_prefix = group_prefix_lengths(enc_left, predicate.left_filter_threshold)
+        right_prefix = group_prefix_lengths(enc_right, predicate.right_filter_threshold)
         m.prefix_rows += sum(left_prefix) + sum(right_prefix)
 
     with m.phase(PHASE_SSJOIN):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 __all__ = ["ExecutionMetrics", "PHASE_PREP", "PHASE_PREFIX", "PHASE_SSJOIN", "PHASE_FILTER"]
 
@@ -54,6 +54,10 @@ class ExecutionMetrics:
         hit means the ``TokenDictionary`` + columnar arrays of a previous
         content-identical input pair were reused; a miss means they were
         built (and cached) for this execution.
+    parallel_stats:
+        When the run went through :mod:`repro.parallel`, the
+        ``ParallelReport.to_dict()`` telemetry — strategy, worker count,
+        per-shard timings — for the bench harness's ``parallel`` block.
     """
 
     phase_seconds: Dict[str, float] = field(default_factory=dict)
@@ -67,6 +71,7 @@ class ExecutionMetrics:
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
     implementation: Optional[str] = None
+    parallel_stats: Optional[Dict[str, Any]] = None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -98,6 +103,10 @@ class ExecutionMetrics:
         self.result_pairs += other.result_pairs
         self.encode_cache_hits += other.encode_cache_hits
         self.encode_cache_misses += other.encode_cache_misses
+        if other.parallel_stats is not None:
+            # Last writer wins: the executor folds shard metrics into the
+            # parent, and the parent's report is attached afterwards.
+            self.parallel_stats = other.parallel_stats
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""

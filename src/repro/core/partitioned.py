@@ -16,7 +16,7 @@ to exactly one sub-join — so the union equals the unpartitioned result
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.basic import RESULT_SCHEMA
 from repro.core.metrics import ExecutionMetrics
@@ -43,7 +43,13 @@ def partition_by_set_size(
     """
     sizes = sorted(len(s) for s in prepared.groups.values())
     if not sizes:
-        return {"small": prepared, "large": PreparedRelation.from_sets({})}
+        # Both halves must be fresh, properly-named empties: returning the
+        # input aliased as "small" would let downstream per-partition
+        # metrics and shard planners double-count one shared object.
+        return {
+            "small": PreparedRelation.from_sets({}, name=f"{prepared.name}[small]"),
+            "large": PreparedRelation.from_sets({}, name=f"{prepared.name}[large]"),
+        }
     if boundary is None:
         boundary = sizes[len(sizes) // 2]
     small = {a: s for a, s in prepared.groups.items() if len(s) <= boundary}
@@ -92,11 +98,18 @@ def partitioned_ssjoin(
     ordering: Optional[ElementOrdering] = None,
     cost_model: Optional[CostModel] = None,
     metrics: Optional[ExecutionMetrics] = None,
+    workers: Optional[Union[int, str]] = None,
 ) -> PartitionedResult:
     """Join each left partition against *right* with its own best plan.
 
     Returns a :class:`PartitionedResult`; ``choices`` records which
     implementation the cost model picked per partition.
+
+    With *workers* set, every partition's sub-join runs through the
+    parallel executor as its own shard family (each partition is sharded
+    and dispatched independently), and the unioned rows are canonically
+    sorted — so partitioning composes with parallelism and the result is
+    deterministic for any ⟨partition, workers⟩ combination.
     """
     m = metrics if metrics is not None else ExecutionMetrics()
     m.implementation = "partitioned"
@@ -117,10 +130,15 @@ def partitioned_ssjoin(
         estimate = choose_implementation(part, right, predicate, ordering, model=model)
         choices[label] = estimate.implementation
         sub = SSJoin(part, right, predicate, ordering=ordering).execute(
-            estimate.implementation, metrics=m
+            estimate.implementation, metrics=m, workers=workers
         )
         all_rows.extend(sub.pairs.rows)
 
+    if workers is not None:
+        # Imported here: repro.parallel layers above repro.core.
+        from repro.parallel.executor import canonical_sort_key
+
+        all_rows.sort(key=canonical_sort_key)
     return PartitionedResult(
         pairs=Relation(RESULT_SCHEMA, all_rows),
         choices=choices,

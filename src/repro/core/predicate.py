@@ -236,6 +236,18 @@ class OverlapPredicate:
             if not isinstance(b, Bound):
                 raise PredicateError(f"{b!r} is not a Bound")
 
+    def __eq__(self, other: object) -> bool:
+        # Content equality: bounds are frozen dataclasses, so two predicates
+        # built from the same parameters (e.g. two_sided(0.85) twice) compare
+        # equal — prefix-length caches key on the predicate and must hit
+        # across equal instances, not just the identical object.
+        if not isinstance(other, OverlapPredicate):
+            return NotImplemented
+        return type(self) is type(other) and self.bounds == other.bounds
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.bounds))
+
     # -- constructors for the paper's named forms ------------------------------
 
     @classmethod

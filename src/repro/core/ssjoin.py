@@ -12,7 +12,7 @@ Result rows are ``(a_r, a_s, overlap, norm_r, norm_s)``; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple, Union
 
 from repro.core.basic import basic_ssjoin
 from repro.core.encoded import EncodedPreparedRelation
@@ -34,12 +34,18 @@ __all__ = ["SSJoinResult", "SSJoin", "ssjoin"]
 
 @dataclass(frozen=True)
 class SSJoinResult:
-    """Outcome of one SSJoin execution."""
+    """Outcome of one SSJoin execution.
+
+    ``parallel`` is the :class:`repro.parallel.ParallelReport` when the
+    run went through the parallel executor (typed ``Any``: repro.parallel
+    layers above this module), ``None`` for plain sequential runs.
+    """
 
     pairs: Relation
     metrics: ExecutionMetrics
     implementation: str
     cost_estimate: Optional[CostEstimate] = None
+    parallel: Optional[Any] = None
 
     def pair_tuples(self) -> List[Tuple[Any, Any]]:
         """The matched ⟨a_r, a_s⟩ pairs as plain tuples."""
@@ -101,6 +107,7 @@ class SSJoin:
         metrics: Optional[ExecutionMetrics] = None,
         cost_model: Optional[CostModel] = None,
         verify: bool = False,
+        workers: Optional[Union[int, str]] = None,
     ) -> SSJoinResult:
         """Run the join with the named (or cost-chosen) implementation.
 
@@ -122,6 +129,14 @@ class SSJoin:
             prebuilt encoding, float-equality and verify-step audits. An
             unsafe plan raises :class:`repro.errors.AnalysisError` with
             structured diagnostics instead of running.
+        workers:
+            ``None`` (default) runs sequentially.  An ``int >= 1`` or
+            ``"auto"`` routes through :func:`repro.parallel.parallel_ssjoin`:
+            work is sharded across that many processes (``"auto"`` sizes
+            from the cost model and falls back to sequential below the
+            crossover, so it never regresses small joins).  Parallel
+            results are bit-identical to sequential and canonically
+            sorted regardless of worker count.
         """
         if verify:
             # Imported here: repro.analysis depends on repro.core.
@@ -134,6 +149,20 @@ class SSJoin:
                 ordering=self._user_ordering,
                 implementation=implementation,
                 encoding=self._encoding,
+            )
+        if workers is not None:
+            # Imported here: repro.parallel layers above repro.core.
+            from repro.parallel.executor import parallel_ssjoin
+
+            return parallel_ssjoin(
+                self.left,
+                self.right,
+                self.predicate,
+                workers=workers,
+                implementation=implementation,
+                ordering=self._user_ordering,
+                metrics=metrics,
+                cost_model=cost_model,
             )
         m = metrics if metrics is not None else ExecutionMetrics()
         estimate: Optional[CostEstimate] = None
@@ -252,8 +281,9 @@ def ssjoin(
     ordering: Optional[ElementOrdering] = None,
     metrics: Optional[ExecutionMetrics] = None,
     verify: bool = False,
+    workers: Optional[Union[int, str]] = None,
 ) -> SSJoinResult:
     """Functional shorthand for ``SSJoin(left, right, pred).execute(...)``."""
     return SSJoin(left, right, predicate, ordering=ordering).execute(
-        implementation, metrics=metrics, verify=verify
+        implementation, metrics=metrics, verify=verify, workers=workers
     )

@@ -60,6 +60,7 @@ def cosine_join(
     tokenizer: Tokenizer = words,
     weights: Union[str, WeightTable, None] = "idf",
     implementation: str = "auto",
+    workers: Optional[Union[int, str]] = None,
 ) -> SimilarityJoinResult:
     """Pairs whose binary (set-of-tokens) cosine similarity is ⩾ *threshold*.
 
@@ -83,7 +84,9 @@ def cosine_join(
         pr = pl if self_join else _prepare_squared(right_values, tokenizer, table, "S")
 
     predicate = OverlapPredicate.two_sided(threshold * threshold)
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+    result = SSJoin(pl, pr, predicate).execute(
+        implementation, metrics=metrics, workers=workers
+    )
 
     with metrics.phase(PHASE_FILTER):
         pos = result.pairs.schema.positions(

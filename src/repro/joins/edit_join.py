@@ -15,7 +15,7 @@ the customized algorithm of [9] special-cases short strings.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import MaxNormBound, OverlapPredicate
@@ -59,6 +59,7 @@ def edit_distance_join(
     epsilon: int = 1,
     q: int = 3,
     implementation: str = "auto",
+    workers: Optional[Union[int, str]] = None,
 ) -> SimilarityJoinResult:
     """All pairs within edit distance *epsilon* (the form addressed in [9]).
 
@@ -88,7 +89,7 @@ def edit_distance_join(
 
     predicate = OverlapPredicate([MaxNormBound(1.0, offset)])
     op = SSJoin(pl, pr, predicate)
-    result = op.execute(implementation, metrics=metrics)
+    result = op.execute(implementation, metrics=metrics, workers=workers)
 
     pairs: List[Tuple[str, str]] = []
     with metrics.phase(PHASE_FILTER):
@@ -121,6 +122,7 @@ def edit_similarity_join(
     threshold: float = 0.8,
     q: int = 3,
     implementation: str = "auto",
+    workers: Optional[Union[int, str]] = None,
 ) -> SimilarityJoinResult:
     """All pairs with edit similarity ⩾ *threshold* (Definition 2).
 
@@ -155,7 +157,7 @@ def edit_similarity_join(
 
     predicate = OverlapPredicate([MaxNormBound(fraction, offset)])
     op = SSJoin(pl, pr, predicate)
-    result = op.execute(implementation, metrics=metrics)
+    result = op.execute(implementation, metrics=metrics, workers=workers)
 
     def budget(a: str, b: str) -> int:
         return int((1.0 - threshold) * max(len(a), len(b)) + 1e-9)

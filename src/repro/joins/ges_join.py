@@ -75,6 +75,7 @@ def ges_join(
     beta: Optional[float] = None,
     weights: Union[str, WeightTable, None] = "idf",
     implementation: str = "auto",
+    workers: Optional[Union[int, str]] = None,
 ) -> SimilarityJoinResult:
     """Pairs with ``GES(l, r) ≥ threshold`` (Definition 6; asymmetric).
 
@@ -143,7 +144,9 @@ def ges_join(
             f"beta={beta}); raise beta or threshold"
         )
     predicate = OverlapPredicate.one_sided(fraction, side="left")
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+    result = SSJoin(pl, pr, predicate).execute(
+        implementation, metrics=metrics, workers=workers
+    )
 
     pairs: List[MatchPair] = []
     with metrics.phase(PHASE_FILTER):

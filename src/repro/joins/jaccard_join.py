@@ -60,6 +60,7 @@ def jaccard_containment_join(
     tokenizer: Tokenizer = words,
     weights: Union[str, WeightTable, None] = "idf",
     implementation: str = "auto",
+    workers: Optional[Union[int, str]] = None,
 ) -> SimilarityJoinResult:
     """Pairs with ``JC(Set(l), Set(r)) ≥ threshold`` (Definition 5.1).
 
@@ -86,7 +87,9 @@ def jaccard_containment_join(
         )
 
     predicate = OverlapPredicate.one_sided(threshold, side="left")
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+    result = SSJoin(pl, pr, predicate).execute(
+        implementation, metrics=metrics, workers=workers
+    )
 
     with metrics.phase(PHASE_FILTER):
         pos = result.pairs.schema.positions(["a_r", "a_s", "overlap", "norm_r"])
@@ -115,6 +118,7 @@ def jaccard_resemblance_join(
     tokenizer: Tokenizer = words,
     weights: Union[str, WeightTable, None] = "idf",
     implementation: str = "auto",
+    workers: Optional[Union[int, str]] = None,
 ) -> SimilarityJoinResult:
     """Pairs with ``JR(Set(l), Set(r)) ≥ threshold`` (Definition 5.2).
 
@@ -142,7 +146,9 @@ def jaccard_resemblance_join(
         )
 
     predicate = OverlapPredicate.two_sided(threshold)
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+    result = SSJoin(pl, pr, predicate).execute(
+        implementation, metrics=metrics, workers=workers
+    )
 
     with metrics.phase(PHASE_FILTER):
         pos = result.pairs.schema.positions(

@@ -1,0 +1,59 @@
+"""Multi-core parallel SSJoin execution (Layer 5).
+
+Shard planning (:mod:`repro.parallel.shards`), adaptive scheduling
+(:mod:`repro.parallel.scheduler`), worker kernels
+(:mod:`repro.parallel.worker`), and the process-pool executor
+(:mod:`repro.parallel.executor`).  Entry points: the
+:func:`parallel_ssjoin` function here, or ``workers=`` on
+:meth:`repro.core.ssjoin.SSJoin.execute`.
+"""
+
+from repro.parallel.executor import (
+    BACKEND_PROCESS,
+    BACKEND_SERIAL,
+    ParallelReport,
+    ShardTiming,
+    canonical_sort_key,
+    parallel_ssjoin,
+)
+from repro.parallel.scheduler import (
+    OVERSPLIT,
+    available_workers,
+    choose_workers,
+    shard_count,
+)
+from repro.parallel.shards import (
+    KIND_GROUP_HASH,
+    KIND_TOKEN_RANGE,
+    ShardDescriptor,
+    plan_group_shards,
+    plan_token_range_shards,
+)
+from repro.parallel.worker import (
+    GroupHashPayload,
+    ShardResult,
+    TokenRangePayload,
+    execute_shard,
+)
+
+__all__ = [
+    "BACKEND_PROCESS",
+    "BACKEND_SERIAL",
+    "GroupHashPayload",
+    "KIND_GROUP_HASH",
+    "KIND_TOKEN_RANGE",
+    "OVERSPLIT",
+    "ParallelReport",
+    "ShardDescriptor",
+    "ShardResult",
+    "ShardTiming",
+    "TokenRangePayload",
+    "available_workers",
+    "canonical_sort_key",
+    "choose_workers",
+    "execute_shard",
+    "parallel_ssjoin",
+    "plan_group_shards",
+    "plan_token_range_shards",
+    "shard_count",
+]

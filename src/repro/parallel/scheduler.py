@@ -1,0 +1,84 @@
+"""Adaptive scheduling: worker-count choice and shard sizing.
+
+Two decisions live here, both driven by the PR-1 cost model rather than
+fixed knobs:
+
+* **How many workers?**  ``workers="auto"`` compares the sequential plan
+  cost against :meth:`repro.core.optimizer.CostModel.parallel_cost` for
+  each candidate worker count (powers of two up to the machine's core
+  count) and takes the argmin.  Small joins therefore fall back to
+  sequential execution — process spawn plus payload shipping dominates
+  below the crossover, and "auto" must never regress them.  An explicit
+  integer is honored as given (benchmarks sweep fixed counts).
+* **How many shards?**  More shards than workers (:data:`OVERSPLIT` ×)
+  so the executor's largest-first dispatch can rebalance skew: a worker
+  that drew a heavy-token shard simply takes fewer of the remaining
+  small ones.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.core.optimizer import CostModel
+from repro.errors import PlanError
+
+__all__ = ["OVERSPLIT", "available_workers", "choose_workers", "shard_count"]
+
+#: Default shards-per-worker factor. 4× keeps the largest shard near 25%
+#: of one worker's fair share, bounding skew-induced idle time without
+#: drowning the run in per-task overhead.
+OVERSPLIT = 4
+
+
+def available_workers() -> int:
+    """CPU cores usable by this process (affinity-aware, >= 1)."""
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(os.cpu_count() or 1, 1)
+
+
+def shard_count(workers: int, oversplit: int = OVERSPLIT) -> int:
+    """Number of shards to plan for *workers* parallel workers."""
+    if workers < 1:
+        raise PlanError(f"workers must be >= 1, got {workers}")
+    return max(workers * max(oversplit, 1), 1)
+
+
+def choose_workers(
+    requested: Union[int, str],
+    sequential_cost: float,
+    ship_elements: int,
+    model: Optional[CostModel] = None,
+    max_workers: Optional[int] = None,
+    oversplit: int = OVERSPLIT,
+) -> int:
+    """Resolve a ``workers`` request to a concrete worker count.
+
+    An explicit integer is returned as-is (validated); ``"auto"`` picks
+    the count minimizing the modeled cost — including ``1``, the
+    sequential fallback, whose cost is exactly *sequential_cost*.
+    """
+    if isinstance(requested, bool):  # bool is an int subclass; reject it
+        raise PlanError(f"workers must be an int >= 1 or 'auto', got {requested!r}")
+    if isinstance(requested, int):
+        if requested < 1:
+            raise PlanError(f"workers must be >= 1, got {requested}")
+        return requested
+    if requested != "auto":
+        raise PlanError(
+            f"workers must be an int >= 1 or 'auto', got {requested!r}"
+        )
+    m = model or CostModel()
+    cap = max_workers if max_workers is not None else available_workers()
+    best_w = 1
+    best_cost = sequential_cost
+    w = 2
+    while w <= cap:
+        cost = m.parallel_cost(sequential_cost, w, ship_elements, oversplit=oversplit)
+        if cost < best_cost:
+            best_w, best_cost = w, cost
+        w *= 2
+    return best_w

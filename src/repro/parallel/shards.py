@@ -1,0 +1,236 @@
+"""Shard planning: partition SSJoin work for multi-worker execution.
+
+Two partitioning strategies, mirroring how the related batch systems
+scale out (PPJoin-family token sharding; Vernica et al.'s prefix-token
+MapReduce join):
+
+* **group-hash** — the left relation's groups are distributed over
+  shards (deterministic cost-balanced assignment over group positions).
+  Each shard joins its left groups against the *full* right side, so any
+  physical implementation can run per shard and the union over shards is
+  exactly the unpartitioned result (left groups are disjoint, so no pair
+  is produced twice).
+* **token-range** — for the encoded-prefix plan: the dictionary id space
+  ``[0, |universe|)`` is tiled into contiguous ranges, and each shard
+  owns the slice of the prefix inverted index whose token ids fall in
+  its range.  A candidate pair can share prefix tokens across several
+  ranges; the shard owning the pair's *smallest* common prefix token id
+  emits it (every shard can decide ownership locally because it holds
+  both sides' full id arrays), so candidate enumeration never duplicates
+  pairs.
+
+Both planners emit :class:`ShardDescriptor` lists whose coverage is
+checked by the ``SSJ108`` invariant rule
+(:func:`repro.analysis.invariants.verify_shards`): group-hash shards
+must partition the group positions exactly; token-range shards must tile
+the dictionary ordering without gap or overlap.
+
+Shard sizing is *adaptive*: planners take per-unit cost estimates (group
+element counts; per-token posting products) and oversplit the requested
+worker count so the executor's largest-first dispatch can absorb skew
+from heavy tokens or giant groups (see :mod:`repro.parallel.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.prepared import PreparedRelation
+from repro.errors import PlanError
+
+__all__ = [
+    "KIND_GROUP_HASH",
+    "KIND_TOKEN_RANGE",
+    "ShardDescriptor",
+    "plan_group_shards",
+    "plan_token_range_shards",
+]
+
+#: Shard kind: a subset of left-group positions joined against the full
+#: right side.
+KIND_GROUP_HASH = "group-hash"
+#: Shard kind: a contiguous token-id range ``[lo, hi)`` of the shared
+#: dictionary ordering (encoded-prefix plan).
+KIND_TOKEN_RANGE = "token-range"
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """One unit of parallel work.
+
+    ``lo``/``hi`` delimit the owned token-id range for token-range
+    shards; ``group_positions`` lists the owned left-group positions (in
+    the prepared relation's group order) for group-hash shards.
+    ``est_cost`` is the scheduler's relative cost estimate, used for
+    largest-first dispatch — comparisons only, no unit.
+    """
+
+    shard_id: int
+    kind: str
+    lo: int = 0
+    hi: int = 0
+    group_positions: Tuple[int, ...] = ()
+    est_cost: float = 0.0
+    #: Token-range only: positions of the left/right groups whose β-prefix
+    #: intersects ``[lo, hi)``, ascending, with the parallel entry in
+    #: ``*_starts`` giving the offset of the group's first in-range prefix
+    #: token.  The planner records both during the same prefix walk that
+    #: builds its cost histogram, so a worker visits only the groups that
+    #: can contribute to its range — and starts each walk at the right
+    #: offset with no per-group bisects.  ``None`` (not planned, e.g. a
+    #: hand-built descriptor) falls back to scanning every group.
+    left_groups: Optional[Tuple[int, ...]] = None
+    right_groups: Optional[Tuple[int, ...]] = None
+    left_starts: Optional[Tuple[int, ...]] = None
+    right_starts: Optional[Tuple[int, ...]] = None
+
+    def __repr__(self) -> str:
+        if self.kind == KIND_TOKEN_RANGE:
+            span = f"ids[{self.lo}:{self.hi})"
+        else:
+            span = f"groups={len(self.group_positions)}"
+        return f"<Shard {self.shard_id} {self.kind} {span} cost~{self.est_cost:.0f}>"
+
+
+def plan_group_shards(
+    prepared: PreparedRelation, n_shards: int
+) -> List[ShardDescriptor]:
+    """Partition the left groups into at most *n_shards* balanced shards.
+
+    Assignment is deterministic longest-processing-time: groups are
+    walked largest-first (element count, position tiebreak) and each goes
+    to the currently lightest shard.  Builtin ``hash`` is deliberately
+    not used — it is salted per process, and shard plans must be
+    reproducible across runs and workers.
+    """
+    if n_shards < 1:
+        raise PlanError(f"n_shards must be >= 1, got {n_shards}")
+    sizes = [len(s) for s in prepared.groups.values()]
+    if not sizes:
+        return []
+    n = min(n_shards, len(sizes))
+    order = sorted(range(len(sizes)), key=lambda g: (-sizes[g], g))
+    bins: List[List[int]] = [[] for _ in range(n)]
+    loads = [0.0] * n
+    for g in order:
+        b = min(range(n), key=lambda i: (loads[i], i))
+        bins[b].append(g)
+        # +1 keeps empty/tiny groups from all landing in one shard.
+        loads[b] += sizes[g] + 1.0
+    return [
+        ShardDescriptor(
+            shard_id=i,
+            kind=KIND_GROUP_HASH,
+            group_positions=tuple(sorted(bins[i])),
+            est_cost=loads[i],
+        )
+        for i in range(n)
+        if bins[i]
+    ]
+
+
+def plan_token_range_shards(
+    left_ids: Sequence[Sequence[int]],
+    left_prefix: Sequence[int],
+    right_ids: Sequence[Sequence[int]],
+    right_prefix: Sequence[int],
+    universe: int,
+    n_shards: int,
+) -> List[ShardDescriptor]:
+    """Tile the dictionary id space into ~cost-equal contiguous ranges.
+
+    The per-token cost estimate is the prefix-filter equi-join work that
+    token induces: ``rp(t)`` postings to index plus ``lp(t) * rp(t)``
+    probe hits, where ``lp``/``rp`` count the token's occurrences in the
+    left/right *prefixes*.  Ranges are cut whenever the running cost
+    passes an equal share, so a single heavy token may own a whole shard
+    — exactly what largest-first dispatch wants to see early.
+    """
+    if n_shards < 1:
+        raise PlanError(f"n_shards must be >= 1, got {n_shards}")
+    if universe <= 0:
+        return []
+    lp = [0] * universe
+    rp = [0] * universe
+    for g, k in enumerate(right_prefix):
+        for t in right_ids[g][:k]:
+            rp[t] += 1
+    for g, k in enumerate(left_prefix):
+        for t in left_ids[g][:k]:
+            lp[t] += 1
+    # Cost of owning token t — only tokens that occur in some prefix can
+    # induce work, so the cut walk is sparse: zero-cost ids between two
+    # occupied tokens just ride along with whichever range covers them.
+    # (Prefixes keep each group's rarest tokens, so the occupied set is
+    # far smaller than the id space and one dense filtering pass beats a
+    # per-id cost walk.)
+    occupied = [t for t in range(universe) if rp[t] or lp[t]]
+    n = min(n_shards, universe)
+    if occupied:
+        total = sum(rp[t] * (1 + lp[t]) for t in occupied)
+        n = min(n, len(occupied))
+    else:
+        total = 0.0
+    share = total / n if n else 0.0
+
+    shards: List[ShardDescriptor] = []
+    lo = 0
+    acc = 0.0
+    for i, t in enumerate(occupied):
+        acc += rp[t] * (1 + lp[t])
+        remaining_cuts = n - len(shards) - 1
+        # Cut when the share is met, but always leave enough occupied
+        # tokens for the remaining shards so no shard comes out empty.
+        if (
+            remaining_cuts > 0
+            and acc >= share
+            and (len(occupied) - (i + 1)) >= remaining_cuts
+        ):
+            shards.append(
+                ShardDescriptor(
+                    shard_id=len(shards), kind=KIND_TOKEN_RANGE,
+                    lo=lo, hi=t + 1, est_cost=acc,
+                )
+            )
+            lo = t + 1
+            acc = 0.0
+    shards.append(
+        ShardDescriptor(
+            shard_id=len(shards), kind=KIND_TOKEN_RANGE,
+            lo=lo, hi=universe, est_cost=acc,
+        )
+    )
+
+    # Second pass: per-shard intersecting-group lists, so each worker
+    # walks only the groups that can touch its range (the naive
+    # alternative — every shard bisecting every group — is O(G·S) and
+    # dominates shard runtime once shards outnumber heavy tokens).
+    # Prefix ids are ascending within a group, so consecutive ids map to
+    # non-decreasing shard ids and a last-appended check dedups.
+    token_shard = [0] * universe
+    for s in shards:
+        token_shard[s.lo : s.hi] = [s.shard_id] * (s.hi - s.lo)
+    left_lists: List[List[int]] = [[] for _ in shards]
+    right_lists: List[List[int]] = [[] for _ in shards]
+    left_starts: List[List[int]] = [[] for _ in shards]
+    right_starts: List[List[int]] = [[] for _ in shards]
+    for lists, starts, all_ids, prefix in (
+        (right_lists, right_starts, right_ids, right_prefix),
+        (left_lists, left_starts, left_ids, left_prefix),
+    ):
+        for g, k in enumerate(prefix):
+            last = -1
+            for pos, t in enumerate(all_ids[g][:k]):
+                sid = token_shard[t]
+                if sid != last:
+                    lists[sid].append(g)
+                    starts[sid].append(pos)
+                    last = sid
+    return [
+        replace(s, left_groups=tuple(left_lists[s.shard_id]),
+                right_groups=tuple(right_lists[s.shard_id]),
+                left_starts=tuple(left_starts[s.shard_id]),
+                right_starts=tuple(right_starts[s.shard_id]))
+        for s in shards
+    ]

@@ -1,0 +1,306 @@
+"""Worker-side shard execution (runs inside pool processes or inline).
+
+The executor ships each worker ONE pickled payload — via the process
+pool's initializer, so it crosses the process boundary once per worker,
+not once per shard — and then submits lightweight
+:class:`~repro.parallel.shards.ShardDescriptor` tasks against it.
+
+Two payload shapes match the two shard kinds:
+
+* :class:`GroupHashPayload` carries both prepared relations, the
+  predicate, the resolved implementation name, and the *global* element
+  ordering.  A shard rebuilds its left subset and runs the ordinary
+  sequential plan on it; passing the global ordering (rather than letting
+  each worker derive one from its subset) keeps every shard's prefixes —
+  and therefore the merged candidate/output counts — identical to the
+  unsharded run.
+* :class:`TokenRangePayload` carries the encoded columnar arrays of both
+  sides plus precomputed β-prefix lengths.  A shard builds the inverted
+  index restricted to its token range, probes left prefix ids in range,
+  and emits only the candidate pairs it *owns*: the pair whose smallest
+  common prefix token id falls in ``[lo, hi)``.  Every discovered pair
+  has such a token, and it lies in exactly one range, so the union over
+  shards enumerates each candidate pair exactly once (and the merged
+  ``candidate_pairs`` / ``equijoin_rows`` totals equal the sequential
+  plan's).
+
+Determinism: all kernels (prefix slicing, ``merge_overlap``, the
+per-pair weight sums) are the sequential plans' own, applied to the same
+arrays in the same element order, so overlap values are bit-identical to
+the sequential result no matter how work is sharded.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.encoded_prefix import merge_overlap
+from repro.core.metrics import (
+    PHASE_FILTER,
+    PHASE_SSJOIN,
+    ExecutionMetrics,
+)
+from repro.core.ordering import ElementOrdering
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.errors import PlanError
+from repro.parallel.shards import KIND_GROUP_HASH, KIND_TOKEN_RANGE, ShardDescriptor
+
+__all__ = [
+    "GroupHashPayload",
+    "TokenRangePayload",
+    "ShardResult",
+    "execute_shard",
+    "init_worker",
+    "run_shard",
+]
+
+
+@dataclass(frozen=True)
+class GroupHashPayload:
+    """Everything a worker needs to run group-hash shards."""
+
+    left: PreparedRelation
+    right: PreparedRelation
+    predicate: OverlapPredicate
+    implementation: str
+    ordering: Optional[ElementOrdering]
+
+
+@dataclass(frozen=True)
+class TokenRangePayload:
+    """Columnar arrays + prefix lengths for token-range shards.
+
+    ``left_ids[g]`` / ``left_weights[g]`` are the sorted parallel arrays
+    of :class:`~repro.core.encoded.EncodedPreparedRelation`;
+    ``left_prefix[g]`` is group *g*'s β-prefix length under the shared
+    dictionary ordering.  Mirrors for the right side (whose weights are
+    not needed: overlap sums left-side weights).
+    """
+
+    left_keys: Tuple[Any, ...]
+    left_ids: Tuple[Sequence[int], ...]
+    left_weights: Tuple[Sequence[float], ...]
+    left_norms: Tuple[float, ...]
+    left_prefix: Tuple[int, ...]
+    right_keys: Tuple[Any, ...]
+    right_ids: Tuple[Sequence[int], ...]
+    right_norms: Tuple[float, ...]
+    right_prefix: Tuple[int, ...]
+    predicate: OverlapPredicate
+
+
+Payload = Union[GroupHashPayload, TokenRangePayload]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's output rows, metrics, and busy time (worker-side)."""
+
+    shard_id: int
+    rows: Tuple[Tuple[Any, ...], ...]
+    metrics: ExecutionMetrics
+    seconds: float
+
+
+#: Per-process payload slot, populated once by :func:`init_worker`.
+_PAYLOAD: Optional[Payload] = None
+
+
+def init_worker(payload_bytes: bytes) -> None:
+    """Process-pool initializer: unpickle the shared payload once."""
+    global _PAYLOAD
+    _PAYLOAD = pickle.loads(payload_bytes)
+
+
+def run_shard(shard: ShardDescriptor) -> ShardResult:
+    """Pool task entry point: run *shard* against the process payload."""
+    if _PAYLOAD is None:
+        raise PlanError("worker payload not initialized (init_worker not run)")
+    return execute_shard(_PAYLOAD, shard)
+
+
+def execute_shard(payload: Payload, shard: ShardDescriptor) -> ShardResult:
+    """Run one shard against an explicit payload (serial backend + pool)."""
+    start = time.perf_counter()
+    if shard.kind == KIND_GROUP_HASH:
+        if not isinstance(payload, GroupHashPayload):
+            raise PlanError(f"group-hash shard against {type(payload).__name__}")
+        rows, metrics = _run_group_shard(payload, shard)
+    elif shard.kind == KIND_TOKEN_RANGE:
+        if not isinstance(payload, TokenRangePayload):
+            raise PlanError(f"token-range shard against {type(payload).__name__}")
+        rows, metrics = _run_token_range_shard(payload, shard)
+    else:
+        raise PlanError(f"unknown shard kind {shard.kind!r}")
+    return ShardResult(
+        shard_id=shard.shard_id,
+        rows=tuple(rows),
+        metrics=metrics,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _run_group_shard(
+    payload: GroupHashPayload, shard: ShardDescriptor
+) -> Tuple[List[Tuple[Any, ...]], ExecutionMetrics]:
+    # Imported here: repro.core.ssjoin is the facade above this module's
+    # callers; the worker only needs it at execution time.
+    from repro.core.ssjoin import SSJoin
+
+    keys = list(payload.left.groups)
+    groups = {}
+    norms = {}
+    for g in shard.group_positions:
+        a = keys[g]
+        groups[a] = payload.left.groups[a]
+        norms[a] = payload.left.norms[a]
+    subset = PreparedRelation.from_sets(
+        groups, norms, name=f"{payload.left.name}[shard{shard.shard_id}]"
+    )
+    metrics = ExecutionMetrics()
+    result = SSJoin(
+        subset, payload.right, payload.predicate, ordering=payload.ordering
+    ).execute(payload.implementation, metrics=metrics)
+    return list(result.pairs.rows), metrics
+
+
+def _shard_groups(
+    groups: Optional[Tuple[int, ...]],
+    starts: Optional[Tuple[int, ...]],
+    all_ids: Tuple[Sequence[int], ...],
+    prefix: Tuple[int, ...],
+    lo: int,
+) -> Iterable[Tuple[int, int]]:
+    """(group position, first in-range prefix offset) pairs for a shard.
+
+    Planner-built shards carry both lists; hand-built descriptors (tests)
+    fall back to bisecting every group's prefix to *lo*.
+    """
+    if groups is not None and starts is not None:
+        return zip(groups, starts)
+    return (
+        (g, pos)
+        for g, k in enumerate(prefix)
+        if (pos := bisect_left(all_ids[g], lo, 0, k)) < k
+    )
+
+
+def first_common_prefix_token(
+    left_ids: Sequence[int],
+    left_k: int,
+    right_ids: Sequence[int],
+    right_k: int,
+) -> int:
+    """Smallest token id shared by the two β-prefixes, or -1 if none.
+
+    Both arrays are ascending (the ordering ``O``), so the first match of
+    a linear merge is the minimum — this is the shard-ownership test.
+    """
+    i = j = 0
+    while i < left_k and j < right_k:
+        x = left_ids[i]
+        y = right_ids[j]
+        if x == y:
+            return x
+        if x < y:
+            i += 1
+        else:
+            j += 1
+    return -1
+
+
+def _run_token_range_shard(
+    p: TokenRangePayload, shard: ShardDescriptor
+) -> Tuple[List[Tuple[Any, ...]], ExecutionMetrics]:
+    lo, hi = shard.lo, shard.hi
+    m = ExecutionMetrics()
+    m.implementation = "encoded-prefix"
+
+    candidates: List[Tuple[int, List[int]]] = []
+    with m.phase(PHASE_SSJOIN):
+        # Inverted index over the right prefixes, restricted to [lo, hi).
+        # Prefix ids are ascending, so two bisects find the in-range span
+        # and the loop walks a C-level slice — the same per-element cost
+        # as the sequential plan's ``ids[:k]`` walk, instead of a Python
+        # position/compare per element.
+        index: Dict[int, List[int]] = {}
+        right_ids = p.right_ids
+        right_prefix = p.right_prefix
+        # Planner-supplied (group, first in-range offset) pairs keep the
+        # walk to the groups that can touch this range and start each walk
+        # at the right token with no per-group bisects.  Prefix ids are
+        # ascending, so the walk stops at the first id >= hi.
+        for h, pos in _shard_groups(shard.right_groups, shard.right_starts,
+                                    right_ids, right_prefix, lo):
+            k = right_prefix[h]
+            ids = right_ids[h]
+            t = ids[pos]
+            while t < hi:
+                index.setdefault(t, []).append(h)
+                pos += 1
+                if pos == k:
+                    break
+                t = ids[pos]
+
+        # Probe left prefix ids in range, same walk discipline.  Prefix
+        # tokens are the rarest of their group, so most probes miss —
+        # allocate the matched set only on the first hit.
+        left_ids = p.left_ids
+        left_prefix = p.left_prefix
+        probe_rows = 0
+        for g, pos in _shard_groups(shard.left_groups, shard.left_starts,
+                                    left_ids, left_prefix, lo):
+            k = left_prefix[g]
+            lids = left_ids[g]
+            matched: Optional[set] = None
+            t = lids[pos]
+            while t < hi:
+                postings = index.get(t)
+                if postings:
+                    probe_rows += len(postings)
+                    if matched is None:
+                        matched = set(postings)
+                    else:
+                        matched.update(postings)
+                pos += 1
+                if pos == k:
+                    break
+                t = lids[pos]
+            if not matched:
+                continue
+            # Ownership: emit only pairs whose smallest common prefix
+            # token lies in this range. Discovery found a common token in
+            # [lo, hi), so the minimum exists and is < hi; pairs whose
+            # minimum is below lo belong to (and are found by) an earlier
+            # shard.
+            owned = [
+                h
+                for h in sorted(matched)
+                if first_common_prefix_token(lids, k, right_ids[h], p.right_prefix[h])
+                >= lo
+            ]
+            if owned:
+                candidates.append((g, owned))
+                m.candidate_pairs += len(owned)
+        m.equijoin_rows += probe_rows
+
+    out_rows: List[Tuple[Any, ...]] = []
+    with m.phase(PHASE_FILTER):
+        satisfied = p.predicate.satisfied
+        for g, owned in candidates:
+            lids = left_ids[g]
+            lw = p.left_weights[g]
+            norm_r = p.left_norms[g]
+            a_r = p.left_keys[g]
+            for h in owned:
+                overlap = merge_overlap(lids, lw, right_ids[h])
+                norm_s = p.right_norms[h]
+                if satisfied(overlap, norm_r, norm_s):
+                    out_rows.append((a_r, p.right_keys[h], overlap, norm_r, norm_s))
+        m.output_pairs += len(out_rows)
+    return out_rows, m

@@ -1,5 +1,7 @@
 """The partitioned SSJoin must equal the unpartitioned result."""
 
+import os
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -17,6 +19,20 @@ from repro.errors import PlanError
 from repro.tokenize.words import words
 
 from tests.core.test_implementations import oracle, predicates, prepared_relations
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _serial_parallel_backend():
+    """Run the workers-composition property on the in-process serial
+    backend: spawning a process pool per Hypothesis example is pure
+    overhead, and the serial backend executes the identical shard code."""
+    old = os.environ.get("REPRO_PARALLEL_BACKEND")
+    os.environ["REPRO_PARALLEL_BACKEND"] = "serial"
+    yield
+    if old is None:
+        os.environ.pop("REPRO_PARALLEL_BACKEND", None)
+    else:
+        os.environ["REPRO_PARALLEL_BACKEND"] = old
 
 
 class TestPartitionBySetSize:
@@ -39,8 +55,15 @@ class TestPartitionBySetSize:
         assert set(parts["large"].groups) == {"a b c d e"}
 
     def test_empty_relation(self):
-        parts = partition_by_set_size(PreparedRelation.from_sets({}))
+        parts = partition_by_set_size(PreparedRelation.from_sets({}, name="e"))
+        # Both halves must be *distinct*, properly-named empty relations —
+        # not the input aliased as "small" (the old behavior double-counted
+        # the relation under a misleading name downstream).
         assert parts["small"].num_groups == 0
+        assert parts["large"].num_groups == 0
+        assert parts["small"] is not parts["large"]
+        assert parts["small"].name == "e[small]"
+        assert parts["large"].name == "e[large]"
 
 
 class TestPartitionedJoin:
@@ -97,6 +120,23 @@ class TestPartitionedJoin:
             partitioned_ssjoin(
                 p, p, OverlapPredicate.absolute(1.0), partition=lambda _: {}
             )
+
+    @given(
+        prepared_relations("r"),
+        prepared_relations("s"),
+        predicates(),
+        st.sampled_from([None, 1, 2]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_composes_with_parallel_executor(
+        self, left, right, predicate, workers
+    ):
+        """Satellite: union over partition_by_set_size sub-joins, each run
+        through the parallel executor, equals the unpartitioned sequential
+        join — for every worker count including the sequential default."""
+        expected = oracle(left, right, predicate)
+        got = partitioned_ssjoin(left, right, predicate, workers=workers)
+        assert got.pair_set() == expected
 
     def test_metrics_accumulate_across_partitions(self):
         values = ["a b", "a c", "long one two three four five"]

@@ -1,0 +1,107 @@
+"""Adaptive scheduler: worker choice, shard counts, and the cost model."""
+
+import pytest
+
+from repro.core.optimizer import CostModel
+from repro.errors import PlanError
+from repro.parallel.scheduler import (
+    OVERSPLIT,
+    available_workers,
+    choose_workers,
+    shard_count,
+)
+
+
+class TestShardCount:
+    def test_oversplits(self):
+        assert shard_count(4) == 4 * OVERSPLIT
+        assert shard_count(1) == OVERSPLIT
+        assert shard_count(3, oversplit=2) == 6
+
+    def test_floor_of_one(self):
+        assert shard_count(1, oversplit=0) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(PlanError):
+            shard_count(0)
+
+
+class TestChooseWorkers:
+    def test_explicit_int_is_honored(self):
+        # An explicit request bypasses the cost model entirely.
+        assert choose_workers(3, sequential_cost=1.0, ship_elements=1) == 3
+        assert choose_workers(1, sequential_cost=1e12, ship_elements=1) == 1
+
+    def test_rejects_bool_and_bad_values(self):
+        with pytest.raises(PlanError):
+            choose_workers(True, sequential_cost=1.0, ship_elements=1)
+        with pytest.raises(PlanError):
+            choose_workers(0, sequential_cost=1.0, ship_elements=1)
+        with pytest.raises(PlanError):
+            choose_workers("fast", sequential_cost=1.0, ship_elements=1)
+
+    def test_auto_small_join_stays_sequential(self):
+        # Tiny join: spawn overhead dwarfs any split gain.
+        assert (
+            choose_workers("auto", sequential_cost=10.0, ship_elements=10)
+            == 1
+        )
+
+    def test_auto_large_join_goes_parallel(self):
+        w = choose_workers(
+            "auto",
+            sequential_cost=1e9,
+            ship_elements=1000,
+            max_workers=4,
+        )
+        assert w > 1
+
+    def test_auto_respects_max_workers(self):
+        w = choose_workers(
+            "auto",
+            sequential_cost=1e12,
+            ship_elements=0,
+            max_workers=2,
+        )
+        assert w <= 2
+
+    def test_auto_crossover_is_monotone_in_cost(self):
+        # Once "auto" flips to parallel, larger joins never flip back.
+        model = CostModel()
+        chosen = [
+            choose_workers("auto", sequential_cost=c, ship_elements=100,
+                           model=model, max_workers=8)
+            for c in (1e2, 1e4, 1e6, 1e8, 1e10)
+        ]
+        first_parallel = next(
+            (i for i, w in enumerate(chosen) if w > 1), len(chosen)
+        )
+        assert all(w == 1 for w in chosen[:first_parallel])
+        assert all(w > 1 for w in chosen[first_parallel:])
+
+
+class TestParallelCost:
+    def test_sequential_when_one_worker(self):
+        model = CostModel()
+        assert model.parallel_cost(1e6, 1, ship_elements=50) == 1e6
+
+    def test_decreasing_then_overhead_bound(self):
+        # For a big join, going 1 -> 2 workers must help; overhead terms
+        # eventually dominate as workers grow without bound.
+        model = CostModel()
+        seq = 1e8
+        c1 = model.parallel_cost(seq, 1, ship_elements=100)
+        c2 = model.parallel_cost(seq, 2, ship_elements=100)
+        c_huge = model.parallel_cost(seq, 100000, ship_elements=100)
+        assert c2 < c1
+        assert c_huge > c2
+
+    def test_ship_cost_scales_with_workers(self):
+        model = CostModel()
+        light = model.parallel_cost(1e6, 4, ship_elements=0)
+        heavy = model.parallel_cost(1e6, 4, ship_elements=10**7)
+        assert heavy > light
+
+
+def test_available_workers_positive():
+    assert available_workers() >= 1
