@@ -18,6 +18,7 @@ perf-smoke job runs this with a small row count and uploads the JSON.
 from __future__ import annotations
 
 import argparse
+import gc
 import os
 import sys
 from pathlib import Path
@@ -35,6 +36,7 @@ from repro.core.metrics import ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
 from repro.core.ssjoin import SSJoin
+from repro.core.verify import VerifyConfig
 from repro.data.corruptions import CorruptionConfig
 from repro.data.customers import CustomerConfig, generate_addresses
 from repro.joins.jaccard_join import jaccard_resemblance_join, resolve_weights
@@ -182,6 +184,98 @@ def main(argv=None) -> int:
         else:
             os.environ["REPRO_PARALLEL_BACKEND"] = old_backend
 
+    # Verification-engine sweep: the encoded-prefix plan with the bitmap
+    # engine on (default) vs VerifyConfig.disabled() (the pre-engine
+    # verify step), sequential (w=1 executor fallback) and 4-worker
+    # modeled, on the same prepared scaling relation.  Rounds interleave
+    # on/off per threshold for the same drift-resistance reason as the
+    # worker sweep; fastest round per cell wins.  ``merge_reduction`` is
+    # the fraction of candidate pairs that never reached a
+    # merge-intersection (bitmap- or position-pruned, or admitted via
+    # the identity fast path) — the engine-off plan merges every one.
+    print(f"\nverify engine (encoded-prefix, {args.scaling_rows} rows):")
+    verify_workers = (1, 4)
+    modes = (("on", None), ("off", VerifyConfig.disabled()))
+    os.environ["REPRO_PARALLEL_BACKEND"] = "serial"
+    vbest = {}
+    # GC hygiene: a cyclic collection landing inside one shard inflates
+    # the modeled critical path by ~50ms and swamps the on/off delta, so
+    # each timed run starts from a collected heap with the collector off.
+    gc_was_enabled = gc.isenabled()
+    try:
+        gc.disable()
+        for _ in range(args.repeats):
+            for threshold in THRESHOLDS:
+                pred = OverlapPredicate.two_sided(threshold)
+                for w in verify_workers:
+                    for mode, cfg in modes:
+                        gc.collect()
+                        m = ExecutionMetrics()
+                        result = SSJoin(prep, prep, pred).execute(
+                            "encoded-prefix", metrics=m, workers=w,
+                            verify_config=cfg,
+                        )
+                        p = m.parallel_stats or {}
+                        score = p.get("modeled_wall_seconds", m.total_seconds)
+                        rec = {
+                            "threshold": threshold,
+                            "workers": w,
+                            "mode": mode,
+                            "seconds": score,
+                            "result_pairs": len(result.pairs),
+                            "candidate_pairs": m.candidate_pairs,
+                            "verify": m.verify_stats(),
+                        }
+                        key = (threshold, w, mode)
+                        if key not in vbest or score < vbest[key]["seconds"]:
+                            vbest[key] = rec
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        if old_backend is None:
+            os.environ.pop("REPRO_PARALLEL_BACKEND", None)
+        else:
+            os.environ["REPRO_PARALLEL_BACKEND"] = old_backend
+    verify_summary = []
+    for threshold in THRESHOLDS:
+        for w in verify_workers:
+            on = vbest[(threshold, w, "on")]
+            off = vbest[(threshold, w, "off")]
+            stats = on["verify"]
+            candidates = stats["candidates"]
+            merges = stats["merges_run"]
+            row = {
+                "threshold": threshold,
+                "workers": w,
+                "engine_on_seconds": on["seconds"],
+                "engine_off_seconds": off["seconds"],
+                "speedup": (off["seconds"] / on["seconds"]
+                            if on["seconds"] > 0 else None),
+                "candidates": candidates,
+                "bitmap_pruned": stats["bitmap_pruned"],
+                "position_pruned": stats["position_pruned"],
+                "merges_run": merges,
+                "merges_early_exited": stats["merges_early_exited"],
+                "merge_reduction": (1.0 - merges / candidates
+                                    if candidates else 0.0),
+            }
+            verify_summary.append(row)
+            print(f"  w={w} @ {threshold:.2f}: on={row['engine_on_seconds']:.3f}s "
+                  f"off={row['engine_off_seconds']:.3f}s "
+                  f"speedup={row['speedup']:.2f}x "
+                  f"merge_reduction={row['merge_reduction']:.1%} "
+                  f"(cand={candidates} bitmap={row['bitmap_pruned']} "
+                  f"pos={row['position_pruned']} merges={merges})")
+    verify_block = {
+        "rows": args.scaling_rows,
+        "implementation": "encoded-prefix",
+        "workers": list(verify_workers),
+        "backend": "serial",
+        "records": sorted(vbest.values(),
+                          key=lambda r: (r["threshold"], r["workers"], r["mode"])),
+        "summary": verify_summary,
+    }
+
     speedups = {
         f"{base}/{cont}": speedup_table(runner.records, base, cont)
         for base, cont in SPEEDUP_PAIRS
@@ -196,6 +290,7 @@ def main(argv=None) -> int:
               "scaling_backend": "serial"},
         speedups=speedups,
         parallel=scaling_records,
+        verify_engine=verify_block,
     )
     args.out.write_text(doc + "\n")
 

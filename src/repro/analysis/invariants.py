@@ -35,6 +35,14 @@ norm, suspicious for every family in Example 2.
 cover its universe exactly once (token ranges with a gap/overlap, or
 group positions missing/duplicated), so the merged result would drop or
 double pairs. Checked by the executor before any shard is dispatched.
+``SSJ109`` verification-filter over-prune — behavioral audit of the
+bitmap-signature verification engine (:mod:`repro.core.verify`): on
+small inputs the encoded-prefix plan is executed at deliberately hostile
+signature widths (8 bits forces heavy bit collisions, 64 is the floor
+width) and its rows must equal the basic implementation's exactly — a
+missing pair means a bound pruned a qualifying candidate, an extra or
+changed row means the filter corrupted verification.  Skipped for
+inputs above the probe budget (the static rules still run).
 """
 
 from __future__ import annotations
@@ -399,6 +407,93 @@ def _check_degenerate_prefix(
 
 
 # ---------------------------------------------------------------------------
+# SSJ109 — the verification engine must never prune an emitted pair
+# ---------------------------------------------------------------------------
+
+#: Largest input (total elements, both sides) the SSJ109 behavioral probe
+#: will execute; beyond this the rule is skipped to keep ``verify=True``
+#: cheap relative to the join itself.
+_VERIFY_FILTER_BUDGET = 2000
+
+#: Signature widths the probe sweeps: 8 bits forces heavy bit collisions
+#: (the XOR bound at its weakest — soundness must not depend on width),
+#: 64 is the production floor width.
+_VERIFY_FILTER_WIDTHS = (8, 64)
+
+
+def _check_verify_filter(
+    report: AnalysisReport,
+    left: PreparedRelation,
+    right: PreparedRelation,
+    predicate: OverlapPredicate,
+) -> None:
+    if left.num_elements + right.num_elements > _VERIFY_FILTER_BUDGET:
+        return
+    # Imported here: repro.analysis sits above the executable plans, and
+    # the behavioral probe is the only rule that runs them.
+    from repro.core.basic import basic_ssjoin
+    from repro.core.encoded_prefix import encoded_prefix_ssjoin
+    from repro.core.verify import VerifyConfig
+
+    try:
+        expected = set(basic_ssjoin(left, right, predicate).rows)
+    except Exception as exc:
+        report.add(
+            "SSJ109",
+            SEVERITY_ERROR,
+            f"basic implementation raised {type(exc).__name__} during the "
+            f"verification-filter probe: {exc}",
+            "verify_filter",
+        )
+        return
+    for width in _VERIFY_FILTER_WIDTHS:
+        config = VerifyConfig(signature_bits=width)
+        try:
+            got = set(
+                encoded_prefix_ssjoin(
+                    left, right, predicate, verify_config=config
+                ).rows
+            )
+        except Exception as exc:
+            report.add(
+                "SSJ109",
+                SEVERITY_ERROR,
+                f"encoded-prefix plan raised {type(exc).__name__} at "
+                f"signature width {width}: {exc}",
+                "verify_filter",
+            )
+            return
+        missing = expected - got
+        extra = got - expected
+        if missing:
+            sample = sorted(missing, key=repr)[:3]
+            report.add(
+                "SSJ109",
+                SEVERITY_ERROR,
+                f"verification filter pruned {len(missing)} pair(s) the basic "
+                f"implementation emits at signature width {width}, e.g. "
+                f"{sample}; a bitmap/positional bound is unsound",
+                "verify_filter",
+                hint="bounds may only reject pairs below threshold - "
+                "PRUNE_MARGIN; check the XOR-popcount and max-weight scaling",
+            )
+        if extra:
+            sample = sorted(extra, key=repr)[:3]
+            report.add(
+                "SSJ109",
+                SEVERITY_ERROR,
+                f"verification filter emitted {len(extra)} row(s) the basic "
+                f"implementation does not at signature width {width}, e.g. "
+                f"{sample}; overlap values or admissions were corrupted",
+                "verify_filter",
+                hint="the early-exit merge must sum the same weights in the "
+                "same order as merge_overlap",
+            )
+        if missing or extra:
+            return
+
+
+# ---------------------------------------------------------------------------
 # SSJ108 — parallel shard plans must cover the universe exactly once
 # ---------------------------------------------------------------------------
 
@@ -569,6 +664,8 @@ def verify_ssjoin(
     if encoding is not None and left is not None and right is not None:
         _check_encoding(report, left, right, encoding, ordering)
     _check_degenerate_prefix(report, left, right, predicate, implementation)
+    if left is not None and right is not None and report.ok:
+        _check_verify_filter(report, left, right, predicate)
     return report
 
 

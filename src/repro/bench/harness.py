@@ -105,6 +105,10 @@ class SweepRunner:
             # The parallel executor's telemetry becomes the record's (and
             # the repro-bench/v1 JSON's) ``parallel`` block.
             extra["parallel"] = m.parallel_stats
+        if m.verify_candidates:
+            # Verification-engine per-stage counters (candidates in,
+            # bitmap-pruned, position-pruned, merges run/early-exited).
+            extra["verify"] = m.verify_stats()
         return SweepRecord(
             extra=extra,
             label=self.label,

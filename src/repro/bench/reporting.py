@@ -181,6 +181,7 @@ def render_json(
     meta: Optional[Dict[str, Any]] = None,
     speedups: Optional[Dict[str, Dict[float, float]]] = None,
     parallel: Optional[Sequence[SweepRecord]] = None,
+    verify_engine: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The machine-readable sweep artifact (``repro-bench/v1``).
 
@@ -190,8 +191,12 @@ def render_json(
     *parallel* (records from a worker-scaling sweep, each carrying the
     executor's telemetry in ``extra["parallel"]``) adds a top-level
     ``parallel`` block: the raw scaling records plus the
-    speedup-vs-workers rows of :func:`scaling_summary`. The format is
-    documented in EXPERIMENTS.md; CI uploads these as artifacts.
+    speedup-vs-workers rows of :func:`scaling_summary`. Passing
+    *verify_engine* (the engine-on vs engine-off comparison assembled by
+    the core bench) adds it verbatim as a top-level ``verify_engine``
+    block: per-threshold prune counters and merge-reduction/speedup
+    figures. The format is documented in EXPERIMENTS.md; CI uploads
+    these as artifacts.
     """
     doc: Dict[str, Any] = {
         "schema": BENCH_JSON_SCHEMA,
@@ -214,6 +219,8 @@ def render_json(
             "records": [r.to_dict() for r in parallel],
             "scaling": scaling_summary(parallel),
         }
+    if verify_engine is not None:
+        doc["verify_engine"] = dict(verify_engine)
     return json.dumps(doc, indent=2, sort_keys=False)
 
 

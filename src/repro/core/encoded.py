@@ -68,6 +68,8 @@ class EncodedPreparedRelation:
         "norms",
         "set_norms",
         "prefix_cache",
+        "verify_cache",
+        "_num_elements",
     )
 
     def __init__(
@@ -82,7 +84,13 @@ class EncodedPreparedRelation:
         # bound); group_prefix_lengths memoizes them here so repeated
         # executes against one encoding skip the per-group recomputation.
         self.prefix_cache: dict = {}
+        # Verification-engine columnar state (bit signatures per width,
+        # cumulative weights, max weights) — see repro.core.verify.
+        # Signature entries record the dictionary size they were packed
+        # under so a grown dictionary invalidates them.
+        self.verify_cache: dict = {}
         self.keys = list(prepared.groups)
+        self._num_elements: Optional[int] = None
         self.ids: List[array] = []
         self.weights: List[array] = []
         self.norms = array("d")
@@ -101,7 +109,11 @@ class EncodedPreparedRelation:
 
     @property
     def num_elements(self) -> int:
-        return sum(len(ids) for ids in self.ids)
+        # Memoized: columns are fixed after construction and the parallel
+        # executor reads this on every dispatch.
+        if self._num_elements is None:
+            self._num_elements = sum(len(ids) for ids in self.ids)
+        return self._num_elements
 
     def __repr__(self) -> str:
         return (

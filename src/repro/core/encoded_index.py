@@ -31,6 +31,7 @@ from repro.core.metrics import (
 from repro.core.ordering import ElementOrdering
 from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
 from repro.core.prepared import PreparedRelation
+from repro.core.verify import VerifyConfig, engine_for_encoded
 from repro.relational.relation import Relation
 
 __all__ = ["EncodedInvertedIndex", "encoded_index_probe_ssjoin"]
@@ -75,12 +76,17 @@ def encoded_index_probe_ssjoin(
     ordering: Optional[ElementOrdering] = None,
     metrics: Optional[ExecutionMetrics] = None,
     index: Optional[EncodedInvertedIndex] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> Relation:
     """Probe-side encoded SSJoin; returns a RESULT_SCHEMA relation.
 
     Pass a prebuilt *index* (whose encoded relation must share the
     dictionary that will encode *left*) to amortize construction across a
-    lookup workload.
+    lookup workload.  Between the discovery and completion passes the
+    verification engine drops candidates whose bitmap bound or
+    ``partial + left-suffix-weight`` bound cannot reach the pair
+    threshold, so the completion pass updates (and the final check
+    examines) only survivors; *verify_config* tunes it (None = auto).
     """
     m = metrics if metrics is not None else ExecutionMetrics()
     m.implementation = "encoded-probe"
@@ -106,6 +112,11 @@ def encoded_index_probe_ssjoin(
         left_threshold = predicate.left_filter_threshold
         satisfied = predicate.satisfied
         get_postings = index.postings
+        # Prefix lengths are computed inline below; the engine only runs
+        # prune_partial, which never reads them.
+        engine = engine_for_encoded(
+            enc_left, enc_right, predicate, (), (), config=verify_config
+        )
         for g, lids in enumerate(enc_left.ids):
             lw = enc_left.weights[g]
             norm_r = enc_left.norms[g]
@@ -125,6 +136,14 @@ def encoded_index_probe_ssjoin(
             if not overlaps:
                 continue
             m.candidate_pairs += len(overlaps)
+            # equijoin_rows counts discovered candidates (pre-prune), as
+            # in the unfiltered plan, where it equals the discovery count.
+            m.equijoin_rows += len(overlaps)
+
+            if engine is not None:
+                overlaps = engine.prune_partial(g, k, overlaps)
+                if not overlaps:
+                    continue
 
             # Completion pass: suffix ids only grow known candidates.
             for i in range(k, len(lids)):
@@ -134,13 +153,14 @@ def encoded_index_probe_ssjoin(
                     for h, _w_s in postings:
                         if h in overlaps:
                             overlaps[h] += w
-            m.equijoin_rows += len(overlaps)
 
             a_r = enc_left.keys[g]
             for h, overlap in overlaps.items():
                 norm_s = right_norms[h]
                 if satisfied(overlap, norm_r, norm_s):
                     out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
+        if engine is not None:
+            engine.flush(m)
 
     with m.phase(PHASE_FILTER):
         result = Relation(RESULT_SCHEMA, out_rows)

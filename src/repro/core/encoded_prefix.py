@@ -12,7 +12,11 @@ over :class:`~repro.core.encoded.EncodedPreparedRelation` columns:
 3. **Verification** replaces Figure 8's two hash-joins-back-to-base (the
    regroup step) with a merge-intersection kernel over the two groups'
    full sorted id arrays, summing left-side weights of shared ids — the
-   same ``SUM(R.w)`` every other implementation computes.
+   same ``SUM(R.w)`` every other implementation computes.  By default
+   candidates first pass through the :mod:`repro.core.verify` engine,
+   which kills most non-qualifying pairs with bitmap and positional
+   bounds before any merge runs and early-exits the merges it does run;
+   pass ``verify_config=VerifyConfig.disabled()`` for the plain path.
 
 Output is a :data:`~repro.core.basic.RESULT_SCHEMA` relation with exactly
 the rows of the tuple-based plans (row order may differ; overlap values
@@ -35,6 +39,7 @@ from repro.core.metrics import (
 from repro.core.ordering import ElementOrdering
 from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
 from repro.core.prepared import PreparedRelation
+from repro.core.verify import VerifyConfig, engine_for_encoded
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -137,12 +142,14 @@ def encoded_prefix_ssjoin(
     ordering: Optional[ElementOrdering] = None,
     metrics: Optional[ExecutionMetrics] = None,
     encoding: Optional[Tuple[EncodedPreparedRelation, EncodedPreparedRelation]] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> Relation:
     """Execute the encoded Figure 8 plan; returns a RESULT_SCHEMA relation.
 
     *ordering* selects the dictionary order (default: joint frequency,
     identical to :func:`~repro.core.ordering.frequency_ordering`). Pass a
     prebuilt *encoding* pair to skip the cache lookup entirely.
+    *verify_config* tunes the verification engine (None = auto).
     """
     m = metrics if metrics is not None else ExecutionMetrics()
     m.implementation = "encoded-prefix"
@@ -193,17 +200,25 @@ def encoded_prefix_ssjoin(
         left_weights = enc_left.weights
         left_norms = enc_left.norms
         right_norms = enc_right.norms
-        satisfied = predicate.satisfied
-        for g, matches in candidates:
-            lids = left_ids[g]
-            lw = left_weights[g]
-            norm_r = left_norms[g]
-            a_r = left_keys[g]
-            for h in matches:
-                overlap = merge_overlap(lids, lw, right_ids[h])
-                norm_s = right_norms[h]
-                if satisfied(overlap, norm_r, norm_s):
-                    out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
+        engine = engine_for_encoded(
+            enc_left, enc_right, predicate, left_prefix, right_prefix,
+            config=verify_config,
+        )
+        if engine is not None:
+            out_rows = engine.verify_candidates(candidates, left_keys, right_keys)
+            engine.flush(m)
+        else:
+            satisfied = predicate.satisfied
+            for g, matches in candidates:
+                lids = left_ids[g]
+                lw = left_weights[g]
+                norm_r = left_norms[g]
+                a_r = left_keys[g]
+                for h in matches:
+                    overlap = merge_overlap(lids, lw, right_ids[h])
+                    norm_s = right_norms[h]
+                    if satisfied(overlap, norm_r, norm_s):
+                        out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
         result = Relation(RESULT_SCHEMA, out_rows)
         m.output_pairs += len(result)
     return result

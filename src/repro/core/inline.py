@@ -31,6 +31,13 @@ from repro.core.ordering import ElementOrdering, frequency_ordering
 from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
 from repro.core.prefixes import prefix_of_sorted
 from repro.core.prepared import PreparedRelation
+from repro.core.verify import (
+    PRUNE_MARGIN,
+    VerifyConfig,
+    choose_signature_bits,
+    hashed_signature,
+    predicate_strictness,
+)
 from repro.relational.joins import hash_join
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -86,6 +93,33 @@ def encoded_overlap(
     return sum(w for e, w in lw.items() if e in rw)
 
 
+def _signature_stats(
+    encoded: str,
+    sig_cache: Dict[int, Tuple[int, int, float]],
+    nbits: int,
+    parse_cache: Dict[int, Dict[str, float]],
+) -> Tuple[int, int, float]:
+    """Per-set ``(bit signature, cardinality, max weight)``, memoized by id.
+
+    Signatures hash element reprs with crc32 (builtin ``hash`` is salted
+    per process, which would make prune counters nondeterministic); each
+    group's encoding is one shared str object, so the memo hits once per
+    group, like :func:`_parse`.
+    """
+    key = id(encoded)
+    hit = sig_cache.get(key)
+    if hit is not None:
+        return hit
+    parsed = _parse(encoded, parse_cache)
+    stats = (
+        hashed_signature(parsed, nbits),
+        len(parsed),
+        max(parsed.values()) if parsed else 0.0,
+    )
+    sig_cache[key] = stats
+    return stats
+
+
 _INLINE_SCHEMA = Schema(["a", "b", "norm", "set"])
 
 
@@ -120,8 +154,15 @@ def inline_ssjoin(
     predicate: OverlapPredicate,
     ordering: Optional[ElementOrdering] = None,
     metrics: Optional[ExecutionMetrics] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> Relation:
-    """Execute the Figure 9 plan; returns a :data:`RESULT_SCHEMA` relation."""
+    """Execute the Figure 9 plan; returns a :data:`RESULT_SCHEMA` relation.
+
+    Before invoking the overlap UDF on a candidate, a crc32 bit-signature
+    bound (weight-aware via the left set's max element weight) prunes
+    pairs that cannot reach the pair threshold; *verify_config* tunes the
+    signature width (None = auto, 0 = off).
+    """
     m = metrics if metrics is not None else ExecutionMetrics()
     m.implementation = "inline"
 
@@ -150,12 +191,43 @@ def inline_ssjoin(
         pos = candidates.schema.positions(
             ["a_r", "norm_r", "set_r", "a_s", "norm_s", "set_s"]
         )
+        cfg = verify_config if verify_config is not None else VerifyConfig()
+        nbits = cfg.signature_bits
+        if nbits is None:
+            # No dictionary here; total element count over-states the
+            # distinct universe, which only widens (and the clamp caps)
+            # the signature.  Typical norm: mean of the predicate norms.
+            n_groups = len(left.norms) + len(right.norms)
+            mean_norm = (
+                (sum(left.norms.values()) + sum(right.norms.values())) / n_groups
+                if n_groups
+                else 0.0
+            )
+            nbits = choose_signature_bits(
+                left.num_elements + right.num_elements,
+                predicate_strictness(predicate, mean_norm),
+            )
+        sig_cache: Dict[int, Tuple[int, int, float]] = {}
+        threshold = predicate.threshold
+        n_cand = bitmap_pruned = merges = 0
         out_rows: List[Tuple] = []
         for row in candidates.rows:
             a_r, norm_r, set_r, a_s, norm_s, set_s = (row[p] for p in pos)
+            if nbits:
+                n_cand += 1
+                sl, cl, maxw = _signature_stats(set_r, sig_cache, nbits, cache)
+                sr, cr, _ = _signature_stats(set_s, sig_cache, nbits, cache)
+                bound = (cl + cr - (sl ^ sr).bit_count()) * 0.5 * maxw
+                if bound < threshold(norm_r, norm_s) - PRUNE_MARGIN:
+                    bitmap_pruned += 1
+                    continue
+                merges += 1
             overlap = encoded_overlap(set_r, set_s, cache)
             if predicate.satisfied(overlap, norm_r, norm_s):
                 out_rows.append((a_r, a_s, overlap, norm_r, norm_s))
+        m.verify_candidates += n_cand
+        m.verify_bitmap_pruned += bitmap_pruned
+        m.verify_merges_run += merges
         result = Relation(RESULT_SCHEMA, out_rows)
         m.output_pairs += len(result)
     return result

@@ -54,6 +54,14 @@ class ExecutionMetrics:
         hit means the ``TokenDictionary`` + columnar arrays of a previous
         content-identical input pair were reused; a miss means they were
         built (and cached) for this execution.
+    verify_candidates / verify_bitmap_pruned / verify_position_pruned /
+    verify_merges_run / verify_merges_early_exited:
+        Per-stage verification-engine counters (:mod:`repro.core.verify`):
+        candidates entering the engine, candidates killed by the bitmap
+        XOR-popcount bound, candidates killed by the positional /
+        remaining-weight bound, merge-intersections actually run, and
+        merges abandoned early once the threshold became unreachable.
+        All zero when the engine is disabled or the plan has no engine.
     parallel_stats:
         When the run went through :mod:`repro.parallel`, the
         ``ParallelReport.to_dict()`` telemetry — strategy, worker count,
@@ -70,6 +78,11 @@ class ExecutionMetrics:
     result_pairs: int = 0
     encode_cache_hits: int = 0
     encode_cache_misses: int = 0
+    verify_candidates: int = 0
+    verify_bitmap_pruned: int = 0
+    verify_position_pruned: int = 0
+    verify_merges_run: int = 0
+    verify_merges_early_exited: int = 0
     implementation: Optional[str] = None
     parallel_stats: Optional[Dict[str, Any]] = None
 
@@ -103,6 +116,11 @@ class ExecutionMetrics:
         self.result_pairs += other.result_pairs
         self.encode_cache_hits += other.encode_cache_hits
         self.encode_cache_misses += other.encode_cache_misses
+        self.verify_candidates += other.verify_candidates
+        self.verify_bitmap_pruned += other.verify_bitmap_pruned
+        self.verify_position_pruned += other.verify_position_pruned
+        self.verify_merges_run += other.verify_merges_run
+        self.verify_merges_early_exited += other.verify_merges_early_exited
         if other.parallel_stats is not None:
             # Last writer wins: the executor folds shard metrics into the
             # parent, and the parent's report is attached afterwards.
@@ -122,4 +140,22 @@ class ExecutionMetrics:
         )
         if self.encode_cache_hits or self.encode_cache_misses:
             text += f" encode_cache={self.encode_cache_hits}h/{self.encode_cache_misses}m"
+        if self.verify_candidates:
+            text += (
+                f" verify={self.verify_candidates}c"
+                f"/{self.verify_bitmap_pruned}b"
+                f"/{self.verify_position_pruned}p"
+                f"/{self.verify_merges_run}m"
+                f"/{self.verify_merges_early_exited}x"
+            )
         return text
+
+    def verify_stats(self) -> Dict[str, int]:
+        """The verification-engine counters as a dict (bench telemetry)."""
+        return {
+            "candidates": self.verify_candidates,
+            "bitmap_pruned": self.verify_bitmap_pruned,
+            "position_pruned": self.verify_position_pruned,
+            "merges_run": self.verify_merges_run,
+            "merges_early_exited": self.verify_merges_early_exited,
+        }

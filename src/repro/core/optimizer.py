@@ -37,6 +37,11 @@ from repro.core.ordering import ElementOrdering, frequency_ordering
 from repro.core.predicate import OverlapPredicate
 from repro.core.prefix_filter import prefix_filter_relation
 from repro.core.prepared import PreparedRelation
+from repro.core.verify import (
+    choose_signature_bits,
+    estimated_prune_fraction,
+    predicate_strictness,
+)
 from repro.errors import OptimizerError
 
 if TYPE_CHECKING:  # the optimizer only touches Relation in estimates
@@ -106,6 +111,12 @@ class CostModel:
     #: cost of one int-keyed index/posting visit in the encoded plans
     #: (discovery probes and index builds)
     ENCODED_POSTING = 0.35
+    #: cost of one verification-engine bound evaluation per candidate
+    #: (XOR-popcount plus the positional check — paid before any merge)
+    VERIFY_BOUND = 0.4
+    #: cost of packing one element into a bit signature (paid alongside
+    #: the encode term, i.e. only on an encoding-cache miss)
+    SIGNATURE_ELEMENT = 0.05
     #: fixed cost of forking + warming up one worker process
     PARALLEL_SPAWN = 2500.0
     #: per-shard submit/pickle/result overhead of one pool task
@@ -208,28 +219,51 @@ class CostModel:
             left, right, ordering
         )
         encode_cost = 0.0 if cached else self.ENCODE_ELEMENT * (n_left + n_right)
+
+        # Verification-engine factors. The engine bypasses itself (width
+        # 0) on loose predicates, in which case every extra term vanishes
+        # and the encoded costs reduce to the engine-off model exactly.
+        n_groups = left.num_groups + right.num_groups
+        mean_norm = (
+            (sum(left.norms.values()) + sum(right.norms.values())) / n_groups
+            if n_groups
+            else 0.0
+        )
+        strictness = predicate_strictness(predicate, mean_norm)
+        verify_bits = choose_signature_bits(len(lfreq) + len(rfreq), strictness)
+        prune = estimated_prune_fraction(strictness) if verify_bits else 0.0
+        signature_cost = (
+            0.0 if cached or not verify_bits else self.SIGNATURE_ELEMENT * (n_left + n_right)
+        )
+
         encoded_prefix = CostEstimate(
             "encoded-prefix",
             encode_cost
+            + signature_cost
             + self.ENCODED_POSTING * (len(pl) + len(pr) + prefix_join_rows)
-            + self.MERGE_ELEMENT * candidates * (avg_left + avg_right),
+            + (self.VERIFY_BOUND * candidates if verify_bits else 0.0)
+            + self.MERGE_ELEMENT * candidates * (1.0 - prune) * (avg_left + avg_right),
             {
                 "encode_rows": 0.0 if cached else float(n_left + n_right),
                 "prefix_rows": float(len(pl) + len(pr)),
                 "prefix_join_rows": prefix_join_rows,
                 "est_candidates": candidates,
+                "est_prune_fraction": prune,
             },
         )
         encoded_probe = CostEstimate(
             "encoded-probe",
             encode_cost
+            + signature_cost
             + self.ENCODED_POSTING * (n_right + left_prefix_probe_rows)
-            + self.PROBE_COMPLETION * 0.5 * suffix_rows,
+            + (self.VERIFY_BOUND * left_prefix_probe_rows if verify_bits else 0.0)
+            + self.PROBE_COMPLETION * 0.5 * suffix_rows * (1.0 - prune),
             {
                 "encode_rows": 0.0 if cached else float(n_left + n_right),
                 "index_postings": float(n_right),
                 "probe_rows": left_prefix_probe_rows,
                 "completion_rows": suffix_rows,
+                "est_prune_fraction": prune,
             },
         )
 

@@ -58,6 +58,7 @@ class PreparedRelation:
             self.norms = {a: float(norms[a]) for a in self.groups}
         self._relation: Optional[Relation] = None
         self._fingerprint: Optional[int] = None
+        self._num_elements: Optional[int] = None
         #: per-instance memo for prefix_filter_relation (see prefix_filter.py)
         self._prefix_cache: Dict[Any, Any] = {}
 
@@ -146,8 +147,12 @@ class PreparedRelation:
 
     @property
     def num_elements(self) -> int:
-        """Total rows of the normalized relation."""
-        return sum(len(s) for s in self.groups.values())
+        """Total rows of the normalized relation (memoized — groups are
+        fixed after construction, and the executor reads this on every
+        parallel dispatch)."""
+        if self._num_elements is None:
+            self._num_elements = sum(len(s) for s in self.groups.values())
+        return self._num_elements
 
     def group(self, a: Any) -> WeightedSet:
         return self.groups[a]

@@ -26,6 +26,7 @@ from repro.core.ordering import ElementOrdering, frequency_ordering
 from repro.core.predicate import OverlapPredicate
 from repro.core.prefix_filter import prefix_filtered_ssjoin
 from repro.core.prepared import PreparedRelation
+from repro.core.verify import VerifyConfig
 from repro.errors import PlanError
 from repro.relational.relation import Relation
 
@@ -108,6 +109,7 @@ class SSJoin:
         cost_model: Optional[CostModel] = None,
         verify: bool = False,
         workers: Optional[Union[int, str]] = None,
+        verify_config: Optional[VerifyConfig] = None,
     ) -> SSJoinResult:
         """Run the join with the named (or cost-chosen) implementation.
 
@@ -137,6 +139,14 @@ class SSJoin:
             crossover, so it never regresses small joins).  Parallel
             results are bit-identical to sequential and canonically
             sorted regardless of worker count.
+        verify_config:
+            Tuning for the bitmap-signature verification engine
+            (:class:`repro.core.verify.VerifyConfig`) used by the
+            ``inline`` and encoded plans (and their parallel shards):
+            ``None`` resolves the signature width automatically,
+            ``VerifyConfig.disabled()`` reproduces the unfiltered
+            verify step exactly.  Results are identical either way —
+            the engine only prunes candidates that cannot qualify.
         """
         if verify:
             # Imported here: repro.analysis depends on repro.core.
@@ -163,6 +173,7 @@ class SSJoin:
                 ordering=self._user_ordering,
                 metrics=metrics,
                 cost_model=cost_model,
+                verify_config=verify_config,
             )
         m = metrics if metrics is not None else ExecutionMetrics()
         estimate: Optional[CostEstimate] = None
@@ -181,7 +192,8 @@ class SSJoin:
             )
         elif impl == "inline":
             pairs = inline_ssjoin(
-                self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
+                self.left, self.right, self.predicate, ordering=self.ordering,
+                metrics=m, verify_config=verify_config,
             )
         elif impl == "probe":
             pairs = index_probe_ssjoin(
@@ -196,6 +208,7 @@ class SSJoin:
                 self.left, self.right, self.predicate,
                 ordering=self._user_ordering, metrics=m,
                 encoding=self._encoding,
+                verify_config=verify_config,
             )
         elif impl == "encoded-probe":
             pairs = encoded_index_probe_ssjoin(
@@ -206,6 +219,7 @@ class SSJoin:
                     if self._encoding is None
                     else EncodedInvertedIndex(self._encoding[1])
                 ),
+                verify_config=verify_config,
             )
         else:
             raise PlanError(
@@ -253,16 +267,18 @@ class SSJoin:
                 "    InvertedIndex(S.b -> postings)"
             ),
             "encoded-prefix": (
-                "Filter(merge_overlap(ids_r, ids_s) >= pred)\n"
-                "  CandidateProbe(left prefix slices x right prefix index)\n"
-                "    EncodedPrefix(R: leading slice of sorted id arrays)\n"
-                "    EncodedPrefix(S: leading slice of sorted id arrays)\n"
-                "      Encode(TokenDictionary: joint-frequency int ids, cached)"
+                "Filter(early-exit merge_overlap(ids_r, ids_s) >= pred)\n"
+                "  Verify(bitmap XOR-popcount bound, positional bound)\n"
+                "    CandidateProbe(left prefix slices x right prefix index)\n"
+                "      EncodedPrefix(R: leading slice of sorted id arrays)\n"
+                "      EncodedPrefix(S: leading slice of sorted id arrays)\n"
+                "        Encode(TokenDictionary: joint-frequency int ids, cached)"
             ),
             "encoded-probe": (
                 "Filter(overlap >= pred)\n"
                 "  EncodedIndexProbe(per R group: prefix id slice discovers,\n"
-                "                    suffix id slice completes)\n"
+                "                    Verify(bitmap + partial-overlap bound),\n"
+                "                    suffix id slice completes survivors)\n"
                 "    EncodedInvertedIndex(int id -> (group, weight) postings)\n"
                 "      Encode(TokenDictionary: joint-frequency int ids, cached)"
             ),
@@ -282,8 +298,10 @@ def ssjoin(
     metrics: Optional[ExecutionMetrics] = None,
     verify: bool = False,
     workers: Optional[Union[int, str]] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> SSJoinResult:
     """Functional shorthand for ``SSJoin(left, right, pred).execute(...)``."""
     return SSJoin(left, right, predicate, ordering=ordering).execute(
-        implementation, metrics=metrics, verify=verify, workers=workers
+        implementation, metrics=metrics, verify=verify, workers=workers,
+        verify_config=verify_config,
     )

@@ -1,0 +1,852 @@
+"""Bitmap-signature verification engine: prune candidates before the merge.
+
+The prefix-filter plans (Figures 8–9) spend most of their verification
+wall time on full merge-intersections even though, at realistic
+thresholds, the large majority of candidate pairs fail the predicate.
+This module sits between candidate generation and the final overlap
+check in every prefix-filter path and kills most losers in O(words)
+before any merge runs, with three stages ordered cheapest-first:
+
+1. **Bitmap stage** — each encoded set is packed into a fixed-width bit
+   signature (one Python int per group; bit ``id % nbits``).  For two
+   sets ``A``, ``B`` every bit set in ``sig_A XOR sig_B`` witnesses at
+   least one element of the symmetric difference, so
+   ``popcount(XOR) <= |A| + |B| - 2·|A ∩ B|`` and therefore
+
+       ``|A ∩ B| <= (|A| + |B| - popcount(sig_A ^ sig_B)) / 2``
+
+   — a sound upper bound under *any* id→bit mapping, collisions
+   included (the Bitmap Filter bound of Sandes et al.).  Note that the
+   tempting ``popcount(AND)`` is **not** sound: two distinct shared ids
+   colliding into one bit undercount the intersection.  A degenerate
+   pre-test runs even before the popcount: the overlap can never exceed
+   the left group's total weight, so ``total_weight < cutoff`` kills
+   the pair with three float ops.
+2. **Positional / remaining-weight stage** — the pair's smallest common
+   token sits at position ``p`` of the left array and ``j`` of the
+   right array (both inside the β-prefixes; see
+   :meth:`VerificationEngine.verify_group`), so the overlap can reach at
+   most ``min(wt(left[p:]), (|B| - j) · max_left_weight)``.
+3. **Early-exit merge** — survivors run the ordinary merge-intersection,
+   abandoned as soon as the accumulated overlap plus the remaining left
+   suffix weight cannot reach the pair threshold.  A merge that runs to
+   completion sums exactly the same weights in exactly the same order as
+   :func:`repro.core.encoded_prefix.merge_overlap`, so emitted overlap
+   values are bit-identical to the unfiltered plan's.
+
+Weighted soundness (satellite fix): the popcount bound counts *elements*
+while the predicates threshold *weights* (overlap sums left-side
+weights).  Predicates carry no per-element weight function, so the
+count bounds are made weight-aware by scaling with the group's maximum
+element weight: ``overlap <= |A ∩ B| · max_w(A)``.  For unweighted sets
+(``max_w = 1``) the count bound is used exactly.  The ``SSJ109``
+invariant rule (:mod:`repro.analysis.invariants`) asserts behaviorally
+that the engine never prunes a pair the basic implementation emits.
+
+Signature caching (satellite fix): signatures are cached columnar on the
+:class:`~repro.core.encoded.EncodedPreparedRelation`, keyed by signature
+width *and* guarded by the dictionary size they were packed under.  An
+encoding returned by an :class:`~repro.core.encoded.EncodingCache` hit
+is shared across joins whose predicates may resolve different widths;
+the per-width key keeps them apart, and the universe guard rebuilds
+signatures whenever the backing :class:`TokenDictionary` has grown since
+packing — a stale width mapping must never mis-prune.
+
+Every stage is observable: per-stage counters (candidates in,
+bitmap-pruned, position-pruned, merges run, merges early-exited) land in
+:class:`~repro.core.metrics.ExecutionMetrics` and flow into bench
+telemetry (``verify_engine`` block of ``BENCH_core.json``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+from repro.core.predicate import (
+    OVERLAP_EPSILON,
+    AbsoluteBound,
+    LeftNormBound,
+    MaxNormBound,
+    OverlapPredicate,
+    RightNormBound,
+    SumNormBound,
+)
+
+if TYPE_CHECKING:  # circular-import guard: encoded.py does not need us at import time
+    from repro.core.encoded import EncodedPreparedRelation
+
+__all__ = [
+    "BYPASS_STRICTNESS",
+    "MAX_SIGNATURE_BITS",
+    "MIN_SIGNATURE_BITS",
+    "VerifyConfig",
+    "VerificationEngine",
+    "bounded_overlap_count",
+    "choose_signature_bits",
+    "cumulative_weights_for",
+    "engine_for_encoded",
+    "estimated_prune_fraction",
+    "hashed_signature",
+    "max_weights_for",
+    "mean_set_norm",
+    "predicate_strictness",
+    "required_overlap_count",
+    "signature_of",
+    "signatures_for",
+]
+
+#: Bounds must only prune pairs the verify step would reject.  satisfied()
+#: admits ``overlap + OVERLAP_EPSILON >= threshold`` and the upper bounds
+#: themselves carry ~1-ulp float noise, so pruning keeps a margin of twice
+#: the shared epsilon below the threshold.
+PRUNE_MARGIN = 2.0 * OVERLAP_EPSILON
+
+#: Signature width limits (bits).  Small widths still prune well because
+#: the XOR bound degrades only with cross-set collisions (expected
+#: ``|A ∪ B|^2 / 2·nbits``), which stay negligible for word-token sets;
+#: beyond 256 bits the multi-limb XOR/popcount cost grows measurably
+#: (each extra 64 bits is one more limb) with no prune-rate return —
+#: on the Fig-12 sweep at 60k rows, 1024-bit signatures prune ~0.2%
+#: more candidates than 256-bit ones.
+MIN_SIGNATURE_BITS = 64
+MAX_SIGNATURE_BITS = 256
+
+#: Predicates whose effective threshold demands less than this fraction
+#: of a typical set's weight cannot be filtered profitably — the bounds
+#: almost never bind, so the engine bypasses the bitmap stage entirely.
+BYPASS_STRICTNESS = 0.3
+
+
+def signature_of(ids: Sequence[int], nbits: int) -> int:
+    """Pack a sorted id array into an *nbits*-wide bit signature."""
+    sig = 0
+    for t in ids:
+        sig |= 1 << (t % nbits)
+    return sig
+
+
+def hashed_signature(keys: Iterable[str], nbits: int) -> int:
+    """Signature over string keys (inline plan): deterministic crc32 bits.
+
+    Builtin ``hash`` is salted per process; crc32 keeps signatures — and
+    with them the prune counters — identical across workers and runs.
+    """
+    sig = 0
+    for k in keys:
+        sig |= 1 << (crc32(k.encode("utf-8", "surrogatepass")) % nbits)
+    return sig
+
+
+def required_overlap_count(value: float) -> int:
+    """Smallest integer overlap count that could still pass ``sim + 1e-9 >= t``.
+
+    *value* is the exact real-valued overlap requirement (e.g.
+    ``t/(1+t)·(|x|+|y|)`` for Jaccard).  The guard is deliberately
+    generous — a relative 1e-9 plus an absolute 1e-6 — so float round-off
+    in computing *value* can only make the filter admit a few extra
+    candidates, never prune a qualifying pair.
+    """
+    return max(0, math.ceil(value * (1.0 - 1e-9) - 1e-6))
+
+
+def bounded_overlap_count(
+    x: Sequence[int], y: Sequence[int], required: int
+) -> int:
+    """Merge-count intersection, abandoned when *required* is unreachable.
+
+    Returns the exact intersection size, or ``-1`` once
+    ``count + min(remaining x, remaining y)`` drops below *required* —
+    at which point the pair cannot qualify (unweighted extensions:
+    ppjoin, allpairs).
+    """
+    i = j = count = 0
+    nx, ny = len(x), len(y)
+    while i < nx and j < ny:
+        xi, yj = x[i], y[j]
+        if xi == yj:
+            count += 1
+            i += 1
+            j += 1
+        elif xi < yj:
+            i += 1
+            if count + min(nx - i, ny - j) < required:
+                return -1
+        else:
+            j += 1
+            if count + min(nx - i, ny - j) < required:
+                return -1
+    return count
+
+
+def predicate_strictness(predicate: OverlapPredicate, typical_norm: float) -> float:
+    """How much of a typical set the predicate demands, in [0, ∞).
+
+    Probes the pair threshold at ``(m, m)`` for a typical norm *m* and
+    normalizes by *m* — e.g. ``two_sided(f)`` yields ``f``; the Jaccard
+    reduction at resemblance *t* yields ``2t/(1+t)``.  Degenerate norms
+    yield 0 (nothing to filter).
+    """
+    if typical_norm <= 0.0:
+        return 0.0
+    try:
+        threshold = predicate.threshold(typical_norm, typical_norm)
+    except Exception:
+        return 0.0
+    return max(0.0, threshold / typical_norm)
+
+
+def estimated_prune_fraction(strictness: float) -> float:
+    """Cost-model estimate of the candidate fraction the bounds kill.
+
+    Linear ramp from the bypass point (no pruning) toward a 0.9 cap —
+    deliberately coarse; the optimizer only needs the right ordering of
+    plans, not calibrated rates.
+    """
+    if strictness <= BYPASS_STRICTNESS:
+        return 0.0
+    return min(0.9, (strictness - BYPASS_STRICTNESS) / (1.0 - BYPASS_STRICTNESS))
+
+
+def choose_signature_bits(universe: int, strictness: float) -> int:
+    """Signature width for a dictionary of *universe* ids, or 0 to bypass.
+
+    Width is the next power of two covering the universe, clamped to
+    [:data:`MIN_SIGNATURE_BITS`, :data:`MAX_SIGNATURE_BITS`] — wider
+    cannot help (ids map injectively once ``nbits >= universe``), and
+    beyond the cap XOR/popcount cost grows without prune-rate return.
+    Predicates below :data:`BYPASS_STRICTNESS` get width 0: their
+    thresholds are too low for the bounds to bind, so signature packing
+    would be pure overhead.
+    """
+    if universe <= 0 or strictness < BYPASS_STRICTNESS:
+        return 0
+    bits = 1 << max(0, universe - 1).bit_length()
+    return max(MIN_SIGNATURE_BITS, min(MAX_SIGNATURE_BITS, bits))
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Tuning knobs for the verification engine.
+
+    ``signature_bits``: ``None`` resolves the width automatically from
+    dictionary size and predicate strictness; ``0`` disables the bitmap
+    stage.  ``positional`` / ``early_exit`` gate the other two stages.
+    :meth:`disabled` reproduces the pre-engine plans exactly (full merge
+    from position 0 for every candidate).
+    """
+
+    signature_bits: Optional[int] = None
+    positional: bool = True
+    early_exit: bool = True
+
+    @classmethod
+    def disabled(cls) -> "VerifyConfig":
+        return cls(signature_bits=0, positional=False, early_exit=False)
+
+    @property
+    def inert(self) -> bool:
+        """True when every stage is off (explicit width 0, no bounds)."""
+        return (
+            self.signature_bits == 0
+            and not self.positional
+            and not self.early_exit
+        )
+
+
+# ---------------------------------------------------------------------------
+# Columnar caches on EncodedPreparedRelation (see encoded.verify_cache)
+# ---------------------------------------------------------------------------
+
+
+def signatures_for(
+    encoded: "EncodedPreparedRelation", nbits: int
+) -> List[int]:
+    """Per-group signatures, cached columnar on the encoded relation.
+
+    Cache entries are keyed by width and record the dictionary size they
+    were packed under; if the backing dictionary has grown since (shared
+    encodings via the :class:`EncodingCache`), the stale entry is
+    discarded and signatures are re-packed — a signature narrower than
+    its claimed width, or packed under a different id universe than the
+    other side's, could mis-prune.
+    """
+    cache = encoded.verify_cache
+    universe = len(encoded.dictionary)
+    key = ("signatures", nbits)
+    entry = cache.get(key)
+    if entry is not None:
+        built_universe, sigs = entry
+        if built_universe == universe:
+            return sigs
+        del cache[key]  # dictionary grew: invalidate, then extend below
+    sigs = [signature_of(ids, nbits) for ids in encoded.ids]
+    cache[key] = (universe, sigs)
+    return sigs
+
+
+def max_weights_for(encoded: "EncodedPreparedRelation") -> List[float]:
+    """Per-group maximum element weight (0.0 for empty groups), cached."""
+    cache = encoded.verify_cache
+    cached = cache.get("max_weights")
+    if cached is not None:
+        return cached
+    maxw = [max(w) if len(w) else 0.0 for w in encoded.weights]
+    cache["max_weights"] = maxw
+    return maxw
+
+
+def cumulative_weights_for(
+    encoded: "EncodedPreparedRelation",
+) -> List[List[float]]:
+    """Per-group cumulative weight arrays (``cum[i] = sum(w[:i])``), cached.
+
+    ``cum`` has ``len(group) + 1`` entries so ``cum[-1]`` is the group's
+    total weight and ``total - cum[i]`` the remaining suffix weight —
+    the quantities the positional bound and the early-exit merge read.
+    """
+    cache = encoded.verify_cache
+    cached = cache.get("cum_weights")
+    if cached is not None:
+        return cached
+    cums: List[List[float]] = []
+    for weights in encoded.weights:
+        cum = [0.0] * (len(weights) + 1)
+        total = 0.0
+        for i, w in enumerate(weights):
+            total += w
+            cum[i + 1] = total
+        cums.append(cum)
+    cache["cum_weights"] = cums
+    return cums
+
+
+def mean_set_norm(encoded: "EncodedPreparedRelation") -> float:
+    """Mean group set-weight — the chooser's "typical norm", cached."""
+    cache = encoded.verify_cache
+    cached = cache.get("mean_set_norm")
+    if cached is not None:
+        return cached
+    n = len(encoded.set_norms)
+    mean = (sum(encoded.set_norms) / n) if n else 0.0
+    cache["mean_set_norm"] = mean
+    return mean
+
+
+def _linear_terms(
+    predicate: OverlapPredicate,
+) -> Optional[List[Tuple[float, float, float]]]:
+    """Decompose the predicate's pair threshold into linear conjunct terms.
+
+    Every built-in bound value is (a max of) ``fl·norm_r + fr·norm_s + off``,
+    so ``threshold(norm_r, norm_s)`` equals the max over the returned
+    ``(fl, fr, off)`` terms — evaluated in the same order and association
+    as :meth:`Bound.value`, hence *bit-identical* to the generic path
+    (``MaxNormBound`` splits into its two monotone branches; ``max`` picks
+    the identical float).  The engine's hot loop hoists ``fl·norm_r`` per
+    left group, dropping the per-candidate threshold to a few FLOPs.
+    Returns None for unknown Bound subclasses (generic fallback).
+    """
+    terms: List[Tuple[float, float, float]] = []
+    for b in predicate.bounds:
+        if isinstance(b, AbsoluteBound):
+            terms.append((0.0, 0.0, b.alpha))
+        elif isinstance(b, LeftNormBound):
+            terms.append((b.fraction, 0.0, b.offset))
+        elif isinstance(b, RightNormBound):
+            terms.append((0.0, b.fraction, b.offset))
+        elif isinstance(b, MaxNormBound):
+            terms.append((b.fraction, 0.0, b.offset))
+            terms.append((0.0, b.fraction, b.offset))
+        elif isinstance(b, SumNormBound):
+            terms.append((b.left_fraction, b.right_fraction, b.offset))
+        else:
+            return None
+    return terms
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class VerificationEngine:
+    """Per-execution verification state over columnar arrays.
+
+    Operates on plain sequences so the sequential encoded plans and the
+    parallel token-range workers drive the identical kernel: same bounds,
+    same merge order, bit-identical overlaps, identical counters.  One
+    instance per execution (or per shard); counters accumulate locally
+    and are folded into :class:`ExecutionMetrics` by :meth:`flush`.
+    """
+
+    __slots__ = (
+        "predicate",
+        "left_ids",
+        "left_weights",
+        "left_norms",
+        "left_prefix",
+        "right_ids",
+        "right_norms",
+        "right_prefix",
+        "left_signatures",
+        "right_signatures",
+        "left_max_weights",
+        "nbits",
+        "positional",
+        "early_exit",
+        "identity",
+        "_terms",
+        "_cums",
+        "candidates",
+        "bitmap_pruned",
+        "position_pruned",
+        "merges_run",
+        "merges_early_exited",
+    )
+
+    def __init__(
+        self,
+        predicate: OverlapPredicate,
+        left_ids: Sequence[Sequence[int]],
+        left_weights: Sequence[Sequence[float]],
+        left_norms: Sequence[float],
+        left_prefix: Sequence[int],
+        right_ids: Sequence[Sequence[int]],
+        right_norms: Sequence[float],
+        right_prefix: Sequence[int],
+        nbits: int = 0,
+        left_signatures: Optional[Sequence[int]] = None,
+        right_signatures: Optional[Sequence[int]] = None,
+        left_max_weights: Optional[Sequence[float]] = None,
+        positional: bool = True,
+        early_exit: bool = True,
+        cums: Optional[Sequence[List[float]]] = None,
+    ) -> None:
+        self.predicate = predicate
+        self.left_ids = left_ids
+        self.left_weights = left_weights
+        self.left_norms = left_norms
+        self.left_prefix = left_prefix
+        self.right_ids = right_ids
+        self.right_norms = right_norms
+        self.right_prefix = right_prefix
+        self.nbits = nbits if (left_signatures and right_signatures) or nbits == 0 else 0
+        self.left_signatures = left_signatures
+        self.right_signatures = right_signatures
+        self.left_max_weights = left_max_weights
+        self.positional = positional
+        self.early_exit = early_exit
+        # Self-join detection: when both sides are the *same* columnar
+        # arrays, candidate (g, g) is a group paired with itself and its
+        # overlap is exactly the group's total weight — no merge needed.
+        # (The total is accumulated left-to-right like merge_overlap's
+        # sum, so the emitted float is bit-identical.)
+        self.identity = left_ids is right_ids
+        self._terms = _linear_terms(predicate)
+        # Cumulative weights: prebuilt columnar (sequential plans) or a
+        # lazily-filled per-group map (workers touch a range subset).
+        self._cums: Dict[int, List[float]] = {}
+        if cums is not None:
+            self._cums = dict(enumerate(cums))
+        self.candidates = 0
+        self.bitmap_pruned = 0
+        self.position_pruned = 0
+        self.merges_run = 0
+        self.merges_early_exited = 0
+
+    def _cum_for(self, g: int) -> List[float]:
+        cum = self._cums.get(g)
+        if cum is None:
+            weights = self.left_weights[g]
+            cum = [0.0] * (len(weights) + 1)
+            total = 0.0
+            for i, w in enumerate(weights):
+                total += w
+                cum[i + 1] = total
+            self._cums[g] = cum
+        return cum
+
+    def _max_weight(self, g: int) -> float:
+        if self.left_max_weights is not None:
+            return self.left_max_weights[g]
+        weights = self.left_weights[g]
+        return max(weights) if len(weights) else 0.0
+
+    def verify_candidates(
+        self,
+        candidates: Sequence[Tuple[int, Sequence[int]]],
+        left_keys: Optional[Sequence[object]] = None,
+        right_keys: Optional[Sequence[object]] = None,
+        own_lo: Optional[int] = None,
+    ) -> List[Tuple[object, object, float, float, float]]:
+        """Batched FILTER: verify every ``(g, matches)`` candidate group.
+
+        Returns admitted RESULT_SCHEMA rows
+        ``(left key, right key, overlap, norm_r, norm_s)`` — group
+        positions stand in for keys when a key list is ``None``.  One
+        batched call hoists every loop-invariant local exactly once, so a
+        pruned candidate costs a handful of int/float ops.
+
+        Contract: every ``h`` in *matches* (ascending right positions)
+        was discovered through a shared β-prefix token, so the pair's
+        smallest common token lies inside *both* prefixes (a common token
+        ``t' < t`` would sit at smaller positions on both sides, i.e.
+        inside both prefixes, contradicting minimality of the first
+        prefix match).  That token's positions ``(p, j)`` anchor the
+        positional bound *and* let the merge start at ``(p, j)`` — the
+        skipped head contains no common token, so the sum is
+        term-for-term identical to a full merge.  A hand-built candidate
+        with no shared prefix token merges from position 0.
+
+        *own_lo*: token-range shard ownership — a pair belongs to this
+        shard iff its smallest common prefix token is ``>= own_lo``
+        (tokens above the shard's range cannot be anchors: candidates are
+        discovered through an in-range token, which upper-bounds the
+        smallest one).  Unowned pairs are skipped without counting, so
+        per-stage counters sum to the sequential run's exactly.
+        """
+        rows: List[Tuple[object, object, float, float, float]] = []
+        append = rows.append
+        left_ids = self.left_ids
+        left_weights = self.left_weights
+        left_norms = self.left_norms
+        left_prefix = self.left_prefix
+        right_ids = self.right_ids
+        right_norms = self.right_norms
+        right_prefix = self.right_prefix
+        threshold = self.predicate.threshold
+        nbits = self.nbits
+        left_sigs = self.left_signatures
+        right_sigs = self.right_signatures
+        maxw_arr = self.left_max_weights
+        positional = self.positional
+        early = self.early_exit
+        identity = self.identity
+        margin = PRUNE_MARGIN
+        epsilon = OVERLAP_EPSILON
+        n_cand = bitmap_pruned = position_pruned = merges = early_exited = 0
+        # Specialized pair threshold: per group, hoist the norm_r part of
+        # each linear conjunct; the candidate loop then pays a few FLOPs,
+        # not a method call (bit-identical to predicate.threshold —
+        # identical products, sums, and association; see _linear_terms).
+        terms = self._terms
+        mode = 0
+        fl0 = fr0 = off0 = fl1 = fr1 = off1 = 0.0
+        if terms is not None:
+            if len(terms) == 1:
+                fl0, fr0, off0 = terms[0]
+                mode = 1
+            elif len(terms) == 2:
+                (fl0, fr0, off0), (fl1, fr1, off1) = terms
+                mode = 2
+
+        cums_map = self._cums
+        for g, matches in candidates:
+            lids = left_ids[g]
+            lw = left_weights[g]
+            nl = len(lids)
+            kl = left_prefix[g]
+            # The cumulative array is only needed by the positional
+            # bound and the early-exit merge; most candidates die at
+            # the bitmap stage first, so its build is deferred until a
+            # candidate of this group survives.  The group total is a
+            # left-to-right float sum from 0.0 either way (builtin sum
+            # associates identically to the cum build and the merge).
+            cum = cums_map.get(g)
+            total_weight = cum[nl] if cum is not None else sum(lw)
+            maxw = maxw_arr[g] if maxw_arr is not None else (max(lw) if nl else 0.0)
+            norm_r = left_norms[g]
+            a_r = left_keys[g] if left_keys is not None else g
+            sig = left_sigs[g] if nbits else 0
+            a0 = fl0 * norm_r
+            a1 = fl1 * norm_r
+            if own_lo is None:
+                n_cand += len(matches)
+
+            for h in matches:
+                if identity and h == g:
+                    # Group paired with itself: overlap is exactly the
+                    # group's total weight — same left-to-right sum the
+                    # merge would compute, no merge needed.
+                    if own_lo is not None:
+                        if nl == 0 or lids[0] < own_lo:
+                            continue
+                        n_cand += 1
+                    norm_s = right_norms[h]
+                    if mode == 2:
+                        t0 = a0 + fr0 * norm_s + off0
+                        t1 = a1 + fr1 * norm_s + off1
+                        theta = t0 if t0 >= t1 else t1
+                    elif mode == 1:
+                        theta = a0 + fr0 * norm_s + off0
+                    else:
+                        theta = threshold(norm_r, norm_s)
+                    if total_weight + epsilon >= theta:
+                        append((
+                            a_r,
+                            right_keys[h] if right_keys is not None else h,
+                            total_weight, norm_r, norm_s,
+                        ))
+                    continue
+                p = -1
+                i = j = 0
+                if own_lo is not None:
+                    # Ownership only asks "is there a common prefix
+                    # token below own_lo?" — a merge scan bounded at
+                    # own_lo, far shorter than locating the anchor
+                    # itself.  Discovery matched an in-range token, so
+                    # an anchor >= own_lo exists whenever this scan
+                    # finds nothing; the anchor search proper resumes
+                    # from (i, j) only for bound survivors below.
+                    rids = right_ids[h]
+                    kr = right_prefix[h]
+                    unowned = False
+                    while i < kl and j < kr:
+                        li = lids[i]
+                        if li >= own_lo:
+                            break
+                        rj = rids[j]
+                        if rj >= own_lo:
+                            break
+                        if li == rj:
+                            unowned = True
+                            break
+                        if li < rj:
+                            i += 1
+                        else:
+                            j += 1
+                    if unowned:
+                        continue
+                    n_cand += 1
+                norm_s = right_norms[h]
+                if mode == 2:
+                    t0 = a0 + fr0 * norm_s + off0
+                    t1 = a1 + fr1 * norm_s + off1
+                    theta = t0 if t0 >= t1 else t1
+                elif mode == 1:
+                    theta = a0 + fr0 * norm_s + off0
+                else:
+                    theta = threshold(norm_r, norm_s)
+                cutoff = theta - margin
+                if nbits:
+                    # Degenerate-signature pre-test: the overlap can never
+                    # exceed the left group's total weight, so a cutoff
+                    # above it kills the pair with zero popcount work.
+                    if total_weight < cutoff:
+                        bitmap_pruned += 1
+                        continue
+                    bound = (nl + len(right_ids[h])
+                             - (sig ^ right_sigs[h]).bit_count()) * 0.5 * maxw
+                    if bound < cutoff:
+                        bitmap_pruned += 1
+                        continue
+                if own_lo is None:
+                    # Right-side columns are loaded only for bitmap
+                    # survivors (the shard path loaded them for the
+                    # ownership scan already).
+                    rids = right_ids[h]
+                    kr = right_prefix[h]
+                # Locate the pair's smallest common token in-prefix.
+                # The shard path resumes from (i, j): every position
+                # the ownership scan stepped past was proven
+                # non-common by the same merge rule.
+                while i < kl and j < kr:
+                    li = lids[i]
+                    rj = rids[j]
+                    if li == rj:
+                        p = i
+                        break
+                    if li < rj:
+                        i += 1
+                    else:
+                        j += 1
+                nr = len(rids)
+                if p >= 0:
+                    if positional:
+                        if cum is None:
+                            cum = self._cum_for(g)
+                        if total_weight - cum[p] < cutoff or (nr - j) * maxw < cutoff:
+                            position_pruned += 1
+                            continue
+                else:
+                    # No shared prefix token recorded (hand-built
+                    # candidate): no positional anchor, full merge.
+                    i = j = 0
+                if early and cum is None:
+                    cum = self._cum_for(g)
+                merges += 1
+                overlap = 0.0
+                while i < nl and j < nr:
+                    li = lids[i]
+                    rj = rids[j]
+                    if li == rj:
+                        overlap += lw[i]
+                        i += 1
+                        j += 1
+                    elif li < rj:
+                        i += 1
+                        if early and overlap + (total_weight - cum[i]) < cutoff:
+                            early_exited += 1
+                            break
+                    else:
+                        j += 1
+                else:
+                    if overlap + epsilon >= theta:
+                        append((
+                            a_r,
+                            right_keys[h] if right_keys is not None else h,
+                            overlap, norm_r, norm_s,
+                        ))
+
+        self.candidates += n_cand
+        self.bitmap_pruned += bitmap_pruned
+        self.position_pruned += position_pruned
+        self.merges_run += merges
+        self.merges_early_exited += early_exited
+        return rows
+
+    def verify_group(
+        self, g: int, matches: Sequence[int]
+    ) -> List[Tuple[int, float, float]]:
+        """Single-group convenience over :meth:`verify_candidates`:
+        returns admitted ``(h, overlap, norm_s)`` triples."""
+        rows = self.verify_candidates([(g, matches)])
+        return [(h, overlap, norm_s) for _, h, overlap, _, norm_s in rows]
+
+    def prune_partial(
+        self, g: int, prefix_len: int, overlaps: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Probe-plan stage: prune discovered candidates before completion.
+
+        After the discovery pass, ``overlaps[h]`` holds the weight of
+        common tokens within the left β-prefix; the completion pass can
+        add at most the left *suffix* weight.  Candidates whose bitmap
+        bound or ``partial + suffix`` bound falls below the pair
+        threshold are dropped, so the completion pass (the probe plan's
+        "merge") only updates survivors.
+        """
+        lids = self.left_ids[g]
+        nl = len(lids)
+        cum = self._cum_for(g)
+        total_weight = cum[nl]
+        suffix_weight = total_weight - cum[prefix_len]
+        maxw = self._max_weight(g)
+        norm_r = self.left_norms[g]
+        threshold = self.predicate.threshold
+        right_norms = self.right_norms
+        right_ids = self.right_ids
+        nbits = self.nbits
+        sig = self.left_signatures[g] if nbits else 0
+        right_sigs = self.right_signatures
+        positional = self.positional
+        margin = PRUNE_MARGIN
+        bitmap_pruned = position_pruned = 0
+        terms = self._terms
+        mode = 0
+        a0 = fr0 = off0 = a1 = fr1 = off1 = 0.0
+        if terms is not None:
+            if len(terms) == 1:
+                fl0, fr0, off0 = terms[0]
+                a0 = fl0 * norm_r
+                mode = 1
+            elif len(terms) == 2:
+                (fl0, fr0, off0), (fl1, fr1, off1) = terms
+                a0 = fl0 * norm_r
+                a1 = fl1 * norm_r
+                mode = 2
+
+        out: Dict[int, float] = {}
+        for h, partial in overlaps.items():
+            norm_s = right_norms[h]
+            if mode == 2:
+                t0 = a0 + fr0 * norm_s + off0
+                t1 = a1 + fr1 * norm_s + off1
+                theta = t0 if t0 >= t1 else t1
+            elif mode == 1:
+                theta = a0 + fr0 * norm_s + off0
+            else:
+                theta = threshold(norm_r, norm_s)
+            cutoff = theta - margin
+            if nbits:
+                if total_weight < cutoff:
+                    bitmap_pruned += 1
+                    continue
+                nr = len(right_ids[h])
+                bound = (nl + nr - (sig ^ right_sigs[h]).bit_count()) * 0.5 * maxw
+                if bound < cutoff:
+                    bitmap_pruned += 1
+                    continue
+            if positional and partial + suffix_weight < cutoff:
+                position_pruned += 1
+                continue
+            out[h] = partial
+        self.candidates += len(overlaps)
+        self.bitmap_pruned += bitmap_pruned
+        self.position_pruned += position_pruned
+        self.merges_run += len(out)
+        return out
+
+    def flush(self, metrics: object) -> None:
+        """Fold the engine's counters into an :class:`ExecutionMetrics`."""
+        metrics.verify_candidates += self.candidates  # type: ignore[attr-defined]
+        metrics.verify_bitmap_pruned += self.bitmap_pruned  # type: ignore[attr-defined]
+        metrics.verify_position_pruned += self.position_pruned  # type: ignore[attr-defined]
+        metrics.verify_merges_run += self.merges_run  # type: ignore[attr-defined]
+        metrics.verify_merges_early_exited += self.merges_early_exited  # type: ignore[attr-defined]
+
+
+def resolve_signature_bits(
+    enc_left: "EncodedPreparedRelation",
+    enc_right: "EncodedPreparedRelation",
+    predicate: OverlapPredicate,
+    config: Optional[VerifyConfig],
+) -> int:
+    """The signature width a (possibly auto) config resolves to."""
+    if config is not None and config.signature_bits is not None:
+        return config.signature_bits
+    typical = max(mean_set_norm(enc_left), mean_set_norm(enc_right))
+    return choose_signature_bits(
+        len(enc_left.dictionary), predicate_strictness(predicate, typical)
+    )
+
+
+def engine_for_encoded(
+    enc_left: "EncodedPreparedRelation",
+    enc_right: "EncodedPreparedRelation",
+    predicate: OverlapPredicate,
+    left_prefix: Sequence[int],
+    right_prefix: Sequence[int],
+    config: Optional[VerifyConfig] = None,
+) -> Optional[VerificationEngine]:
+    """Build the engine for an encoded plan execution, or ``None`` when
+    every stage is disabled (callers then run the unfiltered path)."""
+    cfg = config if config is not None else VerifyConfig()
+    if cfg.inert:
+        return None
+    nbits = resolve_signature_bits(enc_left, enc_right, predicate, cfg)
+    left_sigs = signatures_for(enc_left, nbits) if nbits else None
+    right_sigs = (
+        (left_sigs if enc_right is enc_left else signatures_for(enc_right, nbits))
+        if nbits
+        else None
+    )
+    return VerificationEngine(
+        predicate,
+        enc_left.ids,
+        enc_left.weights,
+        enc_left.norms,
+        left_prefix,
+        enc_right.ids,
+        enc_right.norms,
+        right_prefix,
+        nbits=nbits,
+        left_signatures=left_sigs,
+        right_signatures=right_sigs,
+        left_max_weights=max_weights_for(enc_left),
+        positional=cfg.positional,
+        early_exit=cfg.early_exit,
+        cums=cumulative_weights_for(enc_left),
+    )

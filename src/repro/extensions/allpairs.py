@@ -25,6 +25,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dictionary import TokenDictionary
 from repro.core.metrics import ExecutionMetrics, PHASE_FILTER, PHASE_PREP, PHASE_SSJOIN
+from repro.core.verify import (
+    VerifyConfig,
+    bounded_overlap_count,
+    choose_signature_bits,
+    required_overlap_count,
+    signature_of,
+)
 from repro.errors import PredicateError
 from repro.extensions.ppjoin import _overlap_from_sorted
 from repro.joins.base import MatchPair, SimilarityJoinResult
@@ -37,11 +44,16 @@ def allpairs(
     records: Sequence[Sequence[Any]],
     threshold: float,
     metrics: Optional[ExecutionMetrics] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> List[Tuple[int, int, float]]:
     """Self-join *records* at binary-cosine threshold *threshold*.
 
     Returns ``(i, j, cosine)`` triples with ``i < j``. Duplicate tokens in
-    a record are ignored; empty records never match.
+    a record are ignored; empty records never match.  Candidates pass the
+    bitmap stage of :mod:`repro.core.verify` (integer-exact on unweighted
+    sets) before the merge, which abandons once the required overlap
+    count ``⌈t·sqrt(|x|·|y|)⌉`` is unreachable; *verify_config* tunes
+    both stages.
     """
     if not 0.0 < threshold <= 1.0:
         raise PredicateError(f"threshold must be in (0, 1], got {threshold}")
@@ -65,6 +77,16 @@ def allpairs(
                 canonical.append((idx, tokens))
         canonical.sort(key=lambda entry: (len(entry[1]), entry[0]))
         m.prepared_rows += sum(len(tokens) for _, tokens in canonical)
+        # Bit signatures for the verification-stage bitmap bound; at equal
+        # sizes the cosine overlap requirement demands fraction t of a set.
+        cfg = verify_config if verify_config is not None else VerifyConfig()
+        nbits = cfg.signature_bits
+        if nbits is None:
+            nbits = choose_signature_bits(len(dictionary), t)
+        sigs: List[int] = (
+            [signature_of(tokens, nbits) for _, tokens in canonical] if nbits else []
+        )
+        bounded = cfg.early_exit
 
     results: List[Tuple[int, int, float]] = []
     index: Dict[int, List[int]] = {}  # token id -> [record position]
@@ -79,14 +101,34 @@ def allpairs(
                     candidates[ypos] = True
             m.candidate_pairs += len(candidates)
 
+            sig_x = sigs[xpos] if nbits else 0
             for ypos in candidates:
                 yid, y = canonical[ypos]
                 size_y = len(y)
                 if size_y < t2 * size_x:  # size filter
                     continue
+                m.verify_candidates += 1
+                # Required count from the admission test itself
+                # (``cosine + 1e-9 >= t``), with a generous float guard,
+                # so pruning can never drop an emitted pair.
+                required = required_overlap_count(
+                    (t - 1e-9) * math.sqrt(size_x * size_y)
+                )
+                if nbits:
+                    count_bound = (size_x + size_y - (sig_x ^ sigs[ypos]).bit_count()) >> 1
+                    if count_bound < required:
+                        m.verify_bitmap_pruned += 1
+                        continue
                 m.similarity_comparisons += 1
+                m.verify_merges_run += 1
                 # x and y are already ascending id arrays — merge directly.
-                overlap = _overlap_from_sorted(x, y)
+                if bounded:
+                    overlap = bounded_overlap_count(x, y, required)
+                    if overlap < 0:
+                        m.verify_merges_early_exited += 1
+                        continue
+                else:
+                    overlap = _overlap_from_sorted(x, y)
                 cosine = overlap / math.sqrt(size_x * size_y)
                 if cosine + 1e-9 >= t:
                     a, b = sorted((xid, yid))

@@ -29,6 +29,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dictionary import TokenDictionary
 from repro.core.metrics import ExecutionMetrics, PHASE_FILTER, PHASE_PREP, PHASE_SSJOIN
+from repro.core.verify import (
+    VerifyConfig,
+    bounded_overlap_count,
+    choose_signature_bits,
+    required_overlap_count,
+    signature_of,
+)
 from repro.errors import PredicateError
 from repro.joins.base import MatchPair, SimilarityJoinResult
 from repro.tokenize.words import word_set
@@ -57,6 +64,7 @@ def ppjoin(
     records: Sequence[Sequence[Any]],
     threshold: float,
     metrics: Optional[ExecutionMetrics] = None,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> List[Tuple[int, int, float]]:
     """Self-join *records* (token sets) at Jaccard threshold *threshold*.
 
@@ -64,6 +72,12 @@ def ppjoin(
     Duplicate tokens within a record are ignored (PPJoin is defined on
     sets). Empty records never match (see the operator's degenerate-input
     note).
+
+    Verification goes through the bitmap stage of
+    :mod:`repro.core.verify` (sets are unweighted, so the XOR-popcount
+    bound is integer-exact) and a merge that abandons once the required
+    overlap count is unreachable; *verify_config* tunes both (None =
+    auto-width signatures, bounded merge on).
     """
     if not 0.0 < threshold <= 1.0:
         raise PredicateError(f"threshold must be in (0, 1], got {threshold}")
@@ -89,6 +103,17 @@ def ppjoin(
                 canonical.append((idx, tokens))
         canonical.sort(key=lambda entry: (len(entry[1]), entry[0]))
         m.prepared_rows += sum(len(tokens) for _, tokens in canonical)
+        # Bit signatures for the verification-stage bitmap bound.  The
+        # strictness argument is the fraction of a set the overlap
+        # requirement α demands at equal sizes: α/|x| = 2t/(1+t).
+        cfg = verify_config if verify_config is not None else VerifyConfig()
+        nbits = cfg.signature_bits
+        if nbits is None:
+            nbits = choose_signature_bits(len(dictionary), 2.0 * t / (1.0 + t))
+        sigs: List[int] = (
+            [signature_of(tokens, nbits) for _, tokens in canonical] if nbits else []
+        )
+        bounded = cfg.early_exit
 
     results: List[Tuple[int, int, float]] = []
     index: Dict[int, List[Tuple[int, int]]] = {}  # token id -> [(record pos, token pos)]
@@ -117,15 +142,38 @@ def ppjoin(
                         seen[ypos] = None
             m.candidate_pairs += sum(1 for v in seen.values() if v)
 
-            # Verification: exact overlap by merging the full sorted sets.
+            # Verification: bitmap-bound candidates, then exact overlap by
+            # merging the full sorted sets (abandoned once the required
+            # count is unreachable).  The required count is derived from
+            # the admission test ``jaccard + 1e-9 >= t`` itself (not the
+            # bare α), with a generous float guard, so neither stage can
+            # drop a pair the unfiltered merge would emit.
+            sig_x = sigs[xpos] if nbits else 0
             for ypos, partial in seen.items():
                 if not partial:
                     continue
                 yid, y = canonical[ypos]
+                size_y = len(y)
+                m.verify_candidates += 1
+                required = required_overlap_count(
+                    (t - 1e-9) / (1.0 + t - 1e-9) * (size_x + size_y)
+                )
+                if nbits:
+                    count_bound = (size_x + size_y - (sig_x ^ sigs[ypos]).bit_count()) >> 1
+                    if count_bound < required:
+                        m.verify_bitmap_pruned += 1
+                        continue
                 m.similarity_comparisons += 1
+                m.verify_merges_run += 1
                 # x and y are already ascending id arrays — merge directly.
-                overlap = _overlap_from_sorted(x, y)
-                union = size_x + len(y) - overlap
+                if bounded:
+                    overlap = bounded_overlap_count(x, y, required)
+                    if overlap < 0:
+                        m.verify_merges_early_exited += 1
+                        continue
+                else:
+                    overlap = _overlap_from_sorted(x, y)
+                union = size_x + size_y - overlap
                 jaccard = overlap / union if union else 1.0
                 if jaccard + 1e-9 >= t:
                     a, b = sorted((xid, yid))

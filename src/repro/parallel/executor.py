@@ -46,6 +46,12 @@ from repro.core.ordering import ElementOrdering, frequency_ordering
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.core.ssjoin import SSJoin, SSJoinResult
+from repro.core.verify import (
+    VerifyConfig,
+    max_weights_for,
+    resolve_signature_bits,
+    signatures_for,
+)
 from repro.errors import PlanError
 from repro.parallel.scheduler import OVERSPLIT, choose_workers, shard_count
 from repro.parallel.shards import (
@@ -217,6 +223,7 @@ def parallel_ssjoin(
     cost_model: Optional[CostModel] = None,
     backend: Optional[str] = None,
     oversplit: int = OVERSPLIT,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> SSJoinResult:
     """Execute ``R SSJoin S`` across *workers* processes.
 
@@ -233,6 +240,12 @@ def parallel_ssjoin(
         tests sweep.
     oversplit:
         Shards planned per worker (default 4; see the scheduler).
+    verify_config:
+        Verification-engine tuning (:class:`repro.core.verify.VerifyConfig`;
+        ``None`` = auto).  For token-range shards the signature columns
+        are packed once in the parent and shipped with the payload, so
+        every shard prunes with identical bounds and the merged
+        per-stage counters equal the sequential run's.
 
     Returns an :class:`SSJoinResult` whose ``pairs`` rows are in
     canonical order and whose ``parallel`` attribute (also
@@ -275,7 +288,8 @@ def parallel_ssjoin(
     )
     if n_workers <= 1 or left.num_groups == 0:
         return _sequential(
-            left, right, predicate, impl, chosen, ordering, m, workers
+            left, right, predicate, impl, chosen, ordering, m, workers,
+            verify_config,
         )
 
     start = time.perf_counter()
@@ -283,11 +297,13 @@ def parallel_ssjoin(
     if impl == "encoded-prefix":
         strategy = KIND_TOKEN_RANGE
         payload, shards, universe = _plan_token_range(
-            left, right, predicate, ordering, n_shards, m
+            left, right, predicate, ordering, n_shards, m, verify_config
         )
     else:
         strategy = "group-hash"
-        payload, shards = _plan_group_hash(left, right, predicate, impl, ordering, n_shards)
+        payload, shards = _plan_group_hash(
+            left, right, predicate, impl, ordering, n_shards, verify_config
+        )
         universe = left.num_groups
 
     # Check the shard plan against the SSJ108 coverage invariant before
@@ -350,10 +366,13 @@ def _sequential(
     ordering: Optional[ElementOrdering],
     m: ExecutionMetrics,
     requested: Union[int, str],
+    verify_config: Optional[VerifyConfig] = None,
 ) -> SSJoinResult:
     """The workers<=1 path: plain SSJoin, canonical order, mode marker."""
     start = time.perf_counter()
-    result = SSJoin(left, right, predicate, ordering=ordering).execute(impl, metrics=m)
+    result = SSJoin(left, right, predicate, ordering=ordering).execute(
+        impl, metrics=m, verify_config=verify_config
+    )
     report = ParallelReport(
         mode="sequential",
         strategy=None,
@@ -380,6 +399,7 @@ def _plan_group_hash(
     impl: str,
     ordering: Optional[ElementOrdering],
     n_shards: int,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> Tuple[GroupHashPayload, List[ShardDescriptor]]:
     # The ordering must be the *global* one so every shard's prefixes (and
     # merged counters) match the unsharded run; resolve it here, never in
@@ -394,6 +414,7 @@ def _plan_group_hash(
         predicate=predicate,
         implementation=impl,
         ordering=resolved,
+        verify_config=verify_config,
     )
     return payload, plan_group_shards(left, n_shards)
 
@@ -405,6 +426,7 @@ def _plan_token_range(
     ordering: Optional[ElementOrdering],
     n_shards: int,
     m: ExecutionMetrics,
+    verify_config: Optional[VerifyConfig] = None,
 ) -> Tuple[TokenRangePayload, List[ShardDescriptor], int]:
     # Encode + prefix phases run once in the parent (cache-hot, and
     # identical to the sequential plan's PREP/PREFIX work); workers get
@@ -418,27 +440,63 @@ def _plan_token_range(
         m.prefix_rows += sum(left_prefix) + sum(right_prefix)
 
     # The plan is a pure function of (encoding pair, predicate, shard
-    # count): memoize it beside the prefix lengths so repeated executions
-    # against a cached encoding (sweep repeats, worker-count sweeps at
-    # fixed n_shards) re-plan nothing.  enc_right is alive exactly as
-    # long as enc_left's cache entry (same EncodingCache tuple), so its
-    # id is a stable key component.
-    cache_key = ("token-range-plan", id(enc_right), predicate, n_shards)
+    # count, verify config): memoize it beside the prefix lengths so
+    # repeated executions against a cached encoding (sweep repeats,
+    # worker-count sweeps at fixed n_shards) re-plan nothing.  enc_right
+    # is alive exactly as long as enc_left's cache entry (same
+    # EncodingCache tuple), so its id is a stable key component.
+    cfg = verify_config if verify_config is not None else VerifyConfig()
+    cache_key = ("token-range-plan", id(enc_right), predicate, n_shards, cfg)
     cached = enc_left.prefix_cache.get(cache_key)
     if cached is not None:
         return cached
 
+    # Resolve the verification-engine state once, parent-side: the packed
+    # signature columns ship inside the payload so every worker prunes
+    # with the parent's exact bounds.
+    if cfg.inert:
+        nbits = 0
+        left_sigs = right_sigs = None
+        maxw = None
+        positional = early = False
+    else:
+        nbits = resolve_signature_bits(enc_left, enc_right, predicate, cfg)
+        left_sigs = tuple(signatures_for(enc_left, nbits)) if nbits else None
+        right_sigs = (
+            (
+                left_sigs
+                if enc_right is enc_left
+                else tuple(signatures_for(enc_right, nbits))
+            )
+            if nbits
+            else None
+        )
+        maxw = tuple(max_weights_for(enc_left))
+        positional = cfg.positional
+        early = cfg.early_exit
+
+    # Self-joins share one ids tuple between the sides: pickle memoizes
+    # the shared object, so the worker-side engine still sees
+    # ``left_ids is right_ids`` and keeps its identity fast path.
+    left_ids_t = tuple(enc_left.ids)
+    right_ids_t = left_ids_t if enc_right is enc_left else tuple(enc_right.ids)
     payload = TokenRangePayload(
         left_keys=tuple(enc_left.keys),
-        left_ids=tuple(enc_left.ids),
+        left_ids=left_ids_t,
         left_weights=tuple(enc_left.weights),
         left_norms=tuple(enc_left.norms),
         left_prefix=tuple(left_prefix),
         right_keys=tuple(enc_right.keys),
-        right_ids=tuple(enc_right.ids),
+        right_ids=right_ids_t,
         right_norms=tuple(enc_right.norms),
         right_prefix=tuple(right_prefix),
         predicate=predicate,
+        verify_bits=nbits,
+        left_signatures=left_sigs,
+        right_signatures=right_sigs,
+        left_max_weights=maxw,
+        verify_positional=positional,
+        verify_early_exit=early,
     )
     universe = len(dictionary)
     shards = plan_token_range_shards(

@@ -47,6 +47,7 @@ from repro.core.metrics import (
 from repro.core.ordering import ElementOrdering
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
+from repro.core.verify import VerificationEngine, VerifyConfig
 from repro.errors import PlanError
 from repro.parallel.shards import KIND_GROUP_HASH, KIND_TOKEN_RANGE, ShardDescriptor
 
@@ -69,6 +70,9 @@ class GroupHashPayload:
     predicate: OverlapPredicate
     implementation: str
     ordering: Optional[ElementOrdering]
+    #: verification-engine config forwarded to the shard's sequential plan
+    #: (appended with a default so hand-pickled payloads stay loadable)
+    verify_config: Optional[VerifyConfig] = None
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,13 @@ class TokenRangePayload:
     ``left_prefix[g]`` is group *g*'s β-prefix length under the shared
     dictionary ordering.  Mirrors for the right side (whose weights are
     not needed: overlap sums left-side weights).
+
+    The ``verify_*`` tail carries the resolved verification-engine state
+    so every shard prunes locally with the *parent's* signatures — no
+    per-worker re-packing, and prune decisions (hence merged per-stage
+    counters) identical to the sequential run.  All tail fields default
+    to the engine-off state, so hand-built payloads (tests) reproduce
+    the pre-engine shard behavior.
     """
 
     left_keys: Tuple[Any, ...]
@@ -92,6 +103,12 @@ class TokenRangePayload:
     right_norms: Tuple[float, ...]
     right_prefix: Tuple[int, ...]
     predicate: OverlapPredicate
+    verify_bits: int = 0
+    left_signatures: Optional[Tuple[int, ...]] = None
+    right_signatures: Optional[Tuple[int, ...]] = None
+    left_max_weights: Optional[Tuple[float, ...]] = None
+    verify_positional: bool = False
+    verify_early_exit: bool = False
 
 
 Payload = Union[GroupHashPayload, TokenRangePayload]
@@ -165,7 +182,11 @@ def _run_group_shard(
     metrics = ExecutionMetrics()
     result = SSJoin(
         subset, payload.right, payload.predicate, ordering=payload.ordering
-    ).execute(payload.implementation, metrics=metrics)
+    ).execute(
+        payload.implementation,
+        metrics=metrics,
+        verify_config=payload.verify_config,
+    )
     return list(result.pairs.rows), metrics
 
 
@@ -221,6 +242,29 @@ def _run_token_range_shard(
     m = ExecutionMetrics()
     m.implementation = "encoded-prefix"
 
+    # Local verification engine over the shipped columnar arrays and
+    # parent-packed signatures.  The defaulted payload tail is the inert
+    # config, in which case the legacy ownership + full-merge path below
+    # runs unchanged.
+    engine: Optional[VerificationEngine] = None
+    if p.verify_bits or p.verify_positional or p.verify_early_exit:
+        engine = VerificationEngine(
+            p.predicate,
+            p.left_ids,
+            p.left_weights,
+            p.left_norms,
+            p.left_prefix,
+            p.right_ids,
+            p.right_norms,
+            p.right_prefix,
+            nbits=p.verify_bits,
+            left_signatures=p.left_signatures,
+            right_signatures=p.right_signatures,
+            left_max_weights=p.left_max_weights,
+            positional=p.verify_positional,
+            early_exit=p.verify_early_exit,
+        )
+
     candidates: List[Tuple[int, List[int]]] = []
     with m.phase(PHASE_SSJOIN):
         # Inverted index over the right prefixes, restricted to [lo, hi).
@@ -273,6 +317,12 @@ def _run_token_range_shard(
                 t = lids[pos]
             if not matched:
                 continue
+            if engine is not None:
+                # Ownership (smallest common prefix token >= lo) moves
+                # into the engine, which finds that anchor token once and
+                # reuses it for the positional bound.
+                candidates.append((g, sorted(matched)))
+                continue
             # Ownership: emit only pairs whose smallest common prefix
             # token lies in this range. Discovery found a common token in
             # [lo, hi), so the minimum exists and is < hi; pairs whose
@@ -291,16 +341,27 @@ def _run_token_range_shard(
 
     out_rows: List[Tuple[Any, ...]] = []
     with m.phase(PHASE_FILTER):
-        satisfied = p.predicate.satisfied
-        for g, owned in candidates:
-            lids = left_ids[g]
-            lw = p.left_weights[g]
-            norm_r = p.left_norms[g]
-            a_r = p.left_keys[g]
-            for h in owned:
-                overlap = merge_overlap(lids, lw, right_ids[h])
-                norm_s = p.right_norms[h]
-                if satisfied(overlap, norm_r, norm_s):
-                    out_rows.append((a_r, p.right_keys[h], overlap, norm_r, norm_s))
+        if engine is not None:
+            out_rows = engine.verify_candidates(
+                candidates, p.left_keys, p.right_keys, own_lo=lo
+            )
+            # The engine counted exactly the owned pairs (pre-prune), so
+            # merged candidate_pairs equal the sequential run's.
+            m.candidate_pairs += engine.candidates
+            engine.flush(m)
+        else:
+            satisfied = p.predicate.satisfied
+            for g, owned in candidates:
+                lids = left_ids[g]
+                lw = p.left_weights[g]
+                norm_r = p.left_norms[g]
+                a_r = p.left_keys[g]
+                for h in owned:
+                    overlap = merge_overlap(lids, lw, right_ids[h])
+                    norm_s = p.right_norms[h]
+                    if satisfied(overlap, norm_r, norm_s):
+                        out_rows.append(
+                            (a_r, p.right_keys[h], overlap, norm_r, norm_s)
+                        )
         m.output_pairs += len(out_rows)
     return out_rows, m

@@ -1,0 +1,300 @@
+"""Unit tests for the bitmap-signature verification engine.
+
+Covers the sound XOR-popcount bound (hostile widths included), the
+bounded merge, width selection, the identity fast path, per-stage
+counters, and the signature-cache staleness regression (a shared
+encoding whose dictionary grows between joins must re-pack signatures).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic import basic_ssjoin
+from repro.core.encoded import encode_pair
+from repro.core.encoded_prefix import encoded_prefix_ssjoin
+from repro.core.metrics import ExecutionMetrics
+from repro.core.predicate import OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.core.verify import (
+    BYPASS_STRICTNESS,
+    MAX_SIGNATURE_BITS,
+    MIN_SIGNATURE_BITS,
+    VerifyConfig,
+    bounded_overlap_count,
+    choose_signature_bits,
+    engine_for_encoded,
+    hashed_signature,
+    required_overlap_count,
+    signature_of,
+    signatures_for,
+)
+from repro.tokenize.sets import WeightedSet
+
+from tests.core.test_implementations import oracle, predicates, prepared_relations
+
+
+def pairs_of(relation):
+    return {(r[0], r[1]) for r in relation.rows}
+
+
+id_sets = st.sets(st.integers(min_value=0, max_value=500), max_size=30)
+
+
+class TestBitmapBound:
+    @given(id_sets, id_sets, st.sampled_from([4, 8, 64, 256]))
+    @settings(max_examples=300, deadline=None)
+    def test_xor_popcount_bound_is_sound(self, a, b, nbits):
+        """(|A| + |B| − popcount(XOR)) / 2 upper-bounds |A ∩ B| under any
+        id→bit mapping — collisions included."""
+        sa = signature_of(sorted(a), nbits)
+        sb = signature_of(sorted(b), nbits)
+        bound = (len(a) + len(b) - (sa ^ sb).bit_count()) / 2
+        assert bound >= len(a & b)
+
+    @given(id_sets, st.sampled_from([7, 64]))
+    @settings(max_examples=100, deadline=None)
+    def test_identical_sets_bound_is_exact_cardinality_or_more(self, a, nbits):
+        sa = signature_of(sorted(a), nbits)
+        bound = (2 * len(a) - (sa ^ sa).bit_count()) / 2
+        assert bound == len(a)
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=6), max_size=20),
+        st.sampled_from([8, 64]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hashed_signature_deterministic_and_sound(self, keys, nbits):
+        a = sorted(set(keys))
+        assert hashed_signature(a, nbits) == hashed_signature(list(a), nbits)
+        sa = hashed_signature(a, nbits)
+        bound = (2 * len(a) - (sa ^ sa).bit_count()) / 2
+        assert bound == len(a)
+
+
+class TestBoundedMerge:
+    @given(id_sets, id_sets, st.integers(min_value=0, max_value=35))
+    @settings(max_examples=300, deadline=None)
+    def test_bounded_count_exact_or_sound_abandon(self, a, b, required):
+        x, y = sorted(a), sorted(b)
+        exact = len(a & b)
+        got = bounded_overlap_count(x, y, required)
+        if got >= 0:
+            assert got == exact
+        else:
+            # Abandoning is only sound when the pair truly cannot reach
+            # the requirement.
+            assert exact < required
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_zero_requirement_never_abandons(self, a, b):
+        assert bounded_overlap_count(sorted(a), sorted(b), 0) == len(a & b)
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_required_count_admits_every_qualifying_jaccard_pair(
+        self, sx, sy, t
+    ):
+        """Any overlap count passing ``jaccard + 1e-9 >= t`` must be >= the
+        required count derived from the admission inequality."""
+        required = required_overlap_count(
+            (t - 1e-9) / (1.0 + t - 1e-9) * (sx + sy)
+        )
+        for ov in range(min(sx, sy) + 1):
+            union = sx + sy - ov
+            jaccard = ov / union if union else 1.0
+            if jaccard + 1e-9 >= t:
+                assert ov >= required
+
+
+class TestWidthChooser:
+    def test_bypass_below_strictness(self):
+        assert choose_signature_bits(1000, BYPASS_STRICTNESS - 0.01) == 0
+
+    def test_zero_universe_bypasses(self):
+        assert choose_signature_bits(0, 0.9) == 0
+
+    def test_clamped_to_floor_and_cap(self):
+        assert choose_signature_bits(10, 0.9) == MIN_SIGNATURE_BITS
+        assert choose_signature_bits(10**6, 0.9) == MAX_SIGNATURE_BITS
+
+    def test_next_power_of_two(self):
+        assert choose_signature_bits(100, 0.9) == 128
+        assert choose_signature_bits(200, 0.9) == 256
+
+    def test_disabled_config_is_inert(self):
+        assert VerifyConfig.disabled().inert
+        assert not VerifyConfig().inert
+        assert not VerifyConfig(signature_bits=0).inert  # bounds still on
+
+
+class TestEngineEquivalence:
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=150, deadline=None)
+    def test_hostile_width_never_drops_pairs(self, left, right, predicate):
+        """8-bit signatures collide hard; the engine must stay lossless."""
+        expected = oracle(left, right, predicate)
+        got = encoded_prefix_ssjoin(
+            left, right, predicate, verify_config=VerifyConfig(signature_bits=8)
+        )
+        assert pairs_of(got) == expected
+
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=100, deadline=None)
+    def test_engine_rows_bit_identical_to_disabled(self, left, right, predicate):
+        on = encoded_prefix_ssjoin(left, right, predicate)
+        off = encoded_prefix_ssjoin(
+            left, right, predicate, verify_config=VerifyConfig.disabled()
+        )
+        assert sorted(on.rows, key=repr) == sorted(off.rows, key=repr)
+
+    def test_identity_fast_path_skips_merges(self):
+        """Self-join (g, g) candidates are admitted from the cached group
+        total — no merge — and overlaps equal the basic plan's."""
+        values = [f"shared head tokens unique{i} tail" for i in range(30)]
+        prep = PreparedRelation.from_strings(values, lambda s: s.split())
+        predicate = OverlapPredicate.two_sided(0.9)
+        m = ExecutionMetrics()
+        got = encoded_prefix_ssjoin(prep, prep, predicate, metrics=m)
+        expected = basic_ssjoin(prep, prep, predicate)
+        assert pairs_of(got) == pairs_of(expected)
+        # All 30 identity pairs are candidates yet none needed a merge.
+        assert m.verify_candidates >= 30
+        assert m.verify_merges_run < m.verify_candidates
+
+    def test_counters_are_consistent(self):
+        values = [f"common base words entry{i}" for i in range(40)] + [
+            "completely unrelated different text"
+        ]
+        prep = PreparedRelation.from_strings(values, lambda s: s.split())
+        m = ExecutionMetrics()
+        encoded_prefix_ssjoin(prep, prep, OverlapPredicate.two_sided(0.8), metrics=m)
+        pruned = m.verify_bitmap_pruned + m.verify_position_pruned
+        assert m.verify_candidates == pruned + m.verify_merges_run + (
+            m.verify_candidates - pruned - m.verify_merges_run
+        )
+        assert m.verify_merges_run + pruned <= m.verify_candidates
+        stats = m.verify_stats()
+        assert stats["candidates"] == m.verify_candidates
+        assert stats["bitmap_pruned"] == m.verify_bitmap_pruned
+        assert stats["merges_run"] == m.verify_merges_run
+        assert "verify=" in m.summary()
+
+
+#: Element-global weight table (Section 2's model: a token's weight is a
+#: property of the element, not of the group containing it — the prefix
+#: filter itself is only sound under that assumption).
+_TOKEN_WEIGHTS = {f"tok{j}": 0.5 + (j * 3 % 10) / 4.0 for j in range(16)}
+
+
+def _weighted_relation():
+    groups = {
+        f"g{i}": WeightedSet(
+            {
+                f"tok{j}": _TOKEN_WEIGHTS[f"tok{j}"]
+                for j in range((i * 5) % 7, (i * 5) % 7 + i % 6 + 2)
+            }
+        )
+        for i in range(12)
+    }
+    return PreparedRelation.from_sets(groups, name="weighted")
+
+
+class TestWeightedBounds:
+    def test_weighted_predicate_uses_max_weight_scaling(self):
+        """With non-uniform weights the count bound alone would under-prune
+        or (if misapplied) over-prune; results must equal basic exactly."""
+        rel = _weighted_relation()
+        for predicate in (
+            OverlapPredicate.two_sided(0.85),
+            OverlapPredicate.one_sided(0.9, side="left"),
+            OverlapPredicate.absolute(2.5),
+        ):
+            got = encoded_prefix_ssjoin(
+                rel, rel, predicate, verify_config=VerifyConfig(signature_bits=8)
+            )
+            assert pairs_of(got) == pairs_of(basic_ssjoin(rel, rel, predicate))
+
+
+class TestSignatureCacheStaleness:
+    """Satellite regression: shared encodings must re-pack signatures when
+    the backing dictionary grows between joins."""
+
+    def _relations(self):
+        values = [f"alpha beta gamma delta unique{i}" for i in range(20)]
+        return PreparedRelation.from_strings(values, lambda s: s.split())
+
+    def test_two_joins_sharing_cached_encoding_coexist_per_width(self):
+        prep = self._relations()
+        predicate = OverlapPredicate.two_sided(0.9)
+        r1 = encoded_prefix_ssjoin(
+            prep, prep, predicate, verify_config=VerifyConfig(signature_bits=64)
+        )
+        r2 = encoded_prefix_ssjoin(
+            prep, prep, predicate, verify_config=VerifyConfig(signature_bits=128)
+        )
+        enc_left, _, _ = encode_pair(prep, prep, None)  # cache hit
+        assert ("signatures", 64) in enc_left.verify_cache
+        assert ("signatures", 128) in enc_left.verify_cache
+        expected = pairs_of(basic_ssjoin(prep, prep, predicate))
+        assert pairs_of(r1) == expected
+        assert pairs_of(r2) == expected
+
+    def test_dictionary_growth_invalidates_cached_signatures(self):
+        prep = self._relations()
+        enc_left, _, dictionary = encode_pair(prep, prep, None)
+        sigs_before = signatures_for(enc_left, 64)
+        key = ("signatures", 64)
+        assert enc_left.verify_cache[key][0] == len(dictionary)
+        # Simulate incremental ingest growing the shared dictionary in
+        # place after the encoding-cache hit handed this encoding out.
+        base = len(dictionary)
+        dictionary._ids["__grown_token__"] = base
+        sigs_after = signatures_for(enc_left, 64)
+        assert enc_left.verify_cache[key][0] == base + 1
+        assert sigs_after is not sigs_before
+        # The re-pack is over the same id arrays, so contents agree.
+        assert sigs_after == [signature_of(ids, 64) for ids in enc_left.ids]
+
+    def test_join_after_growth_still_matches_basic(self):
+        prep = self._relations()
+        predicate = OverlapPredicate.two_sided(0.9)
+        encoded_prefix_ssjoin(
+            prep, prep, predicate, verify_config=VerifyConfig(signature_bits=64)
+        )
+        enc_left, _, dictionary = encode_pair(prep, prep, None)
+        dictionary._ids["__grown_token__"] = len(dictionary)
+        got = encoded_prefix_ssjoin(
+            prep, prep, predicate, verify_config=VerifyConfig(signature_bits=64)
+        )
+        assert pairs_of(got) == pairs_of(basic_ssjoin(prep, prep, predicate))
+        assert enc_left.verify_cache[("signatures", 64)][0] == len(dictionary)
+
+
+class TestEngineForEncoded:
+    def test_inert_config_returns_none(self):
+        prep = _weighted_relation()
+        enc_left, enc_right, _ = encode_pair(prep, prep, None)
+        assert (
+            engine_for_encoded(
+                enc_left, enc_right, OverlapPredicate.two_sided(0.9),
+                (), (), config=VerifyConfig.disabled(),
+            )
+            is None
+        )
+
+    def test_self_join_shares_signatures(self):
+        prep = _weighted_relation()
+        enc_left, enc_right, _ = encode_pair(prep, prep, None)
+        engine = engine_for_encoded(
+            enc_left, enc_right, OverlapPredicate.two_sided(0.9),
+            (), (), config=VerifyConfig(signature_bits=64),
+        )
+        assert engine is not None
+        assert engine.identity
+        assert engine.left_signatures is engine.right_signatures

@@ -1,0 +1,154 @@
+"""Satellite 3: verification-engine results ≡ basic, across everything.
+
+The engine must be invisible in the output: for every predicate family
+the paper's frontends actually build (absolute overlap, Jaccard
+resemblance, edit-similarity q-gram bounds, GES-style one-sided
+containment), every signature width (including 0 = bitmap disabled and
+``None`` = auto-resolved), and workers 1/2/4 on the serial backend, the
+result rows must equal the ``basic`` nested-loop plan's pair set and be
+*bit-identical* (same rows, same float overlaps) to the engine-off
+encoded plans.  A Hypothesis sweep extends the same claim to random
+weighted-set relations × all six predicate shapes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from zlib import crc32
+
+from repro.core.basic import basic_ssjoin
+from repro.core.encoded_index import encoded_index_probe_ssjoin
+from repro.core.encoded_prefix import encoded_prefix_ssjoin
+from repro.core.metrics import ExecutionMetrics
+from repro.core.predicate import MaxNormBound, OverlapPredicate
+from repro.core.prepared import PreparedRelation
+from repro.core.verify import VerifyConfig
+from repro.data.customers import CustomerConfig, generate_addresses
+from repro.parallel import BACKEND_SERIAL, canonical_sort_key, parallel_ssjoin
+from repro.tokenize.qgrams import padded_qgrams
+from repro.tokenize.sets import WeightedSet
+
+from tests.core.test_implementations import oracle, predicates, prepared_relations
+
+WIDTHS = (0, 8, 64, None)
+WORKERS = (1, 2, 4)
+
+
+def _addresses(rows=70):
+    config = CustomerConfig(num_rows=rows, duplicate_fraction=0.3, seed=20060403)
+    return generate_addresses(config)
+
+
+def _word_relation():
+    return PreparedRelation.from_strings(
+        _addresses(), lambda s: s.split(), name="words"
+    )
+
+
+def _qgram_relation():
+    return PreparedRelation.from_strings(
+        _addresses(40), lambda s: padded_qgrams(s, q=3), name="qgrams"
+    )
+
+
+def _ges_relation():
+    # Element-global weights (a token's weight is a property of the
+    # element — Section 2's model and the prefix filter's soundness
+    # assumption); crc32 keeps them deterministic across processes.
+    def weight(tok):
+        return 0.5 + (crc32(tok.encode()) % 8) / 4.0
+
+    groups = {}
+    for i, addr in enumerate(_addresses()):
+        toks = set(addr.split())
+        if toks:
+            groups[f"a{i}"] = WeightedSet({t: weight(t) for t in toks})
+    return PreparedRelation.from_sets(groups, name="ges")
+
+
+# One (relation, predicate) pair per frontend family.  The edit bound is
+# edit_similarity_join's reduction at θ=0.8, q=3: fraction = 1 − q(1−θ),
+# offset = 1 − q.
+FAMILIES = [
+    ("overlap", _word_relation, OverlapPredicate.absolute(2.0)),
+    ("jaccard", _word_relation, OverlapPredicate.two_sided(0.8)),
+    ("edit", _qgram_relation, OverlapPredicate([MaxNormBound(0.4, -2.0)])),
+    ("ges", _ges_relation, OverlapPredicate.one_sided(0.8, side="left")),
+]
+
+
+def _config(width):
+    return None if width is None else VerifyConfig(signature_bits=width)
+
+
+def pairs_of(relation):
+    return {(r[0], r[1]) for r in relation.rows}
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize(
+    "family,relation_fn,predicate", FAMILIES, ids=[f[0] for f in FAMILIES]
+)
+class TestFamiliesMatchBasic:
+    def test_sequential_rows_match_basic_and_engine_off(
+        self, family, relation_fn, predicate, width
+    ):
+        rel = relation_fn()
+        expected = pairs_of(basic_ssjoin(rel, rel, predicate))
+        off = encoded_prefix_ssjoin(
+            rel, rel, predicate, verify_config=VerifyConfig.disabled()
+        )
+        for plan in (encoded_prefix_ssjoin, encoded_index_probe_ssjoin):
+            got = plan(rel, rel, predicate, verify_config=_config(width))
+            assert pairs_of(got) == expected, f"{plan.__name__} width={width}"
+        # Engine-on encoded-prefix rows are bit-identical to engine-off.
+        on = encoded_prefix_ssjoin(rel, rel, predicate, verify_config=_config(width))
+        assert sorted(on.rows, key=canonical_sort_key) == sorted(
+            off.rows, key=canonical_sort_key
+        )
+
+    def test_workers_rows_and_counters_match_sequential(
+        self, family, relation_fn, predicate, width, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", BACKEND_SERIAL)
+        rel = relation_fn()
+        cfg = _config(width)
+        seq_metrics = ExecutionMetrics()
+        seq = encoded_prefix_ssjoin(
+            rel, rel, predicate, verify_config=cfg, metrics=seq_metrics
+        )
+        expected_rows = sorted(seq.rows, key=canonical_sort_key)
+        for workers in WORKERS:
+            m = ExecutionMetrics()
+            result = parallel_ssjoin(
+                rel,
+                rel,
+                predicate,
+                workers=workers,
+                implementation="encoded-prefix",
+                metrics=m,
+                backend=BACKEND_SERIAL,
+                verify_config=cfg,
+            )
+            assert list(result.pairs.rows) == expected_rows, (
+                f"workers={workers} width={width}"
+            )
+            # Shard-local pruning sums to the sequential counters exactly.
+            if workers > 1:
+                assert m.verify_stats() == seq_metrics.verify_stats(), (
+                    f"workers={workers} width={width}"
+                )
+
+
+class TestRandomRelations:
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=60, deadline=None)
+    def test_encoded_plans_match_oracle_under_hostile_width(
+        self, left, right, predicate
+    ):
+        expected = oracle(left, right, predicate)
+        for width in (0, 8, None):
+            for plan in (encoded_prefix_ssjoin, encoded_index_probe_ssjoin):
+                got = plan(left, right, predicate, verify_config=_config(width))
+                assert pairs_of(got) == expected, (
+                    f"{plan.__name__} width={width}"
+                )
