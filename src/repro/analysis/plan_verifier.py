@@ -19,9 +19,17 @@ disagree, so the equi-join can never match (or matches by accident).
 nondeterministically.
 ``PV106`` structurally empty join key list.
 
+SSJoin nodes additionally get plan-level invariant checks in the SSJ
+namespace (shared with :mod:`repro.analysis.invariants`):
+
+``SSJ110`` SSJoin predicate is not a valid :class:`OverlapPredicate`.
+``SSJ111`` an SSJoin input subtree provably lacks the normalized-set
+columns (``a``, ``b``).
+``SSJ112`` unknown physical implementation name on an SSJoin node.
+
 Subtrees with unknown schemas (opaque :class:`Custom`/:class:`Groupwise`
-nodes without a declaration) are skipped gracefully: the verifier reports
-what it can prove and never guesses.
+nodes whose output can be neither declared nor probed) are skipped
+gracefully: the verifier reports what it can prove and never guesses.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from repro.relational.plan import (
     PlanNode,
     Project,
     Select,
+    SSJoinNode,
     TableScan,
 )
 from repro.relational.schema import Schema
@@ -310,8 +319,57 @@ def _walk(
                     )
     elif isinstance(node, Groupwise):
         _check_refs(report, node.keys, child_schemas[0], location, "groupwise keys")
+    elif isinstance(node, SSJoinNode):
+        _check_ssjoin_node(node, child_schemas, report, location)
 
     return node.output_schema(catalog)
+
+
+def _check_ssjoin_node(
+    node: SSJoinNode,
+    child_schemas: Sequence[Optional[Schema]],
+    report: AnalysisReport,
+    location: str,
+) -> None:
+    """Plan-level SSJoin invariants (SSJ110–SSJ112)."""
+    # Imported here: repro.core layers above repro.relational, and this
+    # module otherwise only needs the relational layer.
+    from repro.core.optimizer import IMPLEMENTATIONS
+    from repro.core.predicate import OverlapPredicate
+
+    if not isinstance(node.predicate, OverlapPredicate) or not node.predicate.bounds:
+        report.add(
+            "SSJ110",
+            SEVERITY_ERROR,
+            f"SSJoin predicate {node.predicate!r} is not an OverlapPredicate "
+            "with at least one bound",
+            location,
+            hint="build the predicate with OverlapPredicate.absolute/"
+            "one_sided/two_sided/max_norm",
+        )
+    if node.implementation != "auto" and node.implementation not in IMPLEMENTATIONS:
+        report.add(
+            "SSJ112",
+            SEVERITY_ERROR,
+            f"unknown SSJoin implementation {node.implementation!r}; "
+            f"expected auto or one of {', '.join(IMPLEMENTATIONS)}",
+            location,
+        )
+    for side, schema in zip(("left", "right"), child_schemas):
+        if schema is None:
+            continue
+        missing = [c for c in ("a", "b") if c not in schema]
+        if missing:
+            report.add(
+                "SSJ111",
+                SEVERITY_ERROR,
+                f"SSJoin {side} input lacks normalized-set column(s) "
+                f"{', '.join(repr(m) for m in missing)}; input columns: "
+                f"{', '.join(schema.names) or '(none)'}",
+                location,
+                hint="feed a prepared relation or a table with at least "
+                "(a, b) columns",
+            )
 
 
 def verify_plan(

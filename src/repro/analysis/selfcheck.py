@@ -40,6 +40,7 @@ from repro.relational.plan import (
     OrderBy,
     Project,
     Select,
+    SSJoinNode,
     TableScan,
 )
 from repro.relational.relation import Relation
@@ -174,13 +175,46 @@ def _plan_selfcheck() -> AnalysisReport:
     extend_plan = Extend(
         TableScan("orders"), "flagged", col("amount") >= 5.0
     )
+    # Layer 7: an SSJoin plan tree (PV1xx + SSJ110-112) built the way the
+    # joins layer composes them, and the SQL SSJOIN path through the
+    # compiler (structural checks + plan verification of the result).
+    catalog.register(
+        "tokens",
+        Relation.from_rows(
+            ["a", "b", "w"],
+            [
+                ("r1", "apple", 1.0),
+                ("r1", "pie", 1.0),
+                ("r2", "apple", 1.0),
+                ("r2", "pie", 1.0),
+                ("r2", "tin", 1.0),
+            ],
+        ),
+    )
+    scan = TableScan("tokens")
+    ssjoin_plan = Project(
+        Select(
+            SSJoinNode(scan, scan, OverlapPredicate.two_sided(0.8)),
+            col("a_r").ne(col("a_s")),
+        ),
+        ["a_r", "a_s", "overlap"],
+    )
     report = verify_plan(plan, catalog)
     report.extend(verify_plan(extend_plan, catalog))
+    report.extend(verify_plan(ssjoin_plan, catalog))
     report.extend(
         verify_sql(
             catalog,
             "SELECT customer, SUM(amount) AS total FROM orders "
             "GROUP BY customer HAVING SUM(amount) >= 1 ORDER BY total",
+        )
+    )
+    report.extend(
+        verify_sql(
+            catalog,
+            "SELECT a_r, a_s, overlap FROM tokens r SSJOIN tokens s "
+            "ON OVERLAP(b) >= 0.8 * r.norm AND OVERLAP(b) >= 0.8 * s.norm "
+            "WHERE a_r < a_s ORDER BY overlap DESC LIMIT 10",
         )
     )
     return report

@@ -11,6 +11,13 @@ Shares the ``PV1xx`` rule namespace with the plan verifier, plus:
 
 ``PV107`` unknown or mis-used function (not an aggregate, scalar, or
 supported predicate form; wrong arity).
+
+SSJOIN statements take a different path: they are lowered with
+:func:`repro.relational.sql.compiler.compile_ssjoin_plan` and the
+resulting operator tree is handed to the plan verifier, so one
+``repro analyze`` invocation covers both the SQL surface (structural
+rules, reported as ``SSJ110``) and the compiled plan (``PV1xx`` plus the
+plan-level ``SSJ11x`` rules).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence
 
 from repro.analysis.diagnostics import SEVERITY_ERROR, AnalysisReport
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, PlanError
 from repro.relational.catalog import Catalog
 from repro.relational.schema import Schema
 from repro.relational.sql.ast import (
@@ -173,10 +180,59 @@ def _item_name(item: object, index: int) -> str:
     return f"expr_{index}"
 
 
+def _verify_ssjoin_select(
+    statement: SelectStatement, catalog: Catalog
+) -> AnalysisReport:
+    """Verify an SSJOIN statement by lowering it and checking the plan.
+
+    The compiler's lowering is purely structural (no catalog access), so
+    running it here has no side effects; structural violations it raises
+    (mixed JOIN/SSJOIN, aggregates, non-linear bounds ...) become
+    ``SSJ110`` diagnostics and everything else — unknown tables, WHERE /
+    select-list references against the SSJoin result schema, missing
+    ``a``/``b`` input columns — falls out of :func:`verify_plan`.
+    """
+    from repro.analysis.plan_verifier import verify_plan
+    from repro.relational.sql.compiler import compile_ssjoin_plan
+
+    report = AnalysisReport()
+    if statement.where is not None:
+        _check_functions(report, statement.where, "where", allow_aggregates=False)
+    out_names: List[str] = []
+    for i, item in enumerate(statement.items):
+        if isinstance(item.expr, Star):
+            continue
+        _check_functions(report, item.expr, f"select[{i}]", allow_aggregates=True)
+        name = _item_name(item, i)
+        if name in out_names:
+            report.add(
+                "PV102",
+                SEVERITY_ERROR,
+                f"duplicate output column {name!r} in select list",
+                f"select[{i}]",
+                hint="alias one of the items with AS",
+            )
+        out_names.append(name)
+    try:
+        plan = compile_ssjoin_plan(statement, catalog)
+    except PlanError as exc:
+        report.add(
+            "SSJ110",
+            SEVERITY_ERROR,
+            str(exc),
+            "ssjoin",
+            hint="see the SSJOIN grammar in docs/tutorial.md",
+        )
+        return report
+    return report.extend(verify_plan(plan, catalog))
+
+
 def verify_select(
     statement: SelectStatement, catalog: Catalog
 ) -> AnalysisReport:
     """Statically verify one parsed SELECT against *catalog*."""
+    if statement.ssjoins:
+        return _verify_ssjoin_select(statement, catalog)
     report = AnalysisReport()
 
     # -- FROM / JOIN: build the input schema exactly as the compiler does.

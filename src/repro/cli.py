@@ -22,7 +22,6 @@ from typing import IO, List, Optional, Sequence, Union
 
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.data.customers import CustomerConfig, generate_addresses
 from repro.joins.cosine_join import cosine_join
 from repro.joins.edit_join import edit_similarity_join
@@ -206,13 +205,34 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.joins.base import compose_join_plan, similarity_udf
+    from repro.relational.context import ExecutionContext
+    from repro.relational.expressions import col
+    from repro.relational.plan import explain
+
     values = _read_lines(args.input)
     table = resolve_weights("idf", words, values, values)
     prepared = PreparedRelation.from_strings(
         values, words, weights=table, norm=NORM_WEIGHT, name="input"
     )
-    op = SSJoin(prepared, prepared, OverlapPredicate.two_sided(args.threshold))
-    print(op.explain("auto"))
+
+    # Mirror the plan `dedupe --similarity jaccard` runs: 2-sided SSJoin,
+    # identity drop, resemblance score, threshold filter, projection.
+    def resemblance(overlap: float, norm_r: float, norm_s: float) -> float:
+        union = norm_r + norm_s - overlap
+        return overlap / union if union else 1.0
+
+    plan, _ = compose_join_plan(
+        prepared,
+        prepared,
+        OverlapPredicate.two_sided(args.threshold),
+        drop_identity=True,
+        similarity=similarity_udf(
+            "JR", resemblance, "overlap", "norm_r", "norm_s"
+        ),
+        keep=col("similarity") + 1e-9 >= args.threshold,
+    )
+    print(explain(plan, context=ExecutionContext()))
     return 0
 
 

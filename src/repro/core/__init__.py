@@ -61,6 +61,7 @@ from repro.core.partitioned import (
     partition_by_set_size,
     partitioned_ssjoin,
 )
+from repro.core.physical import execute_physical, execute_ssjoin_node
 from repro.core.ssjoin import SSJoin, SSJoinResult, ssjoin
 from repro.core.validation import VerificationReport, explain_pair, verify_result
 
@@ -119,6 +120,8 @@ __all__ = [
     "SSJoin",
     "SSJoinResult",
     "ssjoin",
+    "execute_physical",
+    "execute_ssjoin_node",
     "VerificationReport",
     "explain_pair",
     "verify_result",

@@ -43,6 +43,7 @@ from repro.core.verify import (
     predicate_strictness,
 )
 from repro.errors import OptimizerError
+from repro.relational.stats import ColumnStats, estimate_equijoin_size
 
 if TYPE_CHECKING:  # the optimizer only touches Relation in estimates
     from repro.relational.relation import Relation
@@ -136,9 +137,9 @@ class CostModel:
         if ordering is None:
             ordering = frequency_ordering(left, right)
 
-        lfreq = left.element_frequencies()
-        rfreq = right.element_frequencies()
-        join_rows = _histogram_join_size(lfreq, rfreq)
+        lstats = _element_stats(left)
+        rstats = _element_stats(right)
+        join_rows = float(estimate_equijoin_size(lstats, rstats))
         n_left = left.num_elements
         n_right = right.num_elements
 
@@ -153,9 +154,9 @@ class CostModel:
         # Extract the real prefixes and price the filtered join exactly.
         pl = prefix_filter_relation(left, predicate, ordering, side="left")
         pr = prefix_filter_relation(right, predicate, ordering, side="right")
-        plf = _relation_frequencies(pl)
-        prf = _relation_frequencies(pr)
-        prefix_join_rows = _histogram_join_size(plf, prf)
+        plstats = ColumnStats.from_relation(pl, "b")
+        prstats = ColumnStats.from_relation(pr, "b")
+        prefix_join_rows = float(estimate_equijoin_size(plstats, prstats))
         prefix_cost = self.PREFIX_ELEMENT * (n_left + n_right)
 
         avg_left = n_left / max(left.num_groups, 1)
@@ -196,7 +197,7 @@ class CostModel:
         # side, probe left prefixes to discover candidates, complete with
         # suffix elements (touching only already-known candidates, hence
         # the completion discount).
-        left_prefix_probe_rows = _histogram_join_size(plf, rfreq)
+        left_prefix_probe_rows = float(estimate_equijoin_size(plstats, rstats))
         suffix_rows = max(join_rows - left_prefix_probe_rows, 0.0)
         probe = CostEstimate(
             "probe",
@@ -230,7 +231,9 @@ class CostModel:
             else 0.0
         )
         strictness = predicate_strictness(predicate, mean_norm)
-        verify_bits = choose_signature_bits(len(lfreq) + len(rfreq), strictness)
+        verify_bits = choose_signature_bits(
+            lstats.num_distinct + rstats.num_distinct, strictness
+        )
         prune = estimated_prune_fraction(strictness) if verify_bits else 0.0
         signature_cost = (
             0.0 if cached or not verify_bits else self.SIGNATURE_ELEMENT * (n_left + n_right)
@@ -381,22 +384,14 @@ def choose_implementation(
     return estimates[0]
 
 
-def _histogram_join_size(left: Dict, right: Dict) -> float:
-    """Exact equi-join output size from two value-frequency histograms."""
-    small, large = (left, right) if len(left) <= len(right) else (right, left)
-    total = 0
-    for value, count in small.items():
-        other = large.get(value)
-        if other:
-            total += count * other
-    return float(total)
+def _element_stats(prepared: PreparedRelation) -> ColumnStats:
+    """Element (``b`` column) statistics of a prepared relation.
 
-
-def _relation_frequencies(relation: "Relation") -> Dict:
-    """Frequency histogram of the ``b`` column of a filtered relation."""
-    pos = relation.schema.position("b")
-    freq: Dict = {}
-    for row in relation.rows:
-        v = row[pos]
-        freq[v] = freq.get(v, 0) + 1
-    return freq
+    Built from the group dicts directly — equivalent to
+    ``ColumnStats.from_relation(prepared.relation, "b")`` without forcing
+    the First-Normal-Form materialization.
+    """
+    freq = prepared.element_frequencies()
+    return ColumnStats(
+        num_rows=prepared.num_elements, num_distinct=len(freq), frequencies=freq
+    )

@@ -119,6 +119,64 @@ class PreparedRelation:
         return cls(groups, norms, name=name)
 
     @classmethod
+    def from_relation(
+        cls,
+        relation: Relation,
+        weights: Optional[WeightTable] = None,
+        norm: str = NORM_WEIGHT,
+        name: Optional[str] = None,
+    ) -> "PreparedRelation":
+        """Re-prepare a First-Normal-Form relation produced by a plan.
+
+        Accepts anything with at least ``a`` and ``b`` columns — a
+        :class:`TableScan` over a normalized table, a filtered prepared
+        view, or the output of an arbitrary subtree feeding an SSJoin
+        node. When a ``w`` column is present it supplies the element
+        weights (*weights* must then be ``None``); when a ``norm`` column
+        is present it supplies the group norms, otherwise norms are
+        recomputed per *norm*.
+        """
+        schema = relation.schema
+        for required in ("a", "b"):
+            if required not in schema:
+                raise ReproError(
+                    f"cannot prepare relation {relation.name!r}: missing "
+                    f"column {required!r} (need at least a, b)"
+                )
+        pa = schema.position("a")
+        pb = schema.position("b")
+        pw = schema.position("w") if "w" in schema else None
+        pn = schema.position("norm") if "norm" in schema else None
+        if pw is not None and weights is not None:
+            raise ReproError(
+                "relation carries a 'w' column and an explicit weight "
+                "table was given; use one source of weights, not both"
+            )
+        table = weights if weights is not None else UnitWeights()
+
+        by_group: Dict[Any, List[Tuple[Any, Optional[float]]]] = {}
+        norms_in: Dict[Any, float] = {}
+        for row in relation.rows:
+            a = row[pa]
+            w = float(row[pw]) if pw is not None else None
+            by_group.setdefault(a, []).append((row[pb], w))
+            if pn is not None:
+                norms_in[a] = float(row[pn])
+        groups: Dict[Any, WeightedSet] = {}
+        norms: Dict[Any, float] = {}
+        for a, pairs in by_group.items():
+            elements = ordinal_encode([b for b, _ in pairs])
+            wset = WeightedSet(
+                {
+                    e: (w if w is not None else table.weight(e[0]))
+                    for e, (_, w) in zip(elements, pairs)
+                }
+            )
+            groups[a] = wset
+            norms[a] = norms_in.get(a, _norm_value(norm, a if isinstance(a, str) else "", wset))
+        return cls(groups, norms, name=name if name is not None else relation.name)
+
+    @classmethod
     def from_sets(
         cls,
         groups: Mapping[Any, WeightedSet],

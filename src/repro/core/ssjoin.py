@@ -1,9 +1,15 @@
-"""The SSJoin operator facade.
+"""The SSJoin operator facade — a thin shim over the plan layer.
 
-:class:`SSJoin` bundles two prepared relations and an overlap predicate and
-executes whichever physical implementation is requested — or lets the
-cost-based optimizer pick (``implementation="auto"``), which is the paper's
-concluding recommendation. :func:`ssjoin` is the one-call functional form.
+Since the Layer-7 refactor, the operator itself lives in the plan layer:
+:class:`SSJoin` builds a one-node logical plan
+(:class:`repro.relational.plan.SSJoinNode` over
+:class:`~repro.relational.plan.PreparedInput` leaves) and executes it
+against an :class:`~repro.relational.context.ExecutionContext` assembled
+from its keyword arguments. The historical call shape — and its results,
+metrics and chosen implementations — are preserved exactly; the facade
+remains the convenient entry point for joining two prepared relations
+without writing a plan tree by hand. :func:`ssjoin` is the one-call
+functional form.
 
 Result rows are ``(a_r, a_s, overlap, norm_r, norm_s)``; see
 :data:`repro.core.basic.RESULT_SCHEMA`.
@@ -11,54 +17,21 @@ Result rows are ``(a_r, a_s, overlap, norm_r, norm_s)``; see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
-from repro.core.basic import basic_ssjoin
 from repro.core.encoded import EncodedPreparedRelation
-from repro.core.encoded_index import EncodedInvertedIndex, encoded_index_probe_ssjoin
-from repro.core.encoded_prefix import encoded_prefix_ssjoin
-from repro.core.index import index_probe_ssjoin
-from repro.core.inline import inline_ssjoin
 from repro.core.metrics import ExecutionMetrics
-from repro.core.optimizer import CostEstimate, CostModel, choose_implementation
+from repro.core.optimizer import CostModel, choose_implementation
 from repro.core.ordering import ElementOrdering, frequency_ordering
+from repro.core.physical import SSJoinResult
 from repro.core.predicate import OverlapPredicate
-from repro.core.prefix_filter import prefix_filtered_ssjoin
 from repro.core.prepared import PreparedRelation
 from repro.core.verify import VerifyConfig
 from repro.errors import PlanError
-from repro.relational.relation import Relation
+from repro.relational.context import ExecutionContext
+from repro.relational.plan import PreparedInput, SSJoinNode
 
 __all__ = ["SSJoinResult", "SSJoin", "ssjoin"]
-
-
-@dataclass(frozen=True)
-class SSJoinResult:
-    """Outcome of one SSJoin execution.
-
-    ``parallel`` is the :class:`repro.parallel.ParallelReport` when the
-    run went through the parallel executor (typed ``Any``: repro.parallel
-    layers above this module), ``None`` for plain sequential runs.
-    """
-
-    pairs: Relation
-    metrics: ExecutionMetrics
-    implementation: str
-    cost_estimate: Optional[CostEstimate] = None
-    parallel: Optional[Any] = None
-
-    def pair_tuples(self) -> List[Tuple[Any, Any]]:
-        """The matched ⟨a_r, a_s⟩ pairs as plain tuples."""
-        ar = self.pairs.schema.position("a_r")
-        as_ = self.pairs.schema.position("a_s")
-        return [(row[ar], row[as_]) for row in self.pairs.rows]
-
-    def pair_set(self) -> set:
-        return set(self.pair_tuples())
-
-    def __len__(self) -> int:
-        return len(self.pairs)
 
 
 class SSJoin:
@@ -85,22 +58,44 @@ class SSJoin:
         self.left = left
         self.right = right
         self.predicate = predicate
-        self._ordering = ordering
         # The ordering as the *user* supplied it (None when defaulted) —
         # the encoded plans key their encoding cache on this, so that the
         # lazily-built default frequency ordering never fragments the key.
         self._user_ordering = ordering
+        # One-slot memo shared with the plan node: the built default
+        # ordering, reused across repeated executions of this facade.
+        self._ordering_slot: List[Optional[ElementOrdering]] = [ordering]
         # Optional prebuilt (left, right) encoding pair for the encoded
         # plans. Both sides must share one TokenDictionary and encode the
         # *current* contents of left/right — `verify=True` checks both.
         self._encoding = encoding
+        self._node: Optional[SSJoinNode] = None
 
     @property
     def ordering(self) -> ElementOrdering:
         """The global element ordering (built lazily, frequency-based)."""
-        if self._ordering is None:
-            self._ordering = frequency_ordering(self.left, self.right)
-        return self._ordering
+        if self._ordering_slot[0] is None:
+            self._ordering_slot[0] = frequency_ordering(self.left, self.right)
+        return self._ordering_slot[0]
+
+    def plan(self, implementation: str = "auto") -> SSJoinNode:
+        """The one-node logical plan this facade executes (cached)."""
+        if self._node is None:
+            left = PreparedInput(self.left)
+            right = left if self.right is self.left else PreparedInput(self.right)
+            self._node = SSJoinNode(
+                left,
+                right,
+                self.predicate,
+                implementation=implementation,
+                ordering=self._user_ordering,
+                encoding=self._encoding,
+            )
+            # Share the facade's ordering memo with the physical layer.
+            self._node._built_ordering_cache = self._ordering_slot
+        else:
+            self._node.implementation = implementation
+        return self._node
 
     def execute(
         self,
@@ -148,88 +143,19 @@ class SSJoin:
             verify step exactly.  Results are identical either way —
             the engine only prunes candidates that cannot qualify.
         """
-        if verify:
-            # Imported here: repro.analysis depends on repro.core.
-            from repro.analysis.invariants import check_ssjoin
-
-            check_ssjoin(
-                self.left,
-                self.right,
-                self.predicate,
-                ordering=self._user_ordering,
-                implementation=implementation,
-                encoding=self._encoding,
-            )
-        if workers is not None:
-            # Imported here: repro.parallel layers above repro.core.
-            from repro.parallel.executor import parallel_ssjoin
-
-            return parallel_ssjoin(
-                self.left,
-                self.right,
-                self.predicate,
-                workers=workers,
-                implementation=implementation,
-                ordering=self._user_ordering,
-                metrics=metrics,
-                cost_model=cost_model,
-                verify_config=verify_config,
-            )
-        m = metrics if metrics is not None else ExecutionMetrics()
-        estimate: Optional[CostEstimate] = None
-        impl = implementation
-        if impl == "auto":
-            estimate = choose_implementation(
-                self.left, self.right, self.predicate, self.ordering, model=cost_model
-            )
-            impl = estimate.implementation
-
-        if impl == "basic":
-            pairs = basic_ssjoin(self.left, self.right, self.predicate, metrics=m)
-        elif impl == "prefix":
-            pairs = prefix_filtered_ssjoin(
-                self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
-            )
-        elif impl == "inline":
-            pairs = inline_ssjoin(
-                self.left, self.right, self.predicate, ordering=self.ordering,
-                metrics=m, verify_config=verify_config,
-            )
-        elif impl == "probe":
-            pairs = index_probe_ssjoin(
-                self.left, self.right, self.predicate, ordering=self.ordering, metrics=m
-            )
-        elif impl == "encoded-prefix":
-            # The encoded plans take the *user's* ordering (None when it
-            # defaulted): the dictionary's joint-frequency ids already
-            # realize the default ordering, and None keys the encoding
-            # cache consistently across executions.
-            pairs = encoded_prefix_ssjoin(
-                self.left, self.right, self.predicate,
-                ordering=self._user_ordering, metrics=m,
-                encoding=self._encoding,
-                verify_config=verify_config,
-            )
-        elif impl == "encoded-probe":
-            pairs = encoded_index_probe_ssjoin(
-                self.left, self.right, self.predicate,
-                ordering=self._user_ordering, metrics=m,
-                index=(
-                    None
-                    if self._encoding is None
-                    else EncodedInvertedIndex(self._encoding[1])
-                ),
-                verify_config=verify_config,
-            )
-        else:
-            raise PlanError(
-                f"unknown implementation {implementation!r}; expected "
-                "basic/prefix/inline/probe/encoded-prefix/encoded-probe/auto"
-            )
-        return SSJoinResult(pairs=pairs, metrics=m, implementation=impl, cost_estimate=estimate)
+        node = self.plan(implementation)
+        context = ExecutionContext(
+            metrics=metrics,
+            cost_model=cost_model,
+            verify_config=verify_config,
+            workers=workers,
+            verify=verify,
+        )
+        node.execute(context)
+        return node.last_result
 
     def explain(self, implementation: str = "auto") -> str:
-        """Describe the plan that :meth:`execute` would run."""
+        """Describe the physical plan that :meth:`execute` would run."""
         impl = implementation
         note = ""
         if impl == "auto":

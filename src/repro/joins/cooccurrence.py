@@ -12,14 +12,19 @@ Input is relational, as in the paper: ``(entity, context)`` pairs, e.g.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Optional, Sequence, Tuple, Union
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+    similarity_udf,
+)
 from repro.tokenize.weights import IDFWeights, WeightTable
 
 __all__ = ["cooccurrence_join"]
@@ -79,23 +84,28 @@ def cooccurrence_join(
             right_pairs, weights=table, name="S"
         )
 
-    predicate = OverlapPredicate.one_sided(threshold, side="left")
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
-
-    matches: List[MatchPair] = []
-    with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap", "norm_r"])
-        for row in result.pairs.rows:
-            a, b, overlap, norm_r = (row[p] for p in pos)
-            if self_join and a == b:
-                continue
-            matches.append(MatchPair(a, b, overlap / norm_r if norm_r else 1.0))
-
-    matches.sort(key=lambda p: repr(p.as_tuple()))
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=threshold,
+    # Figure 5: Jaccard containment over co-occurrence sets — the 1-sided
+    # predicate is exact, no Select stage.
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.one_sided(threshold, side="left"),
+        implementation=implementation,
+        drop_identity=self_join,
+        similarity=similarity_udf(
+            "JC", lambda overlap, norm: overlap / norm if norm else 1.0,
+            "overlap", "norm_r",
+        ),
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics)
+
+    with metrics.phase(PHASE_FILTER):
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=threshold,
+            self_join=self_join,
+            symmetric=False,
+            sort=True,
+        )

@@ -21,15 +21,21 @@ re-tokenization, no UDF over raw strings.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+    similarity_udf,
+)
 from repro.joins.jaccard_join import resolve_weights
+from repro.relational.expressions import col
 from repro.tokenize.sets import WeightedSet
 from repro.tokenize.weights import UnitWeights, WeightTable
 from repro.tokenize.words import words
@@ -83,36 +89,30 @@ def cosine_join(
         pl = _prepare_squared(left, tokenizer, table, "R")
         pr = pl if self_join else _prepare_squared(right_values, tokenizer, table, "S")
 
-    predicate = OverlapPredicate.two_sided(threshold * threshold)
-    result = SSJoin(pl, pr, predicate).execute(
-        implementation, metrics=metrics, workers=workers
+    # cos(u, v) = overlap / sqrt(norm_r·norm_s) over the squared-weight
+    # preparation (module docstring); exactness comes from the Select.
+    def cosine(overlap: float, norm_r: float, norm_s: float) -> float:
+        denominator = math.sqrt(norm_r * norm_s)
+        return overlap / denominator if denominator else 1.0
+
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.two_sided(threshold * threshold),
+        implementation=implementation,
+        similarity=similarity_udf(
+            "COS", cosine, "overlap", "norm_r", "norm_s", metrics=metrics
+        ),
+        keep=col("similarity") + 1e-9 >= threshold,
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics, workers=workers)
 
     with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(
-            ["a_r", "a_s", "overlap", "norm_r", "norm_s"]
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=threshold,
+            self_join=self_join,
+            symmetric=True,
         )
-        raw: List[Tuple[str, str]] = []
-        scored: Dict[Tuple[str, str], float] = {}
-        for row in result.pairs.rows:
-            a, b, overlap, norm_r, norm_s = (row[p] for p in pos)
-            metrics.similarity_comparisons += 1
-            denominator = math.sqrt(norm_r * norm_s)
-            cosine = overlap / denominator if denominator else 1.0
-            if cosine + 1e-9 >= threshold:
-                raw.append((a, b))
-                scored[(a, b)] = cosine
-
-    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
-        set(raw), key=repr
-    )
-    matches = [
-        MatchPair(a, b, scored.get((a, b), scored.get((b, a), 1.0))) for a, b in final
-    ]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=threshold,
-    )

@@ -20,9 +20,15 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import MaxNormBound, OverlapPredicate
 from repro.core.prepared import NORM_LENGTH, PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.base import (
+    MatchPair,
+    SimilarityJoinResult,
+    canonical_self_pairs,
+    compose_join_plan,
+    run_join_plan,
+    similarity_udf,
+)
 from repro.sim.edit import edit_distance_within, edit_similarity
 from repro.tokenize.qgrams import qgrams
 
@@ -87,16 +93,25 @@ def edit_distance_join(
         left_short = [v for v in pl.keys() if len(v) <= cutoff]
         right_short = [v for v in pr.keys() if len(v) <= cutoff]
 
-    predicate = OverlapPredicate([MaxNormBound(1.0, offset)])
-    op = SSJoin(pl, pr, predicate)
-    result = op.execute(implementation, metrics=metrics, workers=workers)
+    # Figure 3: q-gram SSJoin candidates, verified by the exact banded
+    # edit-distance UDF as the plan's Select stage.
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate([MaxNormBound(1.0, offset)]),
+        implementation=implementation,
+        keep=similarity_udf(
+            "ED_WITHIN",
+            lambda a, b: edit_distance_within(a, b, epsilon) is not None,
+            "a_r", "a_s",
+            metrics=metrics,
+        ),
+        project=("a_r", "a_s"),
+    )
+    relation, result = run_join_plan(plan, node, metrics=metrics, workers=workers)
 
-    pairs: List[Tuple[str, str]] = []
     with metrics.phase(PHASE_FILTER):
-        for a, b in result.pair_tuples():
-            metrics.similarity_comparisons += 1
-            if edit_distance_within(a, b, epsilon) is not None:
-                pairs.append((a, b))
+        pairs: List[Tuple[str, str]] = list(relation.rows)
         pairs.extend(
             _short_string_pairs(
                 left_short, right_short, lambda a, b: epsilon, metrics
@@ -155,19 +170,26 @@ def edit_similarity_join(
         left_short = [v for v in pl.keys() if len(v) <= cutoff]
         right_short = [v for v in pr.keys() if len(v) <= cutoff]
 
-    predicate = OverlapPredicate([MaxNormBound(fraction, offset)])
-    op = SSJoin(pl, pr, predicate)
-    result = op.execute(implementation, metrics=metrics, workers=workers)
-
     def budget(a: str, b: str) -> int:
         return int((1.0 - threshold) * max(len(a), len(b)) + 1e-9)
 
-    pairs: List[Tuple[str, str]] = []
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate([MaxNormBound(fraction, offset)]),
+        implementation=implementation,
+        keep=similarity_udf(
+            "ED_WITHIN",
+            lambda a, b: edit_distance_within(a, b, budget(a, b)) is not None,
+            "a_r", "a_s",
+            metrics=metrics,
+        ),
+        project=("a_r", "a_s"),
+    )
+    relation, result = run_join_plan(plan, node, metrics=metrics, workers=workers)
+
     with metrics.phase(PHASE_FILTER):
-        for a, b in result.pair_tuples():
-            metrics.similarity_comparisons += 1
-            if edit_distance_within(a, b, budget(a, b)) is not None:
-                pairs.append((a, b))
+        pairs: List[Tuple[str, str]] = list(relation.rows)
         pairs.extend(_short_string_pairs(left_short, right_short, budget, metrics))
 
     final = canonical_self_pairs(pairs, symmetric=True) if self_join else sorted(

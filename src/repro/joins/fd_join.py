@@ -10,14 +10,19 @@ predicate ``Overlap ≥ k`` — an exact reduction, no post-filter.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+)
+from repro.relational.expressions import col
 from repro.tokenize.sets import WeightedSet
 
 __all__ = ["fd_agreement_join"]
@@ -81,30 +86,24 @@ def fd_agreement_join(
             else _prepare_records(right_records, key, attributes, "S")
         )
 
-    predicate = OverlapPredicate.absolute(float(k))
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
-
-    matches: List[MatchPair] = []
-    with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap"])
-        seen = set()
-        for row in result.pairs.rows:
-            a, b, overlap = (row[p] for p in pos)
-            if self_join:
-                if a == b:
-                    continue
-                pair = (a, b) if repr(a) <= repr(b) else (b, a)
-                if pair in seen:
-                    continue
-                seen.add(pair)
-                a, b = pair
-            matches.append(MatchPair(a, b, overlap / h))
-
-    matches.sort(key=lambda p: repr(p.as_tuple()))
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=float(k),
+    # Figure 6: unit weights + absolute predicate is exact; the agreement
+    # fraction is the overlap rescaled by the attribute count.
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.absolute(float(k)),
+        implementation=implementation,
+        similarity=col("overlap") / float(h),
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics)
+
+    with metrics.phase(PHASE_FILTER):
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=float(k),
+            self_join=self_join,
+            symmetric=True,
+            sort=True,
+        )

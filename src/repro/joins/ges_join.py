@@ -22,15 +22,21 @@ against the brute-force oracle on realistic corpora.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+    similarity_udf,
+)
 from repro.joins.jaccard_join import resolve_weights
+from repro.relational.expressions import col
 from repro.sim.edit import edit_distance_within
 from repro.sim.ges import ges
 from repro.tokenize.sets import WeightedSet
@@ -143,26 +149,30 @@ def ges_join(
             f"derived filter fraction is non-positive (threshold={threshold}, "
             f"beta={beta}); raise beta or threshold"
         )
-    predicate = OverlapPredicate.one_sided(fraction, side="left")
-    result = SSJoin(pl, pr, predicate).execute(
-        implementation, metrics=metrics, workers=workers
+    # Figure 3 shape: SSJoin over the expanded sets is only a candidate
+    # filter; the exact GES UDF runs as the plan's similarity stage (after
+    # the identity drop, so comparison counts match the old loop).
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.one_sided(fraction, side="left"),
+        implementation=implementation,
+        drop_identity=self_join,
+        similarity=similarity_udf(
+            "GES", lambda a, b: ges(a, b, weights=table), "a_r", "a_s",
+            metrics=metrics,
+        ),
+        keep=col("similarity") + 1e-9 >= threshold,
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics, workers=workers)
 
-    pairs: List[MatchPair] = []
     with metrics.phase(PHASE_FILTER):
-        for a, b in result.pair_tuples():
-            if self_join and a == b:
-                continue
-            metrics.similarity_comparisons += 1
-            score = ges(a, b, weights=table)
-            if score + 1e-9 >= threshold:
-                pairs.append(MatchPair(a, b, score))
-
-    pairs.sort(key=lambda p: repr(p.as_tuple()))
-    metrics.result_pairs = len(pairs)
-    return SimilarityJoinResult(
-        pairs=pairs,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=threshold,
-    )
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=threshold,
+            self_join=self_join,
+            symmetric=False,
+            sort=True,
+        )

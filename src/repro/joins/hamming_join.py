@@ -19,9 +19,14 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate, SumNormBound
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+    similarity_udf,
+)
 from repro.tokenize.words import words
 
 __all__ = ["set_hamming_join", "string_hamming_join"]
@@ -59,32 +64,32 @@ def set_hamming_join(
             )
         )
 
-    result = SSJoin(pl, pr, _hamming_predicate(k)).execute(implementation, metrics=metrics)
+    # The SumNormBound reduction is exact, so no Select stage: just the
+    # normalized symmetric-difference score off the output columns.
+    def set_similarity(overlap: float, norm_r: float, norm_s: float) -> float:
+        total = norm_r + norm_s
+        return 1.0 - (total - 2.0 * overlap) / total if total else 1.0
+
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        _hamming_predicate(k),
+        implementation=implementation,
+        similarity=similarity_udf(
+            "SETHAM", set_similarity, "overlap", "norm_r", "norm_s"
+        ),
+    )
+    relation, result = run_join_plan(plan, node, metrics=metrics)
 
     with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap", "norm_r", "norm_s"])
-        scored = {}
-        raw: List[Tuple[str, str]] = []
-        for row in result.pairs.rows:
-            a, b, overlap, norm_r, norm_s = (row[p] for p in pos)
-            total = norm_r + norm_s
-            similarity = 1.0 - (total - 2.0 * overlap) / total if total else 1.0
-            raw.append((a, b))
-            scored[(a, b)] = similarity
-
-    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
-        set(raw), key=repr
-    )
-    matches = [
-        MatchPair(a, b, scored.get((a, b), scored.get((b, a), 1.0))) for a, b in final
-    ]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=float(k),
-    )
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=float(k),
+            self_join=self_join,
+            symmetric=True,
+        )
 
 
 def _position_chars(text: str) -> List[Tuple[int, str]]:
@@ -126,30 +131,31 @@ def string_hamming_join(
     # HD_string ≤ k ⇔ Overlap ≥ L − k — i.e. (L1 + L2)/2 − k for the
     # equal-length pairs the join is defined on.
     predicate = OverlapPredicate([SumNormBound(0.5, 0.5, -float(k))])
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+
+    def string_similarity(a: str, b: str, overlap: float) -> float:
+        return 1.0 - (len(a) - overlap) / len(a) if len(a) else 1.0
+
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        predicate,
+        implementation=implementation,
+        # hamming distance is undefined across lengths
+        keep=similarity_udf(
+            "SAMELEN", lambda a, b: len(a) == len(b), "a_r", "a_s"
+        ),
+        similarity=similarity_udf(
+            "STRHAM", string_similarity, "a_r", "a_s", "overlap"
+        ),
+    )
+    relation, result = run_join_plan(plan, node, metrics=metrics)
 
     with metrics.phase(PHASE_FILTER):
-        raw: List[Tuple[str, str]] = []
-        scored = {}
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap"])
-        for row in result.pairs.rows:
-            a, b, overlap = (row[p] for p in pos)
-            if len(a) != len(b):
-                continue  # hamming distance is undefined across lengths
-            distance = len(a) - overlap
-            raw.append((a, b))
-            scored[(a, b)] = 1.0 - distance / len(a) if len(a) else 1.0
-
-    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
-        set(raw), key=repr
-    )
-    matches = [
-        MatchPair(a, b, scored.get((a, b), scored.get((b, a), 1.0))) for a, b in final
-    ]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=float(k),
-    )
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=float(k),
+            self_join=self_join,
+            symmetric=True,
+        )

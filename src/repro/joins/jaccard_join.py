@@ -10,14 +10,20 @@ re-tokenization needed.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+    similarity_udf,
+)
+from repro.relational.expressions import col
 from repro.tokenize.weights import IDFWeights, WeightTable
 from repro.tokenize.words import words
 
@@ -86,29 +92,31 @@ def jaccard_containment_join(
             )
         )
 
-    predicate = OverlapPredicate.one_sided(threshold, side="left")
-    result = SSJoin(pl, pr, predicate).execute(
-        implementation, metrics=metrics, workers=workers
+    # Figure 4 left panel: the 1-sided predicate is exact, so the plan has
+    # no Select stage — just the containment score read off the output.
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.one_sided(threshold, side="left"),
+        implementation=implementation,
+        drop_identity=self_join,
+        similarity=similarity_udf(
+            "JC", lambda overlap, norm: overlap / norm if norm else 1.0,
+            "overlap", "norm_r",
+        ),
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics, workers=workers)
 
     with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap", "norm_r"])
-        scored: List[Tuple[Tuple[str, str], float]] = []
-        for row in result.pairs.rows:
-            a, b, overlap, norm_r = (row[p] for p in pos)
-            if self_join and a == b:
-                continue
-            similarity = overlap / norm_r if norm_r else 1.0
-            scored.append(((a, b), similarity))
-
-    matches = [MatchPair(p[0], p[1], sim) for p, sim in sorted(scored, key=lambda x: repr(x[0]))]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=threshold,
-    )
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=threshold,
+            self_join=self_join,
+            symmetric=False,
+            sort=True,
+        )
 
 
 def jaccard_resemblance_join(
@@ -145,34 +153,32 @@ def jaccard_resemblance_join(
             )
         )
 
-    predicate = OverlapPredicate.two_sided(threshold)
-    result = SSJoin(pl, pr, predicate).execute(
-        implementation, metrics=metrics, workers=workers
+    # Figure 4 right panel: candidates from the 2-sided containment
+    # SSJoin, then the resemblance check as a Select over the operator's
+    # own output columns — no re-tokenization.
+    def resemblance(overlap: float, norm_r: float, norm_s: float) -> float:
+        union = norm_r + norm_s - overlap
+        return overlap / union if union else 1.0
+
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.two_sided(threshold),
+        implementation=implementation,
+        similarity=similarity_udf(
+            "JR", resemblance, "overlap", "norm_r", "norm_s", metrics=metrics
+        ),
+        keep=col("similarity") + 1e-9 >= threshold,
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics, workers=workers)
 
     with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(
-            ["a_r", "a_s", "overlap", "norm_r", "norm_s"]
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=threshold,
+            self_join=self_join,
+            symmetric=True,
+            default=0.0,
         )
-        accepted: List[Tuple[Tuple[str, str], float]] = []
-        for row in result.pairs.rows:
-            a, b, overlap, norm_r, norm_s = (row[p] for p in pos)
-            metrics.similarity_comparisons += 1
-            union = norm_r + norm_s - overlap
-            resemblance = overlap / union if union else 1.0
-            if resemblance + 1e-9 >= threshold:
-                accepted.append(((a, b), resemblance))
-
-    raw = [p for p, _ in accepted]
-    sims = dict(zip(raw, (s for _, s in accepted)))
-    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
-        set(raw), key=repr
-    )
-    matches = [MatchPair(a, b, sims.get((a, b), sims.get((b, a), 0.0))) for a, b in final]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=threshold,
-    )

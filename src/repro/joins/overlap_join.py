@@ -9,14 +9,19 @@ touching the operator API.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
-from repro.core.ssjoin import SSJoin
-from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+)
 from repro.joins.jaccard_join import resolve_weights
+from repro.relational.expressions import col
 from repro.tokenize.weights import WeightTable
 from repro.tokenize.words import words
 
@@ -57,28 +62,24 @@ def overlap_join(
             )
         )
 
-    predicate = OverlapPredicate.absolute(alpha)
-    result = SSJoin(pl, pr, predicate).execute(implementation, metrics=metrics)
+    # The predicate *is* the similarity notion here: report the operator's
+    # own overlap column as the score.
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.absolute(alpha),
+        implementation=implementation,
+        similarity=col("overlap"),
+    )
+    relation, result = run_join_plan(plan, node, metrics=metrics)
 
     with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap"])
-        raw: List[Tuple[str, str]] = []
-        scored = {}
-        for row in result.pairs.rows:
-            a, b, overlap = (row[p] for p in pos)
-            raw.append((a, b))
-            scored[(a, b)] = overlap
-
-    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
-        set(raw), key=repr
-    )
-    matches = [
-        MatchPair(a, b, scored.get((a, b), scored.get((b, a), 0.0))) for a, b in final
-    ]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=alpha,
-    )
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=alpha,
+            self_join=self_join,
+            symmetric=True,
+            default=0.0,
+        )

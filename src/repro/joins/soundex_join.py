@@ -11,13 +11,18 @@ riding the same primitive.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import PreparedRelation
-from repro.core.ssjoin import SSJoin
-from repro.joins.base import MatchPair, SimilarityJoinResult, canonical_self_pairs
+from repro.joins.base import (
+    SimilarityJoinResult,
+    compose_join_plan,
+    finalize_matches,
+    run_join_plan,
+)
+from repro.relational.expressions import const
 from repro.tokenize.soundex import soundex
 
 __all__ = ["soundex_join"]
@@ -50,21 +55,22 @@ def soundex_join(
             else PreparedRelation.from_strings(right_values, _code_set, name="S")
         )
 
-    result = SSJoin(pl, pr, OverlapPredicate.absolute(1.0)).execute(
-        implementation, metrics=metrics
+    # Code equality is exact: matched pairs all score 1.0.
+    plan, node = compose_join_plan(
+        pl,
+        pr,
+        OverlapPredicate.absolute(1.0),
+        implementation=implementation,
+        similarity=const(1.0),
     )
+    relation, result = run_join_plan(plan, node, metrics=metrics)
 
     with metrics.phase(PHASE_FILTER):
-        raw: List[Tuple[str, str]] = result.pair_tuples()
-
-    final = canonical_self_pairs(raw, symmetric=True) if self_join else sorted(
-        set(raw), key=repr
-    )
-    matches = [MatchPair(a, b, 1.0) for a, b in final]
-    metrics.result_pairs = len(matches)
-    return SimilarityJoinResult(
-        pairs=matches,
-        metrics=metrics,
-        implementation=result.implementation,
-        threshold=1.0,
-    )
+        return finalize_matches(
+            relation.rows,
+            metrics=metrics,
+            implementation=result.implementation,
+            threshold=1.0,
+            self_join=self_join,
+            symmetric=True,
+        )

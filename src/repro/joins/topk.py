@@ -18,10 +18,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.metrics import PHASE_FILTER, PHASE_PREP, ExecutionMetrics
 from repro.core.predicate import OverlapPredicate
 from repro.core.prepared import NORM_WEIGHT, PreparedRelation
-from repro.core.ssjoin import SSJoin
 from repro.errors import PredicateError
-from repro.joins.base import MatchPair
+from repro.joins.base import MatchPair, compose_join_plan, run_join_plan, similarity_udf
 from repro.joins.jaccard_join import resolve_weights
+from repro.relational.expressions import col
 from repro.tokenize.weights import WeightTable
 from repro.tokenize.words import words
 
@@ -65,22 +65,34 @@ def topk_matches(
             references, tokenizer, weights=table, norm=NORM_WEIGHT, name="REF"
         )
 
-    predicate = OverlapPredicate.one_sided(threshold, side="left")
-    result = SSJoin(pq, pref, predicate).execute(implementation, metrics=metrics)
+    # Section 6 composition: thresholded containment SSJoin → similarity
+    # stage (default: containment off the output columns; custom: the
+    # caller's re-ranking UDF plus its threshold Select) → per-query top-k.
+    if similarity is None:
+        score_expr = similarity_udf(
+            "JC", lambda overlap, norm: overlap / norm if norm else 1.0,
+            "overlap", "norm_r",
+        )
+        keep = None
+    else:
+        score_expr = similarity_udf(
+            "SIM", similarity, "a_r", "a_s", metrics=metrics
+        )
+        keep = col("similarity") + 1e-9 >= threshold
+    plan, node = compose_join_plan(
+        pq,
+        pref,
+        OverlapPredicate.one_sided(threshold, side="left"),
+        implementation=implementation,
+        similarity=score_expr,
+        keep=keep,
+    )
+    relation, _ = run_join_plan(plan, node, metrics=metrics)
 
     out: Dict[str, List[MatchPair]] = {query: [] for query in dict.fromkeys(queries)}
     with metrics.phase(PHASE_FILTER):
-        pos = result.pairs.schema.positions(["a_r", "a_s", "overlap", "norm_r"])
         scored: Dict[str, List[Tuple[float, str]]] = {}
-        for row in result.pairs.rows:
-            query, ref, overlap, norm = (row[p] for p in pos)
-            if similarity is None:
-                score = overlap / norm if norm else 1.0
-            else:
-                metrics.similarity_comparisons += 1
-                score = similarity(query, ref)
-                if score + 1e-9 < threshold:
-                    continue
+        for query, ref, score in relation.rows:
             scored.setdefault(query, []).append((score, ref))
         for query, entries in scored.items():
             best = heapq.nlargest(k, entries, key=lambda e: (e[0], e[1]))

@@ -18,6 +18,7 @@ from repro.relational.aggregates import (
     group_by,
 )
 from repro.relational.catalog import Catalog
+from repro.relational.context import ExecutionContext
 from repro.relational.expressions import col, const, maximum, minimum
 from repro.relational.groupwise import groupwise_apply, scan_groups
 from repro.relational.joins import (
@@ -39,6 +40,26 @@ from repro.relational.operators import (
     union_all,
     value_counts,
 )
+from repro.relational.plan import (
+    Custom,
+    Distinct,
+    Extend,
+    GroupBy,
+    Groupwise,
+    HashJoin,
+    Limit,
+    MaterializedInput,
+    MergeJoin,
+    NestedLoopJoin,
+    OrderBy,
+    PlanNode,
+    PreparedInput,
+    Project,
+    Select,
+    SSJoinNode,
+    TableScan,
+    explain,
+)
 from repro.relational.query import Query
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, Schema
@@ -59,6 +80,25 @@ __all__ = [
     "agg_sum",
     "group_by",
     "Catalog",
+    "ExecutionContext",
+    "PlanNode",
+    "TableScan",
+    "MaterializedInput",
+    "PreparedInput",
+    "SSJoinNode",
+    "Select",
+    "Project",
+    "Extend",
+    "Distinct",
+    "OrderBy",
+    "Limit",
+    "HashJoin",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "GroupBy",
+    "Groupwise",
+    "Custom",
+    "explain",
     "col",
     "const",
     "maximum",

@@ -116,8 +116,7 @@ class ColumnRef(Expr):
         self.name = name
 
     def bind(self, schema: Schema) -> RowFn:
-        pos = schema.position(self.name)
-        return lambda row: row[pos]
+        return operator.itemgetter(schema.position(self.name))
 
     def columns(self) -> Tuple[str, ...]:
         return (self.name,)
@@ -157,9 +156,20 @@ class BinaryOp(Expr):
         self.symbol = symbol
 
     def bind(self, schema: Schema) -> RowFn:
+        op = self.op
+        # Constant operands are folded into the closure: plan predicates
+        # like ``overlap >= 0.8 * norm`` run once per candidate row, so
+        # a saved indirection per row is measurable at join scale.
+        if isinstance(self.right, Constant):
+            lf = self.left.bind(schema)
+            rv = self.right.value
+            return lambda row: op(lf(row), rv)
+        if isinstance(self.left, Constant):
+            lv = self.left.value
+            rf = self.right.bind(schema)
+            return lambda row: op(lv, rf(row))
         lf = self.left.bind(schema)
         rf = self.right.bind(schema)
-        op = self.op
         return lambda row: op(lf(row), rf(row))
 
     def columns(self) -> Tuple[str, ...]:
@@ -204,9 +214,19 @@ class FunctionCall(Expr):
         self.args = args
 
     def bind(self, schema: Schema) -> RowFn:
-        bound = [a.bind(schema) for a in self.args]
         fn = self.fn
-        return lambda row: fn(*(b(row) for b in bound))
+        # The joins layer runs similarity UDFs over plain column refs for
+        # every candidate pair; resolving those through one C-level
+        # itemgetter beats a per-argument closure chain.
+        if all(isinstance(a, ColumnRef) for a in self.args):
+            positions = [schema.position(a.name) for a in self.args]
+            if len(positions) == 1:
+                getter = operator.itemgetter(positions[0])
+                return lambda row: fn(getter(row))
+            getter = operator.itemgetter(*positions)
+            return lambda row: fn(*getter(row))
+        bound = [a.bind(schema) for a in self.args]
+        return lambda row: fn(*[b(row) for b in bound])
 
     def columns(self) -> Tuple[str, ...]:
         out: Tuple[str, ...] = ()

@@ -8,6 +8,7 @@ methods do not cover.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import PlanError
@@ -42,6 +43,19 @@ def project(
     Each item of *columns* is either a plain column name (pass-through) or a
     ``(new_name, Expr)`` pair computing a derived column.
     """
+    if columns and all(isinstance(item, str) for item in columns):
+        # Pure column selection — one C-level itemgetter per row instead
+        # of a per-column closure chain (the joins layer projects every
+        # result row through here).
+        positions = [relation.schema.position(item) for item in columns]
+        schema = Schema([Column(n) for n in columns])
+        if len(positions) == 1:
+            single = operator.itemgetter(positions[0])
+            rows = [(single(row),) for row in relation.rows]
+        else:
+            getter = operator.itemgetter(*positions)
+            rows = [getter(row) for row in relation.rows]
+        return Relation(schema, rows, name=relation.name)
     names: List[str] = []
     fns = []
     for item in columns:

@@ -2,19 +2,30 @@
 
 The paper communicates every SSJoin implementation as an operator tree
 (Figures 3–9). This module lets the library build the same trees as data,
-execute them against a :class:`~repro.relational.catalog.Catalog`, and
-pretty-print them — which is how ``SSJoin.explain()`` shows users exactly
-which plan (basic / prefix-filter / inline) was chosen.
+execute them against an :class:`~repro.relational.context.ExecutionContext`
+(or a bare :class:`~repro.relational.catalog.Catalog`), and pretty-print
+them — which is how ``repro explain`` shows users exactly which plan
+(basic / prefix-filter / inline / encoded) was chosen.
+
+Since the Layer-7 refactor, SSJoin itself is a first-class node here:
+:class:`SSJoinNode` is the *logical* similarity-join operator of the
+paper's Figures 7–9, with a real output schema (``a_r, a_s, overlap,
+norm_r, norm_s``) so the plan verifier's PV1xx rules propagate through it,
+and a physical layer (:mod:`repro.core.physical`) that rewrites it to one
+of the basic / prefix / inline / probe / encoded implementations at
+execution time, chosen by the cost model over
+:mod:`repro.relational.stats` histograms.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PlanError
 from repro.relational import operators
 from repro.relational.aggregates import Aggregate, group_by
 from repro.relational.catalog import Catalog
+from repro.relational.context import ExecutionContext
 from repro.relational.expressions import Expr
 from repro.relational.groupwise import groupwise_apply
 from repro.relational.joins import hash_join, merge_join, nested_loop_join
@@ -25,6 +36,8 @@ __all__ = [
     "PlanNode",
     "TableScan",
     "MaterializedInput",
+    "PreparedInput",
+    "SSJoinNode",
     "Select",
     "Project",
     "Extend",
@@ -39,6 +52,10 @@ __all__ = [
     "Custom",
     "explain",
 ]
+
+#: Output schema of every SSJoin node, fixed so downstream operators and
+#: the static verifier can rely on it (mirrors repro.core.basic.RESULT_SCHEMA).
+SSJOIN_RESULT_SCHEMA = Schema(["a_r", "a_s", "overlap", "norm_r", "norm_s"])
 
 
 def _tolerant_schema(columns: Sequence[Column]) -> Schema:
@@ -85,29 +102,71 @@ def _disambiguated_join_schema(
     return Schema(cols)
 
 
+def _probed_schema(
+    fn: Callable[[Relation], Relation], child: Optional[Schema]
+) -> Optional[Schema]:
+    """Infer an opaque transformer's output schema by probing it.
+
+    Applies *fn* to an **empty** relation carrying the child schema and
+    reads the schema of what comes back. For the common schema-preserving
+    subqueries (filter, truncate, sort) this returns the child schema
+    exactly; for projecting transformers it returns the projected schema.
+    Any exception (the transformer needs rows to make sense) degrades to
+    ``None`` — unknown, never wrong.
+    """
+    if child is None:
+        return None
+    try:
+        probed = fn(Relation(child, ()))
+    except Exception:
+        return None
+    if isinstance(probed, Relation):
+        return probed.schema
+    return None
+
+
 class PlanNode:
     """Base class of all logical plan nodes.
+
+    Execution is context-threaded: :meth:`execute` accepts an
+    :class:`~repro.relational.context.ExecutionContext`, a bare
+    :class:`Catalog` (wrapped on the fly — the historical call shape), or
+    ``None``, normalizes it, and dispatches to the node's :meth:`_run`.
+    One context flows through the whole tree, so an SSJoin node deep in a
+    plan shares the same metrics, cost model, caches and worker pool as
+    its siblings.
 
     Besides execution, every node participates in **static schema
     propagation**: :meth:`output_schema` computes the schema this node
     would produce from its children's schemas *without executing
     anything*. Nodes wrapping opaque callables (:class:`Custom`,
-    :class:`Groupwise`) return ``None`` (unknown) unless constructed with
-    a declared output schema — the plan verifier
-    (:mod:`repro.analysis.plan_verifier`) degrades gracefully on unknown
-    subtrees and checks everything else.
+    :class:`Groupwise`) probe the callable against an empty input to
+    recover the schema (see :func:`_probed_schema`); a declared schema
+    always wins, and probing failures degrade to ``None`` — the plan
+    verifier (:mod:`repro.analysis.plan_verifier`) degrades gracefully on
+    unknown subtrees and checks everything else.
     """
 
     #: Child nodes, in order. Populated by subclasses.
     children: Tuple["PlanNode", ...] = ()
 
-    def execute(self, catalog: Catalog) -> Relation:
-        """Evaluate this subtree against *catalog* and return its result."""
+    def execute(
+        self, context: Union[ExecutionContext, Catalog, None] = None
+    ) -> Relation:
+        """Evaluate this subtree against *context* and return its result."""
+        return self._run(ExecutionContext.of(context))
+
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        """Node-specific evaluation against a normalized context."""
         raise NotImplementedError
 
     def label(self) -> str:
         """One-line description used by :func:`explain`."""
         return type(self).__name__
+
+    def annotations(self, context: ExecutionContext) -> Tuple[str, ...]:
+        """Extra EXPLAIN lines (cost estimates etc.), context-aware."""
+        return ()
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         """The statically-known output schema, or ``None`` if unknowable.
@@ -130,8 +189,8 @@ class TableScan(PlanNode):
     def __init__(self, table: str) -> None:
         self.table = table
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return catalog.get(self.table)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return ctx.catalog.get(self.table)
 
     def label(self) -> str:
         return f"Scan({self.table})"
@@ -149,7 +208,7 @@ class MaterializedInput(PlanNode):
         self.relation = relation
         self._label = label_text
 
-    def execute(self, catalog: Catalog) -> Relation:
+    def _run(self, ctx: ExecutionContext) -> Relation:
         return self.relation
 
     def label(self) -> str:
@@ -159,6 +218,127 @@ class MaterializedInput(PlanNode):
         return self.relation.schema
 
 
+class PreparedInput(PlanNode):
+    """Leaf: a prepared (normalized) set relation embedded in the plan.
+
+    This is the paper's Figure-1 ``R(A, B, norm)`` input as a plan leaf.
+    Executed standalone it yields the First-Normal-Form view; an
+    :class:`SSJoinNode` parent recognizes it and hands the wrapped
+    :class:`~repro.core.prepared.PreparedRelation` (group dicts, caches
+    and all) straight to the physical layer, so the plan path costs
+    nothing over the historical facade.
+    """
+
+    def __init__(self, prepared: Any, label_text: Optional[str] = None) -> None:
+        self.prepared = prepared
+        self._label = label_text if label_text is not None else prepared.name
+
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return self.prepared.relation
+
+    def label(self) -> str:
+        return (
+            f"Prepared({self._label}, groups={self.prepared.num_groups}, "
+            f"elements={self.prepared.num_elements})"
+        )
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return self.prepared.relation.schema
+
+
+class SSJoinNode(PlanNode):
+    """The logical SSJoin operator: ``R SSJoin_A S`` over normalized sets.
+
+    Children produce normalized set relations — either
+    :class:`PreparedInput` leaves (the fast path: no conversion) or any
+    subtree yielding rows with columns ``a, b[, w][, norm]`` (a
+    :class:`TableScan` over a First-Normal-Form table, as the SQL
+    ``SSJOIN`` clause compiles to).
+
+    The node itself is purely logical: which physical implementation runs
+    (basic / prefix / inline / probe / encoded-prefix / encoded-probe) is
+    decided at execution time by :mod:`repro.core.physical` using the
+    context's cost model — or forced via *implementation*. After
+    execution, :attr:`last_result` holds the full
+    :class:`~repro.core.physical.SSJoinResult` (pairs, metrics, chosen
+    implementation, cost estimate, parallel report).
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        predicate: Any,
+        implementation: str = "auto",
+        ordering: Any = None,
+        encoding: Any = None,
+    ) -> None:
+        self.children = (left, right)
+        self.predicate = predicate
+        self.implementation = implementation
+        self.ordering = ordering
+        self.encoding = encoding
+        #: SSJoinResult of the most recent execution (None before any).
+        self.last_result: Any = None
+
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        # Imported here: repro.core layers above repro.relational.
+        from repro.core.physical import execute_ssjoin_node
+
+        result = execute_ssjoin_node(self, ctx)
+        self.last_result = result
+        return result.pairs
+
+    def resolve_sides(self, ctx: ExecutionContext) -> Tuple[Any, Any]:
+        """Materialize both children as PreparedRelations.
+
+        :class:`PreparedInput` children pass their prepared relation
+        through untouched (identity preserved, so self-joins stay
+        self-joins); any other child executes and its relation is
+        normalized via ``PreparedRelation.from_relation``.
+        """
+        from repro.core.prepared import PreparedRelation
+
+        sides: List[Any] = []
+        for i, child in enumerate(self.children):
+            if isinstance(child, PreparedInput):
+                sides.append(child.prepared)
+            elif i == 1 and self.children[1] is self.children[0]:
+                sides.append(sides[0])
+            else:
+                sides.append(PreparedRelation.from_relation(child.execute(ctx)))
+        return sides[0], sides[1]
+
+    def label(self) -> str:
+        return f"SSJoin[{self.implementation}]({self.predicate!r})"
+
+    def annotations(self, context: ExecutionContext) -> Tuple[str, ...]:
+        """Per-implementation cost estimates plus the chosen rewrite."""
+        from repro.core.optimizer import CostModel
+
+        try:
+            left, right = self.resolve_sides(context)
+        except Exception:
+            return ("cost: (inputs not resolvable statically)",)
+        model = context.cost_model or CostModel()
+        estimates = model.estimate_all(left, right, self.predicate, self.ordering)
+        chosen = (
+            estimates[0].implementation
+            if self.implementation == "auto"
+            else self.implementation
+        )
+        lines = [f"physical: {chosen}" + (
+            " (chosen by cost model)" if self.implementation == "auto" else " (forced)"
+        )]
+        for e in estimates:
+            marker = "*" if e.implementation == chosen else " "
+            lines.append(f"{marker} cost[{e.implementation}] = {e.cost:.0f}")
+        return tuple(lines)
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        return SSJOIN_RESULT_SCHEMA
+
+
 class Select(PlanNode):
     """σ over a boolean expression."""
 
@@ -166,8 +346,8 @@ class Select(PlanNode):
         self.children = (child,)
         self.predicate = predicate
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return operators.select(self.children[0].execute(catalog), self.predicate)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return operators.select(self.children[0].execute(ctx), self.predicate)
 
     def label(self) -> str:
         return f"Select({self.predicate!r})"
@@ -183,8 +363,8 @@ class Project(PlanNode):
         self.children = (child,)
         self.columns = list(columns)
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return operators.project(self.children[0].execute(catalog), self.columns)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return operators.project(self.children[0].execute(ctx), self.columns)
 
     def label(self) -> str:
         names = [c if isinstance(c, str) else c[0] for c in self.columns]
@@ -211,8 +391,8 @@ class Extend(PlanNode):
         self.column = column
         self.expr = expr
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return operators.extend(self.children[0].execute(catalog), self.column, self.expr)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return operators.extend(self.children[0].execute(ctx), self.column, self.expr)
 
     def label(self) -> str:
         return f"Extend({self.column} := {self.expr!r})"
@@ -230,8 +410,8 @@ class Distinct(PlanNode):
     def __init__(self, child: PlanNode) -> None:
         self.children = (child,)
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return self.children[0].execute(catalog).distinct()
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return self.children[0].execute(ctx).distinct()
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         return self._child_schema(catalog)
@@ -244,8 +424,8 @@ class OrderBy(PlanNode):
         self.children = (child,)
         self.keys = list(keys)
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return operators.order_by(self.children[0].execute(catalog), self.keys)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return operators.order_by(self.children[0].execute(ctx), self.keys)
 
     def label(self) -> str:
         return f"OrderBy({self.keys})"
@@ -261,8 +441,8 @@ class Limit(PlanNode):
         self.children = (child,)
         self.n = n
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return operators.limit(self.children[0].execute(catalog), self.n)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return operators.limit(self.children[0].execute(ctx), self.n)
 
     def label(self) -> str:
         return f"Limit({self.n})"
@@ -297,18 +477,18 @@ class _JoinBase(PlanNode):
 class HashJoin(_JoinBase):
     """Equi-join executed by build/probe hashing."""
 
-    def execute(self, catalog: Catalog) -> Relation:
-        left = self.children[0].execute(catalog)
-        right = self.children[1].execute(catalog)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        left = self.children[0].execute(ctx)
+        right = self.children[1].execute(ctx)
         return hash_join(left, right, self.keys, prefixes=self.prefixes)
 
 
 class MergeJoin(_JoinBase):
     """Equi-join executed by sort-merge."""
 
-    def execute(self, catalog: Catalog) -> Relation:
-        left = self.children[0].execute(catalog)
-        right = self.children[1].execute(catalog)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        left = self.children[0].execute(ctx)
+        right = self.children[1].execute(ctx)
         return merge_join(left, right, self.keys, prefixes=self.prefixes)
 
 
@@ -328,9 +508,9 @@ class NestedLoopJoin(PlanNode):
         self.prefixes = prefixes
         self.description = description
 
-    def execute(self, catalog: Catalog) -> Relation:
-        left = self.children[0].execute(catalog)
-        right = self.children[1].execute(catalog)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        left = self.children[0].execute(ctx)
+        right = self.children[1].execute(ctx)
         return nested_loop_join(left, right, self.predicate, prefixes=self.prefixes)
 
     def label(self) -> str:
@@ -359,8 +539,8 @@ class GroupBy(PlanNode):
         self.aggregates = list(aggregates)
         self.having = having
 
-    def execute(self, catalog: Catalog) -> Relation:
-        child = self.children[0].execute(catalog)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        child = self.children[0].execute(ctx)
         return group_by(child, self.keys, self.aggregates, having=self.having)
 
     def label(self) -> str:
@@ -397,8 +577,8 @@ class Groupwise(PlanNode):
         self.description = description
         self.declares = declares
 
-    def execute(self, catalog: Catalog) -> Relation:
-        child = self.children[0].execute(catalog)
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        child = self.children[0].execute(ctx)
         return groupwise_apply(child, self.keys, self.subquery)
 
     def label(self) -> str:
@@ -407,10 +587,11 @@ class Groupwise(PlanNode):
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         if self.declares is not None:
             return self.declares
-        # A subquery that preserves the group schema (filter/truncate) is
-        # the common case, but it may also project — unknowable statically
-        # without a declaration.
-        return None
+        # Undeclared subqueries are probed against an empty group: the
+        # schema-preserving common case (filter/truncate/sort) and plain
+        # projections both resolve, so PV1xx propagation no longer goes
+        # blind below this node; exotic subqueries degrade to None.
+        return _probed_schema(self.subquery, self._child_schema(catalog))
 
 
 class Custom(PlanNode):
@@ -432,21 +613,35 @@ class Custom(PlanNode):
         self.description = description
         self.declares = declares
 
-    def execute(self, catalog: Catalog) -> Relation:
-        return self.fn(self.children[0].execute(catalog))
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return self.fn(self.children[0].execute(ctx))
 
     def label(self) -> str:
         return f"Custom({self.description})"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
-        return self.declares
+        if self.declares is not None:
+            return self.declares
+        return _probed_schema(self.fn, self._child_schema(catalog))
 
 
-def explain(node: PlanNode, indent: str = "") -> str:
-    """Render a plan tree as an indented multi-line string."""
+def explain(
+    node: PlanNode,
+    indent: str = "",
+    context: Optional[ExecutionContext] = None,
+) -> str:
+    """Render a plan tree as an indented multi-line string.
+
+    With a *context*, nodes contribute :meth:`PlanNode.annotations` —
+    cost estimates and the chosen physical implementation for SSJoin
+    nodes — rendered as ``-- ...`` lines under the node's label.
+    """
     if not isinstance(node, PlanNode):
         raise PlanError(f"cannot explain {node!r}")
     lines = [indent + node.label()]
+    if context is not None:
+        for note in node.annotations(context):
+            lines.append(indent + "  -- " + note)
     for child in node.children:
-        lines.append(explain(child, indent + "  "))
+        lines.append(explain(child, indent + "  ", context=context))
     return "\n".join(lines)

@@ -27,6 +27,7 @@ from typing import Any, Callable, Optional, Sequence, Tuple, Union
 from repro.errors import PlanError
 from repro.relational.aggregates import Aggregate
 from repro.relational.catalog import Catalog
+from repro.relational.context import ExecutionContext
 from repro.relational.expressions import Expr
 from repro.relational.plan import (
     Custom,
@@ -217,10 +218,10 @@ class _LeftOuterJoinNode(PlanNode):
         self.keys = keys
         self.prefixes = prefixes
 
-    def execute(self, catalog: Catalog) -> Relation:
+    def _run(self, ctx: "ExecutionContext") -> Relation:
         return left_outer_join(
-            self.children[0].execute(catalog),
-            self.children[1].execute(catalog),
+            self.children[0].execute(ctx),
+            self.children[1].execute(ctx),
             self.keys,
             prefixes=self.prefixes,
         )

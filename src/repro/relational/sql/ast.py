@@ -22,6 +22,7 @@ __all__ = [
     "SelectItem",
     "TableRef",
     "JoinClause",
+    "SSJoinClause",
     "OrderItem",
     "SelectStatement",
 ]
@@ -112,6 +113,25 @@ class JoinClause:
 
 
 @dataclass(frozen=True)
+class SSJoinClause:
+    """``SSJOIN table [alias] ON OVERLAP(b) >= e [AND OVERLAP(b) >= e]*``.
+
+    The similarity-join clause of the extended grammar: joins the FROM
+    table with *table* under a set-overlap predicate over the shared
+    element column. Each bound expression is a linear form over constants
+    and the two sides' ``norm`` columns (the shapes of the paper's
+    Example 2), lowered by the compiler to one
+    :class:`repro.core.predicate.Bound` conjunct.
+    """
+
+    table: TableRef
+    #: the element column named inside OVERLAP(...)
+    element_column: str
+    #: one bound expression per OVERLAP(...) >= conjunct
+    bounds: Tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
 class OrderItem:
     column: ColumnName
     descending: bool = False
@@ -124,6 +144,7 @@ class SelectStatement:
     items: List[SelectItem]
     table: TableRef
     joins: List[JoinClause] = field(default_factory=list)
+    ssjoins: List[SSJoinClause] = field(default_factory=list)
     where: Optional[SqlExpr] = None
     group_by: List[ColumnName] = field(default_factory=list)
     having: Optional[SqlExpr] = None

@@ -41,6 +41,17 @@ from repro.relational.operators import project as op_project
 from repro.relational.operators import select as op_select
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.relational.context import ExecutionContext
+from repro.relational.plan import (
+    Distinct,
+    Limit,
+    OrderBy,
+    PlanNode,
+    Project,
+    Select,
+    SSJoinNode,
+    TableScan,
+)
 from repro.relational.sql.ast import (
     Binary,
     Call,
@@ -49,12 +60,13 @@ from repro.relational.sql.ast import (
     SelectItem,
     SelectStatement,
     SqlExpr,
+    SSJoinClause,
     Star,
     Unary,
 )
 from repro.relational.sql.parser import parse
 
-__all__ = ["execute_sql", "compile_statement"]
+__all__ = ["execute_sql", "compile_statement", "compile_ssjoin_plan"]
 
 _AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
 _SCALARS: Dict[str, Callable] = {
@@ -262,10 +274,221 @@ def _item_name(item: SelectItem, index: int) -> str:
     return f"expr_{index}"
 
 
+#: The two norm columns an SSJOIN bound expression may reference, tagged
+#: by side, plus MAXNORM — max(norm_r, norm_s) — for the edit-join form.
+_SIDE_LEFT = "left"
+_SIDE_RIGHT = "right"
+_SIDE_MAX = "max"
+
+
+class _LinearBound:
+    """A bound expression normalized to linear form.
+
+    ``coefficients[side] * norm(side) + constant`` summed over the sides
+    referenced; the paper's Example 2 shapes are exactly the linear forms
+    over the two norms, which is all the grammar admits.
+    """
+
+    def __init__(self) -> None:
+        self.constant = 0.0
+        self.coefficients: Dict[str, float] = {}
+
+    def add(self, other: "_LinearBound", sign: float = 1.0) -> None:
+        self.constant += sign * other.constant
+        for side, coef in other.coefficients.items():
+            self.coefficients[side] = self.coefficients.get(side, 0.0) + sign * coef
+
+
+def _norm_side(column: ColumnName, left_label: str, right_label: str) -> str:
+    """Which side a ``norm`` reference inside an SSJOIN bound names."""
+    if column.name != "norm":
+        raise PlanError(
+            f"SSJOIN bounds may reference only 'norm' columns, got "
+            f"{column.display()!r}"
+        )
+    if column.qualifier is None:
+        raise PlanError(
+            "ambiguous 'norm' in SSJOIN bound; qualify it with a table "
+            f"alias ({left_label!r} or {right_label!r})"
+        )
+    if column.qualifier == left_label:
+        return _SIDE_LEFT
+    if column.qualifier == right_label:
+        return _SIDE_RIGHT
+    raise PlanError(
+        f"unknown qualifier {column.qualifier!r} in SSJOIN bound; "
+        f"expected {left_label!r} or {right_label!r}"
+    )
+
+
+def _linearize_bound(
+    node: SqlExpr, left_label: str, right_label: str
+) -> _LinearBound:
+    """Fold a bound expression into `Σ coef·norm + const` or fail."""
+    out = _LinearBound()
+    if isinstance(node, Literal):
+        if not isinstance(node.value, (int, float)) or isinstance(node.value, bool):
+            raise PlanError(f"SSJOIN bound constants must be numeric, got {node.value!r}")
+        out.constant = float(node.value)
+        return out
+    if isinstance(node, ColumnName):
+        out.coefficients[_norm_side(node, left_label, right_label)] = 1.0
+        return out
+    if isinstance(node, Call) and node.name == "MAXNORM":
+        if node.args:
+            raise PlanError("MAXNORM() takes no arguments")
+        out.coefficients[_SIDE_MAX] = 1.0
+        return out
+    if isinstance(node, Unary) and node.op == "NEG":
+        out.add(_linearize_bound(node.operand, left_label, right_label), sign=-1.0)
+        return out
+    if isinstance(node, Binary) and node.op in ("+", "-"):
+        out.add(_linearize_bound(node.left, left_label, right_label))
+        out.add(
+            _linearize_bound(node.right, left_label, right_label),
+            sign=-1.0 if node.op == "-" else 1.0,
+        )
+        return out
+    if isinstance(node, Binary) and node.op == "*":
+        left = _linearize_bound(node.left, left_label, right_label)
+        right = _linearize_bound(node.right, left_label, right_label)
+        if left.coefficients and right.coefficients:
+            raise PlanError(
+                "SSJOIN bounds must be linear in the norms; cannot multiply "
+                "two norm-dependent terms"
+            )
+        scale, linear = (
+            (left.constant, right) if not left.coefficients else (right.constant, left)
+        )
+        out.constant = scale * linear.constant
+        out.coefficients = {s: scale * c for s, c in linear.coefficients.items()}
+        return out
+    raise PlanError(
+        f"unsupported SSJOIN bound expression {node!r}; bounds are linear "
+        "forms over constants, alias.norm, and MAXNORM()"
+    )
+
+
+def _lower_bound(node: SqlExpr, left_label: str, right_label: str) -> Any:
+    """Lower one OVERLAP(...) >= bound conjunct to a core ``Bound``.
+
+    Typed ``Any`` because the Bound classes live in :mod:`repro.core`,
+    which this module may only import lazily (layering).
+    """
+    # Imported lazily: repro.core layers above repro.relational.
+    from repro.core.predicate import (
+        AbsoluteBound,
+        LeftNormBound,
+        MaxNormBound,
+        RightNormBound,
+        SumNormBound,
+    )
+
+    linear = _linearize_bound(node, left_label, right_label)
+    coefs = {s: c for s, c in linear.coefficients.items() if abs(c) > 1e-12}
+    sides = set(coefs)
+    if _SIDE_MAX in sides and sides != {_SIDE_MAX}:
+        raise PlanError(
+            "an SSJOIN bound may use MAXNORM() or per-side norms, not both"
+        )
+    if not sides:
+        return AbsoluteBound(linear.constant)
+    if sides == {_SIDE_MAX}:
+        return MaxNormBound(coefs[_SIDE_MAX], linear.constant)
+    if sides == {_SIDE_LEFT}:
+        return LeftNormBound(coefs[_SIDE_LEFT], linear.constant)
+    if sides == {_SIDE_RIGHT}:
+        return RightNormBound(coefs[_SIDE_RIGHT], linear.constant)
+    return SumNormBound(coefs[_SIDE_LEFT], coefs[_SIDE_RIGHT], linear.constant)
+
+
+def _ssjoin_predicate(clause: SSJoinClause, left_label: str, right_label: str) -> Any:
+    from repro.core.predicate import OverlapPredicate
+
+    if left_label == right_label:
+        raise PlanError(
+            f"SSJOIN sides share the label {left_label!r}; alias one of "
+            "the tables so norm references are unambiguous"
+        )
+    return OverlapPredicate(
+        [_lower_bound(b, left_label, right_label) for b in clause.bounds]
+    )
+
+
+def compile_ssjoin_plan(statement: SelectStatement, catalog: Catalog) -> PlanNode:
+    """Lower an SSJOIN statement to a logical plan tree.
+
+    The tree is the paper's Figure 7–9 shape: an :class:`SSJoinNode` over
+    two table scans (one scan, shared, for a self-join), a ``Select`` for
+    the WHERE post-filter, ``OrderBy``/``Project``/``Distinct``/``Limit``
+    above it. The catalog is only consulted at execution time; this
+    function is purely structural, so the plan verifier can inspect the
+    tree without side effects.
+    """
+    if len(statement.ssjoins) != 1:
+        raise PlanError("exactly one SSJOIN clause is supported per statement")
+    if statement.joins:
+        raise PlanError("SSJOIN cannot be combined with ordinary JOIN clauses")
+    if statement.group_by or statement.having:
+        raise PlanError("SSJOIN does not support GROUP BY/HAVING")
+    if any(
+        not isinstance(i.expr, Star) and _contains_aggregate(i.expr)
+        for i in statement.items
+    ):
+        raise PlanError("SSJOIN select lists cannot contain aggregates")
+    clause = statement.ssjoins[0]
+    if clause.element_column != "b":
+        raise PlanError(
+            f"SSJOIN joins normalized set relations on their 'b' element "
+            f"column; got OVERLAP({clause.element_column})"
+        )
+    predicate = _ssjoin_predicate(
+        clause, statement.table.label, clause.table.label
+    )
+
+    left: PlanNode = TableScan(statement.table.table)
+    # A self-join shares one scan node so the physical layer sees the
+    # identical prepared relation on both sides.
+    right: PlanNode = (
+        left
+        if clause.table.table == statement.table.table
+        else TableScan(clause.table.table)
+    )
+    node: PlanNode = SSJoinNode(left, right, predicate)
+
+    if statement.where is not None:
+        node = Select(node, _compile_expr(statement.where))
+    if statement.order_by:
+        keys = []
+        for item in statement.order_by:
+            name = item.column.name
+            keys.append((name, "desc") if item.descending else name)
+        node = OrderBy(node, keys)
+    if not (len(statement.items) == 1 and isinstance(statement.items[0].expr, Star)):
+        columns = []
+        for i, item in enumerate(statement.items):
+            if isinstance(item.expr, Star):
+                raise PlanError("'*' cannot be mixed with other select items")
+            columns.append((_item_name(item, i), _compile_expr(item.expr)))
+        node = Project(node, columns)
+    if statement.distinct:
+        node = Distinct(node)
+    if statement.limit is not None:
+        node = Limit(node, statement.limit)
+    return node
+
+
 def compile_statement(
     statement: SelectStatement, catalog: Catalog
 ) -> Callable[[], Relation]:
     """Compile *statement* into an executable closure ``() -> Relation``."""
+    if statement.ssjoins:
+        plan = compile_ssjoin_plan(statement, catalog)
+
+        def run_plan() -> Relation:
+            return plan.execute(ExecutionContext(catalog=catalog))
+
+        return run_plan
 
     def run() -> Relation:
         # -- FROM / JOIN --------------------------------------------------

@@ -18,7 +18,12 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
     "JOIN", "INNER", "LEFT", "OUTER", "ON", "AS", "AND", "OR", "NOT", "ASC", "DESC",
     "DISTINCT", "NULL", "TRUE", "FALSE", "IS", "IN", "BETWEEN", "UNION", "ALL",
+    "SSJOIN",
 }
+# OVERLAP is deliberately NOT a keyword: the SSJoin result schema has a
+# column named `overlap`, which must stay usable as an ordinary
+# identifier in WHERE/ORDER BY. The parser matches OVERLAP as a
+# contextual name inside SSJOIN ... ON.
 
 #: Multi-character operators first so maximal munch works.
 _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")

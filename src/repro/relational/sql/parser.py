@@ -2,14 +2,16 @@
 
 Grammar (the subset the SSJoin plans and ordinary analytics need)::
 
-    select    := SELECT [DISTINCT] items FROM tableref join* [WHERE expr]
-                 [GROUP BY columns [HAVING expr]]
+    select    := SELECT [DISTINCT] items FROM tableref (join | ssjoin)*
+                 [WHERE expr] [GROUP BY columns [HAVING expr]]
                  [ORDER BY order_items] [LIMIT n]
     items     := '*' | item (',' item)*
     item      := expr [[AS] name]
     tableref  := name [[AS] name]
     join      := ([INNER] | LEFT [OUTER]) JOIN tableref ON on_cond
     on_cond   := equality (AND equality)*     -- equi-joins only
+    ssjoin    := SSJOIN tableref ON overlap (AND overlap)*
+    overlap   := OVERLAP '(' name ')' '>=' add   -- OVERLAP is contextual
     expr      := or ; or := and (OR and)* ; and := not (AND not)*
     not       := [NOT] cmp
     cmp       := add (('='|'<>'|'!='|'<'|'<='|'>'|'>=') add
@@ -36,6 +38,7 @@ from repro.relational.sql.ast import (
     OrderItem,
     SelectItem,
     SelectStatement,
+    SSJoinClause,
     Star,
     SqlExpr,
     TableRef,
@@ -104,7 +107,11 @@ class _Parser:
         table = self.parse_tableref()
 
         joins: List[JoinClause] = []
-        while self.current.is_keyword("JOIN", "INNER", "LEFT"):
+        ssjoins: List[SSJoinClause] = []
+        while self.current.is_keyword("JOIN", "INNER", "LEFT", "SSJOIN"):
+            if self.accept_keyword("SSJOIN"):
+                ssjoins.append(self.parse_ssjoin_clause())
+                continue
             outer = False
             if self.accept_keyword("LEFT"):
                 self.accept_keyword("OUTER")
@@ -151,6 +158,7 @@ class _Parser:
             items=items,
             table=table,
             joins=joins,
+            ssjoins=ssjoins,
             where=where,
             group_by=group_by,
             having=having,
@@ -187,6 +195,40 @@ class _Parser:
         elif self.current.kind == "name":
             alias = self.advance().value
         return TableRef(table, alias)
+
+    def parse_ssjoin_clause(self) -> SSJoinClause:
+        """``SSJOIN`` already consumed: tableref ON overlap (AND overlap)*."""
+        table = self.parse_tableref()
+        self.expect_keyword("ON")
+        element, bounds = self.parse_overlap_term()
+        bound_list = [bounds]
+        while self.accept_keyword("AND"):
+            next_element, next_bound = self.parse_overlap_term()
+            if next_element != element:
+                raise self.error(
+                    f"all OVERLAP conjuncts of one SSJOIN must use the same "
+                    f"element column (got {element!r} and {next_element!r})"
+                )
+            bound_list.append(next_bound)
+        return SSJoinClause(table, element, tuple(bound_list))
+
+    def parse_overlap_term(self) -> Tuple[str, SqlExpr]:
+        """One ``OVERLAP(column) >= bound`` conjunct.
+
+        OVERLAP is a *contextual* name, not a keyword — `overlap` stays
+        usable as a column (it is one in the SSJoin result schema).
+        """
+        token = self.current
+        if not (token.kind == "name" and token.value.upper() == "OVERLAP"):
+            raise self.error("SSJOIN ... ON expects OVERLAP(column) >= bound")
+        self.advance()
+        self.expect_punct("(")
+        element = self.expect_name()
+        self.expect_punct(")")
+        if not (self.current.kind == "op" and self.current.value == ">="):
+            raise self.error("OVERLAP(column) supports only the >= comparison")
+        self.advance()
+        return element, self.parse_additive()
 
     def parse_on_condition(self) -> List[Tuple[ColumnName, ColumnName]]:
         pairs = [self.parse_equality()]

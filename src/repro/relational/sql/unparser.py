@@ -20,6 +20,7 @@ from repro.relational.sql.ast import (
     OrderItem,
     SelectItem,
     SelectStatement,
+    SSJoinClause,
     Star,
     SqlExpr,
     TableRef,
@@ -110,6 +111,14 @@ def _join(clause: JoinClause) -> str:
     return f"{kind} {_table_ref(clause.table)} ON {conditions}"
 
 
+def _ssjoin(clause: SSJoinClause) -> str:
+    conjuncts = " AND ".join(
+        f"OVERLAP({clause.element_column}) >= {expr_to_sql(bound)}"
+        for bound in clause.bounds
+    )
+    return f"SSJOIN {_table_ref(clause.table)} ON {conjuncts}"
+
+
 def _item(item: SelectItem) -> str:
     text = expr_to_sql(item.expr)
     return f"{text} AS {item.alias}" if item.alias else text
@@ -133,6 +142,8 @@ def to_sql(statement: SelectStatement) -> str:
     parts.append(f"FROM {_table_ref(statement.table)}")
     for join in statement.joins:
         parts.append(_join(join))
+    for clause in statement.ssjoins:
+        parts.append(_ssjoin(clause))
     if statement.where is not None:
         parts.append(f"WHERE {expr_to_sql(statement.where)}")
     if statement.group_by:

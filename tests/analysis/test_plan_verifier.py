@@ -198,12 +198,26 @@ def test_pv106_empty_join_keys(catalog):
 # -- opaque nodes degrade gracefully ----------------------------------------
 
 
-def test_opaque_custom_node_is_not_guessed_at(catalog):
+def test_schema_preserving_custom_node_is_probed(catalog):
+    # An undeclared Custom node is probed against an empty input: the
+    # identity transformer provably preserves the child schema, so a bad
+    # reference above it IS caught (and a good one verifies clean).
+    opaque = Custom(TableScan("orders"), lambda rel: rel, "opaque")
+    report = verify_plan(Select(opaque, col("anything") >= 1), catalog)
+    assert "PV101" in rules(report)
+    assert verify_plan(Select(opaque, col("customer") >= 1), catalog).ok
+
+
+def test_unprobeable_custom_node_is_not_guessed_at(catalog):
+    def needs_rows(rel):
+        rel.rows[0]  # raises on the empty probe
+        return rel
+
     plan = Select(
-        Custom(TableScan("orders"), lambda rel: rel, "opaque"),
+        Custom(TableScan("orders"), needs_rows, "row-dependent"),
         col("anything") >= 1,
     )
-    # The Custom output schema is unknown, so no PV101 can be proven.
+    # Probing fails, the schema stays unknown, no PV101 can be proven.
     assert verify_plan(plan, catalog).ok
 
 

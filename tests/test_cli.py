@@ -1,5 +1,8 @@
 """End-to-end tests for the command-line interface."""
 
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -96,6 +99,49 @@ class TestExplainAndGenerate:
         out = capsys.readouterr().out
         assert "SSJoin[" in out
         assert "cost model" in out
+
+    def test_explain_golden_tree(self, corpus, capsys):
+        """Golden output: the full operator tree with cost annotations."""
+        main(["explain", "--input", str(corpus), "--threshold", "0.8"])
+        out = capsys.readouterr().out
+        operator_lines = [
+            l for l in out.splitlines() if l.strip() and "--" not in l
+        ]
+        assert operator_lines == [
+            "Project(a_r, a_s, similarity)",
+            "  Select(((similarity + 1e-09) >= 0.8))",
+            "    Extend(similarity := JR(overlap, norm_r, norm_s))",
+            "      Select((a_r <> a_s))",
+            "        SSJoin[auto](Overlap >= 0.8*R.norm AND Overlap >= 0.8*S.norm)",
+            "          Prepared(input, groups=5, elements=10)",
+            "          Prepared(input, groups=5, elements=10)",
+        ]
+        notes = [l.strip() for l in out.splitlines() if l.strip().startswith("--")]
+        assert notes[0].startswith("-- physical: ")
+        assert notes[0].endswith("(chosen by cost model)")
+        costed = {
+            re.match(r"-- [* ]?\s*cost\[([a-z-]+)\] = \d+$", n).group(1)
+            for n in notes[1:]
+        }
+        assert {"basic", "prefix", "inline", "probe"} <= costed
+
+    def test_explain_fig12_golden_snapshot(self, tmp_path, capsys):
+        """The Fig-12 workload's plan, pinned (costs masked to N).
+
+        CI's golden-plan job runs the same pipeline; regenerate with:
+        ``repro generate --rows 200 --seed 20060403 --out fig12.txt &&
+        repro explain --input fig12.txt --threshold 0.8 |
+        sed -E 's/= [0-9]+$/= N/' > tests/golden/explain_fig12.txt``
+        """
+        data = tmp_path / "fig12.txt"
+        main(["generate", "--rows", "200", "--seed", "20060403",
+              "--out", str(data)])
+        capsys.readouterr()
+        main(["explain", "--input", str(data), "--threshold", "0.8"])
+        out = capsys.readouterr().out
+        masked = re.sub(r"= \d+$", "= N", out, flags=re.MULTILINE)
+        golden = Path(__file__).parent / "golden" / "explain_fig12.txt"
+        assert masked == golden.read_text()
 
     def test_generate_roundtrip(self, tmp_path, capsys):
         path = tmp_path / "gen.txt"
