@@ -1,0 +1,273 @@
+"""Batch-vs-row execution benchmark: the Layer-8 vectorization headroom.
+
+Two measurements back the ``batch_exec`` block of BENCH_core.json and
+the ``repro bench`` CLI command:
+
+* :func:`pipeline_sweep` — a ``TableScan -> Select -> Extend -> Project``
+  plan over a synthetic orders table (the 10^5–10^6-row sweep), executed
+  row-at-a-time (``batch_size=0``) and vectorized at several morsel
+  sizes.  The join-free plan isolates exactly the per-row interpreter
+  overhead the batch protocol amortizes: specialized selection kernels,
+  column slicing, batched expression evaluation.
+* :func:`fig12_headroom` — the composed Fig-12 Jaccard join plan at one
+  row count (CI's batch-smoke point is 60k), batch vs row.  The SSJoin
+  kernel dominates this plan, so the expected ratio is ~1.0x; the block
+  records it to pin "vectorization never regresses the end-to-end join".
+
+Both return plain dicts so ``run_core_bench`` embeds them verbatim, and
+both verify equivalence while timing: every configuration must produce
+bit-identical rows and (for the join) exactly equal deterministic
+counters, or they raise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BenchmarkConfigError
+from repro.relational.batch import default_batch_size
+from repro.relational.catalog import Catalog
+from repro.relational.context import ExecutionContext
+from repro.relational.expressions import FunctionCall, col
+from repro.relational.plan import Extend, PlanNode, Project, Select, TableScan
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = [
+    "fig12_headroom",
+    "orders_relation",
+    "pipeline_plan",
+    "pipeline_sweep",
+    "time_plan",
+]
+
+#: Morsel sizes the sweep compares against the row path (0 = row path).
+SWEEP_BATCH_SIZES: Tuple[int, ...] = (1024, 4096, 16384)
+
+_ORDERS_SCHEMA = Schema(("order_id", "customer", "qty", "price"))
+_CUSTOMERS = tuple(f"customer-{i:03d}" for i in range(257))
+
+
+def orders_relation(rows: int, seed: int = 20060403) -> Relation:
+    """A deterministic synthetic orders table of *rows* rows."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(rows):
+        out.append(
+            (
+                i,
+                _CUSTOMERS[rng.randrange(len(_CUSTOMERS))],
+                rng.randrange(1, 20),
+                round(rng.uniform(1.0, 200.0), 2),
+            )
+        )
+    return Relation(_ORDERS_SCHEMA, out, name="orders")
+
+
+def pipeline_plan() -> PlanNode:
+    """The sweep's plan: scan -> fused-AND select -> extend -> project.
+
+    Shapes chosen to light up every vectorized kernel: two constant
+    comparisons fused by AND (selection vectors + set-membership
+    intersection), an all-ColumnRef FunctionCall extend (``map`` over
+    zipped columns), and a mixed name/expression projection.
+    """
+    scan = TableScan("orders")
+    selected = Select(scan, (col("qty") >= 3).and_(col("price") < 150.0))
+    total = FunctionCall(
+        "TOTAL", lambda q, p: q * p, (col("qty"), col("price"))
+    )
+    extended = Extend(selected, "total", total)
+    return Project(
+        extended, ["customer", "total", ("discounted", col("total") * 0.9)]
+    )
+
+
+@contextlib.contextmanager
+def _gc_quiesced():
+    """Collected heap, collector off — the E16 timing methodology.
+
+    The column lists the batch path allocates are GC-tracked containers;
+    a cyclic collection landing mid-run walks every live tuple of the
+    10^5–10^6-row input and charges the cost to whichever batch size
+    happened to trip the threshold, which at these timescales swamps the
+    row/batch delta being measured.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def time_plan(
+    plan: PlanNode,
+    catalog: Catalog,
+    batch_size: Optional[int],
+    repeats: int = 3,
+) -> Tuple[float, Relation]:
+    """Fastest-of-*repeats* wall time for one plan execution."""
+    if repeats < 1:
+        raise BenchmarkConfigError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        ctx = ExecutionContext(catalog=catalog, batch_size=batch_size)
+        with _gc_quiesced():
+            start = time.perf_counter()
+            out = plan.execute(ctx)
+            elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            result = out
+    return best, result
+
+
+def pipeline_sweep(
+    row_counts: Sequence[int],
+    repeats: int = 3,
+    batch_sizes: Sequence[int] = SWEEP_BATCH_SIZES,
+) -> Dict[str, Any]:
+    """Row-path vs batch-path timings for the pipeline plan.
+
+    Returns the ``batch_exec["pipeline"]`` block: one record per row
+    count with the row-path seconds, per-morsel-size seconds, and the
+    best-batch speedup.  Raises if any batch configuration's rows differ
+    from the row path's (the sweep doubles as an equivalence check).
+    """
+    plan = pipeline_plan()
+    records: List[Dict[str, Any]] = []
+    for rows in row_counts:
+        catalog = Catalog()
+        catalog.register("orders", orders_relation(rows))
+        row_seconds, row_result = time_plan(plan, catalog, 0, repeats)
+        baseline = tuple(row_result.rows)
+        sized: Dict[str, float] = {}
+        for size in batch_sizes:
+            seconds, result = time_plan(plan, catalog, size, repeats)
+            if tuple(result.rows) != baseline:
+                raise AssertionError(
+                    f"batch_size={size} diverged from the row path "
+                    f"at rows={rows}"
+                )
+            sized[str(size)] = seconds
+        best = min(sized.values())
+        records.append(
+            {
+                "rows": rows,
+                "result_rows": len(baseline),
+                "row_seconds": row_seconds,
+                "batch_seconds": sized,
+                "best_batch_seconds": best,
+                "speedup": row_seconds / best if best > 0 else None,
+            }
+        )
+    return {
+        "plan": "TableScan -> Select(AND) -> Extend(udf) -> Project",
+        "repeats": repeats,
+        "batch_sizes": list(batch_sizes),
+        "default_batch_size": default_batch_size(),
+        "records": records,
+    }
+
+
+def fig12_headroom(
+    rows: int, threshold: float = 0.8, repeats: int = 3
+) -> Dict[str, Any]:
+    """Batch vs row on the composed Fig-12 join plan at one row count.
+
+    Times the full ``dedupe``-shaped plan (SSJoin + identity drop +
+    similarity UDF + threshold filter + projection) with the batch
+    protocol on (default morsel size) and off (``batch_size=0``),
+    asserting bit-identical rows and exactly equal deterministic
+    counters.  This is CI's batch-smoke assertion: ``speedup >= 1.0``
+    within noise (the block stores the raw ratio; the CI gate applies
+    its tolerance).
+    """
+    # Imported here: repro.joins sits above repro.bench in some paths and
+    # pulls the tokenizer stack only this function needs.
+    from repro.core.metrics import ExecutionMetrics
+    from repro.core.predicate import OverlapPredicate
+    from repro.core.prepared import NORM_WEIGHT, PreparedRelation
+    from repro.data.corruptions import CorruptionConfig
+    from repro.data.customers import CustomerConfig, generate_addresses
+    from repro.joins.base import compose_join_plan, similarity_udf
+    from repro.joins.jaccard_join import resolve_weights
+    from repro.tokenize.words import words
+
+    # The core bench's Fig-12 corpus parameters (benchmarks/conftest.py).
+    values = generate_addresses(
+        CustomerConfig(
+            num_rows=rows,
+            duplicate_fraction=0.25,
+            seed=20060403,
+            corruption=CorruptionConfig(
+                char_edit_prob=0.35, max_char_edits=1, abbreviation_prob=0.55,
+                token_drop_prob=0.15, token_swap_prob=0.45,
+            ),
+        )
+    )
+    table = resolve_weights("idf", words, values, values)
+    prepared = PreparedRelation.from_strings(
+        values, words, weights=table, norm=NORM_WEIGHT, name="R"
+    )
+
+    def resemblance(overlap: float, norm_r: float, norm_s: float) -> float:
+        union = norm_r + norm_s - overlap
+        return overlap / union if union else 1.0
+
+    plan, _ = compose_join_plan(
+        prepared,
+        prepared,
+        OverlapPredicate.two_sided(threshold),
+        drop_identity=True,
+        similarity=similarity_udf("JR", resemblance, "overlap", "norm_r", "norm_s"),
+        keep=col("similarity") + 1e-9 >= threshold,
+    )
+
+    def run(batch_size: Optional[int]):
+        best = float("inf")
+        kept = None
+        for _ in range(repeats):
+            m = ExecutionMetrics()
+            ctx = ExecutionContext(metrics=m, batch_size=batch_size)
+            with _gc_quiesced():
+                start = time.perf_counter()
+                out = plan.execute(ctx)
+                elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+                kept = (out, m)
+        out, m = kept
+        counters = {
+            "candidate_pairs": m.candidate_pairs,
+            "output_pairs": m.output_pairs,
+            "verify": m.verify_stats(),
+        }
+        return best, tuple(out.rows), counters
+
+    row_seconds, row_rows, row_counters = run(0)
+    batch_seconds, batch_rows, batch_counters = run(None)
+    if batch_rows != row_rows:
+        raise AssertionError("batch path diverged from row path on Fig-12 plan")
+    if batch_counters != row_counters:
+        raise AssertionError(
+            f"batch path counters diverged: {batch_counters} != {row_counters}"
+        )
+    return {
+        "rows": rows,
+        "threshold": threshold,
+        "repeats": repeats,
+        "result_rows": len(row_rows),
+        "row_seconds": row_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": row_seconds / batch_seconds if batch_seconds > 0 else None,
+        "counters": row_counters,
+    }

@@ -151,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra files/directories to lint beyond the default hot paths",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="time the vectorized batch plan path against the row path",
+    )
+    bench.add_argument("--rows", type=int, default=100000,
+                       help="synthetic pipeline input rows (default 100000)")
+    bench.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="morsel capacity for the batch run; omit for the cost-model "
+        "default (PARALLEL_TASK/(JOIN_ROW*1%%) rounded to a power of two, "
+        "clamped to 1k-16k)",
+    )
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="keep the fastest of K runs per path")
+
     gen = sub.add_parser("generate", help="write a synthetic customer-address file")
     gen.add_argument("--rows", type=int, default=500)
     gen.add_argument("--seed", type=int, default=20060403)
@@ -291,6 +306,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.batch_bench import orders_relation, pipeline_plan, time_plan
+    from repro.relational.batch import default_batch_size
+    from repro.relational.catalog import Catalog
+    from repro.relational.context import ExecutionContext
+
+    catalog = Catalog()
+    catalog.register("orders", orders_relation(args.rows))
+    plan = pipeline_plan()
+    size = args.batch_size
+    resolved = ExecutionContext(batch_size=size).resolved_batch_size()
+    row_seconds, row_result = time_plan(plan, catalog, 0, repeats=args.repeats)
+    batch_seconds, batch_result = time_plan(
+        plan, catalog, size, repeats=args.repeats
+    )
+    if tuple(batch_result.rows) != tuple(row_result.rows):
+        print("error: batch path diverged from row path", file=sys.stderr)
+        return 1
+    speedup = row_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+    print(f"rows={args.rows} result_rows={len(row_result)} "
+          f"batch_size={resolved} (default={default_batch_size()})")
+    print(f"row path:   {row_seconds:.4f}s")
+    print(f"batch path: {batch_seconds:.4f}s  ({speedup:.2f}x)")
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     rows = generate_addresses(
         CustomerConfig(num_rows=args.rows, seed=args.seed,
@@ -312,6 +353,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sql": _cmd_sql,
         "explain": _cmd_explain,
         "analyze": _cmd_analyze,
+        "bench": _cmd_bench,
         "generate": _cmd_generate,
     }
     return handlers[args.command](args)

@@ -32,6 +32,7 @@ from repro.core.ordering import ElementOrdering
 from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.core.verify import VerifyConfig, engine_for_encoded
+from repro.relational.batch import ColumnarRelation
 from repro.relational.relation import Relation
 
 __all__ = ["EncodedInvertedIndex", "encoded_index_probe_ssjoin"]
@@ -105,7 +106,13 @@ def encoded_index_probe_ssjoin(
         m.prepared_rows += enc_left.num_elements + index.num_postings
 
     enc_right = index.encoded
-    out_rows: List[Tuple] = []
+    # Admitted pairs accumulate as five parallel RESULT_SCHEMA columns —
+    # the engine-wide columnar output shape (see encoded_prefix).
+    col_ar: List[object] = []
+    col_as: List[object] = []
+    col_ov: List[float] = []
+    col_nr: List[float] = []
+    col_ns: List[float] = []
     with m.phase(PHASE_SSJOIN):
         right_keys = enc_right.keys
         right_norms = enc_right.norms
@@ -158,11 +165,17 @@ def encoded_index_probe_ssjoin(
             for h, overlap in overlaps.items():
                 norm_s = right_norms[h]
                 if satisfied(overlap, norm_r, norm_s):
-                    out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
+                    col_ar.append(a_r)
+                    col_as.append(right_keys[h])
+                    col_ov.append(overlap)
+                    col_nr.append(norm_r)
+                    col_ns.append(norm_s)
         if engine is not None:
             engine.flush(m)
 
     with m.phase(PHASE_FILTER):
-        result = Relation(RESULT_SCHEMA, out_rows)
+        result = ColumnarRelation(
+            RESULT_SCHEMA, (col_ar, col_as, col_ov, col_nr, col_ns)
+        )
         m.output_pairs += len(result)
     return result

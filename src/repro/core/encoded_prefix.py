@@ -40,6 +40,7 @@ from repro.core.ordering import ElementOrdering
 from repro.core.predicate import OVERLAP_EPSILON, OverlapPredicate
 from repro.core.prepared import PreparedRelation
 from repro.core.verify import VerifyConfig, engine_for_encoded
+from repro.relational.batch import ColumnarRelation
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -194,7 +195,6 @@ def encoded_prefix_ssjoin(
         m.equijoin_rows += probe_rows
 
     with m.phase(PHASE_FILTER):
-        out_rows: List[Tuple] = []
         left_keys = enc_left.keys
         right_keys = enc_right.keys
         left_weights = enc_left.weights
@@ -205,9 +205,18 @@ def encoded_prefix_ssjoin(
             config=verify_config,
         )
         if engine is not None:
-            out_rows = engine.verify_candidates(candidates, left_keys, right_keys)
+            columns = engine.verify_candidates_columns(
+                candidates, left_keys, right_keys
+            )
             engine.flush(m)
         else:
+            # Fallback merge loop emits the same five parallel columns the
+            # engine does, so both paths feed the batch protocol tuple-free.
+            col_ar: List[object] = []
+            col_as: List[object] = []
+            col_ov: List[float] = []
+            col_nr: List[float] = []
+            col_ns: List[float] = []
             satisfied = predicate.satisfied
             for g, matches in candidates:
                 lids = left_ids[g]
@@ -218,7 +227,12 @@ def encoded_prefix_ssjoin(
                     overlap = merge_overlap(lids, lw, right_ids[h])
                     norm_s = right_norms[h]
                     if satisfied(overlap, norm_r, norm_s):
-                        out_rows.append((a_r, right_keys[h], overlap, norm_r, norm_s))
-        result = Relation(RESULT_SCHEMA, out_rows)
+                        col_ar.append(a_r)
+                        col_as.append(right_keys[h])
+                        col_ov.append(overlap)
+                        col_nr.append(norm_r)
+                        col_ns.append(norm_s)
+            columns = (col_ar, col_as, col_ov, col_nr, col_ns)
+        result = ColumnarRelation(RESULT_SCHEMA, columns)
         m.output_pairs += len(result)
     return result

@@ -482,13 +482,34 @@ class VerificationEngine:
         right_keys: Optional[Sequence[object]] = None,
         own_lo: Optional[int] = None,
     ) -> List[Tuple[object, object, float, float, float]]:
+        """Batched FILTER returning admitted RESULT_SCHEMA row tuples.
+
+        Thin row-protocol wrapper over :meth:`verify_candidates_columns`
+        (one C-level transpose); counters and values are identical.
+        """
+        columns = self.verify_candidates_columns(
+            candidates, left_keys, right_keys, own_lo
+        )
+        return list(zip(*columns)) if columns[0] else []
+
+    def verify_candidates_columns(
+        self,
+        candidates: Sequence[Tuple[int, Sequence[int]]],
+        left_keys: Optional[Sequence[object]] = None,
+        right_keys: Optional[Sequence[object]] = None,
+        own_lo: Optional[int] = None,
+    ) -> Tuple[List[object], List[object], List[float], List[float], List[float]]:
         """Batched FILTER: verify every ``(g, matches)`` candidate group.
 
-        Returns admitted RESULT_SCHEMA rows
-        ``(left key, right key, overlap, norm_r, norm_s)`` — group
-        positions stand in for keys when a key list is ``None``.  One
-        batched call hoists every loop-invariant local exactly once, so a
-        pruned candidate costs a handful of int/float ops.
+        Returns the admitted pairs as five parallel RESULT_SCHEMA columns
+        ``(left keys, right keys, overlaps, norm_rs, norm_ss)`` — group
+        positions stand in for keys when a key list is ``None``. The
+        columnar shape is the engine's native output since Layer 8: the
+        encoded plans wrap it straight into a ColumnarRelation and the
+        batch protocol slices it into morsels, so no row tuple is ever
+        built on the hot path.  One batched call hoists every
+        loop-invariant local exactly once, so a pruned candidate costs a
+        handful of int/float ops.
 
         Contract: every ``h`` in *matches* (ascending right positions)
         was discovered through a shared β-prefix token, so the pair's
@@ -508,8 +529,16 @@ class VerificationEngine:
         smallest one).  Unowned pairs are skipped without counting, so
         per-stage counters sum to the sequential run's exactly.
         """
-        rows: List[Tuple[object, object, float, float, float]] = []
-        append = rows.append
+        out_ar: List[object] = []
+        out_as: List[object] = []
+        out_ov: List[float] = []
+        out_nr: List[float] = []
+        out_ns: List[float] = []
+        emit_ar = out_ar.append
+        emit_as = out_as.append
+        emit_ov = out_ov.append
+        emit_nr = out_nr.append
+        emit_ns = out_ns.append
         left_ids = self.left_ids
         left_weights = self.left_weights
         left_norms = self.left_norms
@@ -585,11 +614,11 @@ class VerificationEngine:
                     else:
                         theta = threshold(norm_r, norm_s)
                     if total_weight + epsilon >= theta:
-                        append((
-                            a_r,
-                            right_keys[h] if right_keys is not None else h,
-                            total_weight, norm_r, norm_s,
-                        ))
+                        emit_ar(a_r)
+                        emit_as(right_keys[h] if right_keys is not None else h)
+                        emit_ov(total_weight)
+                        emit_nr(norm_r)
+                        emit_ns(norm_s)
                     continue
                 p = -1
                 i = j = 0
@@ -695,18 +724,18 @@ class VerificationEngine:
                         j += 1
                 else:
                     if overlap + epsilon >= theta:
-                        append((
-                            a_r,
-                            right_keys[h] if right_keys is not None else h,
-                            overlap, norm_r, norm_s,
-                        ))
+                        emit_ar(a_r)
+                        emit_as(right_keys[h] if right_keys is not None else h)
+                        emit_ov(overlap)
+                        emit_nr(norm_r)
+                        emit_ns(norm_s)
 
         self.candidates += n_cand
         self.bitmap_pruned += bitmap_pruned
         self.position_pruned += position_pruned
         self.merges_run += merges
         self.merges_early_exited += early_exited
-        return rows
+        return (out_ar, out_as, out_ov, out_nr, out_ns)
 
     def verify_group(
         self, g: int, matches: Sequence[int]

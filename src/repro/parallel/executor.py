@@ -69,6 +69,7 @@ from repro.parallel.worker import (
     init_worker,
     run_shard,
 )
+from repro.relational.batch import ColumnarRelation
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -212,6 +213,27 @@ def _sorted_relation(rows: List[Tuple[Any, ...]]) -> Relation:
     return Relation(RESULT_SCHEMA, sorted(rows, key=canonical_sort_key))
 
 
+def _sorted_columns(columns: Sequence[Sequence[Any]]) -> ColumnarRelation:
+    """Canonical order applied columnar-ly: argsort ``(a_r, a_s)`` under
+    the same repr key as :func:`canonical_sort_key`, then permute each
+    column — same row order as the row sort, no row tuples built."""
+    ar, a_s = columns[0], columns[1]
+    order = sorted(range(len(ar)), key=lambda i: (repr(ar[i]), repr(a_s[i])))
+    return ColumnarRelation(
+        RESULT_SCHEMA, tuple([col[i] for i in order] for col in columns)
+    )
+
+
+def _canonical_relation(pairs: Relation) -> Relation:
+    """THE canonical-order boundary adapter: every ``parallel_ssjoin``
+    return path — sequential fallback and shard merge alike — funnels
+    through this one function, so no backend re-materializes row tuples
+    for relations that are already columnar (see SSJ113)."""
+    if isinstance(pairs, ColumnarRelation):
+        return _sorted_columns(pairs.columns)
+    return _sorted_relation(list(pairs.rows))
+
+
 def parallel_ssjoin(
     left: PreparedRelation,
     right: PreparedRelation,
@@ -321,9 +343,12 @@ def parallel_ssjoin(
         results = [execute_shard(payload, s) for s in dispatch]
     results.sort(key=lambda r: r.shard_id)
 
-    rows: List[Tuple[Any, ...]] = []
+    # Merge shard output column-wise: five list extends per shard, never
+    # a row tuple (shards ship ResultColumns precisely so this stays flat).
+    merged: Tuple[List[Any], ...] = ([], [], [], [], [])
     for r in results:
-        rows.extend(r.rows)
+        for dst, src in zip(merged, r.columns):
+            dst.extend(src)
         m.merge(r.metrics)
     m.implementation = impl
 
@@ -342,14 +367,14 @@ def parallel_ssjoin(
                 kind=by_id[r.shard_id].kind,
                 est_cost=by_id[r.shard_id].est_cost,
                 seconds=r.seconds,
-                rows=len(r.rows),
+                rows=r.num_rows,
             )
             for r in results
         ),
     )
     m.parallel_stats = report.to_dict()
     return SSJoinResult(
-        pairs=_sorted_relation(rows),
+        pairs=_canonical_relation(ColumnarRelation(RESULT_SCHEMA, merged)),
         metrics=m,
         implementation=impl,
         cost_estimate=chosen,
@@ -384,7 +409,7 @@ def _sequential(
     )
     m.parallel_stats = report.to_dict()
     return SSJoinResult(
-        pairs=_sorted_relation(list(result.pairs.rows)),
+        pairs=_canonical_relation(result.pairs),
         metrics=m,
         implementation=impl,
         cost_estimate=estimate,

@@ -114,14 +114,34 @@ class TokenRangePayload:
 Payload = Union[GroupHashPayload, TokenRangePayload]
 
 
+#: The five parallel RESULT_SCHEMA output columns of one shard.
+ResultColumns = Tuple[
+    Sequence[Any], Sequence[Any], Sequence[float], Sequence[float], Sequence[float]
+]
+
+
 @dataclass(frozen=True)
 class ShardResult:
-    """One shard's output rows, metrics, and busy time (worker-side)."""
+    """One shard's output, metrics, and busy time (worker-side).
+
+    Output ships as five parallel RESULT_SCHEMA columns — five flat
+    sequences pickle far smaller and faster than one tuple per row, and
+    the executor's merge extends columns without ever building rows.
+    """
 
     shard_id: int
-    rows: Tuple[Tuple[Any, ...], ...]
+    columns: ResultColumns
     metrics: ExecutionMetrics
     seconds: float
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0])
+
+    @property
+    def rows(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Row-tuple view (boundary adapter for row-protocol consumers)."""
+        return tuple(zip(*self.columns)) if self.columns[0] else ()
 
 
 #: Per-process payload slot, populated once by :func:`init_worker`.
@@ -147,24 +167,37 @@ def execute_shard(payload: Payload, shard: ShardDescriptor) -> ShardResult:
     if shard.kind == KIND_GROUP_HASH:
         if not isinstance(payload, GroupHashPayload):
             raise PlanError(f"group-hash shard against {type(payload).__name__}")
-        rows, metrics = _run_group_shard(payload, shard)
+        columns, metrics = _run_group_shard(payload, shard)
     elif shard.kind == KIND_TOKEN_RANGE:
         if not isinstance(payload, TokenRangePayload):
             raise PlanError(f"token-range shard against {type(payload).__name__}")
-        rows, metrics = _run_token_range_shard(payload, shard)
+        columns, metrics = _run_token_range_shard(payload, shard)
     else:
         raise PlanError(f"unknown shard kind {shard.kind!r}")
     return ShardResult(
         shard_id=shard.shard_id,
-        rows=tuple(rows),
+        columns=columns,
         metrics=metrics,
         seconds=time.perf_counter() - start,
     )
 
 
+def _columns_of(relation: Any) -> "ResultColumns":
+    """A relation's five RESULT_SCHEMA columns, transposing only if the
+    producing plan was not already columnar."""
+    from repro.relational.batch import ColumnarRelation
+
+    if isinstance(relation, ColumnarRelation):
+        return relation.columns  # type: ignore[return-value]
+    rows = relation.rows
+    if not rows:
+        return ((), (), (), (), ())
+    return tuple(zip(*rows))  # type: ignore[return-value]
+
+
 def _run_group_shard(
     payload: GroupHashPayload, shard: ShardDescriptor
-) -> Tuple[List[Tuple[Any, ...]], ExecutionMetrics]:
+) -> Tuple["ResultColumns", ExecutionMetrics]:
     # Imported here: repro.core.ssjoin is the facade above this module's
     # callers; the worker only needs it at execution time.
     from repro.core.ssjoin import SSJoin
@@ -187,7 +220,7 @@ def _run_group_shard(
         metrics=metrics,
         verify_config=payload.verify_config,
     )
-    return list(result.pairs.rows), metrics
+    return _columns_of(result.pairs), metrics
 
 
 def _shard_groups(
@@ -237,7 +270,7 @@ def first_common_prefix_token(
 
 def _run_token_range_shard(
     p: TokenRangePayload, shard: ShardDescriptor
-) -> Tuple[List[Tuple[Any, ...]], ExecutionMetrics]:
+) -> Tuple["ResultColumns", ExecutionMetrics]:
     lo, hi = shard.lo, shard.hi
     m = ExecutionMetrics()
     m.implementation = "encoded-prefix"
@@ -339,10 +372,9 @@ def _run_token_range_shard(
                 m.candidate_pairs += len(owned)
         m.equijoin_rows += probe_rows
 
-    out_rows: List[Tuple[Any, ...]] = []
     with m.phase(PHASE_FILTER):
         if engine is not None:
-            out_rows = engine.verify_candidates(
+            columns: ResultColumns = engine.verify_candidates_columns(
                 candidates, p.left_keys, p.right_keys, own_lo=lo
             )
             # The engine counted exactly the owned pairs (pre-prune), so
@@ -350,6 +382,11 @@ def _run_token_range_shard(
             m.candidate_pairs += engine.candidates
             engine.flush(m)
         else:
+            col_ar: List[Any] = []
+            col_as: List[Any] = []
+            col_ov: List[float] = []
+            col_nr: List[float] = []
+            col_ns: List[float] = []
             satisfied = p.predicate.satisfied
             for g, owned in candidates:
                 lids = left_ids[g]
@@ -360,8 +397,11 @@ def _run_token_range_shard(
                     overlap = merge_overlap(lids, lw, right_ids[h])
                     norm_s = p.right_norms[h]
                     if satisfied(overlap, norm_r, norm_s):
-                        out_rows.append(
-                            (a_r, p.right_keys[h], overlap, norm_r, norm_s)
-                        )
-        m.output_pairs += len(out_rows)
-    return out_rows, m
+                        col_ar.append(a_r)
+                        col_as.append(p.right_keys[h])
+                        col_ov.append(overlap)
+                        col_nr.append(norm_r)
+                        col_ns.append(norm_s)
+            columns = (col_ar, col_as, col_ov, col_nr, col_ns)
+        m.output_pairs += len(columns[0])
+    return columns, m

@@ -1,0 +1,296 @@
+"""Columnar batches: the morsel currency of the vectorized plan path.
+
+The row protocol evaluates operators one Python tuple at a time — an
+interpreter dispatch, a closure call and a fresh tuple allocation per row
+per operator. The batch protocol instead flows **morsels**: fixed-capacity
+:class:`Batch` objects holding parallel column lists under a shared
+:class:`~repro.relational.schema.Schema`. Vectorized operator kernels then
+amortize dispatch over thousands of rows (``list(map(fn, col_a, col_b))``
+runs the loop in C), pass untouched columns through by reference, and
+compact filters via selection vectors instead of materializing per-row.
+
+The module also provides the **boundary adapters** that keep the two
+protocols interchangeable — :func:`iter_batches_from_rows` chops a
+materialized relation into morsels, :func:`relation_from_batches` folds a
+batch stream back into an immutable :class:`Relation` — and
+:class:`ColumnarRelation`, a Relation that *carries* its columns and only
+materializes row tuples on first access, so the SSJoin physical layer can
+emit ``(a_r, a_s, overlap, norm_r, norm_s)`` straight from the encoded
+merge without a tuple round-trip.
+
+Batch capacity defaults to :func:`default_batch_size`, derived from the
+cost model: the per-batch dispatch overhead (one pool-task unit,
+``CostModel.PARALLEL_TASK``) is amortized to under 1% of the per-row work
+it rides on (``CostModel.JOIN_ROW``), then rounded up to a power of two —
+which lands on 4096, inside the classic 4–16k morsel window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = [
+    "Batch",
+    "BatchStream",
+    "ColumnarRelation",
+    "DEFAULT_BATCH_SIZE",
+    "columnar_relation_from_batches",
+    "default_batch_size",
+    "iter_batches_from_columns",
+    "iter_batches_from_rows",
+    "relation_from_batches",
+    "stream_relation",
+]
+
+#: Fallback morsel capacity when no cost model is available.
+DEFAULT_BATCH_SIZE = 4096
+
+#: Per-batch dispatch overhead may consume at most this fraction of the
+#: per-row work it is amortized over (see :func:`default_batch_size`).
+_DISPATCH_BUDGET = 0.01
+
+_MIN_BATCH_SIZE = 1024
+_MAX_BATCH_SIZE = 16384
+
+
+def default_batch_size(cost_model: Any = None) -> int:
+    """Morsel capacity derived from the cost model.
+
+    A batch boundary costs roughly one pool-task dispatch
+    (``PARALLEL_TASK`` row-units: kernel lookup, bind, loop setup); each
+    row in the batch does at least ``JOIN_ROW`` units of work. Choosing
+    ``n >= PARALLEL_TASK / (JOIN_ROW * 1%)`` keeps the boundary overhead
+    under 1%, and rounding up to a power of two keeps slice arithmetic
+    cheap. Clamped to the 1k–16k morsel window so an exotic cost model
+    cannot push batches out of cache-friendly territory.
+    """
+    try:
+        from repro.core.optimizer import CostModel
+    except Exception:  # pragma: no cover - circular-import guard only
+        return DEFAULT_BATCH_SIZE
+    model = cost_model if cost_model is not None else CostModel
+    task = float(getattr(model, "PARALLEL_TASK", 40.0))
+    row = float(getattr(model, "JOIN_ROW", 1.0))
+    if task <= 0 or row <= 0:
+        return DEFAULT_BATCH_SIZE
+    target = task / (row * _DISPATCH_BUDGET)
+    size = 1 << max(0, int(target - 1)).bit_length()
+    return max(_MIN_BATCH_SIZE, min(_MAX_BATCH_SIZE, size))
+
+
+class Batch:
+    """One morsel: parallel column lists under a shared schema.
+
+    Columns are position-aligned with ``schema.names``; every column has
+    the same length (= :attr:`num_rows`). Columns are *shared by
+    reference* between batches wherever possible (projection, pass-through
+    filters), so kernels must never mutate a column they received.
+    """
+
+    __slots__ = ("schema", "columns")
+
+    def __init__(self, schema: Schema, columns: Sequence[Sequence[Any]]) -> None:
+        self.schema = schema
+        self.columns: Tuple[Sequence[Any], ...] = tuple(columns)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Sequence[Tuple[Any, ...]]) -> "Batch":
+        """Transpose a row slice into columns (the row→batch adapter)."""
+        width = len(schema)
+        if not rows:
+            return cls(schema, tuple([] for _ in range(width)))
+        if width == 1:
+            return cls(schema, ([row[0] for row in rows],))
+        return cls(schema, tuple(list(c) for c in zip(*rows)))
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, position: int) -> Sequence[Any]:
+        return self.columns[position]
+
+    def to_rows(self) -> List[Tuple[Any, ...]]:
+        """Transpose back into row tuples (the batch→row adapter)."""
+        if not self.columns:
+            return []
+        if len(self.columns) == 1:
+            return [(v,) for v in self.columns[0]]
+        return list(zip(*self.columns))
+
+    def take(self, selection: Sequence[int]) -> "Batch":
+        """Compact this batch to the rows named by *selection* (a sorted
+        selection vector of row indices), sharing nothing downstream."""
+        return Batch(
+            self.schema,
+            tuple([col[i] for i in selection] for col in self.columns),
+        )
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"<Batch {list(self.schema.names)} rows={self.num_rows}>"
+
+
+class BatchStream:
+    """A stream of batches plus the metadata a relation would carry.
+
+    The schema and name ride alongside the iterator so a stream of zero
+    batches still folds back into a correctly-shaped empty relation.
+    """
+
+    __slots__ = ("schema", "batches", "name")
+
+    def __init__(
+        self,
+        schema: Schema,
+        batches: Iterable[Batch],
+        name: Optional[str] = None,
+    ) -> None:
+        self.schema = schema
+        self.batches = batches
+        self.name = name
+
+    def __iter__(self) -> Iterator[Batch]:
+        return iter(self.batches)
+
+
+class ColumnarRelation(Relation):
+    """A Relation that carries columns and materializes rows lazily.
+
+    The SSJoin physical layer and the verify engine produce their output
+    as five parallel lists; wrapping them here keeps the columnar form
+    available to the batch path (:attr:`columns`) while every row-protocol
+    consumer (``.rows``, iteration, ``__eq__``) still sees an ordinary
+    Relation — the tuples are built once, on first access.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[Sequence[Any]],
+        name: Optional[str] = None,
+    ) -> None:
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.name = name
+        _ROWS_SLOT.__set__(self, None)
+
+    @property  # type: ignore[override]
+    def rows(self) -> Tuple[Tuple[Any, ...], ...]:
+        cached = _ROWS_SLOT.__get__(self, ColumnarRelation)
+        if cached is None:
+            cached = tuple(zip(*self.columns)) if self.columns else ()
+            _ROWS_SLOT.__set__(self, cached)
+        return cached
+
+    def __len__(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_rows(self) -> int:
+        return len(self)
+
+    def column_values(self, name: str) -> Tuple[Any, ...]:
+        return tuple(self.columns[self.schema.position(name)])
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        # The default slot pickling would try to restore through the
+        # read-only ``rows`` property; rebuild from columns instead.
+        return (ColumnarRelation, (self.schema, self.columns, self.name))
+
+
+#: The base class's ``rows`` slot descriptor, used as backing storage for
+#: :class:`ColumnarRelation`'s lazy ``rows`` property.
+_ROWS_SLOT = Relation.__dict__["rows"]
+
+
+def iter_batches_from_rows(
+    schema: Schema,
+    rows: Sequence[Tuple[Any, ...]],
+    batch_size: int,
+) -> Iterator[Batch]:
+    """Chop a materialized row sequence into morsels."""
+    n = len(rows)
+    if n == 0:
+        return
+    for lo in range(0, n, batch_size):
+        yield Batch.from_rows(schema, rows[lo : lo + batch_size])
+
+
+def iter_batches_from_columns(
+    schema: Schema,
+    columns: Sequence[Sequence[Any]],
+    batch_size: int,
+) -> Iterator[Batch]:
+    """Slice parallel columns into morsels — no row tuples are built."""
+    if not columns:
+        return
+    n = len(columns[0])
+    for lo in range(0, n, batch_size):
+        yield Batch(schema, tuple(col[lo : lo + batch_size] for col in columns))
+
+
+def stream_relation(relation: Relation, batch_size: int) -> BatchStream:
+    """Chop a materialized relation into a morsel stream.
+
+    A :class:`ColumnarRelation` is sliced column-wise (no row tuples are
+    built); a plain :class:`Relation` is transposed slice-by-slice.
+    """
+    if isinstance(relation, ColumnarRelation):
+        batches = iter_batches_from_columns(
+            relation.schema, relation.columns, batch_size
+        )
+    else:
+        batches = iter_batches_from_rows(
+            relation.schema, relation.rows, batch_size
+        )
+    return BatchStream(relation.schema, batches, relation.name)
+
+
+def columnar_relation_from_batches(stream: BatchStream) -> "ColumnarRelation":
+    """Fold a batch stream into a :class:`ColumnarRelation`.
+
+    Batches are concatenated in arrival order, so the (lazily built) row
+    tuples come out exactly as the row protocol would order them. The
+    single-batch case — every result under one morsel — adopts the
+    batch's columns by reference.
+    """
+    it = iter(stream)
+    first = next(it, None)
+    if first is None:
+        return ColumnarRelation(
+            stream.schema, [[] for _ in stream.schema], name=stream.name
+        )
+    second = next(it, None)
+    if second is None:
+        return ColumnarRelation(stream.schema, first.columns, name=stream.name)
+    columns = [list(c) for c in first.columns]
+    for batch in _chain(second, it):
+        for acc, col in zip(columns, batch.columns):
+            acc.extend(col)
+    return ColumnarRelation(stream.schema, columns, name=stream.name)
+
+
+def _chain(head: Batch, rest: Iterator[Batch]) -> Iterator[Batch]:
+    yield head
+    yield from rest
+
+
+def relation_from_batches(stream: BatchStream) -> Relation:
+    """Fold a batch stream back into an immutable row relation.
+
+    This is the boundary adapter that keeps ``plan.execute(...)`` results
+    bit-identical with the row path: batches are transposed in arrival
+    order, so row order is exactly what the row protocol would produce.
+    """
+    rows: List[Tuple[Any, ...]] = []
+    for batch in stream:
+        rows.extend(batch.to_rows())
+    return Relation(stream.schema, rows, name=stream.name)

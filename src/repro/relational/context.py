@@ -53,6 +53,12 @@ class ExecutionContext:
     verify:
         Run the static SSJoin invariant verifier (SSJ1xx rules) before
         executing any :class:`SSJoinNode` in the plan.
+    batch_size:
+        Morsel capacity of the vectorized plan path. ``None`` (default)
+        resolves via :func:`repro.relational.batch.default_batch_size`
+        from the context's cost model; ``0`` disables batching and runs
+        the legacy row-at-a-time protocol; any positive int is used
+        verbatim (the equivalence tests sweep 1 / 7 / 4096).
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class ExecutionContext:
         workers: Optional[Union[int, str]] = None,
         encoding_cache: Any = None,
         verify: bool = False,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self._metrics = metrics
@@ -72,6 +79,8 @@ class ExecutionContext:
         self.workers = workers
         self.encoding_cache = encoding_cache
         self.verify = verify
+        self.batch_size = batch_size
+        self._resolved_batch_size: Optional[int] = None
 
     @property
     def metrics(self) -> Any:
@@ -81,6 +90,21 @@ class ExecutionContext:
 
             self._metrics = ExecutionMetrics()
         return self._metrics
+
+    def resolved_batch_size(self) -> int:
+        """The effective morsel capacity: 0 means the row protocol.
+
+        ``batch_size=None`` resolves once per context through the cost
+        model (see :func:`repro.relational.batch.default_batch_size`)
+        and is cached, so per-node protocol dispatch stays cheap.
+        """
+        if self.batch_size is not None:
+            return max(0, int(self.batch_size))
+        if self._resolved_batch_size is None:
+            from repro.relational.batch import default_batch_size
+
+            self._resolved_batch_size = default_batch_size(self.cost_model)
+        return self._resolved_batch_size
 
     @classmethod
     def of(
@@ -107,4 +131,6 @@ class ExecutionContext:
             parts.append(f"workers={self.workers!r}")
         if self.verify:
             parts.append("verify=True")
+        if self.batch_size is not None:
+            parts.append(f"batch_size={self.batch_size}")
         return f"ExecutionContext({', '.join(parts)})"

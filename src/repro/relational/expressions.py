@@ -18,10 +18,13 @@ tuple positions once so evaluation does no dict lookups per row.
 from __future__ import annotations
 
 import operator
-from typing import Any, Callable, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Tuple
 
 from repro.errors import PlanError
 from repro.relational.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.batch import Batch
 
 __all__ = [
     "Expr",
@@ -38,6 +41,16 @@ __all__ = [
 
 RowFn = Callable[[Tuple[Any, ...]], Any]
 
+#: Vectorized evaluator: one whole column of values per batch.
+BatchFn = Callable[["Batch"], Sequence[Any]]
+
+#: Vectorized predicate: the (ascending) selection vector of surviving rows.
+SelectFn = Callable[["Batch"], List[int]]
+
+#: Comparison symbols whose batch predicates compile to direct selection
+#: vectors (no intermediate boolean column).
+_COMPARISON_SYMBOLS = frozenset((">=", ">", "<=", "<", "=", "<>"))
+
 
 class Expr:
     """Base class for scalar expressions.
@@ -50,6 +63,27 @@ class Expr:
     def bind(self, schema: Schema) -> RowFn:
         """Compile this expression against *schema* into ``row -> value``."""
         raise NotImplementedError
+
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        """Compile into ``batch -> column`` for the vectorized path.
+
+        Subclasses override with kernels that evaluate whole columns at
+        once; this fallback keeps arbitrary :class:`Expr` subclasses
+        working by applying the row function along transposed rows.
+        """
+        fn = self.bind(schema)
+        return lambda batch: [fn(row) for row in batch.to_rows()]
+
+    def bind_select(self, schema: Schema) -> SelectFn:
+        """Compile into ``batch -> selection vector`` (surviving indices).
+
+        The fallback evaluates the whole expression as a column and
+        enumerates the truthy positions — the same truthiness rule the
+        row path's ``if fn(row)`` applies. Comparisons and fused
+        conjunctions override this with single-pass kernels.
+        """
+        vf = self.bind_batch(schema)
+        return lambda batch: [i for i, v in enumerate(vf(batch)) if v]
 
     def columns(self) -> Tuple[str, ...]:
         """All column names referenced by this expression."""
@@ -118,6 +152,11 @@ class ColumnRef(Expr):
     def bind(self, schema: Schema) -> RowFn:
         return operator.itemgetter(schema.position(self.name))
 
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        # Zero copy: a column reference *is* the stored column.
+        pos = schema.position(self.name)
+        return lambda batch: batch.columns[pos]
+
     def columns(self) -> Tuple[str, ...]:
         return (self.name,)
 
@@ -136,6 +175,10 @@ class Constant(Expr):
     def bind(self, schema: Schema) -> RowFn:
         value = self.value
         return lambda row: value
+
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        value = self.value
+        return lambda batch: [value] * batch.num_rows
 
     def columns(self) -> Tuple[str, ...]:
         return ()
@@ -172,6 +215,70 @@ class BinaryOp(Expr):
         rf = self.right.bind(schema)
         return lambda row: op(lf(row), rf(row))
 
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        op = self.op
+        # Same constant folding as bind(), lifted to columns: the folded
+        # comparison runs one C-driven comprehension over the column
+        # instead of a closure call per row.
+        if isinstance(self.right, Constant):
+            lf = self.left.bind_batch(schema)
+            rv = self.right.value
+            return lambda batch: [op(v, rv) for v in lf(batch)]
+        if isinstance(self.left, Constant):
+            lv = self.left.value
+            rf = self.right.bind_batch(schema)
+            return lambda batch: [op(lv, v) for v in rf(batch)]
+        lf = self.left.bind_batch(schema)
+        rf = self.right.bind_batch(schema)
+        return lambda batch: list(map(op, lf(batch), rf(batch)))
+
+    def bind_select(self, schema: Schema) -> SelectFn:
+        op = self.op
+        # Comparisons against a folded constant emit the selection vector
+        # in one pass — no intermediate boolean column is ever built.
+        if self.symbol in _COMPARISON_SYMBOLS:
+            if isinstance(self.right, Constant):
+                lf = self.left.bind_batch(schema)
+                rv = self.right.value
+                return lambda batch: [
+                    i for i, v in enumerate(lf(batch)) if op(v, rv)
+                ]
+            if isinstance(self.left, Constant):
+                lv = self.left.value
+                rf = self.right.bind_batch(schema)
+                return lambda batch: [
+                    i for i, v in enumerate(rf(batch)) if op(lv, v)
+                ]
+            lf = self.left.bind_batch(schema)
+            rf = self.right.bind_batch(schema)
+            return lambda batch: [
+                i
+                for i, (a, b) in enumerate(zip(lf(batch), rf(batch)))
+                if op(a, b)
+            ]
+        # Fused conjunction/disjunction: combine the children's selection
+        # vectors instead of materializing boolean columns and AND-ing
+        # them row-wise. Both children's vectors are ascending, so the
+        # set intersection/union preserves row order.
+        if self.symbol == "AND":
+            ls = self.left.bind_select(schema)
+            rs = self.right.bind_select(schema)
+
+            def fused_and(batch: "Batch") -> List[int]:
+                keep = set(rs(batch))
+                return [i for i in ls(batch) if i in keep]
+
+            return fused_and
+        if self.symbol == "OR":
+            ls = self.left.bind_select(schema)
+            rs = self.right.bind_select(schema)
+
+            def fused_or(batch: "Batch") -> List[int]:
+                return sorted(set(ls(batch)) | set(rs(batch)))
+
+            return fused_or
+        return super().bind_select(schema)
+
     def columns(self) -> Tuple[str, ...]:
         return self.left.columns() + self.right.columns()
 
@@ -193,6 +300,11 @@ class UnaryOp(Expr):
         cf = self.child.bind(schema)
         op = self.op
         return lambda row: op(cf(row))
+
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        cf = self.child.bind_batch(schema)
+        op = self.op
+        return lambda batch: list(map(op, cf(batch)))
 
     def columns(self) -> Tuple[str, ...]:
         return self.child.columns()
@@ -227,6 +339,19 @@ class FunctionCall(Expr):
             return lambda row: fn(*getter(row))
         bound = [a.bind(schema) for a in self.args]
         return lambda row: fn(*[b(row) for b in bound])
+
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        fn = self.fn
+        # The batched UDF call: map() drives the whole column through the
+        # function in C, reading argument columns in place when every
+        # argument is a plain column reference.
+        if all(isinstance(a, ColumnRef) for a in self.args):
+            positions = [schema.position(a.name) for a in self.args]
+            return lambda batch: list(
+                map(fn, *[batch.columns[p] for p in positions])
+            )
+        bound = [a.bind_batch(schema) for a in self.args]
+        return lambda batch: list(map(fn, *[b(batch) for b in bound]))
 
     def columns(self) -> Tuple[str, ...]:
         out: Tuple[str, ...] = ()

@@ -9,9 +9,10 @@ methods do not cover.
 from __future__ import annotations
 
 import operator
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import PlanError
+from repro.relational.batch import Batch, BatchStream
 from repro.relational.expressions import Expr
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, Schema
@@ -25,6 +26,10 @@ __all__ = [
     "limit",
     "union_all",
     "value_counts",
+    "select_stream",
+    "project_stream",
+    "extend_stream",
+    "limit_stream",
 ]
 
 
@@ -124,6 +129,115 @@ def union_all(*relations: Relation) -> Relation:
     for rel in relations[1:]:
         out = out.union_all(rel)
     return out
+
+
+# -- vectorized (batch-stream) kernels ----------------------------------------
+#
+# These are the morsel-at-a-time counterparts of the row operators above,
+# used by the batch protocol in :mod:`repro.relational.plan`. Expressions
+# are bound once against the stream schema (outside the generators), so
+# unknown-column errors surface at the same point as the row path; each
+# generator then touches whole columns per batch.
+
+
+def select_stream(stream: BatchStream, predicate: Expr) -> BatchStream:
+    """Vectorized σ: selection-vector compaction per morsel.
+
+    The predicate compiles via :meth:`Expr.bind_select` — comparisons
+    against constants and fused AND/OR emit the selection vector in one
+    pass. A batch where every row survives passes through by reference;
+    a batch where none survive is dropped entirely.
+    """
+    sel_fn = predicate.bind_select(stream.schema)
+
+    def gen() -> Iterator[Batch]:
+        for batch in stream:
+            n = batch.num_rows
+            if n == 0:
+                continue
+            sel = sel_fn(batch)
+            if len(sel) == n:
+                yield batch
+            elif sel:
+                yield batch.take(sel)
+
+    return BatchStream(stream.schema, gen(), stream.name)
+
+
+def project_stream(stream: BatchStream, columns: Sequence) -> BatchStream:
+    """Vectorized π: pure-name projections are zero-copy column slices;
+    derived columns evaluate via one batched expression call each."""
+    schema = stream.schema
+    if columns and all(isinstance(item, str) for item in columns):
+        positions = [schema.position(item) for item in columns]
+        out_schema = Schema([Column(n) for n in columns])
+
+        def passthrough() -> Iterator[Batch]:
+            for batch in stream:
+                yield Batch(
+                    out_schema, tuple(batch.columns[p] for p in positions)
+                )
+
+        return BatchStream(out_schema, passthrough(), stream.name)
+    names: List[str] = []
+    fns = []
+    for item in columns:
+        if isinstance(item, str):
+            pos = schema.position(item)
+            names.append(item)
+            fns.append(lambda batch, p=pos: batch.columns[p])
+        elif isinstance(item, tuple) and len(item) == 2 and isinstance(item[1], Expr):
+            name, expr = item
+            names.append(name)
+            fns.append(expr.bind_batch(schema))
+        else:
+            raise PlanError(f"cannot interpret projection item {item!r}")
+    out_schema = Schema([Column(n) for n in names])
+
+    def gen() -> Iterator[Batch]:
+        for batch in stream:
+            yield Batch(out_schema, tuple(fn(batch) for fn in fns))
+
+    return BatchStream(out_schema, gen(), stream.name)
+
+
+def extend_stream(stream: BatchStream, column: str, expr: Expr) -> BatchStream:
+    """Vectorized Extend: existing columns pass by reference; the derived
+    column is one batched UDF call (``list(map(fn, *cols))``)."""
+    fn = expr.bind_batch(stream.schema)
+    out_schema = stream.schema.extend([Column(column)])
+
+    def gen() -> Iterator[Batch]:
+        for batch in stream:
+            yield Batch(out_schema, batch.columns + (fn(batch),))
+
+    return BatchStream(out_schema, gen(), stream.name)
+
+
+def limit_stream(stream: BatchStream, n: int) -> BatchStream:
+    """Vectorized Limit: stop pulling morsels once *n* rows have flowed."""
+    if n < 0:
+        raise PlanError(f"limit must be non-negative, got {n}")
+
+    def gen() -> Iterator[Batch]:
+        remaining = n
+        if remaining == 0:
+            return
+        for batch in stream:
+            k = batch.num_rows
+            if k <= remaining:
+                yield batch
+                remaining -= k
+                if remaining == 0:
+                    return
+            else:
+                yield Batch(
+                    batch.schema,
+                    tuple(col[:remaining] for col in batch.columns),
+                )
+                return
+
+    return BatchStream(stream.schema, gen(), stream.name)
 
 
 def value_counts(relation: Relation, column: str) -> Dict[Any, int]:

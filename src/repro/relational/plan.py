@@ -24,6 +24,11 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 from repro.errors import PlanError
 from repro.relational import operators
 from repro.relational.aggregates import Aggregate, group_by
+from repro.relational.batch import (
+    BatchStream,
+    columnar_relation_from_batches,
+    stream_relation,
+)
 from repro.relational.catalog import Catalog
 from repro.relational.context import ExecutionContext
 from repro.relational.expressions import Expr
@@ -145,20 +150,64 @@ class PlanNode:
     always wins, and probing failures degrade to ``None`` — the plan
     verifier (:mod:`repro.analysis.plan_verifier`) degrades gracefully on
     unknown subtrees and checks everything else.
+
+    **Execution protocols.** Since the Layer-8 refactor every node speaks
+    one of two protocols, declared by :attr:`batch_protocol`. ``"batch"``
+    nodes have a vectorized kernel: :meth:`batches` streams columnar
+    :class:`~repro.relational.batch.Batch` morsels and never builds row
+    tuples. ``"row"`` nodes keep their tuple-at-a-time :meth:`_run` and
+    are bridged automatically — the base :meth:`batches` is the boundary
+    adapter (run the row kernel, chop the result into morsels), and a row
+    node executing a ``"batch"`` child re-enters the batch path through
+    ``child.execute``. The morsel capacity comes from
+    :meth:`ExecutionContext.resolved_batch_size`; ``batch_size=0``
+    disables the batch path entirely. Results are bit-identical between
+    the two protocols (the SSJ113 analysis rule audits that every
+    ``"batch"`` declaration is backed by a real kernel).
     """
 
     #: Child nodes, in order. Populated by subclasses.
     children: Tuple["PlanNode", ...] = ()
 
+    #: Which protocol this node's kernels speak natively: ``"batch"``
+    #: nodes override :meth:`batches`; ``"row"`` nodes are bridged by the
+    #: base boundary adapter.
+    batch_protocol: str = "row"
+
     def execute(
         self, context: Union[ExecutionContext, Catalog, None] = None
     ) -> Relation:
         """Evaluate this subtree against *context* and return its result."""
-        return self._run(ExecutionContext.of(context))
+        ctx = ExecutionContext.of(context)
+        size = ctx.resolved_batch_size()
+        if size > 0:
+            return self._run_batched(ctx, size)
+        return self._run(ctx)
 
     def _run(self, ctx: ExecutionContext) -> Relation:
         """Node-specific evaluation against a normalized context."""
         raise NotImplementedError
+
+    def _run_batched(self, ctx: ExecutionContext, size: int) -> Relation:
+        """Evaluate under the batch protocol.
+
+        The default runs the row kernel — vectorized children still
+        engage, because row kernels execute children via
+        ``child.execute(ctx)`` which re-enters the batch path. Nodes with
+        a vectorized kernel override this to fold their morsel stream
+        into a lazily-rowed ColumnarRelation.
+        """
+        return self._run(ctx)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        """Stream this subtree's result as columnar morsels.
+
+        This base implementation is the **boundary adapter**: it runs the
+        node's row kernel and chops the materialized relation into
+        batches, which is what keeps row-protocol operators (sorts,
+        groupings, joins) composable inside a batched plan.
+        """
+        return stream_relation(self._run(ctx), size)
 
     def label(self) -> str:
         """One-line description used by :func:`explain`."""
@@ -166,7 +215,17 @@ class PlanNode:
 
     def annotations(self, context: ExecutionContext) -> Tuple[str, ...]:
         """Extra EXPLAIN lines (cost estimates etc.), context-aware."""
-        return ()
+        return self._batch_annotation(context)
+
+    def _batch_annotation(self, context: ExecutionContext) -> Tuple[str, ...]:
+        """The per-node EXPLAIN line describing its execution protocol."""
+        size = context.resolved_batch_size()
+        if size <= 0:
+            return ()
+        return (f"batch: {self._batch_note()}, morsel={size}",)
+
+    def _batch_note(self) -> str:
+        return "row (boundary adapter)"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         """The statically-known output schema, or ``None`` if unknowable.
@@ -183,6 +242,24 @@ class PlanNode:
         return self.children[index].output_schema(catalog)
 
 
+class _VectorizedNode(PlanNode):
+    """Base of nodes with a native columnar kernel.
+
+    Subclasses override :meth:`PlanNode.batches` with a real vectorized
+    kernel; executing one standalone folds the morsel stream into a
+    :class:`~repro.relational.batch.ColumnarRelation` (row tuples built
+    lazily, only if a consumer asks for them).
+    """
+
+    batch_protocol = "batch"
+
+    def _run_batched(self, ctx: ExecutionContext, size: int) -> Relation:
+        return columnar_relation_from_batches(self.batches(ctx, size))
+
+    def _batch_note(self) -> str:
+        return "vectorized"
+
+
 class TableScan(PlanNode):
     """Leaf: read a named table from the catalog."""
 
@@ -194,6 +271,9 @@ class TableScan(PlanNode):
 
     def label(self) -> str:
         return f"Scan({self.table})"
+
+    def _batch_note(self) -> str:
+        return "morsel source"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         if catalog is not None and self.table in catalog:
@@ -213,6 +293,9 @@ class MaterializedInput(PlanNode):
 
     def label(self) -> str:
         return f"Materialized({self._label}, rows={len(self.relation)})"
+
+    def _batch_note(self) -> str:
+        return "morsel source"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         return self.relation.schema
@@ -241,6 +324,9 @@ class PreparedInput(PlanNode):
             f"Prepared({self._label}, groups={self.prepared.num_groups}, "
             f"elements={self.prepared.num_elements})"
         )
+
+    def _batch_note(self) -> str:
+        return "morsel source"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         return self.prepared.relation.schema
@@ -281,6 +367,8 @@ class SSJoinNode(PlanNode):
         #: SSJoinResult of the most recent execution (None before any).
         self.last_result: Any = None
 
+    batch_protocol = "batch"
+
     def _run(self, ctx: ExecutionContext) -> Relation:
         # Imported here: repro.core layers above repro.relational.
         from repro.core.physical import execute_ssjoin_node
@@ -288,6 +376,12 @@ class SSJoinNode(PlanNode):
         result = execute_ssjoin_node(self, ctx)
         self.last_result = result
         return result.pairs
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        # The physical layer emits its pairs as a ColumnarRelation (five
+        # parallel lists straight from the encoded merge), so feeding a
+        # vectorized parent is pure column slicing — no tuple round-trip.
+        return stream_relation(self._run(ctx), size)
 
     def resolve_sides(self, ctx: ExecutionContext) -> Tuple[Any, Any]:
         """Materialize both children as PreparedRelations.
@@ -319,7 +413,9 @@ class SSJoinNode(PlanNode):
         try:
             left, right = self.resolve_sides(context)
         except Exception:
-            return ("cost: (inputs not resolvable statically)",)
+            return (
+                "cost: (inputs not resolvable statically)",
+            ) + self._batch_annotation(context)
         model = context.cost_model or CostModel()
         estimates = model.estimate_all(left, right, self.predicate, self.ordering)
         chosen = (
@@ -333,13 +429,16 @@ class SSJoinNode(PlanNode):
         for e in estimates:
             marker = "*" if e.implementation == chosen else " "
             lines.append(f"{marker} cost[{e.implementation}] = {e.cost:.0f}")
-        return tuple(lines)
+        return tuple(lines) + self._batch_annotation(context)
+
+    def _batch_note(self) -> str:
+        return "columnar source"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         return SSJOIN_RESULT_SCHEMA
 
 
-class Select(PlanNode):
+class Select(_VectorizedNode):
     """σ over a boolean expression."""
 
     def __init__(self, child: PlanNode, predicate: Expr) -> None:
@@ -349,6 +448,11 @@ class Select(PlanNode):
     def _run(self, ctx: ExecutionContext) -> Relation:
         return operators.select(self.children[0].execute(ctx), self.predicate)
 
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        return operators.select_stream(
+            self.children[0].batches(ctx, size), self.predicate
+        )
+
     def label(self) -> str:
         return f"Select({self.predicate!r})"
 
@@ -356,7 +460,7 @@ class Select(PlanNode):
         return self._child_schema(catalog)
 
 
-class Project(PlanNode):
+class Project(_VectorizedNode):
     """π over plain names or ``(name, Expr)`` derived columns."""
 
     def __init__(self, child: PlanNode, columns: Sequence) -> None:
@@ -365,6 +469,20 @@ class Project(PlanNode):
 
     def _run(self, ctx: ExecutionContext) -> Relation:
         return operators.project(self.children[0].execute(ctx), self.columns)
+
+    def _run_batched(self, ctx: ExecutionContext, size: int) -> Relation:
+        if not self.columns:
+            return self._run(ctx)
+        return super()._run_batched(ctx, size)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        if not self.columns:
+            # A zero-column batch cannot carry a row count; the (exotic)
+            # empty projection stays on the row protocol.
+            return stream_relation(self._run(ctx), size)
+        return operators.project_stream(
+            self.children[0].batches(ctx, size), self.columns
+        )
 
     def label(self) -> str:
         names = [c if isinstance(c, str) else c[0] for c in self.columns]
@@ -383,7 +501,7 @@ class Project(PlanNode):
         return _tolerant_schema(cols)
 
 
-class Extend(PlanNode):
+class Extend(_VectorizedNode):
     """Append one derived column."""
 
     def __init__(self, child: PlanNode, column: str, expr: Expr) -> None:
@@ -393,6 +511,11 @@ class Extend(PlanNode):
 
     def _run(self, ctx: ExecutionContext) -> Relation:
         return operators.extend(self.children[0].execute(ctx), self.column, self.expr)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        return operators.extend_stream(
+            self.children[0].batches(ctx, size), self.column, self.expr
+        )
 
     def label(self) -> str:
         return f"Extend({self.column} := {self.expr!r})"
@@ -434,7 +557,7 @@ class OrderBy(PlanNode):
         return self._child_schema(catalog)
 
 
-class Limit(PlanNode):
+class Limit(_VectorizedNode):
     """Keep the first *n* rows."""
 
     def __init__(self, child: PlanNode, n: int) -> None:
@@ -443,6 +566,9 @@ class Limit(PlanNode):
 
     def _run(self, ctx: ExecutionContext) -> Relation:
         return operators.limit(self.children[0].execute(ctx), self.n)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        return operators.limit_stream(self.children[0].batches(ctx, size), self.n)
 
     def label(self) -> str:
         return f"Limit({self.n})"

@@ -34,7 +34,14 @@ from repro.relational.aggregates import (
     group_by,
 )
 from repro.relational.catalog import Catalog
-from repro.relational.expressions import BinaryOp, Constant, Expr, RowFn, UnaryOp
+from repro.relational.expressions import (
+    BatchFn,
+    BinaryOp,
+    Constant,
+    Expr,
+    RowFn,
+    UnaryOp,
+)
 from repro.relational.joins import hash_join, left_outer_join
 from repro.relational.operators import order_by as op_order_by
 from repro.relational.operators import project as op_project
@@ -111,6 +118,12 @@ class _ResolvingRef(Expr):
     def bind(self, schema: Schema) -> RowFn:
         pos = schema.position(_resolve(schema, self.column))
         return lambda row: row[pos]
+
+    def bind_batch(self, schema: Schema) -> BatchFn:
+        # Resolution happens once at bind time, so the batch kernel is the
+        # same zero-copy column fetch ColumnRef compiles to.
+        pos = schema.position(_resolve(schema, self.column))
+        return lambda batch: batch.columns[pos]
 
     def columns(self) -> Tuple[str, ...]:
         return (self.column.display(),)
@@ -479,14 +492,23 @@ def compile_ssjoin_plan(statement: SelectStatement, catalog: Catalog) -> PlanNod
 
 
 def compile_statement(
-    statement: SelectStatement, catalog: Catalog
+    statement: SelectStatement,
+    catalog: Catalog,
+    batch_size: "int | None" = None,
 ) -> Callable[[], Relation]:
-    """Compile *statement* into an executable closure ``() -> Relation``."""
+    """Compile *statement* into an executable closure ``() -> Relation``.
+
+    *batch_size* configures the plan path's morsel size (``None`` = cost
+    model default, ``0`` = legacy row-at-a-time); plain non-plan queries
+    execute eagerly and ignore it.
+    """
     if statement.ssjoins:
         plan = compile_ssjoin_plan(statement, catalog)
 
         def run_plan() -> Relation:
-            return plan.execute(ExecutionContext(catalog=catalog))
+            return plan.execute(
+                ExecutionContext(catalog=catalog, batch_size=batch_size)
+            )
 
         return run_plan
 
@@ -638,13 +660,21 @@ def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relat
     return op_project(grouped, columns)
 
 
-def execute_sql(catalog: Catalog, sql: str, verify: bool = False) -> Relation:
+def execute_sql(
+    catalog: Catalog,
+    sql: str,
+    verify: bool = False,
+    batch_size: "int | None" = None,
+) -> Relation:
     """Parse, compile and execute one SELECT against *catalog*.
 
     With ``verify=True`` the statement is first checked statically
     (:func:`repro.analysis.check_sql`) and rejected with structured
     diagnostics — :class:`repro.errors.AnalysisError` — before anything
-    executes.
+    executes.  *batch_size* is forwarded to the plan path's
+    :class:`~repro.relational.context.ExecutionContext` (``None`` = cost
+    model default, ``0`` = row-at-a-time); results are identical for
+    every setting.
 
     >>> from repro.relational import Catalog, Relation
     >>> c = Catalog()
@@ -659,4 +689,4 @@ def execute_sql(catalog: Catalog, sql: str, verify: bool = False) -> Relation:
         from repro.analysis.sql_check import check_sql
 
         check_sql(catalog, sql)
-    return compile_statement(parse(sql), catalog)()
+    return compile_statement(parse(sql), catalog, batch_size=batch_size)()

@@ -117,13 +117,20 @@ class TestExplainAndGenerate:
             "          Prepared(input, groups=5, elements=10)",
         ]
         notes = [l.strip() for l in out.splitlines() if l.strip().startswith("--")]
-        assert notes[0].startswith("-- physical: ")
-        assert notes[0].endswith("(chosen by cost model)")
-        costed = {
-            re.match(r"-- [* ]?\s*cost\[([a-z-]+)\] = \d+$", n).group(1)
-            for n in notes[1:]
-        }
+        physical = [n for n in notes if n.startswith("-- physical: ")]
+        assert physical and physical[0].endswith("(chosen by cost model)")
+        costed = set()
+        for n in notes:
+            m = re.match(r"-- [* ]?\s*cost\[([a-z-]+)\] = \d+$", n)
+            if m:
+                costed.add(m.group(1))
         assert {"basic", "prefix", "inline", "probe"} <= costed
+        # Every node annotates its execution protocol (Layer 8).
+        batch_notes = [n for n in notes if n.startswith("-- batch: ")]
+        assert len(batch_notes) == 7
+        assert any("vectorized" in n for n in batch_notes)
+        assert any("columnar source" in n for n in batch_notes)
+        assert all(re.search(r"morsel=\d+$", n) for n in batch_notes)
 
     def test_explain_fig12_golden_snapshot(self, tmp_path, capsys):
         """The Fig-12 workload's plan, pinned (costs masked to N).
