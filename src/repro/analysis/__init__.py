@@ -10,9 +10,13 @@ Three layers, one diagnostic vocabulary (:class:`Diagnostic` /
   and verify-step audits (``SSJ1xx`` rules).
 - :mod:`repro.analysis.lint` — ``ast``-based engine-hygiene lint over
   the hot paths (``RL2xx`` rules); also ``python -m repro.analysis.lint``.
+- :mod:`repro.analysis.dataflow` — fixpoint dataflow auditor for
+  ordering determinism, kernel purity, and float-accumulation order in
+  the parallel/batch engine (``DF3xx`` rules).
 
-Entry points: ``repro analyze`` (CLI), ``SSJoin(..., verify=True)``
-(facade), and :func:`selfcheck` (the CI regression gate).
+Entry points: ``repro analyze`` (CLI; ``--dataflow`` for the DF3xx
+audit), ``SSJoin(..., verify=True)`` (facade), and :func:`selfcheck`
+(the CI regression gate).
 """
 
 from repro.analysis.diagnostics import (
@@ -29,6 +33,7 @@ from repro.analysis.invariants import (
     verify_shards,
     verify_ssjoin,
 )
+from repro.analysis.dataflow import DF_RULES, analyze_dataflow, check_corpus
 from repro.analysis.lint import lint_file, lint_paths, lint_source
 from repro.analysis.plan_verifier import check_plan, verify_plan
 from repro.analysis.selfcheck import selfcheck
@@ -55,5 +60,8 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "DF_RULES",
+    "analyze_dataflow",
+    "check_corpus",
     "selfcheck",
 ]

@@ -1,0 +1,65 @@
+"""Dataflow determinism & kernel-purity auditor (the DF3xx series).
+
+A fixpoint dataflow engine over stdlib ``ast`` — per-function CFGs
+(:mod:`.cfg`), a product lattice of taint facts (:mod:`.lattice`), a
+forward abstract interpreter with join/widen (:mod:`.interp`) and an
+intraprocedural call-summary table for the engine's own helpers
+(:mod:`.summaries`) — plus the three rule passes built on top of it
+(:mod:`.rules_df`) and the seeded-defect corpus gate (:mod:`.corpus`).
+
+Entry points: :func:`analyze_dataflow` (paths), :func:`analyze_sources`
+(in-memory pairs), :func:`check_corpus` (selfcheck), :data:`DF_RULES`
+(the catalog). See ``docs/analysis_rules.md`` for the rule contracts.
+"""
+
+from repro.analysis.dataflow.cfg import CFG, BasicBlock, build_cfg
+from repro.analysis.dataflow.corpus import DEFAULT_CORPUS, check_corpus, expected_rules
+from repro.analysis.dataflow.interp import (
+    CallSummary,
+    Event,
+    FunctionFacts,
+    analyze_function,
+)
+from repro.analysis.dataflow.lattice import (
+    CLEAN,
+    AbstractValue,
+    State,
+    join,
+    join_states,
+)
+from repro.analysis.dataflow.rules_df import (
+    DF_RULES,
+    DataflowAnalyzer,
+    analyze_dataflow,
+    analyze_sources,
+)
+from repro.analysis.dataflow.summaries import (
+    FunctionInfo,
+    SummaryTable,
+    build_summaries,
+)
+
+__all__ = [
+    "AbstractValue",
+    "BasicBlock",
+    "CFG",
+    "CLEAN",
+    "CallSummary",
+    "DEFAULT_CORPUS",
+    "DF_RULES",
+    "DataflowAnalyzer",
+    "Event",
+    "FunctionFacts",
+    "FunctionInfo",
+    "State",
+    "SummaryTable",
+    "analyze_dataflow",
+    "analyze_function",
+    "analyze_sources",
+    "build_cfg",
+    "build_summaries",
+    "check_corpus",
+    "expected_rules",
+    "join",
+    "join_states",
+]

@@ -1,0 +1,262 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+:func:`build_cfg` lowers one function body into basic blocks of
+statements connected by successor edges — the graph the forward
+interpreter (:mod:`repro.analysis.dataflow.interp`) runs its worklist
+over. Loop headers (``for``/``while``) occupy a block of their own so
+the interpreter evaluates the iterable / condition exactly once per
+fixpoint visit, and every block records the identity of the loops that
+lexically enclose it (``loop_ids``) — that is how "this append happens
+under iteration of an unordered container" survives the flattening into
+blocks.
+
+The lowering is *sound for the DF3xx lattice*, not a general-purpose
+CFG: exceptions are approximated by joining every ``try`` handler after
+the protected body, ``break``/``continue`` jump to the loop exit/header,
+and unreachable tails after ``return``/``raise`` land in disconnected
+blocks the worklist never visits.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:  # repro: ignore[RL204] -- builder output, wired up incrementally
+    """A straight-line run of statements with explicit successors."""
+
+    bid: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    #: ids (``id(node)``) of the ``for`` loops lexically enclosing this
+    #: block — consulted by the interpreter's unordered-loop context.
+    loop_ids: Tuple[int, ...] = ()
+
+
+@dataclass
+class CFG:  # repro: ignore[RL204] -- builder output, wired up incrementally
+    """Blocks + entry/exit ids; ``rpo()`` yields a worklist seed order."""
+
+    blocks: List[BasicBlock]
+    entry: int
+    exit: int
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder from the entry (loop headers before bodies)."""
+        seen = [False] * len(self.blocks)
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen[self.entry] = True
+        while stack:
+            bid, i = stack[-1]
+            succs = self.blocks[bid].succs
+            if i < len(succs):
+                stack[-1] = (bid, i + 1)
+                nxt = succs[i]
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(bid)
+        order.reverse()
+        return order
+
+    def preds(self) -> List[List[int]]:
+        out: List[List[int]] = [[] for _ in self.blocks]
+        for b in self.blocks:
+            for s in b.succs:
+                out[s].append(b.bid)
+        return out
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        #: (header block, after block) per open loop, for break/continue.
+        self.loop_stack: List[Tuple[int, int]] = []
+        #: lexical ``for``-loop context for new blocks.
+        self.loop_ctx: Tuple[int, ...] = ()
+
+    def new_block(self) -> int:
+        b = BasicBlock(bid=len(self.blocks), loop_ids=self.loop_ctx)
+        self.blocks.append(b)
+        return b.bid
+
+    def edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+
+    # -- statement lowering ------------------------------------------------
+
+    def lower_body(self, stmts: List[ast.stmt], current: int) -> Optional[int]:
+        """Lower *stmts* starting in block *current*; returns the open
+        block all fall-through paths end in, or ``None`` if every path
+        diverged (return/raise/break/continue)."""
+        open_block: Optional[int] = current
+        for stmt in stmts:
+            if open_block is None:
+                # Unreachable tail: park it in a disconnected block
+                # (never visited by the worklist, but still lowered so
+                # nested definitions are discoverable).
+                self._lower(stmt, self.new_block())
+                continue
+            open_block = self._lower(stmt, open_block)
+        return open_block
+
+    def _lower(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._lower_for(stmt, current)
+        if isinstance(stmt, ast.While):
+            return self._lower_while(stmt, current)
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return self._lower_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.blocks[current].statements.append(stmt)
+            return self.lower_body(stmt.body, current)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].statements.append(stmt)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loop_stack:
+                self.edge(current, self.loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loop_stack:
+                self.edge(current, self.loop_stack[-1][0])
+            return None
+        self.blocks[current].statements.append(stmt)
+        return current
+
+    def _lower_if(self, stmt: ast.If, current: int) -> Optional[int]:
+        # The test expression rides in the current block (evaluated for
+        # taint side-conditions; branches are not path-sensitive).
+        self.blocks[current].statements.append(_TestMarker(stmt.test))
+        then_b = self.new_block()
+        self.edge(current, then_b)
+        then_end = self.lower_body(stmt.body, then_b)
+        if stmt.orelse:
+            else_b = self.new_block()
+            self.edge(current, else_b)
+            else_end = self.lower_body(stmt.orelse, else_b)
+        else:
+            else_end = current
+        if then_end is None and else_end is None:
+            return None
+        after = self.new_block()
+        if then_end is not None:
+            self.edge(then_end, after)
+        if else_end is not None:
+            self.edge(else_end, after)
+        return after
+
+    def _lower_loop(
+        self, stmt: ast.stmt, current: int, body: List[ast.stmt],
+        orelse: List[ast.stmt], loop_id: Optional[int],
+    ) -> Optional[int]:
+        header = self.new_block()
+        self.blocks[header].statements.append(stmt)
+        self.edge(current, header)
+        after = self.new_block()
+        self.edge(header, after)
+        saved_ctx = self.loop_ctx
+        if loop_id is not None:
+            self.loop_ctx = saved_ctx + (loop_id,)
+        body_b = self.new_block()
+        self.edge(header, body_b)
+        self.loop_stack.append((header, after))
+        body_end = self.lower_body(body, body_b)
+        self.loop_stack.pop()
+        self.loop_ctx = saved_ctx
+        if body_end is not None:
+            self.edge(body_end, header)
+        if orelse:
+            return self.lower_body(orelse, after)
+        return after
+
+    def _lower_for(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        assert isinstance(stmt, (ast.For, ast.AsyncFor))
+        return self._lower_loop(stmt, current, stmt.body, stmt.orelse, id(stmt))
+
+    def _lower_while(self, stmt: ast.While, current: int) -> Optional[int]:
+        return self._lower_loop(stmt, current, stmt.body, stmt.orelse, None)
+
+    def _lower_try(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        body = getattr(stmt, "body", [])
+        handlers = getattr(stmt, "handlers", [])
+        orelse = getattr(stmt, "orelse", [])
+        final = getattr(stmt, "finalbody", [])
+        body_end = self.lower_body(body, current)
+        ends: List[int] = []
+        if body_end is not None:
+            if orelse:
+                body_end = self.lower_body(orelse, body_end)
+            if body_end is not None:
+                ends.append(body_end)
+        for handler in handlers:
+            hb = self.new_block()
+            # Any prefix of the body may have run before the handler —
+            # joining from the try entry is the sound approximation.
+            self.edge(current, hb)
+            if handler.name:
+                hb_block = self.blocks[hb]
+                hb_block.statements.append(_BindMarker(handler.name, handler))
+            h_end = self.lower_body(handler.body, hb)
+            if h_end is not None:
+                ends.append(h_end)
+        if not ends:
+            if final:
+                dangling = self.new_block()
+                self.edge(current, dangling)
+                self.lower_body(final, dangling)
+            return None
+        after = self.new_block()
+        for e in ends:
+            self.edge(e, after)
+        if final:
+            return self.lower_body(final, after)
+        return after
+
+
+class _TestMarker(ast.stmt):
+    """Wrapper placing a branch test expression into a block."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: ast.expr) -> None:
+        self.value = value
+        self.lineno = getattr(value, "lineno", 1)
+        self.end_lineno = getattr(value, "end_lineno", self.lineno)
+        self.col_offset = getattr(value, "col_offset", 0)
+
+
+class _BindMarker(ast.stmt):
+    """Wrapper binding an exception-handler name in its block."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str, node: ast.AST) -> None:
+        self.name = name
+        self.lineno = getattr(node, "lineno", 1)
+        self.end_lineno = getattr(node, "end_lineno", self.lineno)
+        self.col_offset = getattr(node, "col_offset", 0)
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Lower *fn* (a ``FunctionDef``/``AsyncFunctionDef``) into a CFG."""
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+    builder = _Builder()
+    entry = builder.new_block()
+    body = fn.body if not isinstance(fn, ast.Lambda) else [ast.Return(value=fn.body)]
+    end = builder.lower_body(body, entry)
+    exit_b = builder.new_block()
+    if end is not None:
+        builder.edge(end, exit_b)
+    return CFG(blocks=builder.blocks, entry=entry, exit=exit_b)

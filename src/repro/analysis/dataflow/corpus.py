@@ -1,0 +1,141 @@
+"""Seeded-defect corpus gate (DF399).
+
+The fixture corpus (``tests/analysis/dataflow_fixtures/``) is the
+auditor's own regression harness: each fixture file declares which DF3xx
+defects were deliberately seeded into it with marker comments
+
+.. code-block:: python
+
+    # seeded-defect: DF301
+    # seeded-defect: DF305
+
+or declares itself defect-free with ``# seeded-defect: none``.
+
+:func:`check_corpus` runs the dataflow audit over the corpus and demands
+an exact match per file: every seeded defect must be detected *by the
+intended rule*, clean fixtures must stay clean, and no rule may fire
+where it was not seeded (precision — a rule that flags clean code is as
+broken as one that misses defects). It also demands breadth: every rule
+in the DF3xx catalog (bar DF399 itself) must be exercised by at least
+one fixture, so a rule cannot silently become vacuous — dead rules rot
+into false confidence.
+
+Violations are reported as ``DF399`` diagnostics; CI runs this through
+``repro.analysis.selfcheck`` so a regression in the auditor fails the
+build even when the engine itself is clean.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.dataflow.rules_df import DF_RULES, analyze_sources
+
+__all__ = ["check_corpus", "expected_rules", "DEFAULT_CORPUS"]
+
+_MARKER_RE = re.compile(r"#\s*seeded-defect:\s*(DF\d{3}|none)")
+
+#: Repo-relative home of the fixture corpus.
+DEFAULT_CORPUS = Path("tests") / "analysis" / "dataflow_fixtures"
+
+#: Rules the breadth check does not require a fixture for.
+_EXEMPT_FROM_BREADTH = frozenset({"DF399"})
+
+
+def expected_rules(source: str) -> Optional[Set[str]]:
+    """Rules seeded into *source* per its markers.
+
+    Empty set = declared clean (``none``); ``None`` = no markers at all
+    (an unlabelled file, which the corpus check rejects).
+    """
+    found: Set[str] = set()
+    saw_marker = False
+    for m in _MARKER_RE.finditer(source):
+        saw_marker = True
+        if m.group(1) != "none":
+            found.add(m.group(1))
+    return found if saw_marker else None
+
+
+def _df399(
+    report: AnalysisReport, message: str, location: str, hint: str
+) -> None:
+    report.add(
+        "DF399", DF_RULES["DF399"][0], message, location=location, hint=hint
+    )
+
+
+def check_corpus(
+    corpus_dir: Union[str, Path, None] = None,
+    report: Optional[AnalysisReport] = None,
+) -> AnalysisReport:
+    """Audit the fixture corpus and report DF399 mismatches (see
+    module docstring for the contract)."""
+    report = report if report is not None else AnalysisReport()
+    corpus = Path(corpus_dir) if corpus_dir is not None else DEFAULT_CORPUS
+    files = sorted(corpus.glob("*.py")) if corpus.is_dir() else []
+    if not files:
+        _df399(
+            report,
+            "seeded-defect corpus is missing or empty",
+            str(corpus),
+            "the dataflow selfcheck needs the fixture corpus at "
+            f"{DEFAULT_CORPUS}; run from the repository root",
+        )
+        return report
+
+    sources: Sequence[Tuple[str, str]] = [
+        (str(f), f.read_text(encoding="utf-8")) for f in files
+    ]
+    audit = analyze_sources(sources)
+
+    found_by_file: Dict[str, Set[str]] = {path: set() for path, _ in sources}
+    for diag in audit.diagnostics:
+        path = diag.location.rsplit(":", 1)[0]
+        if path in found_by_file and diag.rule.startswith("DF"):
+            found_by_file[path].add(diag.rule)
+
+    exercised: Set[str] = set()
+    for path, source in sources:
+        expected = expected_rules(source)
+        name = Path(path).name
+        if expected is None:
+            _df399(
+                report,
+                f"fixture {name} has no seeded-defect markers",
+                f"{path}:1",
+                "declare '# seeded-defect: DFxxx' per seeded defect, "
+                "or '# seeded-defect: none' for a clean fixture",
+            )
+            continue
+        exercised |= expected
+        found = found_by_file.get(path, set())
+        for rule in sorted(expected - found):
+            _df399(
+                report,
+                f"seeded defect {rule} in {name} was NOT detected",
+                f"{path}:1",
+                f"the {rule} pass regressed (or the fixture no longer "
+                "contains the defect it claims)",
+            )
+        for rule in sorted(found - expected):
+            _df399(
+                report,
+                f"rule {rule} fired on {name} where no such defect is seeded",
+                f"{path}:1",
+                f"{rule} lost precision (false positive on corpus code), "
+                "or the fixture marker list is stale",
+            )
+
+    for rule in sorted(set(DF_RULES) - _EXEMPT_FROM_BREADTH - exercised):
+        _df399(
+            report,
+            f"no fixture exercises rule {rule} — the rule is unverified "
+            "and may be vacuous",
+            str(corpus),
+            f"add a fixture seeding a {rule} defect to the corpus",
+        )
+    return report

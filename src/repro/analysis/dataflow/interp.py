@@ -1,0 +1,920 @@
+"""Forward abstract interpreter over the per-function CFG.
+
+Runs a worklist fixpoint: each basic block's entry state is the join of
+its predecessors' exit states, the block's statements are interpreted by
+transfer functions over :class:`~repro.analysis.dataflow.lattice.State`,
+and blocks requeue until nothing changes (the lattice is finite and all
+transfer functions monotone, so this terminates; join doubles as the
+widening at loop headers).
+
+The interpreter does not report diagnostics itself. It *collects
+events* — emissions (return/yield/result-constructor calls), parameter
+mutations, global writes, float accumulations under unordered loops —
+each carrying the abstract value that reached the site; the DF3xx rule
+passes (:mod:`repro.analysis.dataflow.rules_df`) decide which events are
+violations for which functions.
+
+Sources of taint recognized without summaries: ``set``/``frozenset``
+construction and displays, set-typed parameter annotations, comprehension
+or ``for`` iteration over unordered values, directory listings
+(``os.listdir`` & friends), wall clocks, unseeded module-level
+``random``, ``id()``/``hash()``/``uuid``/``os.urandom``. Everything else
+resolves through the caller-provided summary table (the engine's own
+functions) and defaults to the optimistic CLEAN — the auditor flags
+*known* taint, never unknowns.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow.cfg import CFG, _BindMarker, _TestMarker, build_cfg
+from repro.analysis.dataflow.lattice import (
+    CLEAN,
+    AbstractValue,
+    State,
+    join,
+    join_states,
+    nondet_value,
+    states_equal,
+    tainted_value,
+    unordered_value,
+)
+
+__all__ = ["Event", "FunctionFacts", "analyze_function", "SummaryResolver"]
+
+#: Identifier fragments marking float quantities (mirrors the RL203 set).
+_FLOATY_NAMES = re.compile(
+    r"(weight|norm|threshold|overlap|alpha|beta|fraction|similarity"
+    r"|score|cost|seconds|epsilon|total|sum_|_sum|acc)",
+    re.IGNORECASE,
+)
+
+#: Keyword-argument names that carry telemetry, not result data — the
+#: one sanctioned home for wall-clock values (timings ride beside the
+#: result; they never decide it).
+_TELEMETRY_KWARG = re.compile(
+    r"(second|elapsed|duration|wall|time|metric|stat|cost)", re.IGNORECASE
+)
+
+#: Nondeterministic call targets, fully qualified by module alias.
+_NONDET_QUALIFIED = frozenset(
+    {
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.now", "datetime.utcnow",
+        "os.urandom", "os.getpid",
+        "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+#: Nondeterministic bare builtins. ``hash`` is per-process randomized
+#: for str/bytes (PYTHONHASHSEED), ``id`` is an address.
+_NONDET_BUILTINS = frozenset({"id", "hash"})
+#: ``random.<attr>`` calls that are NOT the nondeterministic global RNG.
+_RANDOM_OK = frozenset({"Random", "SystemRandom", "seed", "getstate", "setstate"})
+
+#: Calls returning filesystem-order (arbitrary-order) listings.
+_LISTING_QUALIFIED = frozenset(
+    {"os.listdir", "os.walk", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Set-algebra methods whose result is again an unordered set.
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Methods that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+        "appendleft", "write", "writelines",
+    }
+)
+#: The subset whose mutation *inserts in iteration order* — applied
+#: under an unordered loop they make the receiver order-tainted.
+_ORDER_INSERTERS = frozenset(
+    {"append", "extend", "insert", "appendleft", "setdefault", "update"}
+)
+
+#: Order-insensitive reducers: scalar out, arrival order irrelevant
+#: (float ``sum`` is re-checked separately for DF306).
+_REDUCERS = frozenset({"sum", "len", "min", "max", "any", "all"})
+#: Exactly-rounded float sums are order-insensitive by construction.
+_EXACT_REDUCERS = frozenset({"fsum", "math.fsum"})
+
+#: Order-preserving converters: unordered input becomes an *ordered*
+#: sequence whose order is hash-order — the birth of order taint.
+_CONVERTERS = frozenset(
+    {"list", "tuple", "reversed", "enumerate", "zip", "map", "filter",
+     "iter", "chain", "itertools.chain"}
+)
+
+#: Constructors of result-bearing values (emission sinks for DF301).
+_EMIT_CONSTRUCTORS = frozenset(
+    {"Batch", "BatchStream", "ColumnarRelation", "Relation"}
+)
+
+#: Annotation names marking a parameter as an unordered container.
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One fact the rule passes may turn into a diagnostic."""
+
+    kind: str  # emit-return | emit-yield | emit-constructor |
+    #            param-mutation | global-write | nonlocal-write |
+    #            float-accum | nondet-call
+    lineno: int
+    span: Tuple[int, int]
+    value: AbstractValue = CLEAN
+    name: str = ""
+    detail: str = ""
+    in_unordered_loop: bool = False
+
+
+@dataclass
+class FunctionFacts:  # repro: ignore[RL204] -- analysis accumulator
+    """Everything the interpreter learned about one function."""
+
+    name: str
+    qualname: str
+    node: ast.AST
+    params: Tuple[str, ...] = ()
+    events: List[Event] = field(default_factory=list)
+    #: join of every value reaching a ``return`` (CLEAN if none).
+    return_value: AbstractValue = CLEAN
+    globals_declared: Tuple[str, ...] = ()
+    is_generator: bool = False
+
+
+#: Resolver contract: a callable mapping a (possibly dotted) call-target
+#: name to that function's facts under pessimistic params, or ``None``.
+SummaryResolver = Callable[[str], Optional["CallSummary"]]
+
+
+@dataclass(frozen=True)
+class CallSummary:
+    """What a call site needs to know about a callee (see summaries)."""
+
+    returns_unordered: bool = False
+    returns_tainted: bool = False
+    returns_nondet: bool = False
+    #: tainted/unordered arguments make the result tainted.
+    propagates_taint: bool = True
+    #: the callee writes module globals / calls nondet sources (for the
+    #: purity pass to attribute at the call site).
+    writes_globals: bool = False
+    nondet_inside: bool = False
+
+
+def _call_names(func: ast.expr) -> Tuple[Optional[str], Optional[str]]:
+    """(qualified, attr) names for a call target, best effort."""
+    if isinstance(func, ast.Name):
+        return func.id, None
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            return f"{func.value.id}.{func.attr}", func.attr
+        return None, func.attr
+    return None, None
+
+
+def _span(node: ast.AST) -> Tuple[int, int]:
+    start = getattr(node, "lineno", 1)
+    return (start, getattr(node, "end_lineno", None) or start)
+
+
+def _is_setish_annotation(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotations ("Set[int]") — cheap textual probe.
+            if any(a in sub.value for a in _SET_ANNOTATIONS):
+                return True
+        if name in _SET_ANNOTATIONS:
+            return True
+    return False
+
+
+def _floaty_expr(node: ast.AST) -> bool:
+    """Does this expression look like a float quantity (names/literals)?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, float):
+            return True
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.arg)):
+            name = getattr(sub, "name", None) or getattr(sub, "arg", None)
+        if name and name != name.upper() and _FLOATY_NAMES.search(name):
+            return True
+    return False
+
+
+class _Interp:
+    """One function's fixpoint run (see module docstring)."""
+
+    def __init__(
+        self,
+        fn: ast.AST,
+        path: str,
+        qualname: str,
+        resolve: SummaryResolver,
+        pessimistic_params: bool = False,
+    ) -> None:
+        assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        self.fn = fn
+        self.path = path
+        self.resolve = resolve
+        self.cfg: CFG = build_cfg(fn)
+        self.facts = FunctionFacts(
+            name=fn.name, qualname=qualname, node=fn,
+            params=tuple(a.arg for a in self._all_args(fn)),
+        )
+        self._event_keys: Set[Tuple] = set()
+        #: id(For-node) -> its iterable was unordered/tainted this visit.
+        self.loop_unordered: Dict[int, bool] = {}
+        self.globals_declared: Set[str] = set()
+        self.pessimistic = pessimistic_params
+        self._in_unordered_loop = False  # set per block during transfer
+
+    @staticmethod
+    def _all_args(fn: ast.AST) -> List[ast.arg]:
+        a = fn.args  # type: ignore[attr-defined]
+        out = list(a.posonlyargs) + list(a.args) + list(a.kwonlyargs)
+        if a.vararg:
+            out.append(a.vararg)
+        if a.kwarg:
+            out.append(a.kwarg)
+        return out
+
+    def initial_state(self) -> State:
+        state: State = {}
+        for i, arg in enumerate(self._all_args(self.fn)):
+            setish = _is_setish_annotation(arg.annotation)
+            value = AbstractValue(
+                unordered=setish or self.pessimistic,
+                tainted=self.pessimistic,
+                alias_of=arg.arg,
+                origin=(
+                    f"set-typed parameter {arg.arg!r}" if setish else None
+                ),
+            )
+            if i == 0 and arg.arg in ("self", "cls"):
+                value = value.but(unordered=False, tainted=False, origin=None)
+            state[arg.arg] = value
+        return state
+
+    # -- events ------------------------------------------------------------
+
+    def _event(self, kind: str, node: ast.AST, **kw: object) -> None:
+        ev = Event(kind=kind, lineno=getattr(node, "lineno", 1),
+                   span=_span(node), **kw)  # type: ignore[arg-type]
+        # The fixpoint revisits blocks; dedupe on everything but the
+        # abstract value, keeping the *last* (= post-fixpoint) value.
+        key = (ev.kind, ev.lineno, ev.name, ev.detail)
+        if key in self._event_keys:
+            for i, old in enumerate(self.facts.events):
+                if (old.kind, old.lineno, old.name, old.detail) == key:
+                    self.facts.events[i] = ev
+                    return
+        self._event_keys.add(key)
+        self.facts.events.append(ev)
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> FunctionFacts:
+        n = len(self.cfg.blocks)
+        preds = self.cfg.preds()
+        entry_states: List[Optional[State]] = [None] * n
+        exit_states: List[Optional[State]] = [None] * n
+        entry_states[self.cfg.entry] = self.initial_state()
+        order = self.cfg.rpo()
+        position = {bid: i for i, bid in enumerate(order)}
+        from heapq import heappop, heappush
+
+        work: List[Tuple[int, int]] = []
+        for bid in order:
+            heappush(work, (position[bid], bid))
+        queued = set(order)
+        iterations = 0
+        limit = 50 * max(n, 1)
+        while work and iterations < limit:
+            iterations += 1
+            _, bid = heappop(work)
+            queued.discard(bid)
+            joined: State = {}
+            have_pred = False
+            for p in preds[bid]:
+                ps = exit_states[p]
+                if ps is not None:
+                    joined = join_states(joined, ps)
+                    have_pred = True
+            if bid == self.cfg.entry:
+                joined = join_states(self.initial_state(), joined)
+                have_pred = True
+            if not have_pred:
+                continue
+            entry_states[bid] = joined
+            new_exit = self.transfer_block(bid, dict(joined))
+            old_exit = exit_states[bid]
+            if old_exit is None or not states_equal(old_exit, new_exit):
+                exit_states[bid] = new_exit
+                for s in self.cfg.blocks[bid].succs:
+                    if s not in queued and s in position:
+                        queued.add(s)
+                        heappush(work, (position[s], s))
+        self.facts.globals_declared = tuple(sorted(self.globals_declared))
+        return self.facts
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer_block(self, bid: int, state: State) -> State:
+        block = self.cfg.blocks[bid]
+        self._in_unordered_loop = any(
+            self.loop_unordered.get(lid, False) for lid in block.loop_ids
+        )
+        for stmt in block.statements:
+            self.transfer_stmt(stmt, state)
+        return state
+
+    def transfer_stmt(self, stmt: ast.stmt, state: State) -> None:
+        if isinstance(stmt, _TestMarker):
+            self.eval(stmt.value, state)
+        elif isinstance(stmt, _BindMarker):
+            state[stmt.name] = CLEAN
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, state)
+            for target in stmt.targets:
+                self.assign(target, value, state, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, state)
+            elif _is_setish_annotation(stmt.annotation):
+                value = unordered_value("set-typed declaration")
+            else:
+                value = CLEAN
+            if stmt.target is not None:
+                self.assign(stmt.target, value, state, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self.transfer_augassign(stmt, state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.transfer_for_header(stmt, state)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, state)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value, state) if stmt.value else CLEAN
+            self.facts.return_value = join(self.facts.return_value, value)
+            self._event(
+                "emit-return", stmt, value=value,
+                in_unordered_loop=self._in_unordered_loop,
+            )
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, state)
+        elif isinstance(stmt, ast.Global):
+            self.globals_declared.update(stmt.names)
+        elif isinstance(stmt, ast.Nonlocal):
+            for name in stmt.names:
+                self._event("nonlocal-write", stmt, name=name)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    self.mutation_target(target, stmt, state, "del")
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, value, state, stmt)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            state[stmt.name] = CLEAN
+        elif isinstance(stmt, ast.ClassDef):
+            state[stmt.name] = CLEAN
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.eval(sub, state)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass)):
+            pass
+
+    def transfer_for_header(self, stmt: ast.stmt, state: State) -> None:
+        assert isinstance(stmt, (ast.For, ast.AsyncFor))
+        iter_value = self.eval(stmt.iter, state)
+        unordered = iter_value.unordered or iter_value.tainted
+        self.loop_unordered[id(stmt)] = unordered
+        origin = iter_value.origin or (
+            f"iteration over unordered value at line {stmt.iter.lineno}"
+        )
+        # Element values are deterministic set members — only their
+        # *arrival order* is tainted, which the loop context carries.
+        element = AbstractValue(nondet=iter_value.nondet, origin=origin)
+        self.assign(stmt.target, element, state, stmt)
+
+    def transfer_augassign(self, stmt: ast.AugAssign, state: State) -> None:
+        rhs = self.eval(stmt.value, state)
+        if isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            old = state.get(name, CLEAN)
+            new = join(old, rhs.but(alias_of=None))
+            if self._in_unordered_loop:
+                if isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mult)) and (
+                    _floaty_expr(stmt.target) or _floaty_expr(stmt.value)
+                ):
+                    self._event(
+                        "float-accum", stmt, name=name,
+                        value=new,
+                        detail=(
+                            f"float accumulator {name!r} updated under "
+                            "unordered iteration"
+                        ),
+                        in_unordered_loop=True,
+                    )
+                if old.mutable or isinstance(stmt.value, (ast.List, ast.Tuple)):
+                    new = join(
+                        new,
+                        tainted_value(
+                            "accumulated under unordered iteration "
+                            f"at line {stmt.lineno}"
+                        ),
+                    )
+            state[name] = new
+        elif isinstance(stmt.target, (ast.Subscript, ast.Attribute)):
+            self.mutation_target(stmt.target, stmt, state, "augmented write")
+
+    def assign(
+        self, target: ast.expr, value: AbstractValue, state: State,
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self._event(
+                    "global-write", stmt, name=target.id,
+                    detail=f"assignment to module global {target.id!r}",
+                )
+            state[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            element = value.but(alias_of=None)
+            for t in target.elts:
+                self.assign(t, element, state, stmt)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, value.but(alias_of=None), state, stmt)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self.mutation_target(target, stmt, state, "item/attribute write",
+                                 written=value)
+
+    def mutation_target(
+        self,
+        target: ast.expr,
+        stmt: ast.stmt,
+        state: State,
+        what: str,
+        written: AbstractValue = CLEAN,
+    ) -> None:
+        """A write through a subscript/attribute: record who it mutates
+        and how it taints the container."""
+        base = target.value if isinstance(target, (ast.Subscript, ast.Attribute)) else None
+        if not isinstance(base, ast.Name):
+            return
+        base_value = state.get(base.id, CLEAN)
+        if base_value.alias_of is not None:
+            self._event(
+                "param-mutation", stmt, name=base_value.alias_of,
+                detail=f"{what} through {base.id!r}",
+            )
+        if base.id in self.globals_declared:
+            self._event("global-write", stmt, name=base.id, detail=what)
+        updates = {}
+        if self._in_unordered_loop and isinstance(target, ast.Subscript):
+            updates["tainted"] = True
+            updates["origin"] = (
+                base_value.origin
+                or f"keyed insertion under unordered iteration at line {stmt.lineno}"
+            )
+        if written.tainted or written.nondet:
+            updates["tainted"] = base_value.tainted or written.tainted
+            updates["nondet"] = base_value.nondet or written.nondet
+            if base_value.origin is None:
+                updates["origin"] = written.origin
+        if updates:
+            state[base.id] = base_value.but(**updates)
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(self, node: Optional[ast.expr], state: State) -> AbstractValue:
+        if node is None:
+            return CLEAN
+        method = getattr(self, f"eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node, state)
+        # Default: join of child expression values (covers Starred,
+        # FormattedValue, JoinedStr, Await, Slice, ...).
+        value = CLEAN
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                value = join(value, self.eval(child, state))
+        return value.but(alias_of=None)
+
+    def eval_Constant(self, node: ast.Constant, state: State) -> AbstractValue:
+        return CLEAN
+
+    def eval_Name(self, node: ast.Name, state: State) -> AbstractValue:
+        return state.get(node.id, CLEAN)
+
+    def eval_Set(self, node: ast.Set, state: State) -> AbstractValue:
+        value = self._join_all(node.elts, state)
+        return AbstractValue(
+            unordered=True, nondet=value.nondet, mutable=True,
+            origin=f"set display at line {node.lineno}",
+        )
+
+    def eval_List(self, node: ast.List, state: State) -> AbstractValue:
+        value = self._join_all(node.elts, state)
+        return value.but(mutable=True, unordered=False, alias_of=None)
+
+    def eval_Tuple(self, node: ast.Tuple, state: State) -> AbstractValue:
+        value = self._join_all(node.elts, state)
+        return value.but(unordered=False, alias_of=None)
+
+    def eval_Dict(self, node: ast.Dict, state: State) -> AbstractValue:
+        value = CLEAN
+        for k in node.keys:
+            if k is not None:
+                value = join(value, self.eval(k, state))
+        for v in node.values:
+            value = join(value, self.eval(v, state))
+        return value.but(mutable=True, unordered=False, alias_of=None)
+
+    def _join_all(
+        self, nodes: Sequence[ast.expr], state: State
+    ) -> AbstractValue:
+        value = CLEAN
+        for n in nodes:
+            value = join(value, self.eval(n, state))
+        return value
+
+    def _eval_comprehension(
+        self, node: ast.expr, state: State, result: str
+    ) -> AbstractValue:
+        local = dict(state)
+        from_unordered = False
+        origin: Optional[str] = None
+        nondet = False
+        for gen in node.generators:  # type: ignore[attr-defined]
+            iter_value = self.eval(gen.iter, local)
+            if iter_value.unordered or iter_value.tainted:
+                from_unordered = True
+                origin = origin or iter_value.origin or (
+                    f"comprehension over unordered value at line {node.lineno}"
+                )
+            nondet = nondet or iter_value.nondet
+            self.assign(gen.target, AbstractValue(nondet=iter_value.nondet),
+                        local, node)  # type: ignore[arg-type]
+            for cond in gen.ifs:
+                self.eval(cond, local)
+        if isinstance(node, ast.DictComp):
+            element = join(self.eval(node.key, local), self.eval(node.value, local))
+        else:
+            element = self.eval(node.elt, local)  # type: ignore[attr-defined]
+        nondet = nondet or element.nondet
+        if result == "set":
+            return AbstractValue(
+                unordered=True, nondet=nondet, mutable=True,
+                origin=f"set comprehension at line {node.lineno}",
+            )
+        tainted = from_unordered or element.tainted
+        return AbstractValue(
+            tainted=tainted, nondet=nondet, mutable=result != "generator",
+            origin=origin if from_unordered else element.origin,
+        )
+
+    def eval_ListComp(self, node: ast.ListComp, state: State) -> AbstractValue:
+        return self._eval_comprehension(node, state, "list")
+
+    def eval_SetComp(self, node: ast.SetComp, state: State) -> AbstractValue:
+        return self._eval_comprehension(node, state, "set")
+
+    def eval_DictComp(self, node: ast.DictComp, state: State) -> AbstractValue:
+        return self._eval_comprehension(node, state, "dict")
+
+    def eval_GeneratorExp(
+        self, node: ast.GeneratorExp, state: State
+    ) -> AbstractValue:
+        return self._eval_comprehension(node, state, "generator")
+
+    def eval_BinOp(self, node: ast.BinOp, state: State) -> AbstractValue:
+        left = self.eval(node.left, state)
+        right = self.eval(node.right, state)
+        return join(left, right).but(alias_of=None)
+
+    def eval_BoolOp(self, node: ast.BoolOp, state: State) -> AbstractValue:
+        return self._join_all(node.values, state).but(alias_of=None)
+
+    def eval_UnaryOp(self, node: ast.UnaryOp, state: State) -> AbstractValue:
+        return self.eval(node.operand, state).but(alias_of=None)
+
+    def eval_Compare(self, node: ast.Compare, state: State) -> AbstractValue:
+        # Membership/ordering tests are order-insensitive reductions:
+        # order taint does not survive them, nondeterminism does.
+        value = join(
+            self.eval(node.left, state),
+            self._join_all(node.comparators, state),
+        )
+        return AbstractValue(nondet=value.nondet, origin=value.origin)
+
+    def eval_IfExp(self, node: ast.IfExp, state: State) -> AbstractValue:
+        self.eval(node.test, state)
+        return join(
+            self.eval(node.body, state), self.eval(node.orelse, state)
+        ).but(alias_of=None)
+
+    def eval_Attribute(self, node: ast.Attribute, state: State) -> AbstractValue:
+        base = self.eval(node.value, state)
+        # A field read off a tainted object is a scalar whose *value*
+        # does not depend on arrival order; nondet stickiness remains.
+        return AbstractValue(nondet=base.nondet, origin=base.origin)
+
+    def eval_Subscript(self, node: ast.Subscript, state: State) -> AbstractValue:
+        base = self.eval(node.value, state)
+        self.eval(node.slice, state)
+        # Positional access into an order-tainted sequence is itself
+        # order-dependent (xs[0] of a hash-ordered list).
+        return AbstractValue(
+            tainted=base.tainted, nondet=base.nondet, origin=base.origin
+        )
+
+    def eval_NamedExpr(self, node: ast.NamedExpr, state: State) -> AbstractValue:
+        value = self.eval(node.value, state)
+        self.assign(node.target, value, state, node)  # type: ignore[arg-type]
+        return value
+
+    def eval_Lambda(self, node: ast.Lambda, state: State) -> AbstractValue:
+        return CLEAN
+
+    def eval_Yield(self, node: ast.Yield, state: State) -> AbstractValue:
+        self.facts.is_generator = True
+        value = self.eval(node.value, state) if node.value else CLEAN
+        self._event(
+            "emit-yield", node, value=value,
+            in_unordered_loop=self._in_unordered_loop,
+        )
+        return CLEAN
+
+    def eval_YieldFrom(self, node: ast.YieldFrom, state: State) -> AbstractValue:
+        self.facts.is_generator = True
+        value = self.eval(node.value, state)
+        self._event(
+            "emit-yield", node, value=value,
+            in_unordered_loop=self._in_unordered_loop,
+        )
+        return CLEAN
+
+    def eval_Await(self, node: ast.Await, state: State) -> AbstractValue:
+        return self.eval(node.value, state)
+
+    # -- calls -------------------------------------------------------------
+
+    def eval_Call(self, node: ast.Call, state: State) -> AbstractValue:
+        qualified, attr = _call_names(node.func)
+        args = [self.eval(a, state) for a in node.args]
+        kw_values: List[Tuple[Optional[str], AbstractValue]] = [
+            (kw.arg, self.eval(kw.value, state)) for kw in node.keywords
+        ]
+        data_args = list(args) + [
+            v for name, v in kw_values
+            if not (name and _TELEMETRY_KWARG.search(name))
+        ]
+        arg_join = CLEAN
+        for v in data_args:
+            arg_join = join(arg_join, v)
+
+        self._check_receiver_mutation(node, state, args)
+
+        name = qualified or attr or ""
+
+        # Canonicalization point: kills order taint, keeps content nondet.
+        if name == "sorted":
+            return AbstractValue(nondet=arg_join.nondet, mutable=True)
+        if name in _EXACT_REDUCERS:
+            return AbstractValue(nondet=arg_join.nondet)
+
+        # Nondeterministic sources.
+        if (
+            name in _NONDET_QUALIFIED
+            or name in _NONDET_BUILTINS
+            or (
+                qualified is not None
+                and qualified.startswith("random.")
+                and qualified.split(".", 1)[1] not in _RANDOM_OK
+            )
+        ):
+            origin = f"nondeterministic call {name}() at line {node.lineno}"
+            self._event("nondet-call", node, name=name, detail=origin)
+            return nondet_value(origin)
+
+        # Filesystem listings arrive in arbitrary order.
+        if name in _LISTING_QUALIFIED or (attr in _LISTING_METHODS):
+            return tainted_value(
+                f"unsorted filesystem listing {name or attr}() "
+                f"at line {node.lineno}"
+            ).but(mutable=True)
+
+        if name in ("set", "frozenset"):
+            return AbstractValue(
+                unordered=True, nondet=arg_join.nondet,
+                mutable=name == "set",
+                origin=f"{name}() at line {node.lineno}",
+            )
+        if attr in _SET_METHODS and isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value, state)
+            if receiver.unordered:
+                return receiver.but(alias_of=None, mutable=True)
+
+        # Keyed access: ``d.get(key, default)`` yields a *stored* value —
+        # the key's bits select the entry, they do not flow into it
+        # (id()-keyed memo caches are deterministic by construction).
+        if attr == "get" and isinstance(node.func, ast.Attribute):
+            receiver = self.eval(node.func.value, state)
+            default_bits = CLEAN
+            for v in args[1:]:
+                default_bits = join(default_bits, v)
+            return AbstractValue(
+                tainted=receiver.tainted or default_bits.tainted,
+                nondet=receiver.nondet or default_bits.nondet,
+                origin=receiver.origin or default_bits.origin,
+            )
+
+        if name in _REDUCERS:
+            if name == "sum":
+                self._check_float_sum(node, state)
+            return AbstractValue(nondet=arg_join.nondet)
+
+        if name in _CONVERTERS or attr in ("keys", "values", "items"):
+            receiver_bits = CLEAN
+            if attr in ("keys", "values", "items") and isinstance(
+                node.func, ast.Attribute
+            ):
+                receiver_bits = self.eval(node.func.value, state)
+            source = join(arg_join, receiver_bits)
+            tainted = source.tainted or source.unordered
+            return AbstractValue(
+                tainted=tainted,
+                nondet=source.nondet,
+                mutable=name == "list",
+                origin=source.origin
+                or (
+                    f"ordered view of unordered value at line {node.lineno}"
+                    if tainted
+                    else None
+                ),
+            )
+
+        if name in _EMIT_CONSTRUCTORS and (
+            arg_join.tainted or arg_join.nondet
+        ):
+            self._event(
+                "emit-constructor", node, name=name, value=arg_join,
+                detail=f"{name}(...) built from tainted columns",
+                in_unordered_loop=self._in_unordered_loop,
+            )
+
+        # The engine's own functions, via the summary table.
+        summary = None
+        if self.resolve is not None:
+            for key in filter(None, (qualified, attr)):
+                summary = self.resolve(key)
+                if summary is not None:
+                    break
+        if summary is not None:
+            if summary.nondet_inside:
+                self._event(
+                    "nondet-call", node, name=name,
+                    detail=f"call into nondeterministic {name}()",
+                )
+            if summary.writes_globals:
+                self._event(
+                    "global-write", node, name=name,
+                    detail=f"call into global-writing {name}()",
+                )
+            tainted = summary.returns_tainted or (
+                summary.propagates_taint
+                and (arg_join.tainted or arg_join.unordered)
+            )
+            return AbstractValue(
+                unordered=summary.returns_unordered,
+                tainted=tainted,
+                nondet=summary.returns_nondet or arg_join.nondet,
+                origin=arg_join.origin
+                or (f"result of {name}() at line {node.lineno}" if tainted else None),
+            )
+
+        # Unknown callable: optimistic for ordering, sticky for taint
+        # actually present in the arguments.
+        return AbstractValue(
+            tainted=arg_join.tainted,
+            nondet=arg_join.nondet,
+            origin=arg_join.origin,
+        )
+
+    def _check_receiver_mutation(
+        self, node: ast.Call, state: State, args: List[AbstractValue]
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _MUTATORS:
+            return
+        base = func.value
+        if not isinstance(base, ast.Name):
+            return
+        base_value = state.get(base.id, CLEAN)
+        if base_value.alias_of is not None:
+            self._event(
+                "param-mutation", node, name=base_value.alias_of,
+                detail=f".{func.attr}() on parameter alias {base.id!r}",
+            )
+        if base.id in self.globals_declared:
+            self._event(
+                "global-write", node, name=base.id,
+                detail=f".{func.attr}() on module global",
+            )
+        arg_bits = CLEAN
+        for v in args:
+            arg_bits = join(arg_bits, v)
+        updates: Dict[str, object] = {}
+        if (
+            self._in_unordered_loop
+            and func.attr in _ORDER_INSERTERS
+            and not base_value.unordered
+        ):
+            updates["tainted"] = True
+            updates["origin"] = base_value.origin or (
+                f".{func.attr}() under unordered iteration at line {node.lineno}"
+            )
+        if arg_bits.tainted and func.attr in _ORDER_INSERTERS:
+            updates["tainted"] = True
+            updates["origin"] = base_value.origin or arg_bits.origin
+        if arg_bits.nondet and func.attr in _MUTATORS:
+            updates["nondet"] = True
+            if base_value.origin is None:
+                updates.setdefault("origin", arg_bits.origin)
+        if updates:
+            state[base.id] = base_value.but(**updates)
+
+    def _check_float_sum(self, node: ast.Call, state: State) -> None:
+        """``sum(...)`` over an unordered/tainted iterable of floats is
+        an order-sensitive reduction (DF306 raw material)."""
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+            iter_unordered = False
+            for gen in arg.generators:
+                iv = self.eval(gen.iter, state)
+                if iv.unordered or iv.tainted:
+                    iter_unordered = True
+            floaty = _floaty_expr(arg.elt) or _floaty_expr(node)
+            if iter_unordered and floaty:
+                self._event(
+                    "float-accum", node, name="sum",
+                    detail="sum() of float terms over unordered iteration",
+                    in_unordered_loop=True,
+                )
+        else:
+            value = self.eval(arg, state)
+            if (value.unordered or value.tainted) and _floaty_expr(arg):
+                self._event(
+                    "float-accum", node, name="sum",
+                    detail="sum() of a float container with unordered "
+                    "iteration order",
+                    in_unordered_loop=True,
+                )
+
+
+def analyze_function(
+    fn: ast.AST,
+    path: str,
+    qualname: str,
+    resolve: SummaryResolver,
+    pessimistic_params: bool = False,
+) -> FunctionFacts:
+    """Run the fixpoint for one function and return its facts."""
+    return _Interp(
+        fn, path, qualname, resolve, pessimistic_params=pessimistic_params
+    ).run()

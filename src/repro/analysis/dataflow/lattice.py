@@ -1,0 +1,156 @@
+"""The abstract domain of the dataflow auditor.
+
+One :class:`AbstractValue` describes everything the DF3xx passes need to
+know about a runtime value, as four independent boolean facts forming a
+product lattice (pointwise ``or`` is the join; the lattice is finite, so
+join doubles as the widening operator and every fixpoint terminates):
+
+``unordered``
+    The value is an unordered container — a ``set``/``frozenset`` (or a
+    parameter annotated as one) whose *iteration order* is hash-order.
+    Holding or returning one is fine; iterating one is where order
+    taint is born.
+``tainted``
+    The value is an ordered object (list, tuple, dict, scalar position)
+    whose **content order** was derived from unordered iteration —
+    ``list(a_set)``, a comprehension over a set, appends inside a loop
+    over a set, ``os.listdir`` output. Emitting such a value crosses the
+    bit-identical contract unless a canonicalization point
+    (``sorted(...)``, ``_canonical_relation``) intervenes.
+``nondet``
+    The value derives from a nondeterministic source: wall clocks,
+    unseeded ``random``, ``id()``, ``uuid``/``os.urandom``, builtin
+    ``hash()`` (randomized per process for strings). Flowing one into
+    emitted data breaks run-to-run reproducibility (telemetry fields
+    are exempted by the rules, not the lattice).
+``mutable``
+    The value is a mutable container created locally (list/dict/set
+    display or constructor) — what a worker closure must not capture.
+
+``origin`` carries a human-readable description of the *first* source
+that set a taint bit, so diagnostics can say "derives from set iteration
+at line 12" instead of just pointing at the sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "AbstractValue",
+    "CLEAN",
+    "MUTABLE",
+    "State",
+    "UNORDERED",
+    "join",
+    "join_states",
+    "nondet_value",
+    "tainted_value",
+    "unordered_value",
+]
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the product lattice (see module docstring).
+
+    ``alias_of`` additionally names the *parameter* this value is a
+    direct alias of (flows through plain ``x = param`` assignments, is
+    dropped by any constructing expression) — what lets the purity pass
+    distinguish mutating a caller's argument from mutating a defensive
+    copy like ``rows = list(rows)``.
+    """
+
+    unordered: bool = False
+    tainted: bool = False
+    nondet: bool = False
+    mutable: bool = False
+    origin: Optional[str] = None
+    alias_of: Optional[str] = None
+
+    @property
+    def is_clean(self) -> bool:
+        return not (self.unordered or self.tainted or self.nondet)
+
+    def but(self, **changes: object) -> "AbstractValue":
+        """A copy with *changes* applied (frozen-dataclass update)."""
+        fields = {
+            "unordered": self.unordered,
+            "tainted": self.tainted,
+            "nondet": self.nondet,
+            "mutable": self.mutable,
+            "origin": self.origin,
+            "alias_of": self.alias_of,
+        }
+        fields.update(changes)
+        return AbstractValue(**fields)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        bits = [
+            name
+            for name in ("unordered", "tainted", "nondet", "mutable")
+            if getattr(self, name)
+        ]
+        return f"<AV {'+'.join(bits) if bits else 'clean'}>"
+
+
+#: Bottom-ish default: an ordinary deterministic, ordered value.
+CLEAN = AbstractValue()
+#: An unordered container (set/frozenset).
+UNORDERED = AbstractValue(unordered=True)
+#: A locally-built mutable container (list/dict display etc.).
+MUTABLE = AbstractValue(mutable=True)
+
+#: Abstract program state: variable name -> abstract value. Variables
+#: absent from the state are CLEAN (the optimistic default — the rules
+#: flag *known* taint, never unknowns).
+State = Dict[str, AbstractValue]
+
+
+def unordered_value(origin: Optional[str] = None) -> AbstractValue:
+    return AbstractValue(unordered=True, origin=origin)
+
+
+def tainted_value(origin: Optional[str] = None) -> AbstractValue:
+    return AbstractValue(tainted=True, origin=origin)
+
+
+def nondet_value(origin: Optional[str] = None) -> AbstractValue:
+    return AbstractValue(nondet=True, origin=origin)
+
+
+def join(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: pointwise ``or``, first-set origin wins."""
+    if a is b:
+        return a
+    return AbstractValue(
+        unordered=a.unordered or b.unordered,
+        tainted=a.tainted or b.tainted,
+        nondet=a.nondet or b.nondet,
+        mutable=a.mutable or b.mutable,
+        origin=a.origin if a.origin is not None else b.origin,
+        alias_of=a.alias_of if a.alias_of == b.alias_of else None,
+    )
+
+
+def join_states(a: State, b: State) -> State:
+    """Pointwise join of two abstract states (missing vars are CLEAN)."""
+    if not a:
+        return dict(b)
+    if not b:
+        return dict(a)
+    out: State = dict(a)
+    for name, value in b.items():
+        prev = out.get(name)
+        out[name] = value if prev is None else join(prev, value)
+    return out
+
+
+def states_equal(a: State, b: State) -> bool:
+    """Fixpoint test — CLEAN entries are equivalent to absent ones."""
+    keys = set(a) | set(b)
+    for k in keys:
+        if a.get(k, CLEAN) != b.get(k, CLEAN):
+            return False
+    return True

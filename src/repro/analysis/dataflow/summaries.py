@@ -1,0 +1,156 @@
+"""Call summaries for the engine's own functions.
+
+The interpreter resolves unknown call targets through a
+:class:`SummaryTable`: for every function and method found in the
+analyzed modules it records how taint crosses the call boundary —
+whether the return value is unordered / order-tainted / nondeterministic
+with *clean* arguments, whether tainted arguments make the return
+tainted (``propagates_taint``), and whether the body writes module
+globals or calls nondeterministic sources.
+
+Summaries are computed by a small outer fixpoint: each round re-runs the
+abstract interpreter over every function body with the previous round's
+table as the resolver, twice per function — once with clean parameters
+(what does it return on its own?) and once with pessimistically tainted
+parameters (does taint pass through?). The table stabilizes in two or
+three rounds on this codebase; a fixed cap bounds the cost either way.
+
+Resolution is by *basename*: call sites only see ``name(...)`` or
+``obj.name(...)``, so summaries are keyed on the bare function/method
+name. A name bound to several functions with conflicting summaries is
+recorded as ambiguous and resolves to ``None`` (= unknown = optimistic),
+which errs on the quiet side by design.
+
+This is what makes the analysis honest about helpers: the interpreter
+knows ``sorted`` canonicalizes, and the table teaches it that
+``_canonical_relation`` does too — because its body ends in ``sorted``,
+not because anyone hard-coded the name.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.dataflow.interp import (
+    CallSummary,
+    FunctionFacts,
+    analyze_function,
+)
+from repro.analysis.dataflow.lattice import AbstractValue, join
+
+__all__ = ["FunctionInfo", "SummaryTable", "build_summaries", "collect_functions"]
+
+#: Rounds of the outer fixpoint. The call graph between engine helpers
+#: is shallow; three rounds covers helper-of-helper-of-helper.
+_MAX_ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function discovered in an analyzed module."""
+
+    name: str
+    qualname: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+
+
+class SummaryTable:
+    """Basename -> :class:`CallSummary` with ambiguity tracking."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Optional[CallSummary]] = {}
+
+    def resolve(self, name: str) -> Optional[CallSummary]:
+        """Resolver handed to the interpreter (dotted names use the
+        final component; ambiguous and unknown names give ``None``)."""
+        base = name.rsplit(".", 1)[-1]
+        return self._by_name.get(base)
+
+    def record(self, name: str, summary: CallSummary) -> None:
+        if name in self._by_name:
+            if self._by_name[name] != summary:
+                self._by_name[name] = None  # conflicting bindings: unknown
+        else:
+            self._by_name[name] = summary
+
+    def snapshot(self) -> Dict[str, Optional[CallSummary]]:
+        return dict(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+def collect_functions(tree: ast.Module, path: str) -> List[FunctionInfo]:
+    """Top-level functions and class methods (one nesting level of
+    classes; nested ``def``s belong to their enclosing function's
+    analysis, not the call-summary namespace)."""
+    out: List[FunctionInfo] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(FunctionInfo(node.name, node.name, path, node))
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    out.append(
+                        FunctionInfo(
+                            item.name, f"{node.name}.{item.name}", path, item
+                        )
+                    )
+    return out
+
+
+def _returnish(facts: FunctionFacts) -> AbstractValue:
+    """The value a caller observes: joined returns, plus joined yields
+    for generators (iterating the generator sees the yielded values)."""
+    value = facts.return_value
+    for ev in facts.events:
+        if ev.kind == "emit-yield":
+            value = join(value, ev.value)
+    return value
+
+
+def _summarize(info: FunctionInfo, table: SummaryTable) -> CallSummary:
+    clean = analyze_function(
+        info.node, info.path, info.qualname, table.resolve
+    )
+    pess = analyze_function(
+        info.node, info.path, info.qualname, table.resolve,
+        pessimistic_params=True,
+    )
+    clean_ret = _returnish(clean)
+    pess_ret = _returnish(pess)
+    return CallSummary(
+        returns_unordered=clean_ret.unordered,
+        returns_tainted=clean_ret.tainted,
+        returns_nondet=clean_ret.nondet,
+        propagates_taint=pess_ret.tainted or pess_ret.unordered,
+        writes_globals=any(ev.kind == "global-write" for ev in clean.events),
+        nondet_inside=any(ev.kind == "nondet-call" for ev in clean.events),
+    )
+
+
+def build_summaries(
+    modules: Iterable[Tuple[str, ast.Module]],
+) -> Tuple[SummaryTable, List[FunctionInfo]]:
+    """Fixpoint the summary table over *(path, parsed module)* pairs.
+
+    Returns the stabilized table plus every discovered function, so the
+    rule passes can reuse the same inventory without re-walking.
+    """
+    infos: List[FunctionInfo] = []
+    for path, tree in modules:
+        infos.extend(collect_functions(tree, path))
+
+    table = SummaryTable()
+    for _ in range(_MAX_ROUNDS):
+        before = table.snapshot()
+        fresh = SummaryTable()
+        for info in infos:
+            fresh.record(info.name, _summarize(info, table))
+        table = fresh
+        if table.snapshot() == before:
+            break
+    return table, infos

@@ -15,6 +15,9 @@ Rule-id namespaces:
     SSJoin invariant rules (Lemma 1 / ordering O / predicate soundness).
 ``RL2xx``
     Repo-level engine-hygiene lint (:mod:`repro.analysis.lint`).
+``DF3xx``
+    Dataflow determinism & kernel-purity auditor
+    (:mod:`repro.analysis.dataflow`).
 
 The catalog in ``docs/analysis_rules.md`` maps each rule to the paper
 claim it guards.
@@ -150,6 +153,72 @@ class AnalysisReport:  # repro: ignore[RL204] -- accumulator, filled as rules ru
                 "schema": "repro-analysis/v1",
                 "ok": self.ok,
                 "findings": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render_sarif(self, tool_name: str = "repro-analyze") -> str:
+        """SARIF 2.1.0 (``repro analyze --format sarif``) — the format
+        CI code-scanning uploads and PR annotations consume.
+
+        ``file:line`` locations become physical locations; plan-path /
+        component locations (no trailing line number) are carried as
+        logical locations.
+        """
+        levels = {
+            SEVERITY_ERROR: "error",
+            SEVERITY_WARNING: "warning",
+            SEVERITY_INFO: "note",
+        }
+        rule_ids: List[str] = []
+        results = []
+        for d in self.diagnostics:
+            if d.rule not in rule_ids:
+                rule_ids.append(d.rule)
+            text = d.message if not d.hint else f"{d.message} (hint: {d.hint})"
+            result: Dict[str, object] = {
+                "ruleId": d.rule,
+                "level": levels[d.severity],
+                "message": {"text": text},
+            }
+            path, sep, line = d.location.rpartition(":")
+            if sep and line.isdigit():
+                result["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": path},
+                            "region": {"startLine": int(line)},
+                        }
+                    }
+                ]
+            elif d.location:
+                result["locations"] = [
+                    {
+                        "logicalLocations": [
+                            {"fullyQualifiedName": d.location}
+                        ]
+                    }
+                ]
+            results.append(result)
+        return json.dumps(
+            {
+                "$schema": (
+                    "https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+                ),
+                "version": "2.1.0",
+                "runs": [
+                    {
+                        "tool": {
+                            "driver": {
+                                "name": tool_name,
+                                "rules": [{"id": r} for r in rule_ids],
+                            }
+                        },
+                        "results": results,
+                    }
+                ],
             },
             indent=2,
             sort_keys=True,

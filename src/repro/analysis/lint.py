@@ -22,8 +22,11 @@ explicitly suppressed as an accumulator.
 fully annotated so the strict mypy CI gate stays meaningful.
 
 Suppression: append ``# repro: ignore[RL204]`` (or a comma-separated
-list) to the offending line. A bare ``# repro: ignore`` suppresses all
-rules on that line.
+list) to any line of the offending statement — decorator lines and the
+continuation lines of a multi-line statement both work. A bare
+``# repro: ignore`` suppresses all rules on the statement, and a
+``# repro: ignore-file[RL201]`` comment anywhere in the file suppresses
+the listed rules file-wide (see :mod:`repro.analysis.suppress`).
 """
 
 from __future__ import annotations
@@ -40,13 +43,12 @@ from repro.analysis.diagnostics import (
     AnalysisReport,
     Diagnostic,
 )
+from repro.analysis.suppress import SuppressionIndex, definition_span, node_span
 
 __all__ = ["lint_source", "lint_file", "lint_paths", "main", "DEFAULT_PATHS"]
 
 #: The operator hot paths gated by default (relative to the repo root).
 DEFAULT_PATHS = ("src/repro/core", "src/repro/relational", "src/repro/parallel")
-
-_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 
 #: Identifier fragments that mark a value as a float weight/threshold.
 _FLOATY_NAMES = re.compile(
@@ -56,17 +58,15 @@ _FLOATY_NAMES = re.compile(
 )
 
 
-def _suppressed(source_lines: Sequence[str], lineno: int, rule: str) -> bool:
-    """Whether *rule* is suppressed by a ``# repro: ignore`` comment."""
-    if not 1 <= lineno <= len(source_lines):
-        return False
-    m = _SUPPRESS_RE.search(source_lines[lineno - 1])
-    if not m:
-        return False
-    listed = m.group(1)
-    if listed is None:
-        return True
-    return rule in {r.strip() for r in listed.split(",")}
+#: Call targets whose consumption of an iterable is order-insensitive:
+#: the result does not depend on element arrival order, so feeding them
+#: a set iteration is deterministic. ``sorted`` is the canonicalizer
+#: itself; ``sum`` over *floats* is order-sensitive in the last ulp and
+#: is re-audited with real dataflow by the ``DF306`` rule — at this
+#: coarse level it is treated as a reduction sink, not an ordering leak.
+_ORDER_INSENSITIVE_SINKS = frozenset(
+    {"sorted", "sum", "len", "set", "frozenset", "any", "all", "min", "max"}
+)
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -134,30 +134,40 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, source_lines: Sequence[str]) -> None:
         self.path = path
         self.lines = source_lines
+        self.suppress = SuppressionIndex(source_lines)
         self.findings: List[Diagnostic] = []
+        #: ids of comprehension nodes consumed by an order-insensitive
+        #: sink (``sum(... for x in s)``) — their set iteration is benign.
+        self._benign_comps: Set[int] = set()
 
     # -- helpers -----------------------------------------------------------
 
     def _emit(
-        self, rule: str, lineno: int, message: str, hint: str = ""
+        self,
+        rule: str,
+        span: Tuple[int, int],
+        message: str,
+        hint: str = "",
     ) -> None:
-        if _suppressed(self.lines, lineno, rule):
+        if self.suppress.suppressed(span, rule):
             return
         self.findings.append(
             Diagnostic(
                 rule,
                 SEVERITY_ERROR,
                 message,
-                f"{self.path}:{lineno}",
+                f"{self.path}:{span[0]}",
                 hint,
             )
         )
 
-    def _check_iteration_target(self, iter_node: ast.AST, lineno: int) -> None:
+    def _check_iteration_target(
+        self, iter_node: ast.AST, span: Tuple[int, int]
+    ) -> None:
         if _is_set_expr(iter_node):
             self._emit(
                 "RL201",
-                lineno,
+                span,
                 "iteration over an unordered set: element order is "
                 "run-dependent, which leaks into prefix/tie-break order",
                 hint="iterate sorted(...) or keep a list/dict instead",
@@ -166,12 +176,20 @@ class _Linter(ast.NodeVisitor):
     # -- visitors ----------------------------------------------------------
 
     def visit_For(self, node: ast.For) -> None:
-        self._check_iteration_target(node.iter, node.lineno)
+        self._check_iteration_target(
+            node.iter, (node.lineno, node_span(node.iter)[1])
+        )
         self.generic_visit(node)
 
     def _visit_comprehension(self, node: ast.AST) -> None:
-        for comp in getattr(node, "generators", []):
-            self._check_iteration_target(comp.iter, node.lineno)  # type: ignore[attr-defined]
+        # A set comprehension *produces* an unordered value: iterating a
+        # set inside one cannot leak order (any downstream iteration of
+        # the result is itself checked). Sink-consumed comprehensions
+        # (``sum(w for w in s)``) were marked benign by visit_Call.
+        benign = isinstance(node, ast.SetComp) or id(node) in self._benign_comps
+        if not benign:
+            for comp in getattr(node, "generators", []):
+                self._check_iteration_target(comp.iter, node_span(node))  # type: ignore[attr-defined]
         self.generic_visit(node)
 
     visit_ListComp = _visit_comprehension
@@ -182,6 +200,19 @@ class _Linter(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
         if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_INSENSITIVE_SINKS
+            and not (func.id in ("min", "max") and node.keywords)
+        ):
+            # min/max keep their first-seen maximal element, so a ``key=``
+            # tie is order-dependent — only the bare forms are benign.
+            for arg in node.args:
+                if isinstance(
+                    arg,
+                    (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp),
+                ):
+                    self._benign_comps.add(id(arg))
+        if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
             and func.value.id == "random"
@@ -189,7 +220,7 @@ class _Linter(ast.NodeVisitor):
         ):
             self._emit(
                 "RL202",
-                node.lineno,
+                node_span(node),
                 f"call to unseeded module-level random.{func.attr}(): "
                 "results are irreproducible across runs",
                 hint="thread a seeded random.Random(seed) instance through",
@@ -216,7 +247,7 @@ class _Linter(ast.NodeVisitor):
                     if reason is not None:
                         self._emit(
                             "RL203",
-                            node.lineno,
+                            node_span(node),
                             f"==/!= comparison on {reason}: float summation "
                             "order makes exact equality flip at boundaries",
                             hint="compare with an epsilon "
@@ -241,12 +272,10 @@ class _Linter(ast.NodeVisitor):
                     and kw.value.value is True
                     for kw in dec.keywords
                 )
-            if frozen is False and not _suppressed(
-                self.lines, node.lineno, "RL204"
-            ):
+            if frozen is False:
                 self._emit(
                     "RL204",
-                    dec.lineno,
+                    definition_span(node),
                     f"mutable @dataclass {node.name!r} in the engine core: "
                     "row/value types must be frozen",
                     hint="use @dataclass(frozen=True), or suppress with "
@@ -260,7 +289,7 @@ class _Linter(ast.NodeVisitor):
         if gaps:
             self._emit(
                 "RL205",
-                node.lineno,
+                definition_span(node),
                 f"function {node.name!r} is missing annotations: "
                 f"{', '.join(gaps)}",
                 hint="the strict mypy gate needs fully annotated hot paths",

@@ -1,10 +1,12 @@
 """Self-audit: verify the shipped engine's own plans and predicates.
 
-Runs the three analysis layers against *representative artifacts built
+Runs the analysis layers against *representative artifacts built
 from the shipped engine itself* — the four predicate families of
 Definition 1 across every physical implementation, a relational plan
-exercising every operator the verifier knows, the SQL front end, and the
-engine-hygiene lint over the hot paths. A clean report here is the
+exercising every operator the verifier knows, the SQL front end, the
+engine-hygiene lint over the hot paths, and the DF3xx dataflow audit
+(including its seeded-defect corpus gate, which proves the auditor's
+rules still detect the defects they exist for). A clean report here is the
 regression guarantee behind the CI ``static-analysis`` gate: if a change
 to the engine introduces an unsound bound, a broken ordering contract,
 or a schema bug in the shipped operators, ``repro analyze`` goes red
@@ -220,13 +222,33 @@ def _plan_selfcheck() -> AnalysisReport:
     return report
 
 
-def selfcheck(include_lint: bool = True) -> AnalysisReport:
+def _dataflow_selfcheck() -> AnalysisReport:
+    """DF3xx over the engine hot paths, plus the seeded-defect corpus
+    gate (DF399) when the source checkout's corpus is present."""
+    from pathlib import Path
+
+    from repro.analysis.dataflow import analyze_dataflow, check_corpus
+    from repro.analysis.dataflow.corpus import DEFAULT_CORPUS
+    from repro.analysis.lint import DEFAULT_PATHS
+
+    report = analyze_dataflow([p for p in DEFAULT_PATHS if Path(p).exists()])
+    if DEFAULT_CORPUS.is_dir():
+        check_corpus(DEFAULT_CORPUS, report=report)
+    return report
+
+
+def selfcheck(
+    include_lint: bool = True, include_dataflow: bool = True
+) -> AnalysisReport:
     """Audit the shipped engine; a non-``ok`` report is a regression.
 
-    Set ``include_lint=False`` to skip the source-tree lint (e.g. when
-    running from an installed package without the source checkout).
+    Set ``include_lint=False`` to skip the source-tree lint, or
+    ``include_dataflow=False`` to skip the DF3xx dataflow audit (e.g.
+    when running from an installed package without the source checkout).
     """
     parts = [_ssjoin_selfcheck(), _parallel_selfcheck(), _plan_selfcheck()]
     if include_lint:
         parts.append(lint_paths())
+    if include_dataflow:
+        parts.append(_dataflow_selfcheck())
     return AnalysisReport.combine(parts)

@@ -1,0 +1,104 @@
+"""Suppression comments shared by every source-level analysis rule.
+
+Two forms, honored by the engine-hygiene lint (``RL2xx``) and the
+dataflow auditor (``DF3xx``) alike:
+
+``# repro: ignore[RULE]``
+    Statement-scoped. Suppresses the listed rules (comma-separated; bare
+    ``# repro: ignore`` suppresses all) for the statement the comment
+    sits on — *any* physical line of a multi-line statement works, and
+    for decorated definitions the comment may sit on any decorator line
+    or on the ``def``/``class`` line itself.
+
+``# repro: ignore-file[RULE]``
+    File-scoped. Suppresses the listed rules everywhere in the file
+    (bare ``# repro: ignore-file`` suppresses every rule). Conventionally
+    placed in the module header, but honored anywhere.
+
+Historically the statement form had to sit on the *exact* flagged line,
+which made decorated functions (flagged at the decorator) and wrapped
+expressions unsuppressible without ugly reformatting; rules now pass the
+flagged node's full line span to :meth:`SuppressionIndex.suppressed`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+__all__ = ["SuppressionIndex", "node_span", "definition_span"]
+
+_LINE_RE = re.compile(r"#\s*repro:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+_FILE_RE = re.compile(r"#\s*repro:\s*ignore-file(?:\[([A-Z0-9,\s]+)\])?")
+
+#: Sentinel rule-set meaning "every rule".
+_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+def _listed(group: Optional[str]) -> FrozenSet[str]:
+    if group is None:
+        return _ALL
+    return frozenset(r.strip() for r in group.split(",") if r.strip())
+
+
+class SuppressionIndex:
+    """Per-file index of ``# repro: ignore`` comments.
+
+    Built once per source file; ``suppressed((start, end), rule)`` then
+    answers in O(span) over precomputed per-line rule sets.
+    """
+
+    __slots__ = ("_by_line", "_file_rules")
+
+    def __init__(self, source_lines: Sequence[str]) -> None:
+        by_line = {}
+        file_rules: FrozenSet[str] = frozenset()
+        for i, line in enumerate(source_lines, start=1):
+            fm = _FILE_RE.search(line)
+            if fm:
+                file_rules = file_rules | _listed(fm.group(1))
+                continue
+            m = _LINE_RE.search(line)
+            if m:
+                by_line[i] = _listed(m.group(1))
+        self._by_line = by_line
+        self._file_rules = file_rules
+
+    def _matches(self, rules: FrozenSet[str], rule: str) -> bool:
+        return rules is _ALL or "*" in rules or rule in rules
+
+    def suppressed(self, span: Tuple[int, int], rule: str) -> bool:
+        """Whether *rule* is suppressed anywhere on lines ``start..end``."""
+        if self._file_rules and self._matches(self._file_rules, rule):
+            return True
+        start, end = span
+        if end < start:
+            end = start
+        for lineno in range(start, end + 1):
+            rules = self._by_line.get(lineno)
+            if rules is not None and self._matches(rules, rule):
+                return True
+        return False
+
+
+def node_span(node: ast.AST) -> Tuple[int, int]:
+    """The physical line span of *node* (``lineno``..``end_lineno``)."""
+    start = getattr(node, "lineno", 1)
+    return (start, getattr(node, "end_lineno", None) or start)
+
+
+def definition_span(node: ast.AST) -> Tuple[int, int]:
+    """Suppression span for a ``def``/``class``: first decorator line
+    through the end of the signature (the line before the body starts,
+    or the header line itself for one-line bodies)."""
+    start = getattr(node, "lineno", 1)
+    decorators = getattr(node, "decorator_list", [])
+    if decorators:
+        start = min(start, min(d.lineno for d in decorators))
+    end = getattr(node, "lineno", start)
+    body = getattr(node, "body", None)
+    if body:
+        first = body[0].lineno
+        end = first - 1 if first > end else end
+    return (start, end)

@@ -138,7 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="static analysis: engine self-audit and source lint",
     )
     ana.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="fmt"
+        "--format", choices=["text", "json", "sarif"], default="text",
+        dest="fmt",
     )
     ana.add_argument(
         "--no-lint",
@@ -146,9 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the source-tree lint (audit the engine invariants only)",
     )
     ana.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="run only the DF3xx dataflow determinism / kernel-purity "
+        "audit (plus its seeded-defect corpus gate) over the given paths "
+        "or the default hot paths",
+    )
+    ana.add_argument(
         "paths",
         nargs="*",
-        help="extra files/directories to lint beyond the default hot paths",
+        help="extra files/directories to analyze beyond the default hot paths",
     )
 
     bench = sub.add_parser(
@@ -289,11 +297,25 @@ def _cmd_sql(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import lint_paths, selfcheck
 
-    report = selfcheck(include_lint=not args.no_lint)
-    if args.paths:
-        report.extend(lint_paths(args.paths))
+    if args.dataflow:
+        from pathlib import Path
+
+        from repro.analysis.dataflow import analyze_dataflow, check_corpus
+        from repro.analysis.dataflow.corpus import DEFAULT_CORPUS
+        from repro.analysis.lint import DEFAULT_PATHS
+
+        targets = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+        report = analyze_dataflow(targets)
+        if DEFAULT_CORPUS.is_dir():
+            check_corpus(DEFAULT_CORPUS, report=report)
+    else:
+        report = selfcheck(include_lint=not args.no_lint)
+        if args.paths:
+            report.extend(lint_paths(args.paths))
     if args.fmt == "json":
         print(report.render_json())
+    elif args.fmt == "sarif":
+        print(report.render_sarif())
     else:
         if report.diagnostics:
             print(report.render())

@@ -151,7 +151,10 @@ _PAYLOAD: Optional[Payload] = None
 def init_worker(payload_bytes: bytes) -> None:
     """Process-pool initializer: unpickle the shared payload once."""
     global _PAYLOAD
-    _PAYLOAD = pickle.loads(payload_bytes)
+    # The initializer is the one sanctioned global write in a worker: it
+    # runs exactly once per process, before any shard, and the slot is
+    # read-only afterwards — write-once configuration, not shared state.
+    _PAYLOAD = pickle.loads(payload_bytes)  # repro: ignore[DF303]
 
 
 def run_shard(shard: ShardDescriptor) -> ShardResult:

@@ -1,0 +1,24 @@
+# seeded-defect: none
+# Allowed patterns the auditor must not flag: a defensive copy before
+# mutation (rows = list(rows)), a membership test against a set (an
+# order-insensitive reduction), and a wall-clock reading confined to a
+# telemetry keyword argument.
+import time
+
+
+class ShardResult:
+    def __init__(self, rows, seconds):
+        self.rows = rows
+        self.seconds = seconds
+
+
+def process_shard_m(rows, lookup):
+    start = time.perf_counter()
+    out = list(rows)
+    out.append(len(rows))
+    selected = [r for r in out if r in lookup]
+    return ShardResult(selected, seconds=time.perf_counter() - start)
+
+
+def driver_m(pool, shards, lookup):
+    return [pool.submit(process_shard_m, s, lookup) for s in shards]

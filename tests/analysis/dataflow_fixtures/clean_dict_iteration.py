@@ -1,0 +1,12 @@
+# seeded-defect: none
+# Dict iteration is insertion-ordered (guaranteed since 3.7) and the
+# engine relies on that: grouping into a dict and emitting its items in
+# insertion order is deterministic and must not be flagged.
+
+
+def group_pairs_n(pairs):
+    index = {}
+    for key, value in pairs:
+        index.setdefault(key, []).append(value)
+    ordered = [(k, vs) for k, vs in index.items()]
+    return ordered

@@ -1,0 +1,14 @@
+# seeded-defect: none
+# The canonical fix for df301_list_of_set_returned: sorted(...) is a
+# canonicalization point, so the kernel's emission is order-clean.
+
+
+def canonical_tokens_l(rows):
+    universe = set()
+    for row in rows:
+        universe.add(row)
+    return sorted(universe)
+
+
+def driver_l(pool, shards):
+    return [pool.submit(canonical_tokens_l, s) for s in shards]

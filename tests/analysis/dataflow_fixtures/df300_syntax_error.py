@@ -1,0 +1,6 @@
+# seeded-defect: DF300
+# A file that does not parse: the auditor must report DF300 instead of
+# silently skipping it (a skipped file is an unaudited file).
+
+def broken(x:
+    return x

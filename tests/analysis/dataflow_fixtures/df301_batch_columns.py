@@ -1,0 +1,14 @@
+# seeded-defect: DF301
+# A result constructor (Batch) is fed a column whose order came from
+# iterating a set comprehension: the column content order is hash-order.
+
+
+class Batch:
+    def __init__(self, columns):
+        self.columns = columns
+
+
+def build_batch_b(groups):
+    keys = {g.key for g in groups}
+    column = [k for k in keys]  # ordered view of an unordered set
+    return Batch([column])

@@ -1,0 +1,18 @@
+# seeded-defect: DF301
+# A kernel materializes a set in hash order and returns it: the emitted
+# row order differs run to run (PYTHONHASHSEED) and shard merges stop
+# being bit-identical.
+from concurrent.futures import ProcessPoolExecutor
+
+
+def collect_tokens_a(rows):
+    universe = set()
+    for row in rows:
+        universe.add(row)
+    return list(universe)  # emits hash-order
+
+
+def driver_a(shards):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(collect_tokens_a, s) for s in shards]
+    return futures

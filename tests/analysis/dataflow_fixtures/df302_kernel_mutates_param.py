@@ -1,0 +1,13 @@
+# seeded-defect: DF302
+# A kernel appends to its argument in place: under the serial backend the
+# caller's list grows, under the pool backend the pickled copy grows —
+# the two backends diverge.
+
+
+def normalize_rows_c(rows):
+    rows.append(0)  # caller-owned argument mutated in place
+    return rows
+
+
+def driver_c(pool, shards):
+    return [pool.submit(normalize_rows_c, s) for s in shards]

@@ -1,0 +1,14 @@
+# seeded-defect: DF302
+# Same contract, different syntax: item assignment through a parameter
+# alias is still an in-place mutation of caller-owned data.
+
+
+def scale_weights_d(weights, factor):
+    values = weights  # plain alias, not a defensive copy
+    for i in range(len(values)):
+        values[i] = values[i] * factor
+    return values
+
+
+def driver_d(pool, shards):
+    return pool.map(scale_weights_d, shards)

@@ -1,0 +1,16 @@
+# seeded-defect: DF303
+# A kernel memoizes into a module global: each pool process grows its own
+# private cache, results depend on shard-to-process placement, and none
+# of it ever returns to the parent.
+
+_CACHE = {}
+
+
+def lookup_shard_e(key):
+    global _CACHE
+    _CACHE[key] = key * 2
+    return _CACHE[key]
+
+
+def driver_e(pool, keys):
+    return pool.map(lookup_shard_e, keys)

@@ -1,0 +1,7 @@
+# seeded-defect: DF304
+# A lambda shipped to a process pool cannot be pickled; this fails at
+# runtime on the pool backend while passing on the serial backend.
+
+
+def driver_f(pool, shards):
+    return [pool.submit(lambda s: s * 2, shard) for shard in shards]

@@ -1,0 +1,11 @@
+# seeded-defect: DF304
+# A nested function captures its enclosing scope (offset) and is shipped
+# to the pool: nested functions do not pickle, and the closure capture is
+# exactly the state that should travel as an explicit argument.
+
+
+def driver_g(pool, shards, offset):
+    def shifted(shard):
+        return shard + offset
+
+    return [pool.submit(shifted, s) for s in shards]

@@ -1,0 +1,15 @@
+# seeded-defect: DF305
+# Builtin hash() is salted per process for strings: bucketing emitted
+# rows by hash(v) makes the result constructor's columns differ between
+# runs and between pool workers.
+
+
+class Relation:
+    def __init__(self, schema, rows):
+        self.schema = schema
+        self.rows = rows
+
+
+def bucket_relation_i(schema, values):
+    rows = [(hash(v) % 64, v) for v in values]
+    return Relation(schema, rows)

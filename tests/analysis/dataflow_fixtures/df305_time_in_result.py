@@ -1,0 +1,15 @@
+# seeded-defect: DF305
+# A wall-clock reading lands inside the emitted rows (not in a telemetry
+# field): two runs of the same join produce different bytes.
+import time
+
+
+def stamp_rows_h(rows):
+    stamped = []
+    for row in rows:
+        stamped.append((row, time.time()))
+    return stamped
+
+
+def driver_h(pool, shards):
+    return [pool.submit(stamp_rows_h, s) for s in shards]

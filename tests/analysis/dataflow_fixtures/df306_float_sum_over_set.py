@@ -1,0 +1,12 @@
+# seeded-defect: DF306
+# Float addition is not associative: accumulating over set iteration
+# makes the total depend on hash order in the last ulps — enough to flip
+# a threshold comparison between runs.
+
+
+def total_weight_j(weights):
+    seen = set(weights)
+    total = 0.0
+    for w in seen:
+        total += w
+    return total

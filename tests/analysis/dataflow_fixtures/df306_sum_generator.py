@@ -1,0 +1,8 @@
+# seeded-defect: DF306
+# The same defect through sum(): a float reduction whose term order is
+# the hash order of a set.
+
+
+def norm_of_k(group):
+    members = {m for m in group}
+    return sum(weight for weight, _ in members)

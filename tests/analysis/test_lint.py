@@ -29,6 +29,28 @@ def test_rl201_sorted_set_is_fine():
     assert lint_source("for x in [1, 2]:\n    pass\n").ok
 
 
+def test_rl201_order_insensitive_sinks_are_fine():
+    # Reductions whose result does not depend on arrival order: the set
+    # iteration inside them is harmless and must not be flagged.
+    assert lint_source("total = sum(v for v in set(vs))\n").ok
+    assert lint_source("n = len([x for x in set(xs)])\n").ok
+    assert lint_source("uniq = sorted(x for x in set(xs))\n").ok
+    assert lint_source("m = max(x for x in {1, 2})\n").ok
+
+
+def test_rl201_set_comprehension_result_is_fine():
+    # A set comprehension's own iteration order is unobservable: the
+    # result is again unordered (and checked wherever it is consumed).
+    assert lint_source("uniq = {x for x in items}\n").ok
+
+
+def test_rl201_keyed_min_max_is_still_flagged():
+    # key= ties break by arrival order, so min/max stop being
+    # order-insensitive the moment a key function appears.
+    src = "m = max((x for x in set(xs)), key=f)\n"
+    assert rules(lint_source(src)) == ["RL201"]
+
+
 # -- RL202: unseeded random ---------------------------------------------------
 
 
@@ -115,6 +137,36 @@ def test_bare_suppression_covers_all_rules():
 
 def test_listed_suppression_is_rule_specific():
     src = "for x in {1, 2}:  # repro: ignore[RL203]\n    pass\n"
+    assert rules(lint_source(src)) == ["RL201"]
+
+
+def test_suppression_on_decorated_function():
+    # The comment may sit on the def line even though the rule anchors
+    # at the first decorator (and vice versa).
+    src = "@decorator\ndef f(a):  # repro: ignore[RL205]\n    return a\n"
+    assert lint_source(src).ok
+    src = "@decorator  # repro: ignore[RL205]\ndef f(a):\n    return a\n"
+    assert lint_source(src).ok
+
+
+def test_suppression_on_any_line_of_multiline_statement():
+    src = (
+        "for x in set(\n"
+        "    items\n"
+        "):  # repro: ignore[RL201]\n"
+        "    pass\n"
+    )
+    assert lint_source(src).ok
+
+
+def test_file_level_suppression():
+    src = "# repro: ignore-file[RL201]\nfor x in {1}:\n    pass\n"
+    assert lint_source(src).ok
+    # Bare ignore-file silences every rule.
+    src = "# repro: ignore-file\nfor x in {1}:\n    pass\nif x == 0.5:\n    pass\n"
+    assert lint_source(src).ok
+    # Listed ignore-file stays rule-specific.
+    src = "# repro: ignore-file[RL203]\nfor x in {1}:\n    pass\n"
     assert rules(lint_source(src)) == ["RL201"]
 
 
