@@ -25,7 +25,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bench.batch_bench import fig12_headroom, pipeline_sweep
+from repro.bench.batch_bench import aggregate_sweep, fig12_headroom, pipeline_sweep
 from repro.bench.harness import SweepRunner
 from repro.bench.reporting import (
     render_json,
@@ -299,6 +299,12 @@ def main(argv=None) -> int:
         print(f"  rows={rec['rows']}: row={rec['row_seconds']:.3f}s "
               f"batch={rec['best_batch_seconds']:.3f}s "
               f"speedup={rec['speedup']:.2f}x")
+    print(f"batch execution (aggregate rows={batch_rows}):")
+    aggregate_block = aggregate_sweep(batch_rows, repeats=args.repeats)
+    for rec in aggregate_block["records"]:
+        print(f"  rows={rec['rows']}: row={rec['row_seconds']:.3f}s "
+              f"batch={rec['best_batch_seconds']:.3f}s "
+              f"speedup={rec['speedup']:.2f}x")
     print(f"batch headroom (fig12 join, {args.batch_headroom_rows} rows):")
     headroom_block = fig12_headroom(
         args.batch_headroom_rows, repeats=args.repeats
@@ -308,6 +314,7 @@ def main(argv=None) -> int:
           f"speedup={headroom_block['speedup']:.2f}x")
     batch_block = {
         "pipeline": pipeline_block,
+        "aggregate": aggregate_block,
         "fig12_headroom": headroom_block,
     }
 

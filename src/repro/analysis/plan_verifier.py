@@ -55,12 +55,14 @@ from repro.relational.plan import (
     GroupBy,
     Groupwise,
     HashJoin,
+    LeftOuterJoin,
     Limit,
     MergeJoin,
     NestedLoopJoin,
     OrderBy,
     PlanNode,
     Project,
+    Rename,
     Select,
     SSJoinNode,
     TableScan,
@@ -121,10 +123,15 @@ def _expr_columns(expr: Expr) -> Tuple[str, ...]:
 def _order_key_names(keys: Sequence[object]) -> List[str]:
     names: List[str] = []
     for k in keys:
-        if isinstance(k, str):
-            names.append(k)
-        elif isinstance(k, (tuple, list)) and k and isinstance(k[0], str):
-            names.append(k[0])
+        target: object = k
+        if isinstance(k, (tuple, list)) and k:
+            target = k[0]
+        if isinstance(target, str):
+            names.append(target)
+        elif isinstance(target, Expr):
+            # Expression sort keys (e.g. SQL ORDER BY over a select
+            # alias) contribute every column they reference.
+            names.extend(_expr_columns(target))
     return names
 
 
@@ -156,7 +163,7 @@ def _establishes_order(node: PlanNode) -> bool:
     """
     if isinstance(node, OrderBy):
         return True
-    if isinstance(node, (Select, Project, Extend, Distinct, Limit)):
+    if isinstance(node, (Select, Project, Extend, Rename, Distinct, Limit)):
         return _establishes_order(node.children[0])
     return False
 
@@ -174,7 +181,7 @@ def _walk(
     child_schemas: List[Optional[Schema]] = []
     for i, child in enumerate(node.children):
         tag = ""
-        if isinstance(node, (HashJoin, MergeJoin, NestedLoopJoin)):
+        if isinstance(node, (HashJoin, MergeJoin, LeftOuterJoin, NestedLoopJoin)):
             tag = "left" if i == 0 else "right"
         child_path = f"{location} > " if not tag else f"{location}[{tag}] > "
         child_schemas.append(_walk(child, catalog, report, child_path))
@@ -255,7 +262,7 @@ def _walk(
                 location,
                 hint="insert an OrderBy below the Limit",
             )
-    elif isinstance(node, (HashJoin, MergeJoin)):
+    elif isinstance(node, (HashJoin, MergeJoin, LeftOuterJoin)):
         lkeys, rkeys = _join_key_names(node.keys)
         if not lkeys:
             report.add(

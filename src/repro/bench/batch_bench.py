@@ -29,19 +29,38 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BenchmarkConfigError
+from repro.relational.aggregates import (
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
 from repro.relational.batch import default_batch_size
 from repro.relational.catalog import Catalog
 from repro.relational.context import ExecutionContext
 from repro.relational.expressions import FunctionCall, col
-from repro.relational.plan import Extend, PlanNode, Project, Select, TableScan
+from repro.relational.plan import (
+    SSJOIN_RESULT_SCHEMA,
+    Extend,
+    GroupBy,
+    OrderBy,
+    PlanNode,
+    Project,
+    Select,
+    TableScan,
+)
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 
 __all__ = [
+    "aggregate_plan",
+    "aggregate_sweep",
     "fig12_headroom",
     "orders_relation",
     "pipeline_plan",
     "pipeline_sweep",
+    "ssjoin_result_relation",
     "time_plan",
 ]
 
@@ -85,6 +104,59 @@ def pipeline_plan() -> PlanNode:
     return Project(
         extended, ["customer", "total", ("discounted", col("total") * 0.9)]
     )
+
+
+def ssjoin_result_relation(pairs: int, seed: int = 20060403) -> Relation:
+    """A deterministic relation in the SSJoin output shape.
+
+    Columns are exactly :data:`~repro.relational.plan.SSJOIN_RESULT_SCHEMA`
+    (``a_r, a_s, overlap, norm_r, norm_s``) — the materialized join result
+    the aggregation sweep groups over.  Sizing directly in output pairs
+    (rather than running a join whose selectivity would couple pair count
+    to corpus size) keeps the sweep a pure measurement of the aggregation
+    and sort kernels.  ~64 pairs land on each ``a_r`` group, the Fig-12
+    shape at its default threshold.
+    """
+    rng = random.Random(seed)
+    groups = max(1, pairs // 64)
+    rows = []
+    for _ in range(pairs):
+        overlap = float(rng.randrange(1, 12))
+        rows.append(
+            (
+                f"r{rng.randrange(groups):06d}",
+                f"s{rng.randrange(groups):06d}",
+                overlap,
+                overlap + round(rng.uniform(0.0, 8.0), 4),
+                overlap + round(rng.uniform(0.0, 8.0), 4),
+            )
+        )
+    return Relation(Schema(SSJOIN_RESULT_SCHEMA.names), rows, name="pairs")
+
+
+def aggregate_plan() -> PlanNode:
+    """The aggregation sweep's plan: scan -> hash aggregate -> sort.
+
+    The SQL shape of the PR-9 acceptance query — ``SELECT a_r, COUNT(*),
+    SUM/MIN/MAX/AVG ... GROUP BY a_r ORDER BY n DESC, a_r`` — over the
+    materialized SSJoin result, compiled by hand so the bench depends
+    only on the plan layer.  One accumulator of every kind keeps all
+    per-kind batch update loops on the measured path, and the ORDER BY
+    exercises the blocking argsort kernel over the aggregate's output.
+    """
+    scan = TableScan("pairs")
+    grouped = GroupBy(
+        scan,
+        ["a_r"],
+        [
+            agg_count("n"),
+            agg_sum("mass", col("overlap")),
+            agg_min("lo", col("norm_s")),
+            agg_max("hi", col("norm_s")),
+            agg_avg("mean", col("overlap")),
+        ],
+    )
+    return OrderBy(grouped, [("n", "desc"), "a_r"])
 
 
 @contextlib.contextmanager
@@ -171,6 +243,56 @@ def pipeline_sweep(
         )
     return {
         "plan": "TableScan -> Select(AND) -> Extend(udf) -> Project",
+        "repeats": repeats,
+        "batch_sizes": list(batch_sizes),
+        "default_batch_size": default_batch_size(),
+        "records": records,
+    }
+
+
+def aggregate_sweep(
+    row_counts: Sequence[int],
+    repeats: int = 3,
+    batch_sizes: Sequence[int] = SWEEP_BATCH_SIZES,
+) -> Dict[str, Any]:
+    """Row-path vs batch-path timings for the aggregation plan (E18).
+
+    Returns the ``batch_exec["aggregate"]`` block: one record per pair
+    count with row-path seconds, per-morsel-size seconds, and the
+    best-batch speedup.  Every batch configuration must reproduce the
+    row path's rows bit for bit — group discovery order, sort ties,
+    float sums and averages — or the sweep raises.
+    """
+    plan = aggregate_plan()
+    records: List[Dict[str, Any]] = []
+    for rows in row_counts:
+        catalog = Catalog()
+        catalog.register("pairs", ssjoin_result_relation(rows))
+        row_seconds, row_result = time_plan(plan, catalog, 0, repeats)
+        baseline = tuple(row_result.rows)
+        sized: Dict[str, float] = {}
+        for size in batch_sizes:
+            seconds, result = time_plan(plan, catalog, size, repeats)
+            if tuple(result.rows) != baseline:
+                raise AssertionError(
+                    f"batch_size={size} diverged from the row path "
+                    f"at rows={rows}"
+                )
+            sized[str(size)] = seconds
+        best = min(sized.values())
+        records.append(
+            {
+                "rows": rows,
+                "result_rows": len(baseline),
+                "row_seconds": row_seconds,
+                "batch_seconds": sized,
+                "best_batch_seconds": best,
+                "speedup": row_seconds / best if best > 0 else None,
+            }
+        )
+    return {
+        "plan": "TableScan -> GroupBy(a_r; count,sum,min,max,avg) "
+                "-> OrderBy(n DESC, a_r)",
         "repeats": repeats,
         "batch_sizes": list(batch_sizes),
         "default_batch_size": default_batch_size(),

@@ -166,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rows", type=int, default=100000,
                        help="synthetic pipeline input rows (default 100000)")
     bench.add_argument(
+        "--plan", choices=("pipeline", "aggregate"), default="pipeline",
+        help="'pipeline' times scan/select/extend/project; 'aggregate' "
+        "times the GROUP BY + ORDER BY plan over a materialized "
+        "SSJoin-result-shaped relation",
+    )
+    bench.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
         help="morsel capacity for the batch run; omit for the cost-model "
         "default (PARALLEL_TASK/(JOIN_ROW*1%%) rounded to a power of two, "
@@ -329,14 +335,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench.batch_bench import orders_relation, pipeline_plan, time_plan
+    from repro.bench.batch_bench import (
+        aggregate_plan,
+        orders_relation,
+        pipeline_plan,
+        ssjoin_result_relation,
+        time_plan,
+    )
     from repro.relational.batch import default_batch_size
     from repro.relational.catalog import Catalog
     from repro.relational.context import ExecutionContext
 
     catalog = Catalog()
-    catalog.register("orders", orders_relation(args.rows))
-    plan = pipeline_plan()
+    if args.plan == "aggregate":
+        catalog.register("pairs", ssjoin_result_relation(args.rows))
+        plan = aggregate_plan()
+    else:
+        catalog.register("orders", orders_relation(args.rows))
+        plan = pipeline_plan()
     size = args.batch_size
     resolved = ExecutionContext(batch_size=size).resolved_batch_size()
     row_seconds, row_result = time_plan(plan, catalog, 0, repeats=args.repeats)

@@ -88,18 +88,35 @@ class Batch:
     the same length (= :attr:`num_rows`). Columns are *shared by
     reference* between batches wherever possible (projection, pass-through
     filters), so kernels must never mutate a column they received.
+
+    A zero-column batch (empty schema) carries its row count explicitly
+    via *num_rows*, so ``SELECT COUNT(*)``-shaped plans — whose
+    projections drop every column — stay on the batch protocol without
+    losing cardinality. When columns are present the stored count is
+    ignored and derived from the first column.
     """
 
-    __slots__ = ("schema", "columns")
+    __slots__ = ("schema", "columns", "_num_rows")
 
-    def __init__(self, schema: Schema, columns: Sequence[Sequence[Any]]) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[Sequence[Any]],
+        num_rows: Optional[int] = None,
+    ) -> None:
         self.schema = schema
         self.columns: Tuple[Sequence[Any], ...] = tuple(columns)
+        if self.columns:
+            self._num_rows = len(self.columns[0])
+        else:
+            self._num_rows = 0 if num_rows is None else num_rows
 
     @classmethod
     def from_rows(cls, schema: Schema, rows: Sequence[Tuple[Any, ...]]) -> "Batch":
         """Transpose a row slice into columns (the row→batch adapter)."""
         width = len(schema)
+        if width == 0:
+            return cls(schema, (), num_rows=len(rows))
         if not rows:
             return cls(schema, tuple([] for _ in range(width)))
         if width == 1:
@@ -108,7 +125,7 @@ class Batch:
 
     @property
     def num_rows(self) -> int:
-        return len(self.columns[0]) if self.columns else 0
+        return self._num_rows
 
     def column(self, position: int) -> Sequence[Any]:
         return self.columns[position]
@@ -116,7 +133,7 @@ class Batch:
     def to_rows(self) -> List[Tuple[Any, ...]]:
         """Transpose back into row tuples (the batch→row adapter)."""
         if not self.columns:
-            return []
+            return [()] * self._num_rows
         if len(self.columns) == 1:
             return [(v,) for v in self.columns[0]]
         return list(zip(*self.columns))
@@ -127,6 +144,7 @@ class Batch:
         return Batch(
             self.schema,
             tuple([col[i] for i in selection] for col in self.columns),
+            num_rows=len(selection),
         )
 
     def __len__(self) -> int:
@@ -169,29 +187,37 @@ class ColumnarRelation(Relation):
     Relation — the tuples are built once, on first access.
     """
 
-    __slots__ = ("columns",)
+    __slots__ = ("columns", "_num_rows")
 
     def __init__(
         self,
         schema: Schema,
         columns: Sequence[Sequence[Any]],
         name: Optional[str] = None,
+        num_rows: Optional[int] = None,
     ) -> None:
         self.schema = schema
         self.columns = tuple(columns)
         self.name = name
+        if self.columns:
+            self._num_rows = len(self.columns[0])
+        else:
+            self._num_rows = 0 if num_rows is None else num_rows
         _ROWS_SLOT.__set__(self, None)
 
     @property  # type: ignore[override]
     def rows(self) -> Tuple[Tuple[Any, ...], ...]:
         cached = _ROWS_SLOT.__get__(self, ColumnarRelation)
         if cached is None:
-            cached = tuple(zip(*self.columns)) if self.columns else ()
+            if self.columns:
+                cached = tuple(zip(*self.columns))
+            else:
+                cached = ((),) * self._num_rows
             _ROWS_SLOT.__set__(self, cached)
         return cached
 
     def __len__(self) -> int:
-        return len(self.columns[0]) if self.columns else 0
+        return self._num_rows
 
     @property
     def num_rows(self) -> int:
@@ -203,7 +229,10 @@ class ColumnarRelation(Relation):
     def __reduce__(self) -> Tuple[Any, ...]:
         # The default slot pickling would try to restore through the
         # read-only ``rows`` property; rebuild from columns instead.
-        return (ColumnarRelation, (self.schema, self.columns, self.name))
+        return (
+            ColumnarRelation,
+            (self.schema, self.columns, self.name, self._num_rows),
+        )
 
 
 #: The base class's ``rows`` slot descriptor, used as backing storage for
@@ -228,9 +257,17 @@ def iter_batches_from_columns(
     schema: Schema,
     columns: Sequence[Sequence[Any]],
     batch_size: int,
+    num_rows: Optional[int] = None,
 ) -> Iterator[Batch]:
-    """Slice parallel columns into morsels — no row tuples are built."""
+    """Slice parallel columns into morsels — no row tuples are built.
+
+    *num_rows* is only consulted for zero-column inputs, where the row
+    count cannot be derived from the (absent) columns.
+    """
     if not columns:
+        n = 0 if num_rows is None else num_rows
+        for lo in range(0, n, batch_size):
+            yield Batch(schema, (), num_rows=min(batch_size, n - lo))
         return
     n = len(columns[0])
     for lo in range(0, n, batch_size):
@@ -245,7 +282,7 @@ def stream_relation(relation: Relation, batch_size: int) -> BatchStream:
     """
     if isinstance(relation, ColumnarRelation):
         batches = iter_batches_from_columns(
-            relation.schema, relation.columns, batch_size
+            relation.schema, relation.columns, batch_size, num_rows=len(relation)
         )
     else:
         batches = iter_batches_from_rows(
@@ -270,12 +307,19 @@ def columnar_relation_from_batches(stream: BatchStream) -> "ColumnarRelation":
         )
     second = next(it, None)
     if second is None:
-        return ColumnarRelation(stream.schema, first.columns, name=stream.name)
+        return ColumnarRelation(
+            stream.schema, first.columns, name=stream.name,
+            num_rows=first.num_rows,
+        )
     columns = [list(c) for c in first.columns]
+    total = first.num_rows
     for batch in _chain(second, it):
+        total += batch.num_rows
         for acc, col in zip(columns, batch.columns):
             acc.extend(col)
-    return ColumnarRelation(stream.schema, columns, name=stream.name)
+    return ColumnarRelation(
+        stream.schema, columns, name=stream.name, num_rows=total
+    )
 
 
 def _chain(head: Batch, rest: Iterator[Batch]) -> Iterator[Batch]:

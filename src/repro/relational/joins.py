@@ -19,7 +19,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 JoinKeys = Union[str, Sequence[Union[str, Tuple[str, str]]]]
 
 from repro.errors import PlanError
+from repro.relational.batch import (
+    Batch,
+    BatchStream,
+    iter_batches_from_columns,
+)
 from repro.relational.relation import Relation
+from repro.relational.schema import Schema
 
 __all__ = [
     "hash_join",
@@ -28,6 +34,10 @@ __all__ = [
     "left_outer_join",
     "cross_product",
     "semi_join",
+    "joined_schema",
+    "hash_join_stream",
+    "merge_join_stream",
+    "left_outer_join_stream",
     "JoinCounters",
 ]
 
@@ -101,6 +111,30 @@ def _prefixed_pair(
         else:
             taken.add(name)
     return left, (right.rename(mapping) if mapping else right)
+
+
+def joined_schema(
+    left: Schema, right: Schema, prefixes: Optional[Tuple[str, str]]
+) -> Schema:
+    """The output schema every equi-join here produces: ``left ++ right``
+    with both sides qualified when *prefixes* is given, clashing
+    right-side names ``_2``/``_3``-suffixed otherwise (the schema-level
+    twin of :func:`_prefixed_pair`)."""
+    if prefixes is not None:
+        lp, rp = prefixes
+        return left.prefixed(lp).concat(right.prefixed(rp))
+    taken = set(left.names)
+    renamed = []
+    for col in right.columns:
+        name = col.name
+        if name in taken:
+            n = 2
+            while f"{name}_{n}" in taken:
+                n += 1
+            name = f"{name}_{n}"
+        taken.add(name)
+        renamed.append(col.renamed(name))
+    return left.concat(Schema(renamed))
 
 
 def hash_join(
@@ -323,3 +357,214 @@ def semi_join(
         if tuple(row[p] for p in lpos) in present
     ]
     return Relation(left.schema, kept, name=left.name)
+
+
+# -- vectorized (batch-stream) join kernels ------------------------------------
+#
+# The equi-joins above, re-expressed over columns: both inputs accumulate
+# into flat column arrays, matching produces two parallel *index vectors*
+# (one per side, with repeats), and each output column is a single
+# C-driven gather ``[col[i] for i in idx]`` — no row tuples anywhere.
+# Emission order replicates the row kernels exactly (probe-major with
+# build-insertion-ordered matches for hash, sorted key-group products for
+# merge), so folding the stream yields bit-identical relations.
+
+
+def _collect_columns(stream: BatchStream) -> Tuple[List[List[Any]], int]:
+    """Drain a stream into one flat column list per schema column."""
+    cols: List[List[Any]] = [[] for _ in stream.schema]
+    n = 0
+    for batch in stream:
+        n += batch.num_rows
+        for acc, col in zip(cols, batch.columns):
+            acc.extend(col)
+    return cols, n
+
+
+def _null_free_key_iter(
+    cols: Sequence[Sequence[Any]], positions: Sequence[int]
+) -> "Any":
+    """Iterate ``(row_index, key)`` pairs, the key a tuple; NULLs kept
+    (callers skip them) so indices stay aligned with the input."""
+    return enumerate(zip(*(cols[p] for p in positions)))
+
+
+def hash_join_stream(
+    left: BatchStream,
+    right: BatchStream,
+    keys: JoinKeys,
+    prefixes: Optional[Tuple[str, str]] = None,
+    batch_size: int = 4096,
+) -> BatchStream:
+    """Vectorized build/probe hash equi-join (see :func:`hash_join`).
+
+    The smaller accumulated side builds a key → row-index table; probing
+    appends to two flat index vectors, and the output columns are gathered
+    per side in one pass each, then sliced into morsels.
+    """
+    lkeys, rkeys = _resolve_keys(keys)
+    lpos = left.schema.positions(lkeys)
+    rpos = right.schema.positions(rkeys)
+    schema = joined_schema(left.schema, right.schema, prefixes)
+
+    def gen() -> "Any":
+        lcols, ln = _collect_columns(left)
+        rcols, rn = _collect_columns(right)
+        build_is_left = ln <= rn
+        if build_is_left:
+            bcols, bpos, pcols, ppos = lcols, lpos, rcols, rpos
+        else:
+            bcols, bpos, pcols, ppos = rcols, rpos, lcols, lpos
+
+        table: Dict[Any, List[int]] = {}
+        if len(bpos) == 1:
+            for i, v in enumerate(bcols[bpos[0]]):
+                if v is not None:
+                    table.setdefault(v, []).append(i)
+        else:
+            for i, key in _null_free_key_iter(bcols, bpos):
+                if not any(v is None for v in key):
+                    table.setdefault(key, []).append(i)
+
+        bidx: List[int] = []
+        pidx: List[int] = []
+        get = table.get
+        if len(ppos) == 1:
+            for i, v in enumerate(pcols[ppos[0]]):
+                if v is None:
+                    continue
+                matches = get(v)
+                if matches:
+                    bidx += matches
+                    pidx += [i] * len(matches)
+        else:
+            for i, key in _null_free_key_iter(pcols, ppos):
+                if any(v is None for v in key):
+                    continue
+                matches = get(key)
+                if matches:
+                    bidx += matches
+                    pidx += [i] * len(matches)
+
+        lidx, ridx = (bidx, pidx) if build_is_left else (pidx, bidx)
+        out = [[col[i] for i in lidx] for col in lcols]
+        out += [[col[i] for i in ridx] for col in rcols]
+        yield from iter_batches_from_columns(schema, out, batch_size)
+
+    return BatchStream(schema, gen())
+
+
+def merge_join_stream(
+    left: BatchStream,
+    right: BatchStream,
+    keys: JoinKeys,
+    prefixes: Optional[Tuple[str, str]] = None,
+    batch_size: int = 4096,
+) -> BatchStream:
+    """Vectorized sort-merge equi-join (see :func:`merge_join`).
+
+    Each side argsorts the NULL-filtered row indices by key (stable, so
+    the permutation matches the row kernel's ``sorted``), the merge walks
+    key groups emitting index-vector cross products, and output columns
+    are gathered per side.
+    """
+    lkeys, rkeys = _resolve_keys(keys)
+    lpos = left.schema.positions(lkeys)
+    rpos = right.schema.positions(rkeys)
+    schema = joined_schema(left.schema, right.schema, prefixes)
+
+    def order(
+        cols: List[List[Any]], positions: Sequence[int], n: int
+    ) -> Tuple[List[int], List[Tuple[Any, ...]]]:
+        key_cols = [cols[p] for p in positions]
+        idx = [
+            i for i in range(n) if not any(c[i] is None for c in key_cols)
+        ]
+        keyed = [tuple(c[i] for c in key_cols) for i in idx]
+        perm = sorted(range(len(idx)), key=keyed.__getitem__)
+        return [idx[i] for i in perm], [keyed[i] for i in perm]
+
+    def gen() -> "Any":
+        lcols, ln = _collect_columns(left)
+        rcols, rn = _collect_columns(right)
+        li, lkeyvals = order(lcols, lpos, ln)
+        ri, rkeyvals = order(rcols, rpos, rn)
+
+        lidx: List[int] = []
+        ridx: List[int] = []
+        i = j = 0
+        nl, nr = len(li), len(ri)
+        while i < nl and j < nr:
+            lk = lkeyvals[i]
+            rk = rkeyvals[j]
+            if lk < rk:
+                i += 1
+            elif lk > rk:
+                j += 1
+            else:
+                i2 = i
+                while i2 < nl and lkeyvals[i2] == lk:
+                    i2 += 1
+                j2 = j
+                while j2 < nr and rkeyvals[j2] == rk:
+                    j2 += 1
+                group = ri[j:j2]
+                width = j2 - j
+                for a in range(i, i2):
+                    lidx += [li[a]] * width
+                    ridx += group
+                i, j = i2, j2
+
+        out = [[col[i] for i in lidx] for col in lcols]
+        out += [[col[i] for i in ridx] for col in rcols]
+        yield from iter_batches_from_columns(schema, out, batch_size)
+
+    return BatchStream(schema, gen())
+
+
+def left_outer_join_stream(
+    left: BatchStream,
+    right: BatchStream,
+    keys: JoinKeys,
+    prefixes: Optional[Tuple[str, str]] = None,
+    batch_size: int = 4096,
+) -> BatchStream:
+    """Vectorized LEFT OUTER equi-join (see :func:`left_outer_join`).
+
+    The right side always builds (as in the row kernel); the left side
+    then **streams** — each left morsel produces its own index vectors
+    (build index ``-1`` marking the NULL pad) and is emitted before the
+    next is pulled.
+    """
+    lkeys, rkeys = _resolve_keys(keys)
+    lpos = left.schema.positions(lkeys)
+    rpos = right.schema.positions(rkeys)
+    schema = joined_schema(left.schema, right.schema, prefixes)
+    rwidth = len(right.schema)
+
+    def gen() -> "Any":
+        rcols, _rn = _collect_columns(right)
+        table: Dict[Tuple[Any, ...], List[int]] = {}
+        for i, key in _null_free_key_iter(rcols, rpos):
+            if not any(v is None for v in key):
+                table.setdefault(key, []).append(i)
+        get = table.get
+        for batch in left:
+            lidx: List[int] = []
+            ridx: List[int] = []
+            for i, key in _null_free_key_iter(batch.columns, lpos):
+                matches = None if any(v is None for v in key) else get(key)
+                if matches:
+                    lidx += [i] * len(matches)
+                    ridx += matches
+                else:
+                    lidx.append(i)
+                    ridx.append(-1)
+            out = [[col[i] for i in lidx] for col in batch.columns]
+            out += [
+                [(col[j] if j >= 0 else None) for j in ridx]
+                for col in rcols
+            ]
+            yield from iter_batches_from_columns(schema, out, batch_size)
+
+    return BatchStream(schema, gen())

@@ -23,12 +23,15 @@ __all__ = [
     "extend",
     "distinct",
     "order_by",
+    "split_order_key",
     "limit",
     "union_all",
     "value_counts",
     "select_stream",
     "project_stream",
     "extend_stream",
+    "distinct_stream",
+    "order_by_stream",
     "limit_stream",
 ]
 
@@ -93,24 +96,37 @@ def distinct(relation: Relation, columns: Optional[Sequence[str]] = None) -> Rel
     return target.distinct()
 
 
+def split_order_key(key: Any) -> "tuple[Any, bool]":
+    """Normalize one sort key into ``(target, descending)``.
+
+    *target* is a column name or an :class:`Expr` computing the sort
+    value; a bare target sorts ascending, a ``(target, "desc")`` pair
+    descending.
+    """
+    if isinstance(key, (str, Expr)):
+        return key, False
+    target, direction = key
+    return target, str(direction).lower() in ("desc", "descending")
+
+
 def order_by(
     relation: Relation,
     keys: Sequence,
 ) -> Relation:
-    """Sort by a sequence of ``column`` or ``(column, "desc")`` keys.
+    """Sort by a sequence of ``column``/``Expr`` or ``(key, "desc")`` keys.
 
     Implemented as a stable multi-pass sort (last key first) so mixed
     ascending/descending orderings are supported without comparator tricks.
     """
     rows = list(relation.rows)
     for key in reversed(list(keys)):
-        if isinstance(key, str):
-            name, descending = key, False
+        target, descending = split_order_key(key)
+        if isinstance(target, Expr):
+            fn = target.bind(relation.schema)
         else:
-            name, direction = key
-            descending = str(direction).lower() in ("desc", "descending")
-        pos = relation.schema.position(name)
-        rows.sort(key=lambda row: row[pos], reverse=descending)
+            pos = relation.schema.position(target)
+            fn = lambda row, p=pos: row[p]  # noqa: E731
+        rows.sort(key=fn, reverse=descending)
     return Relation(relation.schema, rows, name=relation.name)
 
 
@@ -168,7 +184,17 @@ def project_stream(stream: BatchStream, columns: Sequence) -> BatchStream:
     """Vectorized π: pure-name projections are zero-copy column slices;
     derived columns evaluate via one batched expression call each."""
     schema = stream.schema
-    if columns and all(isinstance(item, str) for item in columns):
+    if not columns:
+        # Empty projection: the output batches have no columns but still
+        # carry their row count, so COUNT(*)-shaped plans stay columnar.
+        out_schema = Schema([])
+
+        def counted() -> Iterator[Batch]:
+            for batch in stream:
+                yield Batch(out_schema, (), num_rows=batch.num_rows)
+
+        return BatchStream(out_schema, counted(), stream.name)
+    if all(isinstance(item, str) for item in columns):
         positions = [schema.position(item) for item in columns]
         out_schema = Schema([Column(n) for n in columns])
 
@@ -234,10 +260,95 @@ def limit_stream(stream: BatchStream, n: int) -> BatchStream:
                 yield Batch(
                     batch.schema,
                     tuple(col[:remaining] for col in batch.columns),
+                    num_rows=remaining,
                 )
                 return
 
     return BatchStream(stream.schema, gen(), stream.name)
+
+
+def distinct_stream(stream: BatchStream) -> BatchStream:
+    """Vectorized δ: one hash set over zipped key columns, streaming.
+
+    Each morsel contributes a selection vector of first occurrences; a
+    batch with no duplicates passes through by reference, a batch of pure
+    repeats is dropped. First-seen order matches ``Relation.distinct``.
+    """
+    schema = stream.schema
+
+    def gen() -> Iterator[Batch]:
+        if not len(schema):
+            # A zero-column relation has at most one distinct row: ().
+            for batch in stream:
+                if batch.num_rows:
+                    yield Batch(schema, (), num_rows=1)
+                    return
+            return
+        seen: set = set()
+        add = seen.add
+        for batch in stream:
+            cols = batch.columns
+            rows_iter = (
+                ((v,) for v in cols[0]) if len(cols) == 1 else zip(*cols)
+            )
+            sel: List[int] = []
+            keep = sel.append
+            for i, row in enumerate(rows_iter):
+                if row not in seen:
+                    add(row)
+                    keep(i)
+            if len(sel) == batch.num_rows:
+                yield batch
+            elif sel:
+                yield batch.take(sel)
+
+    return BatchStream(schema, gen(), stream.name)
+
+
+def order_by_stream(
+    stream: BatchStream, keys: Sequence, batch_size: int
+) -> BatchStream:
+    """Vectorized sort: accumulate columns, argsort an index array once
+    per key (stable, last key first), emit morsels of the permutation.
+
+    The index sort reads each key column through ``list.__getitem__`` —
+    the same per-row key values the row path sorts by, so the resulting
+    permutation (and thus the output order) is bit-identical.
+    """
+    schema = stream.schema
+    getters = []
+    for key in keys:
+        target, descending = split_order_key(key)
+        if isinstance(target, Expr):
+            getters.append((target.bind_batch(schema), None, descending))
+        else:
+            getters.append((None, schema.position(target), descending))
+
+    def gen() -> Iterator[Batch]:
+        columns: List[List[Any]] = [[] for _ in schema]
+        total = 0
+        for batch in stream:
+            total += batch.num_rows
+            for acc, col in zip(columns, batch.columns):
+                acc.extend(col)
+        if total == 0:
+            return
+        if not columns:
+            for lo in range(0, total, batch_size):
+                yield Batch(schema, (), num_rows=min(batch_size, total - lo))
+            return
+        merged = Batch(schema, columns, num_rows=total)
+        index = list(range(total))
+        for fn, pos, descending in reversed(getters):
+            col = columns[pos] if fn is None else fn(merged)
+            if not isinstance(col, (list, tuple)):
+                col = list(col)
+            index.sort(key=col.__getitem__, reverse=descending)
+        for lo in range(0, total, batch_size):
+            sel = index[lo : lo + batch_size]
+            yield Batch(schema, tuple([c[i] for i in sel] for c in columns))
+
+    return BatchStream(schema, gen(), stream.name)
 
 
 def value_counts(relation: Relation, column: str) -> Dict[Any, int]:

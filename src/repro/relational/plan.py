@@ -19,12 +19,13 @@ execution time, chosen by the cost model over
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PlanError
 from repro.relational import operators
-from repro.relational.aggregates import Aggregate, group_by
+from repro.relational.aggregates import Aggregate, group_by, group_by_stream
 from repro.relational.batch import (
+    Batch,
     BatchStream,
     columnar_relation_from_batches,
     stream_relation,
@@ -33,7 +34,15 @@ from repro.relational.catalog import Catalog
 from repro.relational.context import ExecutionContext
 from repro.relational.expressions import Expr
 from repro.relational.groupwise import groupwise_apply
-from repro.relational.joins import hash_join, merge_join, nested_loop_join
+from repro.relational.joins import (
+    hash_join,
+    hash_join_stream,
+    left_outer_join,
+    left_outer_join_stream,
+    merge_join,
+    merge_join_stream,
+    nested_loop_join,
+)
 from repro.relational.relation import Relation
 from repro.relational.schema import Column, Schema
 
@@ -46,11 +55,13 @@ __all__ = [
     "Select",
     "Project",
     "Extend",
+    "Rename",
     "Distinct",
     "OrderBy",
     "Limit",
     "HashJoin",
     "MergeJoin",
+    "LeftOuterJoin",
     "NestedLoopJoin",
     "GroupBy",
     "Groupwise",
@@ -470,16 +481,10 @@ class Project(_VectorizedNode):
     def _run(self, ctx: ExecutionContext) -> Relation:
         return operators.project(self.children[0].execute(ctx), self.columns)
 
-    def _run_batched(self, ctx: ExecutionContext, size: int) -> Relation:
-        if not self.columns:
-            return self._run(ctx)
-        return super()._run_batched(ctx, size)
-
     def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
-        if not self.columns:
-            # A zero-column batch cannot carry a row count; the (exotic)
-            # empty projection stays on the row protocol.
-            return stream_relation(self._run(ctx), size)
+        # Zero-column projections stay columnar too: empty-schema batches
+        # carry an explicit row count (see Batch.num_rows), so
+        # COUNT(*)-shaped plans never drop to the row protocol.
         return operators.project_stream(
             self.children[0].batches(ctx, size), self.columns
         )
@@ -527,7 +532,46 @@ class Extend(_VectorizedNode):
         return _tolerant_schema(list(child.columns) + [Column(self.column)])
 
 
-class Distinct(PlanNode):
+class Rename(_VectorizedNode):
+    """Qualify every column with a table alias (``x`` → ``alias.x``).
+
+    A schema-only rewrite: the batch kernel re-tags each morsel with the
+    prefixed schema and passes every column through by reference — zero
+    copies, zero row tuples. The SQL compiler inserts one above each scan
+    of a joined table, mirroring SQL's alias qualification.
+    """
+
+    def __init__(self, child: PlanNode, prefix: str) -> None:
+        self.children = (child,)
+        self.prefix = prefix
+
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        return self.children[0].execute(ctx).prefixed(self.prefix)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        stream = self.children[0].batches(ctx, size)
+        out_schema = stream.schema.prefixed(self.prefix)
+
+        def gen() -> Iterator[Batch]:
+            for batch in stream:
+                yield Batch(out_schema, batch.columns, num_rows=batch.num_rows)
+
+        return BatchStream(out_schema, gen(), stream.name)
+
+    def label(self) -> str:
+        return f"Rename({self.prefix}.*)"
+
+    def _batch_note(self) -> str:
+        return "vectorized (zero-copy)"
+
+    def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
+        child = self._child_schema(catalog)
+        if child is None:
+            return None
+        return child.prefixed(self.prefix)
+
+
+class Distinct(_VectorizedNode):
     """δ duplicate elimination."""
 
     def __init__(self, child: PlanNode) -> None:
@@ -536,11 +580,17 @@ class Distinct(PlanNode):
     def _run(self, ctx: ExecutionContext) -> Relation:
         return self.children[0].execute(ctx).distinct()
 
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        return operators.distinct_stream(self.children[0].batches(ctx, size))
+
+    def label(self) -> str:
+        return "Distinct()"
+
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         return self._child_schema(catalog)
 
 
-class OrderBy(PlanNode):
+class OrderBy(_VectorizedNode):
     """Sort by keys (see :func:`repro.relational.operators.order_by`)."""
 
     def __init__(self, child: PlanNode, keys: Sequence) -> None:
@@ -550,8 +600,21 @@ class OrderBy(PlanNode):
     def _run(self, ctx: ExecutionContext) -> Relation:
         return operators.order_by(self.children[0].execute(ctx), self.keys)
 
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        return operators.order_by_stream(
+            self.children[0].batches(ctx, size), self.keys, batch_size=size
+        )
+
     def label(self) -> str:
-        return f"OrderBy({self.keys})"
+        parts = []
+        for key in self.keys:
+            target, descending = operators.split_order_key(key)
+            text = target if isinstance(target, str) else repr(target)
+            parts.append(f"{text} DESC" if descending else text)
+        return f"OrderBy({', '.join(parts)})"
+
+    def _batch_note(self) -> str:
+        return "vectorized sort (blocking)"
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         return self._child_schema(catalog)
@@ -577,7 +640,7 @@ class Limit(_VectorizedNode):
         return self._child_schema(catalog)
 
 
-class _JoinBase(PlanNode):
+class _JoinBase(_VectorizedNode):
     def __init__(
         self,
         left: PlanNode,
@@ -591,6 +654,14 @@ class _JoinBase(PlanNode):
 
     def label(self) -> str:
         return f"{type(self).__name__}(keys={self.keys})"
+
+    def _child_streams(
+        self, ctx: ExecutionContext, size: int
+    ) -> Tuple[BatchStream, BatchStream]:
+        return (
+            self.children[0].batches(ctx, size),
+            self.children[1].batches(ctx, size),
+        )
 
     def output_schema(self, catalog: Optional[Catalog] = None) -> Optional[Schema]:
         left = self._child_schema(catalog, 0)
@@ -608,6 +679,15 @@ class HashJoin(_JoinBase):
         right = self.children[1].execute(ctx)
         return hash_join(left, right, self.keys, prefixes=self.prefixes)
 
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        left, right = self._child_streams(ctx, size)
+        return hash_join_stream(
+            left, right, self.keys, prefixes=self.prefixes, batch_size=size
+        )
+
+    def _batch_note(self) -> str:
+        return "vectorized build/probe"
+
 
 class MergeJoin(_JoinBase):
     """Equi-join executed by sort-merge."""
@@ -616,6 +696,33 @@ class MergeJoin(_JoinBase):
         left = self.children[0].execute(ctx)
         right = self.children[1].execute(ctx)
         return merge_join(left, right, self.keys, prefixes=self.prefixes)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        left, right = self._child_streams(ctx, size)
+        return merge_join_stream(
+            left, right, self.keys, prefixes=self.prefixes, batch_size=size
+        )
+
+    def _batch_note(self) -> str:
+        return "vectorized sort-merge"
+
+
+class LeftOuterJoin(_JoinBase):
+    """LEFT OUTER equi-join (unmatched left rows survive, NULL-padded)."""
+
+    def _run(self, ctx: ExecutionContext) -> Relation:
+        left = self.children[0].execute(ctx)
+        right = self.children[1].execute(ctx)
+        return left_outer_join(left, right, self.keys, prefixes=self.prefixes)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        left, right = self._child_streams(ctx, size)
+        return left_outer_join_stream(
+            left, right, self.keys, prefixes=self.prefixes, batch_size=size
+        )
+
+    def _batch_note(self) -> str:
+        return "vectorized build/probe (outer)"
 
 
 class NestedLoopJoin(PlanNode):
@@ -650,7 +757,7 @@ class NestedLoopJoin(PlanNode):
         return _disambiguated_join_schema(left, right, self.prefixes)
 
 
-class GroupBy(PlanNode):
+class GroupBy(_VectorizedNode):
     """γ with aggregates and optional HAVING."""
 
     def __init__(
@@ -668,6 +775,18 @@ class GroupBy(PlanNode):
     def _run(self, ctx: ExecutionContext) -> Relation:
         child = self.children[0].execute(ctx)
         return group_by(child, self.keys, self.aggregates, having=self.having)
+
+    def batches(self, ctx: ExecutionContext, size: int) -> BatchStream:
+        return group_by_stream(
+            self.children[0].batches(ctx, size),
+            self.keys,
+            self.aggregates,
+            having=self.having,
+            batch_size=size,
+        )
+
+    def _batch_note(self) -> str:
+        return "vectorized hash aggregate"
 
     def label(self) -> str:
         aggs = ", ".join(a.name for a in self.aggregates)

@@ -27,7 +27,6 @@ from typing import Any, Callable, Optional, Sequence, Tuple, Union
 from repro.errors import PlanError
 from repro.relational.aggregates import Aggregate
 from repro.relational.catalog import Catalog
-from repro.relational.context import ExecutionContext
 from repro.relational.expressions import Expr
 from repro.relational.plan import (
     Custom,
@@ -36,6 +35,7 @@ from repro.relational.plan import (
     GroupBy,
     Groupwise,
     HashJoin,
+    LeftOuterJoin,
     Limit,
     MaterializedInput,
     MergeJoin,
@@ -47,7 +47,7 @@ from repro.relational.plan import (
     TableScan,
     explain,
 )
-from repro.relational.joins import JoinKeys, left_outer_join
+from repro.relational.joins import JoinKeys
 from repro.relational.relation import Relation
 
 __all__ = ["Query"]
@@ -147,7 +147,7 @@ class Query:
     ) -> "Query":
         """LEFT OUTER equi-join: unmatched left rows survive, NULL-padded."""
         node = self._other_node(other)
-        outer = _LeftOuterJoinNode(self._node, node, keys=on, prefixes=prefixes)
+        outer = LeftOuterJoin(self._node, node, keys=on, prefixes=prefixes)
         return Query(self._catalog, outer)
 
     def join_where(
@@ -202,29 +202,3 @@ class Query:
 
     def __repr__(self) -> str:
         return f"Query({self._node.label()})"
-
-
-class _LeftOuterJoinNode(PlanNode):
-    """Plan node for the LEFT OUTER equi-join (used by Query.left_join)."""
-
-    def __init__(
-        self,
-        left: PlanNode,
-        right: PlanNode,
-        keys: JoinKeys,
-        prefixes: Optional[Tuple[str, str]] = None,
-    ) -> None:
-        self.children = (left, right)
-        self.keys = keys
-        self.prefixes = prefixes
-
-    def _run(self, ctx: "ExecutionContext") -> Relation:
-        return left_outer_join(
-            self.children[0].execute(ctx),
-            self.children[1].execute(ctx),
-            self.keys,
-            prefixes=self.prefixes,
-        )
-
-    def label(self) -> str:
-        return f"LeftOuterJoin(keys={self.keys})"

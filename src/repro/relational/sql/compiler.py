@@ -1,13 +1,15 @@
 """Compile parsed SQL into engine plans and execute them.
 
 The compiler lowers a :class:`~repro.relational.sql.ast.SelectStatement`
-onto the engine's operators: FROM/JOIN become TableScan + HashJoin (tables
-are column-prefixed with their alias when the query joins, mirroring SQL
-qualification), WHERE becomes a Select over a compiled expression, GROUP
-BY/HAVING become the aggregate operator, and the select list becomes a
-projection. Name resolution is schema-aware at execution time: a bare
-column name matches either an exact column or a unique ``alias.name``
-suffix, as in SQL.
+onto the engine's plan nodes: FROM/JOIN become TableScan (+ Rename when
+the query joins, so columns carry their alias qualifier as in SQL) under
+HashJoin / LeftOuterJoin, WHERE becomes a Select over a compiled
+expression, GROUP BY/HAVING become a GroupBy node, and the select list
+becomes a projection. Every statement — SSJOIN or plain — compiles to a
+plan tree and executes through the plan protocol, so SQL results flow
+end-to-end as columnar morsels whenever the batch protocol is on. Name
+resolution is schema-aware: a bare column name matches either an exact
+column or a unique ``alias.name`` suffix, as in SQL.
 
 Supported aggregates: COUNT(*) / COUNT(expr) / SUM / MIN / MAX / AVG.
 Scalar functions: ABS, LENGTH, LOWER, UPPER. Predicates additionally
@@ -31,7 +33,6 @@ from repro.relational.aggregates import (
     agg_max,
     agg_min,
     agg_sum,
-    group_by,
 )
 from repro.relational.catalog import Catalog
 from repro.relational.expressions import (
@@ -42,19 +43,21 @@ from repro.relational.expressions import (
     RowFn,
     UnaryOp,
 )
-from repro.relational.joins import hash_join, left_outer_join
-from repro.relational.operators import order_by as op_order_by
-from repro.relational.operators import project as op_project
-from repro.relational.operators import select as op_select
+from repro.relational.joins import joined_schema
 from repro.relational.relation import Relation
-from repro.relational.schema import Schema
+from repro.relational.schema import Column, Schema
 from repro.relational.context import ExecutionContext
 from repro.relational.plan import (
+    SSJOIN_RESULT_SCHEMA,
     Distinct,
+    GroupBy,
+    HashJoin,
+    LeftOuterJoin,
     Limit,
     OrderBy,
     PlanNode,
     Project,
+    Rename,
     Select,
     SSJoinNode,
     TableScan,
@@ -73,7 +76,13 @@ from repro.relational.sql.ast import (
 )
 from repro.relational.sql.parser import parse
 
-__all__ = ["execute_sql", "compile_statement", "compile_ssjoin_plan"]
+__all__ = [
+    "execute_sql",
+    "compile_statement",
+    "compile_plan",
+    "compile_plain_plan",
+    "compile_ssjoin_plan",
+]
 
 _AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
 _SCALARS: Dict[str, Callable] = {
@@ -433,22 +442,15 @@ def compile_ssjoin_plan(statement: SelectStatement, catalog: Catalog) -> PlanNod
 
     The tree is the paper's Figure 7–9 shape: an :class:`SSJoinNode` over
     two table scans (one scan, shared, for a self-join), a ``Select`` for
-    the WHERE post-filter, ``OrderBy``/``Project``/``Distinct``/``Limit``
-    above it. The catalog is only consulted at execution time; this
-    function is purely structural, so the plan verifier can inspect the
-    tree without side effects.
+    the WHERE post-filter, ``GroupBy``/``OrderBy``/``Project``/
+    ``Distinct``/``Limit`` above it. The catalog is only consulted at
+    execution time; this function is purely structural, so the plan
+    verifier can inspect the tree without side effects.
     """
     if len(statement.ssjoins) != 1:
         raise PlanError("exactly one SSJOIN clause is supported per statement")
     if statement.joins:
         raise PlanError("SSJOIN cannot be combined with ordinary JOIN clauses")
-    if statement.group_by or statement.having:
-        raise PlanError("SSJOIN does not support GROUP BY/HAVING")
-    if any(
-        not isinstance(i.expr, Star) and _contains_aggregate(i.expr)
-        for i in statement.items
-    ):
-        raise PlanError("SSJOIN select lists cannot contain aggregates")
     clause = statement.ssjoins[0]
     if clause.element_column != "b":
         raise PlanError(
@@ -471,24 +473,109 @@ def compile_ssjoin_plan(statement: SelectStatement, catalog: Catalog) -> PlanNod
 
     if statement.where is not None:
         node = Select(node, _compile_expr(statement.where))
-    if statement.order_by:
-        keys = []
-        for item in statement.order_by:
-            name = item.column.name
-            keys.append((name, "desc") if item.descending else name)
-        node = OrderBy(node, keys)
-    if not (len(statement.items) == 1 and isinstance(statement.items[0].expr, Star)):
-        columns = []
-        for i, item in enumerate(statement.items):
-            if isinstance(item.expr, Star):
-                raise PlanError("'*' cannot be mixed with other select items")
-            columns.append((_item_name(item, i), _compile_expr(item.expr)))
-        node = Project(node, columns)
-    if statement.distinct:
-        node = Distinct(node)
+    has_aggregates = any(
+        not isinstance(i.expr, Star) and _contains_aggregate(i.expr)
+        for i in statement.items
+    )
+    if statement.group_by or has_aggregates:
+        # Aggregation over the pair output — e.g. per-record match counts
+        # or a global COUNT(*) of the join size. The SSJoin result schema
+        # is statically known, so this stays purely structural.
+        node = _aggregate_tail(statement, node, SSJOIN_RESULT_SCHEMA)
+        if statement.distinct:
+            node = Distinct(node)
+        if statement.order_by:
+            node = OrderBy(node, _output_order_keys(statement))
+    else:
+        if statement.order_by:
+            keys = []
+            for item in statement.order_by:
+                name = item.column.name
+                keys.append((name, "desc") if item.descending else name)
+            node = OrderBy(node, keys)
+        node = _plain_projection_node(statement, node)
+        if statement.distinct:
+            node = Distinct(node)
     if statement.limit is not None:
         node = Limit(node, statement.limit)
     return node
+
+
+def compile_plain_plan(statement: SelectStatement, catalog: Catalog) -> PlanNode:
+    """Lower a plain (non-SSJOIN) SELECT to a logical plan tree.
+
+    Join and group keys resolve against catalog schemas, so the catalog
+    must already hold every referenced table. Joined tables are wrapped
+    in :class:`Rename` nodes (alias qualification), so the whole FROM/
+    JOIN/WHERE/GROUP BY/ORDER BY chain executes through the plan
+    protocol — columnar end-to-end when the batch protocol is on.
+    """
+    # -- FROM / JOIN --------------------------------------------------
+    prefix_tables = bool(statement.joins)
+    schema = catalog.get(statement.table.table).schema
+    node: PlanNode = TableScan(statement.table.table)
+    if prefix_tables:
+        node = Rename(node, statement.table.label)
+        schema = schema.prefixed(statement.table.label)
+    for join in statement.joins:
+        right_schema = catalog.get(join.table.table).schema.prefixed(
+            join.table.label
+        )
+        right_node: PlanNode = Rename(
+            TableScan(join.table.table), join.table.label
+        )
+        right_names = set(right_schema.names)
+        keys = []
+        for c1, c2 in join.on:
+            n1 = f"{c1.qualifier}.{c1.name}" if c1.qualifier else c1.name
+            n2 = f"{c2.qualifier}.{c2.name}" if c2.qualifier else c2.name
+            first_is_right = n1 in right_names or (
+                c1.qualifier == join.table.label
+            )
+            left_name, right_name = (n2, n1) if first_is_right else (n1, n2)
+            keys.append(
+                (
+                    _resolve(schema, _as_column(left_name)),
+                    _resolve(right_schema, _as_column(right_name)),
+                )
+            )
+        join_cls = LeftOuterJoin if join.outer else HashJoin
+        node = join_cls(node, right_node, keys=keys)
+        schema = joined_schema(schema, right_schema, None)
+
+    # -- WHERE --------------------------------------------------------
+    if statement.where is not None:
+        node = Select(node, _compile_expr(statement.where))
+
+    # -- GROUP BY / aggregate select ----------------------------------
+    has_aggregates = any(_contains_aggregate(i.expr) for i in statement.items)
+    if statement.group_by or has_aggregates:
+        node = _aggregate_tail(statement, node, schema)
+        if statement.distinct:
+            node = Distinct(node)
+        if statement.order_by:
+            node = OrderBy(node, _output_order_keys(statement))
+    else:
+        # Plain query: ORDER BY may reference columns the projection
+        # drops (SQL sorts before projecting), so sort first using
+        # select-alias expressions where they match, schema columns
+        # otherwise, then project.
+        if statement.order_by:
+            node = OrderBy(node, _pre_projection_order_keys(statement))
+        node = _plain_projection_node(statement, node)
+        if statement.distinct:
+            node = Distinct(node)
+
+    if statement.limit is not None:
+        node = Limit(node, statement.limit)
+    return node
+
+
+def compile_plan(statement: SelectStatement, catalog: Catalog) -> PlanNode:
+    """Lower any supported SELECT to a logical plan tree."""
+    if statement.ssjoins:
+        return compile_ssjoin_plan(statement, catalog)
+    return compile_plain_plan(statement, catalog)
 
 
 def compile_statement(
@@ -498,9 +585,9 @@ def compile_statement(
 ) -> Callable[[], Relation]:
     """Compile *statement* into an executable closure ``() -> Relation``.
 
-    *batch_size* configures the plan path's morsel size (``None`` = cost
-    model default, ``0`` = legacy row-at-a-time); plain non-plan queries
-    execute eagerly and ignore it.
+    *batch_size* configures the morsel size for the plan's batch
+    protocol (``None`` = cost model default, ``0`` = legacy
+    row-at-a-time); it applies to SSJOIN and plain statements alike.
     """
     if statement.ssjoins:
         plan = compile_ssjoin_plan(statement, catalog)
@@ -513,84 +600,16 @@ def compile_statement(
         return run_plan
 
     def run() -> Relation:
-        # -- FROM / JOIN --------------------------------------------------
-        prefix_tables = bool(statement.joins)
-        base = catalog.get(statement.table.table)
-        if prefix_tables:
-            base = base.prefixed(statement.table.label)
-        current = base
-        for join in statement.joins:
-            right = catalog.get(join.table.table).prefixed(join.table.label)
-            right_names = set(right.schema.names)
-            keys = []
-            for c1, c2 in join.on:
-                n1 = f"{c1.qualifier}.{c1.name}" if c1.qualifier else c1.name
-                n2 = f"{c2.qualifier}.{c2.name}" if c2.qualifier else c2.name
-                first_is_right = n1 in right_names or (
-                    c1.qualifier == join.table.label
-                )
-                left_name, right_name = (n2, n1) if first_is_right else (n1, n2)
-                keys.append(
-                    (
-                        _resolve(current.schema, _as_column(left_name)),
-                        _resolve(right.schema, _as_column(right_name)),
-                    )
-                )
-            join_fn = left_outer_join if join.outer else hash_join
-            current = join_fn(current, right, keys=keys)
-
-        # -- WHERE --------------------------------------------------------
-        if statement.where is not None:
-            current = op_select(current, _compile_expr(statement.where))
-
-        # -- GROUP BY / aggregate select ------------------------------------
-        has_aggregates = any(_contains_aggregate(i.expr) for i in statement.items)
-        if statement.group_by or has_aggregates:
-            current = _run_aggregate_query(statement, current)
-            if statement.distinct:
-                current = current.distinct()
-            if statement.order_by:
-                keys = []
-                for item in statement.order_by:
-                    name = _resolve(current.schema, item.column)
-                    keys.append((name, "desc") if item.descending else name)
-                current = op_order_by(current, keys)
-        else:
-            # Plain query: ORDER BY may reference columns the projection
-            # drops (SQL sorts before projecting), so sort first using
-            # select-alias expressions where they match, schema columns
-            # otherwise, then project.
-            if statement.order_by:
-                current = _order_pre_projection(statement, current)
-            current = _run_plain_projection(statement, current)
-            if statement.distinct:
-                current = current.distinct()
-
-        if statement.limit is not None:
-            current = Relation(
-                current.schema, current.rows[: statement.limit], name=current.name
-            )
-        return current
+        # The plan is built here, not at compile time, so table lookup
+        # and name resolution see the catalog as of execution — matching
+        # the SSJOIN path, where the catalog is consulted only when the
+        # plan runs.
+        plan = compile_plain_plan(statement, catalog)
+        return plan.execute(
+            ExecutionContext(catalog=catalog, batch_size=batch_size)
+        )
 
     return run
-
-
-def _order_pre_projection(statement: SelectStatement, current: Relation) -> Relation:
-    """Sort before projection, honoring select-list aliases."""
-    alias_exprs: Dict[str, SqlExpr] = {}
-    for i, item in enumerate(statement.items):
-        if not isinstance(item.expr, Star):
-            alias_exprs[_item_name(item, i)] = item.expr
-
-    rows = list(current.rows)
-    for item in reversed(statement.order_by):
-        display = item.column.display()
-        if item.column.qualifier is None and display in alias_exprs:
-            fn = _compile_expr(alias_exprs[display]).bind(current.schema)
-        else:
-            fn = _ResolvingRef(item.column).bind(current.schema)
-        rows.sort(key=fn, reverse=item.descending)
-    return Relation(current.schema, rows, name=current.name)
 
 
 def _as_column(name: str) -> ColumnName:
@@ -600,20 +619,60 @@ def _as_column(name: str) -> ColumnName:
     return ColumnName(name)
 
 
-def _run_plain_projection(statement: SelectStatement, current: Relation) -> Relation:
+def _output_order_keys(statement: SelectStatement) -> List[Any]:
+    """ORDER BY keys for an aggregate query, resolved against the
+    projected (select-list) schema — SQL sorts grouped output by its
+    output columns."""
+    out_schema = Schema(
+        [Column(_item_name(item, i)) for i, item in enumerate(statement.items)]
+    )
+    keys: List[Any] = []
+    for item in statement.order_by:
+        name = _resolve(out_schema, item.column)
+        keys.append((name, "desc") if item.descending else name)
+    return keys
+
+
+def _pre_projection_order_keys(statement: SelectStatement) -> List[Any]:
+    """ORDER BY keys for a plain query, honoring select-list aliases.
+
+    Each key is an engine expression bound against the pre-projection
+    schema: an alias re-evaluates its select expression, anything else
+    resolves as a column reference at bind time.
+    """
+    alias_exprs: Dict[str, SqlExpr] = {}
+    for i, item in enumerate(statement.items):
+        if not isinstance(item.expr, Star):
+            alias_exprs[_item_name(item, i)] = item.expr
+
+    keys: List[Any] = []
+    for item in statement.order_by:
+        display = item.column.display()
+        if item.column.qualifier is None and display in alias_exprs:
+            expr: Expr = _compile_expr(alias_exprs[display])
+        else:
+            expr = _ResolvingRef(item.column)
+        keys.append((expr, "desc") if item.descending else expr)
+    return keys
+
+
+def _plain_projection_node(statement: SelectStatement, node: PlanNode) -> PlanNode:
     if len(statement.items) == 1 and isinstance(statement.items[0].expr, Star):
-        return current
+        return node
     columns = []
     for i, item in enumerate(statement.items):
         if isinstance(item.expr, Star):
             raise PlanError("'*' cannot be mixed with other select items")
         columns.append((_item_name(item, i), _compile_expr(item.expr)))
-    return op_project(current, columns)
+    return Project(node, columns)
 
 
-def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relation:
+def _aggregate_tail(
+    statement: SelectStatement, node: PlanNode, schema: Schema
+) -> PlanNode:
+    """GroupBy + projection for an aggregate query over *schema* input."""
     # Resolve group keys against the input schema.
-    key_names = [_resolve(current.schema, c) for c in statement.group_by]
+    key_names = [_resolve(schema, c) for c in statement.group_by]
 
     aggregates: List[Aggregate] = []
     item_resolved: Dict[int, str] = {}  # select-item index -> resolved key column
@@ -622,7 +681,7 @@ def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relat
         if isinstance(item.expr, Call) and item.expr.name in _AGGREGATES:
             aggregates.append(_make_aggregate(name, item.expr))
         elif isinstance(item.expr, ColumnName):
-            resolved = _resolve(current.schema, item.expr)
+            resolved = _resolve(schema, item.expr)
             if resolved not in key_names:
                 raise PlanError(
                     f"column {item.expr.display()!r} must appear in GROUP BY "
@@ -646,7 +705,7 @@ def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relat
             aggregates.append(_make_aggregate(name, call))
         having_expr = _compile_expr(rewritten)
 
-    grouped = group_by(current, key_names, aggregates, having=having_expr)
+    grouped = GroupBy(node, key_names, aggregates, having=having_expr)
 
     # Project to the SELECT order (drops hidden HAVING columns, renames
     # keys to their bare select-list names).
@@ -657,7 +716,7 @@ def _run_aggregate_query(statement: SelectStatement, current: Relation) -> Relat
             columns.append((name, _ResolvingRef(ColumnName(name))))
         else:
             columns.append((name, _ResolvingRef(_as_column(item_resolved[i]))))
-    return op_project(grouped, columns)
+    return Project(grouped, columns)
 
 
 def execute_sql(

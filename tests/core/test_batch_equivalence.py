@@ -24,11 +24,24 @@ from repro.core.prepared import PreparedRelation
 from repro.core.predicate import OverlapPredicate
 from repro.core.ssjoin import SSJoin
 from repro.parallel import BACKEND_SERIAL, canonical_sort_key, parallel_ssjoin
+from repro.relational.aggregates import (
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
 from repro.relational.batch import ColumnarRelation
 from repro.relational.context import ExecutionContext
 from repro.relational.expressions import col
 from repro.relational.plan import (
+    Distinct,
     Extend,
+    GroupBy,
+    HashJoin,
+    LeftOuterJoin,
+    MergeJoin,
+    OrderBy,
     PreparedInput,
     Project,
     Select,
@@ -154,6 +167,117 @@ class TestBatchMatchesRow:
                     assert (
                         metrics.verify_stats() == reference.verify_stats()
                     ), label
+
+
+#: Vectorized-tail plan shapes layered over the SSJoin source — one per
+#: batch kernel family added in PR 9 (hash aggregate, HAVING, global
+#: aggregate, distinct, build/probe joins, sort-merge, outer join).
+TAIL_PLANS = (
+    "group-order",
+    "having",
+    "global-agg",
+    "distinct",
+    "hash-join",
+    "merge-join",
+    "left-join",
+)
+
+
+def _tail_plan(kind, left, right, predicate):
+    base = SSJoinNode(
+        PreparedInput(left),
+        PreparedInput(right),
+        predicate,
+        implementation="prefix",
+    )
+    if kind == "group-order":
+        grouped = GroupBy(
+            base,
+            ["a_r"],
+            [
+                agg_count("n"),
+                agg_sum("s", col("overlap")),
+                agg_min("lo", col("norm_s")),
+                agg_max("hi", col("norm_s")),
+                agg_avg("mean", col("overlap")),
+            ],
+        )
+        return OrderBy(grouped, [("n", "desc"), "a_r"])
+    if kind == "having":
+        return GroupBy(base, ["a_s"], [agg_count("n")], having=col("n") >= 2)
+    if kind == "global-agg":
+        return GroupBy(
+            base,
+            [],
+            [agg_count("n"), agg_sum("s", col("overlap")), agg_avg("mean", col("norm_r"))],
+        )
+    if kind == "distinct":
+        return OrderBy(Distinct(Project(base, ["a_r"])), ["a_r"])
+    # Join shapes: grouped match counts probed against the distinct set of
+    # partners that won the norm comparison, so the outer join really sees
+    # unmatched build rows.
+    grouped = GroupBy(base, ["a_r"], [agg_count("n")])
+    matched = Distinct(
+        Project(Select(base, col("norm_s") <= col("norm_r")), ["a_s"])
+    )
+    if kind == "hash-join":
+        return HashJoin(grouped, matched, keys=[("a_r", "a_s")])
+    if kind == "merge-join":
+        return MergeJoin(grouped, matched, keys=[("a_r", "a_s")])
+    return LeftOuterJoin(grouped, matched, keys=[("a_r", "a_s")])
+
+
+def _execute_tail(kind, left, right, predicate, batch_size, workers=None):
+    plan = _tail_plan(kind, left, right, predicate)
+    metrics = ExecutionMetrics()
+    relation = plan.execute(
+        ExecutionContext(metrics=metrics, batch_size=batch_size, workers=workers)
+    )
+    return list(relation.rows), metrics
+
+
+@pytest.mark.parametrize("kind", TAIL_PLANS)
+class TestVectorizedTailMatchesRow:
+    """PR-9 tentpole: aggregation, sort, distinct and join batch kernels
+    reproduce the row path bit for bit at every morsel capacity."""
+
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=15, deadline=None)
+    def test_batch_sizes_identical(self, kind, left, right, predicate):
+        row_rows, row_metrics = _execute_tail(
+            kind, left, right, predicate, batch_size=0
+        )
+        for size in BATCH_SIZES:
+            batch_rows, batch_metrics = _execute_tail(
+                kind, left, right, predicate, batch_size=size
+            )
+            assert batch_rows == row_rows, f"{kind} batch_size={size}"
+            _assert_counters_equal(
+                batch_metrics, row_metrics, f"{kind} batch_size={size}"
+            )
+
+    @given(prepared_relations("r"), prepared_relations("s"), predicates())
+    @settings(max_examples=5, deadline=None)
+    def test_workers_fixed_batch_sizes_identical(
+        self, kind, left, right, predicate
+    ):
+        # Parallel SSJoin merges shards in canonical order, which can
+        # permute group discovery order relative to the sequential scan —
+        # so rows are pinned per worker count, across morsel sizes.
+        for workers in WORKERS:
+            reference_rows = None
+            reference_metrics = None
+            for size in (0,) + BATCH_SIZES:
+                rows, metrics = _execute_tail(
+                    kind, left, right, predicate, batch_size=size, workers=workers
+                )
+                label = f"{kind} workers={workers} batch_size={size}"
+                if reference_rows is None:
+                    reference_rows = rows
+                    reference_metrics = metrics
+                else:
+                    assert rows == reference_rows, label
+                    _assert_counters_equal(metrics, reference_metrics, label)
 
 
 class TestSerialBackendBoundaryAdapter:

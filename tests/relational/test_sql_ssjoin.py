@@ -23,14 +23,17 @@ from repro.core.prepared import PreparedRelation
 from repro.core.ssjoin import ssjoin
 from repro.errors import AnalysisError, PlanError
 from repro.relational.catalog import Catalog
+from repro.relational.context import ExecutionContext
 from repro.relational.plan import (
     Distinct,
+    GroupBy,
     Limit,
     OrderBy,
     Project,
     Select,
     SSJoinNode,
     TableScan,
+    explain,
 )
 from repro.relational.relation import Relation
 from repro.relational.sql.compiler import compile_ssjoin_plan, execute_sql
@@ -223,17 +226,46 @@ class TestCompilation:
             "SELECT * FROM t r SSJOIN t r ON OVERLAP(b) >= 2",
             # only the 'b' element column is joinable
             "SELECT * FROM t r SSJOIN t s ON OVERLAP(a) >= 2",
-            # aggregates have no meaning over the pair output
-            "SELECT SUM(overlap) FROM t r SSJOIN t s ON OVERLAP(b) >= 2",
             # mixing with equi-joins is not supported
             "SELECT * FROM t r JOIN u ON r.a = u.a SSJOIN t s "
             "ON OVERLAP(b) >= 2",
-            "SELECT a_r FROM t r SSJOIN t s ON OVERLAP(b) >= 2 GROUP BY a_r",
         ],
     )
     def test_rejected_statements(self, sql):
         with pytest.raises(PlanError):
             compile_ssjoin_plan(parse(sql), make_catalog())
+
+    def test_grouped_plan_shape(self):
+        statement = parse(
+            "SELECT a_r, COUNT(*) AS n FROM t r SSJOIN t s "
+            "ON OVERLAP(b) >= 2 GROUP BY a_r ORDER BY a_r"
+        )
+        plan = compile_ssjoin_plan(statement, make_catalog())
+        assert isinstance(plan, OrderBy)
+        project = plan.children[0]
+        assert isinstance(project, Project)
+        grouped = project.children[0]
+        assert isinstance(grouped, GroupBy)
+        assert grouped.keys == ["a_r"]
+        assert isinstance(grouped.children[0], SSJoinNode)
+
+    def test_grouped_plan_has_no_boundary_adapter(self):
+        # PR-9 acceptance: GROUP BY + ORDER BY over SSJoin output executes
+        # end-to-end on the batch protocol — EXPLAIN must show every
+        # operator vectorized, with no row-boundary adapter anywhere.
+        statement = parse(
+            "SELECT a_r, COUNT(*) AS n, SUM(overlap) AS s FROM t r SSJOIN t s "
+            "ON OVERLAP(b) >= 2 GROUP BY a_r HAVING COUNT(*) >= 1 "
+            "ORDER BY n DESC, a_r"
+        )
+        catalog = make_catalog()
+        plan = compile_ssjoin_plan(statement, catalog)
+        text = explain(
+            plan, context=ExecutionContext(catalog=catalog, batch_size=4096)
+        )
+        assert "row (boundary adapter)" not in text
+        assert "vectorized hash aggregate" in text
+        assert "vectorized sort (blocking)" in text
 
 
 class TestExecution:
@@ -290,6 +322,43 @@ class TestExecution:
                 verify=True,
             )
 
+    def test_grouped_match_counts(self):
+        # Pairs with overlap >= 2: (r1,r1), (r1,r2), (r2,r1), (r2,r2),
+        # (r3,r3) — so per-record match counts are r1:2, r2:2, r3:1.
+        out = execute_sql(
+            make_catalog(),
+            "SELECT a_r, COUNT(*) AS n FROM t r SSJOIN t s "
+            "ON OVERLAP(b) >= 2 GROUP BY a_r ORDER BY a_r",
+        )
+        assert out.rows == (("r1", 2), ("r2", 2), ("r3", 1))
+        assert tuple(out.schema.names) == ("a_r", "n")
+
+    def test_global_aggregate_over_pairs(self):
+        out = execute_sql(
+            make_catalog(),
+            "SELECT COUNT(*) AS pairs, SUM(overlap) AS total "
+            "FROM t r SSJOIN t s ON OVERLAP(b) >= 2",
+        )
+        assert out.rows == ((5, 12.0),)
+
+    def test_grouped_having_filter(self):
+        out = execute_sql(
+            make_catalog(),
+            "SELECT a_r FROM t r SSJOIN t s ON OVERLAP(b) >= 2 "
+            "GROUP BY a_r HAVING COUNT(*) >= 2 ORDER BY a_r",
+        )
+        assert out.rows == (("r1",), ("r2",))
+
+    @pytest.mark.parametrize("batch_size", [0, 1, 7, 4096, None])
+    def test_grouped_results_identical_across_batch_sizes(self, batch_size):
+        out = execute_sql(
+            make_catalog(),
+            "SELECT a_r, COUNT(*) AS n, SUM(overlap) AS s FROM t r "
+            "SSJOIN t s ON OVERLAP(b) >= 2 GROUP BY a_r ORDER BY s DESC, a_r",
+            batch_size=batch_size,
+        )
+        assert out.rows == (("r1", 2, 5.0), ("r2", 2, 5.0), ("r3", 1, 2.0))
+
 
 class TestStaticVerification:
     def test_clean_statement_passes(self):
@@ -323,9 +392,17 @@ class TestStaticVerification:
         )
         assert "SSJ111" in [d.rule for d in report.errors()]
 
+    def test_grouped_statement_passes(self):
+        report = verify_sql(
+            make_catalog(),
+            "SELECT a_r, SUM(overlap) AS s FROM t r SSJOIN t s "
+            "ON OVERLAP(b) >= 2 GROUP BY a_r HAVING COUNT(*) >= 2",
+        )
+        assert report.ok
+
     def test_check_sql_raises(self):
         with pytest.raises(AnalysisError):
             check_sql(
                 make_catalog(),
-                "SELECT SUM(overlap) FROM t r SSJOIN t s ON OVERLAP(b) >= 2",
+                "SELECT nope FROM t r SSJOIN t s ON OVERLAP(b) >= 2",
             )
