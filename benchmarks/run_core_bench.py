@@ -104,11 +104,19 @@ def main(argv=None) -> int:
         default=int(os.environ.get("REPRO_BENCH_HEADROOM_ROWS") or 60000),
         help="row count for the composed-join batch headroom point "
         "(CI batch-smoke asserts batch >= row here)")
+    parser.add_argument(
+        "--storage-rows", type=int,
+        default=int(os.environ.get("REPRO_BENCH_STORAGE_ROWS") or 0) or None,
+        help="row count for the cold-vs-warm storage sweep (default: "
+        "max(rows, 100000) — the acceptance gate is >= 2x warm speedup "
+        "on encode-inclusive wall time at the 10^5 point)")
     parser.add_argument("--out", type=Path,
                         default=Path(__file__).resolve().parent.parent / "BENCH_core.json")
     args = parser.parse_args(argv)
     if args.scaling_rows is None:
         args.scaling_rows = max(args.rows, 60000)
+    if args.storage_rows is None:
+        args.storage_rows = max(args.rows, 100000)
 
     values = jaccard_corpus(args.rows)
     runner = SweepRunner(
@@ -124,6 +132,35 @@ def main(argv=None) -> int:
             r = runner.records[-1]
             print(f"  {implementation:>14} @ {threshold:.2f}: "
                   f"{r.total_seconds:.3f}s  pairs={r.result_pairs}")
+
+    # Storage sweep (Layer 10): cold (rebuild weights, dictionary and
+    # encoding from raw strings, a fresh process's state) vs warm
+    # (re-open the ingested page file and adopt the persisted columnar
+    # arrays) on the same Fig-12 encoded-prefix join.  Results are
+    # asserted bit-identical before any number is reported.  Runs first
+    # among the large sweeps: cold-vs-warm start-up is a fresh-process
+    # comparison, and timing it after the 10^5-10^6-row batch sweeps
+    # would measure their heap fragmentation instead of page I/O.
+    from repro.bench.storage_bench import storage_sweep
+
+    print(f"\nstorage cold-vs-warm (encoded-prefix, {args.storage_rows} rows):")
+    storage_values = (
+        values if args.storage_rows == args.rows
+        else jaccard_corpus(args.storage_rows)
+    )
+    storage_block = storage_sweep(
+        storage_values, thresholds=(0.80, 0.90), repeats=args.repeats
+    )
+    del storage_values
+    print(f"  ingest={storage_block['ingest_seconds']:.3f}s "
+          f"file={storage_block['file_bytes']} bytes "
+          f"pages={storage_block['n_pages']}")
+    for rec in storage_block["records"]:
+        print(f"  @ {rec['threshold']:.2f}: cold={rec['cold_seconds']:.3f}s "
+              f"warm={rec['warm_seconds']:.3f}s "
+              f"speedup={rec['speedup']:.2f}x "
+              f"warm_prep={rec['warm_prep_seconds']:.4f}s "
+              f"digest={rec['digest']}")
 
     # Worker-scaling sweep: the encoded-prefix plan across worker counts
     # on the same Fig-12 workload at its own (larger) row count — the
@@ -329,13 +366,20 @@ def main(argv=None) -> int:
               "weights": "idf", "tokenizer": "words",
               "worker_counts": list(WORKER_COUNTS),
               "scaling_rows": args.scaling_rows,
-              "scaling_backend": "serial"},
+              "scaling_backend": "serial",
+              "storage_rows": args.storage_rows},
         speedups=speedups,
         parallel=scaling_records,
         verify_engine=verify_block,
         batch_exec=batch_block,
+        storage=storage_block,
     )
-    args.out.write_text(doc + "\n")
+    # Atomic publish: a reader (or an interrupted run) never observes a
+    # torn BENCH_core.json — the temp file lands in the same directory so
+    # os.replace stays a same-filesystem rename.
+    tmp = args.out.with_name(args.out.name + ".tmp")
+    tmp.write_text(doc + "\n")
+    os.replace(tmp, args.out)
 
     print()
     for impl in IMPLEMENTATIONS:

@@ -43,6 +43,13 @@ width) and its rows must equal the basic implementation's exactly — a
 missing pair means a bound pruned a qualifying candidate, an extra or
 changed row means the filter corrupted verification.  Skipped for
 inputs above the probe budget (the static rules still run).
+``SSJ114`` stale persisted artifact — a disk-backed artifact (encoding,
+inverted index, verify cache, table manifest) whose dictionary-generation
+stamp disagrees with the dictionary its page file ships, meaning its
+integer ids would decode through the wrong interning table. Swept
+statically over every stamped segment by :func:`verify_storage`; the
+runtime decode path raises :class:`repro.errors.StaleArtifactError` on
+the same condition.
 """
 
 from __future__ import annotations
@@ -61,13 +68,14 @@ from repro.core.encoded import EncodedPreparedRelation
 from repro.core.ordering import ElementOrdering
 from repro.core.predicate import Bound, OverlapPredicate
 from repro.core.prepared import PreparedRelation
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StorageError
 
 __all__ = [
     "verify_ssjoin",
     "check_ssjoin",
     "verify_shards",
     "check_shards",
+    "verify_storage",
     "KNOWN_IMPLEMENTATIONS",
 ]
 
@@ -692,4 +700,86 @@ def check_ssjoin(
             f"{len(report.errors())} error(s)",
             report.errors(),
         )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# SSJ114 — persisted artifacts must match the attached dictionary generation
+# ---------------------------------------------------------------------------
+
+
+def verify_storage(path: str) -> AnalysisReport:
+    """SSJ114: audit every generation stamp inside an ingested page file.
+
+    The storage layer stamps each persisted artifact (encoding, inverted
+    index, verify cache, table manifest) with the **dictionary-generation
+    fingerprint** it was built under — a content digest of the complete
+    ``element → id`` assignment. An artifact whose stamp disagrees with
+    the dictionary the file actually ships is *stale*: its integer ids
+    decode through the wrong interning table, which silently remaps
+    tokens instead of failing. The runtime decode path raises
+    :class:`repro.errors.StaleArtifactError` on first touch; this rule is
+    the static twin — it sweeps every stamped segment up front (including
+    ones a given workload would never decode) and reports each mismatch
+    as a structured ERROR.
+    """
+    # Imported here (not at module top): analysis must stay importable
+    # without the storage layer loaded, mirroring the parallel rule.
+    from repro.storage import codecs
+    from repro.storage.pages import KIND_META, PageFileReader
+
+    report = AnalysisReport()
+    location = str(path)
+    try:
+        reader = PageFileReader(path)
+    except (OSError, StorageError) as exc:
+        report.add(
+            "SSJ114", SEVERITY_ERROR,
+            f"unreadable page file: {exc}", location,
+            hint="re-ingest the table with `repro ingest`",
+        )
+        return report
+    try:
+        try:
+            _, generation = codecs.read_dictionary(reader)
+        except StorageError as exc:
+            # Covers both a missing/corrupt dictionary and a stamp that
+            # does not match the re-derived content digest.
+            report.add(
+                "SSJ114", SEVERITY_ERROR,
+                f"dictionary cannot anchor generation checks: {exc}",
+                f"{location}::dict/meta",
+                hint="re-ingest the table with `repro ingest`",
+            )
+            return report
+        for info in reader.segments():
+            if info.kind != KIND_META or not (
+                info.name == "table/meta"
+                or info.name.endswith(("enc/meta", "index/meta", "verify/meta",
+                                       "pair/meta"))
+            ):
+                continue
+            try:
+                meta = codecs._loads(reader.segment(info.name))
+            except Exception:  # audit sweep: any decode failure is a finding
+                report.add(
+                    "SSJ114", SEVERITY_ERROR,
+                    f"undecodable artifact metadata segment {info.name!r}",
+                    f"{location}::{info.name}",
+                )
+                continue
+            stamped = meta.get("generation") if isinstance(meta, dict) else None
+            if stamped != generation:
+                report.add(
+                    "SSJ114", SEVERITY_ERROR,
+                    f"persisted artifact {info.name!r} was built under "
+                    f"dictionary generation {str(stamped)[:12]!r} but the "
+                    f"file's dictionary is generation {generation[:12]!r}; "
+                    "its integer ids would decode through the wrong "
+                    "interning table",
+                    f"{location}::{info.name}",
+                    hint="re-ingest the table with `repro ingest`",
+                )
+    finally:
+        reader.close()
     return report

@@ -222,6 +222,46 @@ def _plan_selfcheck() -> AnalysisReport:
     return report
 
 
+def _storage_selfcheck() -> AnalysisReport:
+    """SSJ114 over a freshly ingested table, plus the seeded stale-stamp
+    fixture — the gate proving the rule still detects the defect it
+    exists for (the DF399 corpus pattern, applied to storage)."""
+    import os
+    import tempfile
+
+    from repro.analysis.diagnostics import SEVERITY_ERROR
+    from repro.analysis.invariants import verify_storage
+    from repro.storage import ingest_prepared
+    from repro.storage.fixtures import seed_stale_table
+
+    left, _ = _sample_relations()
+    diagnostics: List[Diagnostic] = []
+    with tempfile.TemporaryDirectory(prefix="repro-selfcheck-") as tmp:
+        clean = os.path.join(tmp, "clean.rpsf")
+        ingest_prepared(left, clean).close()
+        for d in verify_storage(clean).diagnostics:
+            diagnostics.append(
+                dataclasses.replace(d, location=f"storage[clean] {d.location}")
+            )
+        stale = os.path.join(tmp, "stale.rpsf")
+        seed_stale_table(stale)
+        seeded = verify_storage(stale)
+        if not any(
+            d.rule == "SSJ114" and d.severity == SEVERITY_ERROR
+            for d in seeded.diagnostics
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    "SSJ114",
+                    SEVERITY_ERROR,
+                    "seeded stale-generation fixture was NOT detected — the "
+                    "rule no longer catches the defect it exists for",
+                    "storage[seeded]",
+                )
+            )
+    return AnalysisReport(diagnostics)
+
+
 def _dataflow_selfcheck() -> AnalysisReport:
     """DF3xx over the engine hot paths, plus the seeded-defect corpus
     gate (DF399) when the source checkout's corpus is present."""
@@ -246,7 +286,12 @@ def selfcheck(
     ``include_dataflow=False`` to skip the DF3xx dataflow audit (e.g.
     when running from an installed package without the source checkout).
     """
-    parts = [_ssjoin_selfcheck(), _parallel_selfcheck(), _plan_selfcheck()]
+    parts = [
+        _ssjoin_selfcheck(),
+        _parallel_selfcheck(),
+        _plan_selfcheck(),
+        _storage_selfcheck(),
+    ]
     if include_lint:
         parts.append(lint_paths())
     if include_dataflow:

@@ -183,6 +183,7 @@ def render_json(
     parallel: Optional[Sequence[SweepRecord]] = None,
     verify_engine: Optional[Dict[str, Any]] = None,
     batch_exec: Optional[Dict[str, Any]] = None,
+    storage: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The machine-readable sweep artifact (``repro-bench/v1``).
 
@@ -198,7 +199,9 @@ def render_json(
     block: per-threshold prune counters and merge-reduction/speedup
     figures. Passing *batch_exec* (the batch-vs-row sweep assembled by
     :mod:`repro.bench.batch_bench`) likewise adds a top-level
-    ``batch_exec`` block. The format is documented in EXPERIMENTS.md;
+    ``batch_exec`` block, and *storage* (the cold-vs-warm-start
+    comparison from :mod:`repro.bench.storage_bench`) a top-level
+    ``storage`` block. The format is documented in EXPERIMENTS.md;
     CI uploads these as artifacts.
     """
     doc: Dict[str, Any] = {
@@ -226,6 +229,8 @@ def render_json(
         doc["verify_engine"] = dict(verify_engine)
     if batch_exec is not None:
         doc["batch_exec"] = dict(batch_exec)
+    if storage is not None:
+        doc["storage"] = dict(storage)
     return json.dumps(doc, indent=2, sort_keys=False)
 
 

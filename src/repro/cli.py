@@ -8,6 +8,10 @@ Usage (also via ``python -m repro``)::
     repro match --queries q.txt --references ref.txt --k 3 --threshold 0.4
     repro explain --input customers.txt --threshold 0.8
     repro sql --table emp=emp.tsv --query 'SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept'
+    repro ingest --input customers.txt --out customers.rpsf
+    repro tables customers.rpsf
+    repro sql --attach c=customers.rpsf --query 'SELECT COUNT(*) AS n FROM c'
+    repro bench --plan fig12 --store customers.rpsf --workers 2
 
 Input files hold one string per line; blank lines are ignored. Matches are
 written as tab-separated ``left<TAB>right<TAB>similarity`` rows to stdout
@@ -126,9 +130,17 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--table",
         action="append",
-        required=True,
+        default=[],
         metavar="NAME=FILE.tsv",
         help="register a TSV file (first line = column headers); repeatable",
+    )
+    sql.add_argument(
+        "--attach",
+        action="append",
+        default=[],
+        metavar="NAME=FILE.rpsf",
+        help="attach an ingested page file as a lazily-mapped table; "
+        "repeatable",
     )
     sql.add_argument("--query", required=True, help="the SELECT statement")
     sql.add_argument("--out", help="output TSV (default stdout)")
@@ -166,10 +178,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rows", type=int, default=100000,
                        help="synthetic pipeline input rows (default 100000)")
     bench.add_argument(
-        "--plan", choices=("pipeline", "aggregate"), default="pipeline",
+        "--plan", choices=("pipeline", "aggregate", "fig12"),
+        default="pipeline",
         help="'pipeline' times scan/select/extend/project; 'aggregate' "
         "times the GROUP BY + ORDER BY plan over a materialized "
-        "SSJoin-result-shaped relation",
+        "SSJoin-result-shaped relation; 'fig12' runs the Fig-12 "
+        "threshold sweep from --input (in-memory) or --store (a page "
+        "file ingested with `repro ingest`) and prints per-threshold "
+        "pair counts, result digests and prep time",
+    )
+    bench.add_argument(
+        "--input", default=None, metavar="FILE",
+        help="fig12 only: line-delimited strings, prepared in memory",
+    )
+    bench.add_argument(
+        "--store", default=None, metavar="FILE.rpsf",
+        help="fig12 only: run from an ingested page file (zero re-encode)",
+    )
+    bench.add_argument(
+        "--workers", type=_parse_workers, default=None, metavar="N|auto",
+        help="fig12 only: parallel worker processes",
     )
     bench.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
@@ -179,6 +207,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--repeats", type=int, default=3,
                        help="keep the fastest of K runs per path")
+
+    ing = sub.add_parser(
+        "ingest",
+        help="encode a string file into a disk-backed columnar page file",
+    )
+    ing.add_argument("--input", required=True,
+                     help="file of strings, one per line")
+    ing.add_argument("--out", required=True, metavar="FILE.rpsf",
+                     help="destination page file (written atomically)")
+    ing.add_argument("--name", default="R",
+                     help="relation name stored in the manifest (default R)")
+
+    tab = sub.add_parser(
+        "tables", help="describe ingested page files (manifest + stats)"
+    )
+    tab.add_argument("paths", nargs="+", metavar="FILE.rpsf")
 
     gen = sub.add_parser("generate", help="write a synthetic customer-address file")
     gen.add_argument("--rows", type=int, default=500)
@@ -279,12 +323,21 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     from repro.relational.catalog import Catalog
     from repro.relational.sql import execute_sql
 
+    if not args.table and not args.attach:
+        raise SystemExit("error: sql needs at least one --table or --attach")
     catalog = Catalog()
     for spec in args.table:
         name, _, path = spec.partition("=")
         if not name or not path:
             raise SystemExit(f"error: --table expects NAME=FILE.tsv, got {spec!r}")
         catalog.register(name, _load_tsv(path))
+    for spec in args.attach:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise SystemExit(
+                f"error: --attach expects NAME=FILE.rpsf, got {spec!r}"
+            )
+        catalog.attach(name, path)
 
     result = execute_sql(catalog, args.query)
     out = _open_out(args.out)
@@ -334,7 +387,100 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_fig12(args: argparse.Namespace) -> int:
+    """Fig-12 threshold sweep, in-memory (--input) or disk-backed (--store).
+
+    Prints one line per threshold with the pair count, a cross-process
+    result digest (bit-identity checks between the two modes grep these),
+    and the PREP-phase seconds — near zero in --store mode, where the
+    encoding comes off mmap'd pages instead of being rebuilt.
+    """
+    from repro.bench.storage_bench import result_digest
+    from repro.core.encoded import EncodingCache
+    from repro.core.metrics import PHASE_PREP, ExecutionMetrics
+    from repro.core.ssjoin import SSJoin
+
+    if (args.input is None) == (args.store is None):
+        raise SystemExit(
+            "error: bench --plan fig12 needs exactly one of --input/--store"
+        )
+    cache = EncodingCache()
+    table = None
+    if args.store is not None:
+        from repro.storage import open_table
+
+        table = open_table(args.store)
+        table.seed_cache(cache)
+        prepared = table.prepared()
+        mode = f"store={args.store}"
+    else:
+        values = _read_lines(args.input)
+        weights = resolve_weights("idf", words, values, values)
+        prepared = PreparedRelation.from_strings(
+            values, words, weights=weights, norm=NORM_WEIGHT, name="R"
+        )
+        mode = f"input={args.input}"
+    print(f"fig12 sweep: {mode} rows={len(prepared)} "
+          f"workers={args.workers or 1}")
+    total_prep = 0.0
+    try:
+        for threshold in (0.80, 0.85, 0.90, 0.95):
+            m = ExecutionMetrics()
+            result = SSJoin(
+                prepared, prepared, OverlapPredicate.two_sided(threshold)
+            ).execute(
+                "encoded-prefix", metrics=m, workers=args.workers,
+                encoding_cache=cache,
+            )
+            prep = m.seconds(PHASE_PREP)
+            total_prep += prep
+            print(f"threshold={threshold:.2f} pairs={len(result.pairs)} "
+                  f"digest={result_digest(result.pairs)} prep={prep:.4f}s")
+    finally:
+        if table is not None:
+            table.close()
+    print(f"total_prep={total_prep:.4f}s")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.storage import ingest_prepared
+
+    values = _read_lines(args.input)
+    weights = resolve_weights("idf", words, values, values)
+    prepared = PreparedRelation.from_strings(
+        values, words, weights=weights, norm=NORM_WEIGHT, name=args.name
+    )
+    t0 = time.perf_counter()
+    with ingest_prepared(prepared, args.out) as table:
+        stats = table.stats()
+    seconds = time.perf_counter() - t0
+    print(
+        f"ingested {stats['num_rows']} rows ({stats['num_groups']} groups) "
+        f"into {args.out}: {stats['num_pages']} pages, "
+        f"{os.path.getsize(args.out)} bytes, generation "
+        f"{stats['generation']}, {seconds:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.storage import open_table
+
+    for path in args.paths:
+        with open_table(path) as table:
+            stats = table.stats()
+        print("\t".join(f"{k}={v}" for k, v in stats.items()))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.plan == "fig12":
+        return _cmd_bench_fig12(args)
     from repro.bench.batch_bench import (
         aggregate_plan,
         orders_relation,
@@ -392,6 +538,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "explain": _cmd_explain,
         "analyze": _cmd_analyze,
         "bench": _cmd_bench,
+        "ingest": _cmd_ingest,
+        "tables": _cmd_tables,
         "generate": _cmd_generate,
     }
     return handlers[args.command](args)

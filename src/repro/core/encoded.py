@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from array import array
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.core.dictionary import TokenDictionary
 from repro.core.metrics import ExecutionMetrics
@@ -35,6 +35,7 @@ __all__ = [
     "EncodingCache",
     "encode_pair",
     "encoding_cached",
+    "encoding_tier",
     "global_encoding_cache",
 ]
 
@@ -69,6 +70,7 @@ class EncodedPreparedRelation:
         "set_norms",
         "prefix_cache",
         "verify_cache",
+        "storage_ref",
         "_num_elements",
     )
 
@@ -89,6 +91,10 @@ class EncodedPreparedRelation:
         # Signature entries record the dictionary size they were packed
         # under so a grown dictionary invalidates them.
         self.verify_cache: dict = {}
+        # When this encoding was decoded from (or persisted to) a page
+        # file, the file's path — lets the parallel executor ship a path
+        # instead of pickled columns, and the optimizer charge page I/O.
+        self.storage_ref: Optional[str] = None
         self.keys = list(prepared.groups)
         self._num_elements: Optional[int] = None
         self.ids: List[array] = []
@@ -102,6 +108,39 @@ class EncodedPreparedRelation:
             self.weights.append(weights)
             self.norms.append(prepared.norms[a])
             self.set_norms.append(wset.norm)
+
+    @classmethod
+    def from_columns(
+        cls,
+        prepared: PreparedRelation,
+        dictionary: TokenDictionary,
+        ids: List[array],
+        weights: List[array],
+        norms: array,
+        set_norms: array,
+        storage_ref: Optional[str] = None,
+    ) -> "EncodedPreparedRelation":
+        """Adopt pre-built columnar arrays without re-encoding.
+
+        This is the storage layer's decode path: the arrays come straight
+        out of page segments (already sorted under the dictionary's
+        ordering ``O``), so constructing the relation costs zero per-group
+        sorts. Callers are responsible for array/dictionary coherence —
+        the SSJ1xx verifier and the SSJ114 generation stamp audit it.
+        """
+        self = cls.__new__(cls)
+        self.prepared = prepared
+        self.dictionary = dictionary
+        self.prefix_cache = {}
+        self.verify_cache = {}
+        self.storage_ref = storage_ref
+        self.keys = list(prepared.groups)
+        self._num_elements = None
+        self.ids = list(ids)
+        self.weights = list(weights)
+        self.norms = norms
+        self.set_norms = set_norms
+        return self
 
     @property
     def num_groups(self) -> int:
@@ -123,13 +162,25 @@ class EncodedPreparedRelation:
 
 
 class EncodingCache:
-    """LRU memo of encodings per (left fingerprint, right fingerprint, ordering).
+    """Tiered LRU memo of encodings per (left fp, right fp, ordering).
 
     Fingerprints are content hashes (see
     :meth:`PreparedRelation.fingerprint`); because hashes can collide, a
     hit is only honored after exact comparison of the cached groups and
     norms against the incoming relations — an O(elements) dict compare,
     orders of magnitude cheaper than re-encoding's per-group sorts.
+
+    The memory tier is bounded: at most *capacity* entries, evicted
+    least-recently-used (``evictions`` counts them). An optional
+    **persistent tier** (attach via :meth:`attach_persistent` — any
+    object speaking ``load/save/has``, normally
+    :class:`repro.storage.store.EncodingStore`) turns the lookup into
+    memory → disk → rebuild: a memory miss probes the page files, a disk
+    hit decodes the columnar arrays (no re-encode, no re-sort) and is
+    promoted into the memory tier. Disk lookups only apply to the
+    default (joint-frequency) ordering — a custom
+    :class:`ElementOrdering` is keyed by object identity, which does not
+    survive a process boundary.
     """
 
     def __init__(self, capacity: int = 8) -> None:
@@ -137,6 +188,18 @@ class EncodingCache:
         self._entries: "OrderedDict[Tuple, Tuple]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
+        #: persistent tier (duck-typed; see :meth:`attach_persistent`)
+        self.persistent: Optional[Any] = None
+        #: write encodings built on a full miss back to the persistent tier
+        self.auto_persist = False
+
+    def attach_persistent(self, store: Any, auto_persist: bool = False) -> None:
+        """Attach a disk tier. With *auto_persist*, encodings built on a
+        full miss are written back so the next process warm-starts."""
+        self.persistent = store
+        self.auto_persist = auto_persist
 
     def encode_pair(
         self,
@@ -159,6 +222,15 @@ class EncodingCache:
                     metrics.encode_cache_hits += 1
                 return enc_left, enc_right, dictionary
 
+        if self.persistent is not None and ordering is None:
+            loaded = self.persistent.load(left, right)
+            if loaded is not None:
+                self.disk_hits += 1
+                if metrics is not None:
+                    metrics.encode_cache_hits += 1
+                self._insert(key, loaded)
+                return loaded
+
         self.misses += 1
         if metrics is not None:
             metrics.encode_cache_misses += 1
@@ -169,10 +241,31 @@ class EncodingCache:
             if right is left
             else EncodedPreparedRelation(right, dictionary)
         )
-        self._entries[key] = (enc_left, enc_right, dictionary)
+        if self.persistent is not None and self.auto_persist and ordering is None:
+            self.persistent.save(left, right, enc_left, enc_right, dictionary)
+        self._insert(key, (enc_left, enc_right, dictionary))
+        return enc_left, enc_right, dictionary
+
+    def _insert(self, key: Tuple, entry: Tuple) -> None:
+        self._entries[key] = entry
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-        return enc_left, enc_right, dictionary
+            self.evictions += 1
+
+    def seed(
+        self,
+        left: PreparedRelation,
+        right: PreparedRelation,
+        enc_left: EncodedPreparedRelation,
+        enc_right: EncodedPreparedRelation,
+        dictionary: TokenDictionary,
+        ordering: Optional[ElementOrdering] = None,
+    ) -> None:
+        """Pre-populate the memory tier with an externally-built encoding
+        (e.g. one decoded from an attached table's page file)."""
+        key = (left.fingerprint(), right.fingerprint(),
+               None if ordering is None else id(ordering))
+        self._insert(key, (enc_left, enc_right, dictionary))
 
     def contains(
         self,
@@ -180,8 +273,8 @@ class EncodingCache:
         right: PreparedRelation,
         ordering: Optional[ElementOrdering] = None,
     ) -> bool:
-        """Whether a verified encoding for this pair is already cached
-        (used by the optimizer to discount the encode cost)."""
+        """Whether a verified encoding for this pair is in the memory tier
+        (used by the optimizer to zero the encode cost)."""
         key = (left.fingerprint(), right.fingerprint(),
                None if ordering is None else id(ordering))
         entry = self._entries.get(key)
@@ -189,6 +282,37 @@ class EncodingCache:
             return False
         enc_left, enc_right, _ = entry
         return self._matches(enc_left, left) and self._matches(enc_right, right)
+
+    def tier(
+        self,
+        left: PreparedRelation,
+        right: PreparedRelation,
+        ordering: Optional[ElementOrdering] = None,
+    ) -> Optional[str]:
+        """Which tier would serve this pair: ``"memory"``, ``"disk"``, or
+        ``None`` (full rebuild). The optimizer charges zero encode cost
+        for memory, page I/O for disk, per-element encode otherwise."""
+        if self.contains(left, right, ordering):
+            return "memory"
+        if (
+            self.persistent is not None
+            and ordering is None
+            and self.persistent.has(left, right)
+        ):
+            return "disk"
+        return None
+
+    def stats(self) -> dict:
+        """Counters for ``ExecutionMetrics.extra`` and bench telemetry."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "persistent": self.persistent is not None,
+        }
 
     @staticmethod
     def _matches(encoded: EncodedPreparedRelation, prepared: PreparedRelation) -> bool:
@@ -202,6 +326,8 @@ class EncodingCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -224,7 +350,7 @@ def encode_pair(
     cache: Optional[EncodingCache] = None,
 ) -> Tuple[EncodedPreparedRelation, EncodedPreparedRelation, TokenDictionary]:
     """Module-level shorthand over the global :class:`EncodingCache`."""
-    return (cache or _GLOBAL_CACHE).encode_pair(left, right, ordering, metrics)
+    return (_GLOBAL_CACHE if cache is None else cache).encode_pair(left, right, ordering, metrics)
 
 
 def encoding_cached(
@@ -233,5 +359,17 @@ def encoding_cached(
     ordering: Optional[ElementOrdering] = None,
     cache: Optional[EncodingCache] = None,
 ) -> bool:
-    """Whether :func:`encode_pair` would hit the cache for this pair."""
-    return (cache or _GLOBAL_CACHE).contains(left, right, ordering)
+    """Whether :func:`encode_pair` would hit the memory tier for this pair."""
+    return (_GLOBAL_CACHE if cache is None else cache).contains(left, right, ordering)
+
+
+def encoding_tier(
+    left: PreparedRelation,
+    right: PreparedRelation,
+    ordering: Optional[ElementOrdering] = None,
+    cache: Optional[EncodingCache] = None,
+) -> Optional[str]:
+    """Which tier :func:`encode_pair` would serve this pair from
+    (``"memory"`` / ``"disk"`` / ``None``), against the given or global
+    cache — the optimizer's encode-cost discriminator."""
+    return (_GLOBAL_CACHE if cache is None else cache).tier(left, right, ordering)

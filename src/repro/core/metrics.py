@@ -85,6 +85,11 @@ class ExecutionMetrics:
     verify_merges_early_exited: int = 0
     implementation: Optional[str] = None
     parallel_stats: Optional[Dict[str, Any]] = None
+    #: Open-ended side-channel telemetry keyed by subsystem — e.g.
+    #: ``extra["encoding_cache"]`` carries the tiered cache's
+    #: hit/miss/eviction/disk-hit counters, ``extra["storage"]`` the
+    #: buffer-pool stats when the run scanned attached tables.
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -125,6 +130,8 @@ class ExecutionMetrics:
             # Last writer wins: the executor folds shard metrics into the
             # parent, and the parent's report is attached afterwards.
             self.parallel_stats = other.parallel_stats
+        # Subsystem snapshots: newer snapshot per key replaces the older.
+        self.extra.update(other.extra)
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""

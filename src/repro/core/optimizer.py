@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.core.encoded import encoding_cached
+from repro.core.encoded import encoding_tier
 from repro.core.ordering import ElementOrdering, frequency_ordering
 from repro.core.predicate import OverlapPredicate
 from repro.core.prefix_filter import prefix_filter_relation
@@ -118,6 +118,13 @@ class CostModel:
     #: cost of packing one element into a bit signature (paid alongside
     #: the encode term, i.e. only on an encoding-cache miss)
     SIGNATURE_ELEMENT = 0.05
+    #: cost of reading one 4 KiB page from a persisted encoding (mmap
+    #: fault + checksum + array adoption) — charged instead of
+    #: ENCODE_ELEMENT when the encoding cache's disk tier holds the pair
+    PAGE_IO = 8.0
+    #: estimated on-disk bytes per encoded element (one i64 id + one f64
+    #: weight), used to convert element counts into page counts
+    BYTES_PER_ELEMENT = 16
     #: fixed cost of forking + warming up one worker process
     PARALLEL_SPAWN = 2500.0
     #: per-shard submit/pickle/result overhead of one pool task
@@ -216,10 +223,21 @@ class CostModel:
         # the encoding cache amortizes away on repeat workloads.
         # The facade encodes under the *user's* ordering key (None when it
         # defaulted to joint frequency), so probe both cache keys.
-        cached = encoding_cached(left, right, None) or encoding_cached(
+        tier = encoding_tier(left, right, None) or encoding_tier(
             left, right, ordering
         )
-        encode_cost = 0.0 if cached else self.ENCODE_ELEMENT * (n_left + n_right)
+        cached = tier == "memory"
+        if cached:
+            encode_cost = 0.0
+        elif tier == "disk":
+            # A persisted encoding exists: charge page I/O for decoding
+            # the columnar arrays instead of the per-element re-encode.
+            from repro.storage.pages import PAGE_SIZE
+
+            est_pages = 1.0 + (n_left + n_right) * self.BYTES_PER_ELEMENT / PAGE_SIZE
+            encode_cost = self.PAGE_IO * est_pages
+        else:
+            encode_cost = self.ENCODE_ELEMENT * (n_left + n_right)
 
         # Verification-engine factors. The engine bypasses itself (width
         # 0) on loose predicates, in which case every extra term vanishes

@@ -139,7 +139,7 @@ def execute_physical(
         # Imported here: repro.parallel layers above repro.core.
         from repro.parallel.executor import parallel_ssjoin
 
-        return parallel_ssjoin(
+        result = parallel_ssjoin(
             left,
             right,
             predicate,
@@ -149,7 +149,16 @@ def execute_physical(
             metrics=ctx._metrics,
             cost_model=ctx.cost_model,
             verify_config=ctx.verify_config,
+            encoding_cache=ctx.encoding_cache,
         )
+        if result.implementation in ("encoded-prefix", "encoded-probe"):
+            cache = ctx.encoding_cache
+            if cache is None:
+                from repro.core.encoded import global_encoding_cache
+
+                cache = global_encoding_cache()
+            result.metrics.extra["encoding_cache"] = cache.stats()
+        return result
     m = ctx.metrics
     estimate: Optional[CostEstimate] = None
     impl = implementation
@@ -208,6 +217,13 @@ def execute_physical(
             f"unknown implementation {implementation!r}; expected "
             "basic/prefix/inline/probe/encoded-prefix/encoded-probe/auto"
         )
+    if impl in ("encoded-prefix", "encoded-probe"):
+        cache = ctx.encoding_cache
+        if cache is None:
+            from repro.core.encoded import global_encoding_cache
+
+            cache = global_encoding_cache()
+        m.extra["encoding_cache"] = cache.stats()
     return SSJoinResult(pairs=pairs, metrics=m, implementation=impl, cost_estimate=estimate)
 
 

@@ -17,7 +17,7 @@ Result rows are ``(a_r, a_s, overlap, norm_r, norm_s)``; see
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
 from repro.core.encoded import EncodedPreparedRelation
 from repro.core.metrics import ExecutionMetrics
@@ -105,6 +105,7 @@ class SSJoin:
         verify: bool = False,
         workers: Optional[Union[int, str]] = None,
         verify_config: Optional[VerifyConfig] = None,
+        encoding_cache: Any = None,
     ) -> SSJoinResult:
         """Run the join with the named (or cost-chosen) implementation.
 
@@ -142,6 +143,11 @@ class SSJoin:
             ``VerifyConfig.disabled()`` reproduces the unfiltered
             verify step exactly.  Results are identical either way —
             the engine only prunes candidates that cannot qualify.
+        encoding_cache:
+            A context-scoped :class:`~repro.core.encoded.EncodingCache`
+            (possibly with a persistent tier attached) overriding the
+            process-global one for the encoded plans; ``None`` keeps the
+            global cache.
         """
         node = self.plan(implementation)
         context = ExecutionContext(
@@ -150,6 +156,7 @@ class SSJoin:
             verify_config=verify_config,
             workers=workers,
             verify=verify,
+            encoding_cache=encoding_cache,
         )
         node.execute(context)
         return node.last_result

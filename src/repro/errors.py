@@ -24,6 +24,8 @@ __all__ = [
     "BenchmarkConfigError",
     "DataGenerationError",
     "AnalysisError",
+    "StorageError",
+    "StaleArtifactError",
 ]
 
 
@@ -97,6 +99,15 @@ class BenchmarkConfigError(ReproError):
 
 class DataGenerationError(ReproError):
     """A synthetic data generator received inconsistent parameters."""
+
+
+class StorageError(ReproError):
+    """A page file is malformed, truncated, or failed a checksum."""
+
+
+class StaleArtifactError(StorageError):
+    """A persisted artifact's dictionary-generation fingerprint disagrees
+    with the dictionary it is being attached to (see analysis rule SSJ114)."""
 
 
 class AnalysisError(ReproError):

@@ -64,6 +64,7 @@ from repro.parallel.worker import (
     GroupHashPayload,
     Payload,
     ShardResult,
+    StoredTokenRangePayload,
     TokenRangePayload,
     execute_shard,
     init_worker,
@@ -246,6 +247,7 @@ def parallel_ssjoin(
     backend: Optional[str] = None,
     oversplit: int = OVERSPLIT,
     verify_config: Optional[VerifyConfig] = None,
+    encoding_cache: Optional[Any] = None,
 ) -> SSJoinResult:
     """Execute ``R SSJoin S`` across *workers* processes.
 
@@ -268,6 +270,13 @@ def parallel_ssjoin(
         are packed once in the parent and shipped with the payload, so
         every shard prunes with identical bounds and the merged
         per-stage counters equal the sequential run's.
+    encoding_cache:
+        A context-scoped :class:`repro.core.encoded.EncodingCache` for
+        the parent-side encode phase (``None`` = the process-global
+        cache). A cache seeded from an attached
+        :class:`repro.storage.store.StoredTable` makes the encode phase
+        a pure lookup, and its persisted ``storage_ref`` is what lets
+        the process backend ship slim by-reference payloads.
 
     Returns an :class:`SSJoinResult` whose ``pairs`` rows are in
     canonical order and whose ``parallel`` attribute (also
@@ -316,10 +325,12 @@ def parallel_ssjoin(
 
     start = time.perf_counter()
     n_shards = shard_count(n_workers, oversplit)
+    stored_payload: Optional[StoredTokenRangePayload] = None
     if impl == "encoded-prefix":
         strategy = KIND_TOKEN_RANGE
-        payload, shards, universe = _plan_token_range(
-            left, right, predicate, ordering, n_shards, m, verify_config
+        payload, shards, universe, stored_payload = _plan_token_range(
+            left, right, predicate, ordering, n_shards, m, verify_config,
+            encoding_cache=encoding_cache,
         )
     else:
         strategy = "group-hash"
@@ -338,7 +349,9 @@ def parallel_ssjoin(
     resolved_backend = _resolve_backend(backend)
     dispatch = sorted(shards, key=lambda s: (-s.est_cost, s.shard_id))
     if resolved_backend == BACKEND_PROCESS:
-        results = _run_process_pool(payload, dispatch, n_workers)
+        # Prefer the slim by-reference payload: workers map the page
+        # files read-only instead of unpickling the columnar arrays.
+        results = _run_process_pool(stored_payload or payload, dispatch, n_workers)
     else:
         results = [execute_shard(payload, s) for s in dispatch]
     results.sort(key=lambda r: r.shard_id)
@@ -351,6 +364,11 @@ def parallel_ssjoin(
             dst.extend(src)
         m.merge(r.metrics)
     m.implementation = impl
+    m.extra["parallel_payload"] = (
+        "stored-ref"
+        if resolved_backend == BACKEND_PROCESS and stored_payload is not None
+        else "pickled"
+    )
 
     by_id = {s.shard_id: s for s in shards}
     report = ParallelReport(
@@ -452,12 +470,20 @@ def _plan_token_range(
     n_shards: int,
     m: ExecutionMetrics,
     verify_config: Optional[VerifyConfig] = None,
-) -> Tuple[TokenRangePayload, List[ShardDescriptor], int]:
+    encoding_cache: Optional[Any] = None,
+) -> Tuple[
+    TokenRangePayload,
+    List[ShardDescriptor],
+    int,
+    Optional[StoredTokenRangePayload],
+]:
     # Encode + prefix phases run once in the parent (cache-hot, and
     # identical to the sequential plan's PREP/PREFIX work); workers get
     # the finished arrays and only execute SSJOIN/FILTER.
     with m.phase(PHASE_PREP):
-        enc_left, enc_right, dictionary = encode_pair(left, right, ordering, metrics=m)
+        enc_left, enc_right, dictionary = encode_pair(
+            left, right, ordering, metrics=m, cache=encoding_cache
+        )
         m.prepared_rows += enc_left.num_elements + enc_right.num_elements
     with m.phase(PHASE_PREFIX):
         left_prefix = group_prefix_lengths(enc_left, predicate.left_filter_threshold)
@@ -527,13 +553,31 @@ def _plan_token_range(
     shards = plan_token_range_shards(
         enc_left.ids, left_prefix, enc_right.ids, right_prefix, universe, n_shards
     )
-    plan = (payload, shards, universe)
+    # Disk-backed encodings ship by reference: workers re-open the page
+    # files read-only and rehydrate (prefix lengths, signatures) instead
+    # of receiving the pickled columns — a few hundred payload bytes per
+    # worker regardless of relation size.
+    stored: Optional[StoredTokenRangePayload] = None
+    left_ref = enc_left.storage_ref
+    right_ref = left_ref if enc_right is enc_left else enc_right.storage_ref
+    if left_ref and right_ref:
+        stored = StoredTokenRangePayload(
+            left_ref=left_ref,
+            right_ref=right_ref,
+            predicate=predicate,
+            verify_bits=nbits,
+            verify_positional=positional,
+            verify_early_exit=early,
+        )
+    plan = (payload, shards, universe, stored)
     enc_left.prefix_cache[cache_key] = plan
     return plan
 
 
 def _run_process_pool(
-    payload: Payload, dispatch: List[ShardDescriptor], n_workers: int
+    payload: "Union[Payload, StoredTokenRangePayload]",
+    dispatch: List[ShardDescriptor],
+    n_workers: int,
 ) -> List[ShardResult]:
     payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     with ProcessPoolExecutor(

@@ -53,6 +53,7 @@ from repro.parallel.shards import KIND_GROUP_HASH, KIND_TOKEN_RANGE, ShardDescri
 
 __all__ = [
     "GroupHashPayload",
+    "StoredTokenRangePayload",
     "TokenRangePayload",
     "ShardResult",
     "execute_shard",
@@ -111,6 +112,80 @@ class TokenRangePayload:
     verify_early_exit: bool = False
 
 
+@dataclass(frozen=True)
+class StoredTokenRangePayload:
+    """Page-file refs in place of pickled columns (disk-backed joins).
+
+    When both sides' encodings are disk-backed (``storage_ref`` set —
+    attached tables or persistent-tier pair files), the executor ships
+    this slim payload instead of :class:`TokenRangePayload`: each worker
+    re-opens the page files read-only and adopts the columnar arrays via
+    mmap, so the per-worker pickle is a few hundred bytes regardless of
+    relation size. :meth:`rehydrate` rebuilds the full payload
+    worker-side; every derived quantity (β-prefix lengths, packed
+    signatures, max weights) is a deterministic pure function of the
+    mapped arrays and the shipped predicate/config, so shard results are
+    bit-identical to the fat-payload path.
+    """
+
+    left_ref: str
+    right_ref: str
+    predicate: OverlapPredicate
+    verify_bits: int = 0
+    verify_positional: bool = False
+    verify_early_exit: bool = False
+
+    def rehydrate(self) -> TokenRangePayload:
+        # Imported here: repro.storage layers above repro.parallel.
+        from repro.core.encoded_prefix import group_prefix_lengths
+        from repro.core.verify import max_weights_for, signatures_for
+        from repro.storage.store import load_encoded_ref
+
+        enc_left = load_encoded_ref(self.left_ref)
+        enc_right = (
+            enc_left
+            if self.right_ref == self.left_ref
+            else load_encoded_ref(self.right_ref)
+        )
+        left_prefix = group_prefix_lengths(
+            enc_left, self.predicate.left_filter_threshold
+        )
+        right_prefix = group_prefix_lengths(
+            enc_right, self.predicate.right_filter_threshold
+        )
+        nbits = self.verify_bits
+        left_sigs = tuple(signatures_for(enc_left, nbits)) if nbits else None
+        right_sigs = (
+            (
+                left_sigs
+                if enc_right is enc_left
+                else tuple(signatures_for(enc_right, nbits))
+            )
+            if nbits
+            else None
+        )
+        engine_on = bool(nbits or self.verify_positional or self.verify_early_exit)
+        left_ids_t = tuple(enc_left.ids)
+        return TokenRangePayload(
+            left_keys=tuple(enc_left.keys),
+            left_ids=left_ids_t,
+            left_weights=tuple(enc_left.weights),
+            left_norms=tuple(enc_left.norms),
+            left_prefix=tuple(left_prefix),
+            right_keys=tuple(enc_right.keys),
+            right_ids=left_ids_t if enc_right is enc_left else tuple(enc_right.ids),
+            right_norms=tuple(enc_right.norms),
+            right_prefix=tuple(right_prefix),
+            predicate=self.predicate,
+            verify_bits=nbits,
+            left_signatures=left_sigs,
+            right_signatures=right_sigs,
+            left_max_weights=tuple(max_weights_for(enc_left)) if engine_on else None,
+            verify_positional=self.verify_positional,
+            verify_early_exit=self.verify_early_exit,
+        )
+
+
 Payload = Union[GroupHashPayload, TokenRangePayload]
 
 
@@ -149,12 +224,19 @@ _PAYLOAD: Optional[Payload] = None
 
 
 def init_worker(payload_bytes: bytes) -> None:
-    """Process-pool initializer: unpickle the shared payload once."""
+    """Process-pool initializer: unpickle the shared payload once.
+
+    A :class:`StoredTokenRangePayload` rehydrates here — pages are mapped
+    and derived state rebuilt once per process, before any shard runs.
+    """
     global _PAYLOAD
+    payload = pickle.loads(payload_bytes)
+    if isinstance(payload, StoredTokenRangePayload):
+        payload = payload.rehydrate()
     # The initializer is the one sanctioned global write in a worker: it
     # runs exactly once per process, before any shard, and the slot is
     # read-only afterwards — write-once configuration, not shared state.
-    _PAYLOAD = pickle.loads(payload_bytes)  # repro: ignore[DF303]
+    _PAYLOAD = payload  # repro: ignore[DF303]
 
 
 def run_shard(shard: ShardDescriptor) -> ShardResult:

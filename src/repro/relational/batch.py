@@ -277,9 +277,15 @@ def iter_batches_from_columns(
 def stream_relation(relation: Relation, batch_size: int) -> BatchStream:
     """Chop a materialized relation into a morsel stream.
 
-    A :class:`ColumnarRelation` is sliced column-wise (no row tuples are
-    built); a plain :class:`Relation` is transposed slice-by-slice.
+    A page-backed relation (anything exposing ``iter_stored_batches`` —
+    duck-typed so this layer never imports :mod:`repro.storage`) streams
+    morsels straight off its mapped pages; a :class:`ColumnarRelation` is
+    sliced column-wise (no row tuples are built); a plain
+    :class:`Relation` is transposed slice-by-slice.
     """
+    stored = getattr(relation, "iter_stored_batches", None)
+    if stored is not None:
+        return BatchStream(relation.schema, stored(batch_size), relation.name)
     if isinstance(relation, ColumnarRelation):
         batches = iter_batches_from_columns(
             relation.schema, relation.columns, batch_size, num_rows=len(relation)

@@ -8,7 +8,7 @@ histograms without recomputation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import DuplicateTableError, UnknownTableError
 from repro.relational.relation import Relation
@@ -23,6 +23,10 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Relation] = {}
         self._stats: Dict[str, TableStats] = {}
+        #: attached on-disk tables by name (see :meth:`attach`); values
+        #: are :class:`repro.storage.store.StoredTable` (typed ``Any`` —
+        #: the relational layer never imports the storage layer).
+        self._attached: Dict[str, Any] = {}
 
     # -- mapping protocol ------------------------------------------------------
 
@@ -57,12 +61,39 @@ class Catalog:
         except KeyError:
             raise UnknownTableError(name) from None
 
+    def attach(self, name: str, path: str, replace: bool = False) -> Relation:
+        """ATTACH an ingested page file as table *name*.
+
+        The table's ``StoredRelation`` enters the catalog without
+        materializing any rows — scans stream morsels from mapped pages,
+        and :meth:`attached` exposes the underlying
+        :class:`~repro.storage.store.StoredTable` so the SSJoin facade
+        can reuse its persisted dictionary/encoding/signatures.
+        """
+        # Imported lazily: repro.storage layers above repro.relational.
+        from repro.storage.store import open_table
+
+        if name in self._tables and not replace:
+            raise DuplicateTableError(name)
+        table = open_table(path)
+        self._tables[name] = table.relation.renamed(name)
+        self._attached[name] = table
+        self._stats.pop(name, None)
+        return self._tables[name]
+
+    def attached(self, name: str) -> Optional[Any]:
+        """The :class:`StoredTable` behind *name*, if it was attached."""
+        return self._attached.get(name)
+
     def drop(self, name: str) -> None:
         """Remove a table (and its cached stats)."""
         if name not in self._tables:
             raise UnknownTableError(name)
         del self._tables[name]
         self._stats.pop(name, None)
+        table = self._attached.pop(name, None)
+        if table is not None:
+            table.close()
 
     def names(self) -> tuple:
         """All table names, sorted."""

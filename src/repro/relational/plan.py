@@ -399,8 +399,11 @@ class SSJoinNode(PlanNode):
 
         :class:`PreparedInput` children pass their prepared relation
         through untouched (identity preserved, so self-joins stay
-        self-joins); any other child executes and its relation is
-        normalized via ``PreparedRelation.from_relation``.
+        self-joins); a :class:`TableScan` of an *attached* table reuses
+        the stored table's persisted prepared relation (no re-grouping,
+        and its page-backed ``.relation`` stays lazy); any other child
+        executes and its relation is normalized via
+        ``PreparedRelation.from_relation``.
         """
         from repro.core.prepared import PreparedRelation
 
@@ -411,7 +414,16 @@ class SSJoinNode(PlanNode):
             elif i == 1 and self.children[1] is self.children[0]:
                 sides.append(sides[0])
             else:
-                sides.append(PreparedRelation.from_relation(child.execute(ctx)))
+                stored = None
+                if isinstance(child, TableScan):
+                    table = ctx.catalog.attached(child.table)
+                    if table is not None:
+                        stored = table.prepared()
+                sides.append(
+                    stored
+                    if stored is not None
+                    else PreparedRelation.from_relation(child.execute(ctx))
+                )
         return sides[0], sides[1]
 
     def label(self) -> str:
@@ -485,9 +497,37 @@ class Project(_VectorizedNode):
         # Zero-column projections stay columnar too: empty-schema batches
         # carry an explicit row count (see Batch.num_rows), so
         # COUNT(*)-shaped plans never drop to the row protocol.
+        pushed = self._pushdown_stream(ctx, size)
+        if pushed is not None:
+            return pushed
         return operators.project_stream(
             self.children[0].batches(ctx, size), self.columns
         )
+
+    def _pushdown_stream(
+        self, ctx: ExecutionContext, size: int
+    ) -> Optional[BatchStream]:
+        """Projection pushdown into page-backed scans.
+
+        A π of plain column names directly over a :class:`TableScan` of
+        an attached table asks the stored relation to stream only those
+        columns — the unprojected column segments are never read off
+        disk. Derived columns, duplicates, and in-memory tables fall
+        through to the generic kernel.
+        """
+        child = self.children[0]
+        if not isinstance(child, TableScan):
+            return None
+        names = [c for c in self.columns if isinstance(c, str)]
+        if len(names) != len(self.columns) or len(set(names)) != len(names):
+            return None
+        if child.table not in ctx.catalog:
+            return None
+        relation = ctx.catalog.get(child.table)
+        stored = getattr(relation, "iter_stored_batches", None)
+        if stored is None or any(n not in relation.schema for n in names):
+            return None
+        return BatchStream(Schema(names), stored(size, names=names), relation.name)
 
     def label(self) -> str:
         names = [c if isinstance(c, str) else c[0] for c in self.columns]

@@ -1,0 +1,45 @@
+"""Seeded-defect fixtures for the storage layer's analysis rules.
+
+The SSJ114 rule (:func:`repro.analysis.invariants.verify_storage`) exists
+to catch one defect: a persisted artifact surviving a dictionary
+re-ingest with its old generation stamp. This module *manufactures* that
+defect deliberately — a page file whose dictionary is genuine but whose
+encoding is stamped under a different generation — so the selfcheck and
+the test suite can prove the rule still detects what it exists for
+(the same gate pattern as the DF399 dataflow corpus).
+"""
+
+from __future__ import annotations
+
+from repro.core.dictionary import TokenDictionary
+from repro.core.encoded import EncodedPreparedRelation
+from repro.core.prepared import PreparedRelation
+from repro.storage import codecs
+from repro.storage.pages import PageFileWriter
+
+__all__ = ["STALE_GENERATION", "seed_stale_table"]
+
+#: The counterfeit stamp the seeded encoding carries — visibly not a
+#: sha256 of any real interning table.
+STALE_GENERATION = "0" * 64
+
+
+def seed_stale_table(path: str) -> str:
+    """Write a page file with a deliberately stale encoding stamp.
+
+    The dictionary segments are genuine (content digest matches their
+    stamp), but the columnar encoding is stamped :data:`STALE_GENERATION`
+    — the on-disk shape left behind when an ingest is rerun against
+    changed data without rewriting every artifact. Returns the *real*
+    generation the encoding should have carried.
+    """
+    tokenize = lambda s: s.split()  # noqa: E731 - trivial whitespace tokenizer
+    prepared = PreparedRelation.from_strings(
+        ["stale stamp fixture", "seeded defect corpus"], tokenize, name="stale"
+    )
+    dictionary = TokenDictionary.from_relations(prepared, prepared)
+    encoded = EncodedPreparedRelation(prepared, dictionary)
+    with PageFileWriter(path) as writer:
+        generation = codecs.write_dictionary(writer, dictionary)
+        codecs.write_encoded(writer, encoded, STALE_GENERATION)
+    return generation

@@ -1,0 +1,482 @@
+"""The page-oriented file format and the pinning buffer pool.
+
+A **page file** is a sequence of fixed-size pages (:data:`PAGE_SIZE`
+bytes). Page 0 is the file header; every other page carries a slice of
+exactly one **segment** — a named, typed byte blob (a pickled column
+chunk, a raw ``array('q')`` dump, a JSON manifest). Segments always start
+on a page boundary, which is what lets the read path align morsel
+boundaries to page boundaries and skip whole column segments under
+projection pushdown.
+
+Every data page is independently verifiable::
+
+    +------+---------+------+--------+-------------+----------------+
+    | magic| segment | seq  | length | crc32       | payload ...    |
+    | 4 B  | u32     | u32  | u32    | u32         | <= 4076 B      |
+    +------+---------+------+--------+-------------+----------------+
+
+``segment`` is the id of the segment the page belongs to, ``seq`` its
+position within that segment, ``length`` the payload bytes actually used,
+and ``crc32`` covers header-sans-crc plus payload — a flipped bit
+anywhere in the page fails the read (:class:`~repro.errors.StorageError`),
+it never silently decodes.
+
+The **segment directory** (name → first page, page count, byte length,
+kind, crc of the whole blob) is itself written as the final segment; the
+header page points at it. Readers memory-map the file and go through a
+:class:`BufferPool`: page payloads are validated once, cached under an
+LRU policy, and **pinned** while a caller is actively decoding from them
+so the pool never evicts a page mid-read.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import zlib
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_CAPACITY",
+    "KIND_META",
+    "KIND_OBJECT",
+    "KIND_I64",
+    "KIND_F64",
+    "BufferPool",
+    "PageFileReader",
+    "PageFileWriter",
+    "SegmentInfo",
+    "global_buffer_pool",
+]
+
+#: Fixed page size in bytes. 4 KiB matches the common filesystem block.
+PAGE_SIZE = 4096
+
+_PAGE_MAGIC = b"RPG1"
+#: magic, segment id, sequence within segment, payload length, crc32
+_PAGE_HEADER = struct.Struct("<4sIII I")
+#: Payload bytes available per page after the typed header.
+PAGE_CAPACITY = PAGE_SIZE - _PAGE_HEADER.size
+
+_FILE_MAGIC = b"RPSF0001"
+#: magic, format version, page size, total pages, directory first page,
+#: directory page count, directory byte length, header crc32
+_FILE_HEADER = struct.Struct("<8sIIIIII I")
+
+#: Segment payload kinds (typed segment headers — decoders dispatch on these).
+KIND_META = 0    #: JSON manifest / metadata
+KIND_OBJECT = 1  #: pickled Python object (object columns, key lists)
+KIND_I64 = 2     #: raw little-endian ``array('q')`` bytes
+KIND_F64 = 3     #: raw little-endian ``array('d')`` bytes
+
+_DIRECTORY_SEGMENT = "__directory__"
+
+
+class SegmentInfo:
+    """Directory entry: where one named segment lives in the file."""
+
+    __slots__ = ("name", "kind", "first_page", "num_pages", "length", "crc")
+
+    def __init__(
+        self,
+        name: str,
+        kind: int,
+        first_page: int,
+        num_pages: int,
+        length: int,
+        crc: int,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.first_page = first_page
+        self.num_pages = num_pages
+        self.length = length
+        self.crc = crc
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "first_page": self.first_page,
+            "num_pages": self.num_pages,
+            "length": self.length,
+            "crc": self.crc,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SegmentInfo":
+        return cls(
+            d["name"], d["kind"], d["first_page"], d["num_pages"],
+            d["length"], d["crc"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentInfo({self.name!r}, kind={self.kind}, "
+            f"pages={self.first_page}..{self.first_page + self.num_pages - 1}, "
+            f"bytes={self.length})"
+        )
+
+
+def _page_bytes(segment_id: int, seq: int, payload: bytes) -> bytes:
+    header_sans_crc = _PAGE_HEADER.pack(
+        _PAGE_MAGIC, segment_id, seq, len(payload), 0
+    )[: _PAGE_HEADER.size - 4]
+    crc = zlib.crc32(header_sans_crc + payload) & 0xFFFFFFFF
+    page = _PAGE_HEADER.pack(_PAGE_MAGIC, segment_id, seq, len(payload), crc)
+    page += payload
+    return page + b"\x00" * (PAGE_SIZE - len(page))
+
+
+class PageFileWriter:
+    """Append-only page-file writer.
+
+    Segments are written front to back; :meth:`close` appends the segment
+    directory and stamps the header page. The file is built at a
+    temporary path and moved into place atomically on close, so readers
+    never observe a half-written page file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._tmp_path = path + ".tmp"
+        self._f = open(self._tmp_path, "wb")
+        # Reserve page 0 for the header (stamped on close).
+        self._f.write(b"\x00" * PAGE_SIZE)
+        self._next_page = 1
+        self._directory: "OrderedDict[str, SegmentInfo]" = OrderedDict()
+        self._closed = False
+
+    def add_segment(self, name: str, kind: int, data: bytes) -> SegmentInfo:
+        """Append *data* as the pages of a new segment named *name*."""
+        if self._closed:
+            raise StorageError(f"writer for {self.path!r} is closed")
+        if name in self._directory:
+            raise StorageError(f"duplicate segment {name!r} in {self.path!r}")
+        segment_id = len(self._directory)
+        first = self._next_page
+        n_pages = 0
+        for seq, lo in enumerate(range(0, len(data), PAGE_CAPACITY)):
+            self._f.write(_page_bytes(segment_id, seq, data[lo : lo + PAGE_CAPACITY]))
+            n_pages += 1
+        if not data:
+            # An empty segment still owns one page so every directory
+            # entry has a concrete location (and a verifiable checksum).
+            self._f.write(_page_bytes(segment_id, 0, b""))
+            n_pages = 1
+        self._next_page += n_pages
+        info = SegmentInfo(
+            name, kind, first, n_pages, len(data), zlib.crc32(data) & 0xFFFFFFFF
+        )
+        self._directory[name] = info
+        return info
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        directory = json.dumps(
+            [info.to_dict() for info in self._directory.values()],
+            separators=(",", ":"),
+        ).encode("utf-8")
+        dir_first = self._next_page
+        dir_id = len(self._directory)
+        dir_pages = 0
+        for seq, lo in enumerate(range(0, len(directory), PAGE_CAPACITY)):
+            self._f.write(_page_bytes(dir_id, seq, directory[lo : lo + PAGE_CAPACITY]))
+            dir_pages += 1
+        if not directory:  # pragma: no cover - directory JSON is never empty
+            self._f.write(_page_bytes(dir_id, 0, b""))
+            dir_pages = 1
+        total_pages = dir_first + dir_pages
+        header_sans_crc = _FILE_HEADER.pack(
+            _FILE_MAGIC, 1, PAGE_SIZE, total_pages,
+            dir_first, dir_pages, len(directory), 0,
+        )[: _FILE_HEADER.size - 4]
+        crc = zlib.crc32(header_sans_crc) & 0xFFFFFFFF
+        header = _FILE_HEADER.pack(
+            _FILE_MAGIC, 1, PAGE_SIZE, total_pages,
+            dir_first, dir_pages, len(directory), crc,
+        )
+        self._f.seek(0)
+        self._f.write(header + b"\x00" * (PAGE_SIZE - len(header)))
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._f.close()
+        os.replace(self._tmp_path, self.path)
+        self._closed = True
+
+    def abort(self) -> None:
+        """Discard the partially-written file."""
+        if not self._closed:
+            self._f.close()
+            self._closed = True
+        if os.path.exists(self._tmp_path):
+            os.unlink(self._tmp_path)
+
+    def __enter__(self) -> "PageFileWriter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+class BufferPool:
+    """Pinning LRU cache of validated page payloads.
+
+    Keys are ``(file_key, page_no)``. A page whose pin count is positive
+    is never evicted — callers bracket with :meth:`pin` / :meth:`unpin`
+    any page they need resident across calls (a hot directory or meta
+    page, say). Unpinned pages beyond *capacity_pages* are evicted
+    least-recently-used.
+    """
+
+    def __init__(self, capacity_pages: int = 1024) -> None:
+        self.capacity_pages = capacity_pages
+        self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
+        self._pins: Dict[Tuple[str, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(
+        self,
+        file_key: str,
+        page_no: int,
+        loader: Callable[[int], bytes],
+    ) -> bytes:
+        """The validated payload of one page, via cache or *loader*."""
+        key = (file_key, page_no)
+        payload = self._pages.get(key)
+        if payload is not None:
+            self.hits += 1
+            self._pages.move_to_end(key)
+            return payload
+        self.misses += 1
+        payload = loader(page_no)
+        self._pages[key] = payload
+        self._evict()
+        return payload
+
+    def pin(self, file_key: str, page_no: int) -> None:
+        key = (file_key, page_no)
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, file_key: str, page_no: int) -> None:
+        key = (file_key, page_no)
+        count = self._pins.get(key, 0)
+        if count <= 1:
+            self._pins.pop(key, None)
+        else:
+            self._pins[key] = count - 1
+
+    def _evict(self) -> None:
+        # Walk from the LRU end and stop at the first unpinned key: with
+        # no pins this is O(1) per eviction, and a pinned prefix only
+        # costs its own length — never a full scan of the pool.
+        while len(self._pages) > self.capacity_pages:
+            victim = None
+            for key in self._pages:
+                if self._pins.get(key, 0) == 0:
+                    victim = key
+                    break
+            if victim is None:
+                return
+            del self._pages[victim]
+            self.evictions += 1
+
+    def invalidate(self, file_key: str) -> None:
+        """Drop every cached page of one file (e.g. after re-ingest)."""
+        for key in [k for k in self._pages if k[0] == file_key]:
+            del self._pages[key]
+        for key in [k for k in self._pins if k[0] == file_key]:
+            del self._pins[key]
+
+    def stats(self) -> dict:
+        return {
+            "capacity_pages": self.capacity_pages,
+            "resident_pages": len(self._pages),
+            "pinned_pages": sum(1 for c in self._pins.values() if c > 0),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+#: Process-wide pool shared by every reader that is not handed its own.
+_GLOBAL_POOL = BufferPool()
+
+
+def global_buffer_pool() -> BufferPool:
+    return _GLOBAL_POOL
+
+
+class PageFileReader:
+    """Memory-mapped, checksum-verifying page-file reader.
+
+    The file is mapped read-only once; every page access goes through the
+    buffer pool, which validates the page checksum on first touch and
+    serves repeats from cache. Readers are cheap to open (header + one
+    directory read) — everything else is lazy.
+    """
+
+    def __init__(self, path: str, pool: Optional[BufferPool] = None) -> None:
+        self.path = os.path.abspath(path)
+        self.pool = pool if pool is not None else _GLOBAL_POOL
+        self._f = open(self.path, "rb")
+        try:
+            self._mmap: Optional[mmap.mmap] = mmap.mmap(
+                self._f.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError):  # pragma: no cover - zero-byte file
+            self._mmap = None
+        self._file_key = f"{self.path}:{os.path.getmtime(self.path):.6f}"
+        header = self._read_header()
+        (_, self.version, self.page_size, self.num_pages,
+         dir_first, dir_pages, dir_len) = header
+        directory = self._read_raw_segment(len_hint=dir_len,
+                                           first_page=dir_first,
+                                           num_pages=dir_pages)
+        self._directory: "OrderedDict[str, SegmentInfo]" = OrderedDict(
+            (d["name"], SegmentInfo.from_dict(d))
+            for d in json.loads(directory.decode("utf-8"))
+        )
+
+    # -- low-level page access -------------------------------------------------
+
+    def _read_header(self) -> Tuple[bytes, int, int, int, int, int, int]:
+        raw = self._raw_page(0)
+        if len(raw) < _FILE_HEADER.size:
+            raise StorageError(f"{self.path!r}: truncated header page")
+        (magic, version, page_size, num_pages, dir_first, dir_pages,
+         dir_len, crc) = _FILE_HEADER.unpack_from(raw)
+        if magic != _FILE_MAGIC:
+            raise StorageError(
+                f"{self.path!r}: bad file magic {magic!r} (not a repro page file)"
+            )
+        header_sans_crc = raw[: _FILE_HEADER.size - 4]
+        if zlib.crc32(header_sans_crc) & 0xFFFFFFFF != crc:
+            raise StorageError(f"{self.path!r}: header checksum mismatch")
+        if page_size != PAGE_SIZE:
+            raise StorageError(
+                f"{self.path!r}: page size {page_size} != {PAGE_SIZE}"
+            )
+        return magic, version, page_size, num_pages, dir_first, dir_pages, dir_len
+
+    def _raw_page(self, page_no: int) -> bytes:
+        lo = page_no * PAGE_SIZE
+        if self._mmap is not None:
+            raw = bytes(self._mmap[lo : lo + PAGE_SIZE])
+        else:  # pragma: no cover - mmap unavailable fallback
+            self._f.seek(lo)
+            raw = self._f.read(PAGE_SIZE)
+        if len(raw) < PAGE_SIZE:
+            raise StorageError(f"{self.path!r}: page {page_no} is truncated")
+        return raw
+
+    def _load_payload(self, page_no: int) -> bytes:
+        """Validate one data page and return its payload (pool loader)."""
+        raw = self._raw_page(page_no)
+        magic, segment_id, seq, length, crc = _PAGE_HEADER.unpack_from(raw)
+        if magic != _PAGE_MAGIC:
+            raise StorageError(f"{self.path!r}: page {page_no} has bad magic")
+        if length > PAGE_CAPACITY:
+            raise StorageError(
+                f"{self.path!r}: page {page_no} claims {length} payload bytes"
+            )
+        payload = raw[_PAGE_HEADER.size : _PAGE_HEADER.size + length]
+        header_sans_crc = raw[: _PAGE_HEADER.size - 4]
+        if zlib.crc32(header_sans_crc + payload) & 0xFFFFFFFF != crc:
+            raise StorageError(
+                f"{self.path!r}: page {page_no} checksum mismatch "
+                "(corrupted or torn write)"
+            )
+        return payload
+
+    @property
+    def file_key(self) -> str:
+        """The buffer pool key for this file's pages (path + mtime, so a
+        re-ingested file never serves another incarnation's cache)."""
+        return self._file_key
+
+    def page_payload(self, page_no: int) -> bytes:
+        """One page's validated payload, through the buffer pool."""
+        return self.pool.get(self._file_key, page_no, self._load_payload)
+
+    def _read_raw_segment(
+        self, len_hint: int, first_page: int, num_pages: int
+    ) -> bytes:
+        # Each payload is captured in `parts` the moment it loads, so a
+        # long read needs no pins to stay correct. Segments that cannot
+        # fit the pool bypass it entirely: caching a one-pass scan would
+        # evict every hot page without ever re-serving one.
+        pages = range(first_page, first_page + num_pages)
+        if num_pages >= self.pool.capacity_pages:
+            parts = [self._load_payload(p) for p in pages]
+        else:
+            parts = [self.page_payload(p) for p in pages]
+        blob = b"".join(parts)
+        if len(blob) != len_hint:
+            raise StorageError(
+                f"{self.path!r}: segment length {len(blob)} != directory's "
+                f"{len_hint}"
+            )
+        return blob
+
+    # -- segment access ---------------------------------------------------------
+
+    def has(self, name: str) -> bool:
+        return name in self._directory
+
+    def info(self, name: str) -> SegmentInfo:
+        try:
+            return self._directory[name]
+        except KeyError:
+            raise StorageError(
+                f"{self.path!r}: no segment {name!r}"
+            ) from None
+
+    def segment(self, name: str) -> bytes:
+        """The full byte blob of one named segment (crc-verified)."""
+        info = self.info(name)
+        blob = self._read_raw_segment(info.length, info.first_page, info.num_pages)
+        if zlib.crc32(blob) & 0xFFFFFFFF != info.crc:
+            raise StorageError(
+                f"{self.path!r}: segment {name!r} whole-blob checksum mismatch"
+            )
+        return blob
+
+    def segments(self) -> Iterator[SegmentInfo]:
+        return iter(self._directory.values())
+
+    def segment_names(self, prefix: str = "") -> List[str]:
+        return [n for n in self._directory if n.startswith(prefix)]
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        self._f.close()
+
+    def __enter__(self) -> "PageFileReader":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<PageFileReader {self.path!r} pages={self.num_pages} "
+            f"segments={len(self._directory)}>"
+        )
